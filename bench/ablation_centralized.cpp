@@ -1,0 +1,161 @@
+// Ablation A5 — centralized (primary-copy) vs decentralized peer merge
+// knowledge (the §4.1 design argument).
+//
+// Flecc is centralized: each view supplies merge/extract knowledge only
+// against the original component — O(n) adapter pairs. A decentralized
+// (peer-to-peer) protocol needs pairwise reconciliation knowledge —
+// O(n²) pairs. We quantify the real registration payloads (bytes of
+// property metadata shipped) and the number of application-supplied
+// merge/extract hooks as the fleet grows, using the actual wire-size
+// accounting of the message layer.
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "airline/travel_agent_view.hpp"
+#include "airline/workload.hpp"
+#include "baselines/peer_to_peer.hpp"
+#include "core/messages.hpp"
+#include "net/sim_fabric.hpp"
+#include "sim/simulator.hpp"
+
+using namespace flecc;
+
+namespace {
+
+/// Commutative counters for the empirical peer-to-peer measurement.
+class CounterApp : public baselines::PeerAdapter {
+ public:
+  void increment(std::int64_t cell) { pending_[cell] += 1; }
+  [[nodiscard]] core::ObjectImage extract_update() override {
+    core::ObjectImage img;
+    for (const auto& [cell, delta] : pending_) {
+      img.set_int("inc." + std::to_string(cell), delta);
+    }
+    pending_.clear();
+    return img;
+  }
+  void apply_update(const core::ObjectImage&) override {}
+
+ private:
+  std::map<std::int64_t, std::int64_t> pending_;
+};
+
+struct P2pPoint {
+  std::uint64_t messages = 0;
+  std::uint64_t log_entries = 0;
+};
+
+/// n peers in groups of 10, one update-operation each, full mesh wiring.
+P2pPoint run_p2p(std::size_t n) {
+  sim::Simulator simulator;
+  std::vector<net::NodeId> hosts;
+  auto topo = net::Topology::lan(n, net::LinkSpec{}, &hosts);
+  net::SimFabric fabric(simulator, std::move(topo));
+
+  const auto ga = airline::assign_flight_groups(n, 10, 5);
+  std::vector<std::unique_ptr<CounterApp>> apps;
+  std::vector<std::unique_ptr<baselines::Peer>> peers;
+  std::vector<props::PropertySet> all_props;
+  for (std::size_t i = 0; i < n; ++i) {
+    all_props.push_back(
+        airline::TravelAgentView(ga.agent_flights[i]).properties());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    apps.push_back(std::make_unique<CounterApp>());
+    baselines::Peer::Config cfg;
+    cfg.properties = all_props[i];
+    peers.push_back(std::make_unique<baselines::Peer>(
+        fabric, net::Address{hosts[i], 1}, *apps.back(), cfg));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) peers[i]->add_peer(net::Address{hosts[j], 1}, all_props[j]);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    peers[i]->do_operation(
+        [&apps, i, &ga] {
+          apps[i]->increment(ga.agent_flights[i][0]);
+        },
+        {});
+  }
+  simulator.run();
+
+  P2pPoint p;
+  p.messages = fabric.sent_count();
+  for (const auto& peer : peers) p.log_entries += peer->log_size();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation A5 — centralized O(n) vs decentralized O(n^2) "
+              "application knowledge\n");
+  std::printf("# agents serve 5 flights each (groups of 10); bytes = "
+              "actual RegisterReq payloads\n\n");
+  std::printf("%-8s %16s %16s %18s %18s\n", "agents", "hooks_central",
+              "hooks_decentral", "bytes_central", "bytes_decentral");
+
+  for (const std::size_t n : {10u, 20u, 50u, 100u, 200u}) {
+    const auto ga = airline::assign_flight_groups(n, 10, 5);
+
+    // Centralized: one extract/merge pair per view (against the primary),
+    // plus one registration payload per view.
+    std::uint64_t central_bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      airline::TravelAgentView view(ga.agent_flights[i]);
+      core::msg::RegisterReq req;
+      req.view_name = "air.TravelAgent";
+      req.properties = view.properties();
+      central_bytes += core::msg::wire_size(req);
+    }
+    const std::uint64_t central_hooks = 2 * n;  // extract+merge per view
+
+    // Decentralized: every pair of peers must exchange the same metadata
+    // and the application must supply per-pair reconciliation.
+    std::uint64_t decentral_bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      airline::TravelAgentView vi(ga.agent_flights[i]);
+      core::msg::RegisterReq req;
+      req.view_name = "air.TravelAgent";
+      req.properties = vi.properties();
+      const auto per_peer = core::msg::wire_size(req);
+      decentral_bytes += per_peer * (n - 1);
+    }
+    const std::uint64_t decentral_hooks = n * (n - 1);  // pairwise
+
+    std::printf("%-8zu %16llu %16llu %18llu %18llu\n", n,
+                static_cast<unsigned long long>(central_hooks),
+                static_cast<unsigned long long>(decentral_hooks),
+                static_cast<unsigned long long>(central_bytes),
+                static_cast<unsigned long long>(decentral_bytes));
+  }
+
+  std::printf("\n# the centralized design keeps application burden and "
+              "registration metadata linear\n");
+  std::printf("# in the number of views — the reason §4.1 picks the "
+              "primary-copy configuration.\n");
+
+  // Empirical check with a real decentralized protocol (src/baselines/
+  // peer_to_peer.*): messages per operation are comparable to Flecc's
+  // demand fetch, but state (per-peer logs + n² cursors) and application
+  // knowledge are what explode.
+  std::printf("\n# empirical peer-to-peer run (1 commutative update-op per "
+              "peer, groups of 10):\n");
+  std::printf("%-8s %14s %18s %18s\n", "peers", "p2p_messages",
+              "p2p_log_entries", "p2p_cursors(n^2)");
+  for (const std::size_t n : {10u, 20u, 50u, 100u}) {
+    const P2pPoint p = run_p2p(n);
+    std::printf("%-8zu %14llu %18llu %18zu\n", n,
+                static_cast<unsigned long long>(p.messages),
+                static_cast<unsigned long long>(p.log_entries),
+                n * (n - 1));
+  }
+  std::printf("\n# peer-to-peer only stayed correct here because counter "
+              "updates commute;\n");
+  std::printf("# arbitrary component state would need per-pair "
+              "reconciliation knowledge.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation A6 — update notifications vs pure pull.
+//
+// Flecc's base protocol is pull-driven: a view learns about remote
+// updates only when it pulls (explicitly or via triggers). The
+// directory optionally pushes small UpdateNotify messages to conflicting
+// active views after every merge (Config::notify_on_update). This
+// ablation measures the cost of that eagerness (extra messages) against
+// the observability it buys (how quickly a view *could* react),
+// across producer rates.
+#include <cstdio>
+
+#include "airline/testbed.hpp"
+
+using namespace flecc;
+using airline::FleccTestbed;
+using airline::TestbedOptions;
+
+namespace {
+
+constexpr std::size_t kAgents = 10;
+
+struct Result {
+  std::uint64_t messages = 0;
+  std::uint64_t notifies = 0;
+  double mean_final_quality = 0.0;
+};
+
+Result run(bool notify, int pushes_per_producer) {
+  TestbedOptions opts;
+  opts.n_agents = kAgents;
+  opts.group_size = kAgents;
+  opts.capacity = 1 << 20;
+  opts.dir_cfg.notify_on_update = notify;
+  FleccTestbed tb(opts);
+  tb.init_all_agents();
+  const auto flight = tb.assignment().agent_flights[0][0];
+
+  const auto baseline = tb.fabric().sent_count();
+  // Half the agents produce (reserve + push); half stay passive.
+  for (std::size_t i = 0; i < kAgents / 2; ++i) {
+    airline::TravelAgent& producer = tb.agent(i);
+    for (int k = 0; k < pushes_per_producer; ++k) {
+      tb.simulator().schedule_at(
+          sim::msec(10 * (k + 1)) + static_cast<sim::Time>(i), [&producer,
+                                                               flight] {
+            producer.view().confirm_tickets(flight, 1);
+            producer.push_now();
+          });
+    }
+  }
+  tb.run();
+
+  Result r;
+  r.messages = tb.fabric().sent_count() - baseline;
+  sim::RunningStat quality;
+  for (std::size_t i = kAgents / 2; i < kAgents; ++i) {
+    r.notifies += tb.agent(i).cache().notifies_received();
+    quality.add(static_cast<double>(
+        tb.directory().quality(tb.agent(i).cache().id())));
+  }
+  r.mean_final_quality = quality.mean();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation A6 — UpdateNotify (eager) vs pure pull (lazy)\n");
+  std::printf("# %zu conflicting agents: 5 producers pushing, 5 passive "
+              "observers\n\n", kAgents);
+  std::printf("%-22s %10s %12s %12s %18s\n", "pushes/producer", "notify",
+              "messages", "notifies", "observer_quality");
+  for (const int pushes : {5, 20, 50}) {
+    for (const bool notify : {false, true}) {
+      const Result r = run(notify, pushes);
+      std::printf("%-22d %10s %12llu %12llu %18.1f\n", pushes,
+                  notify ? "on" : "off",
+                  static_cast<unsigned long long>(r.messages),
+                  static_cast<unsigned long long>(r.notifies),
+                  r.mean_final_quality);
+    }
+  }
+  std::printf("\n# notifications tell every conflicting observer about "
+              "every merge (observability)\n");
+  std::printf("# at a per-merge fan-out cost; staleness itself is "
+              "unchanged until the observer acts.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Microbenchmarks of Flecc's hot primitives (google-benchmark):
+// property-set intersection, trigger parse/eval, the event queue, and
+// ObjectImage extract/merge round trips.
+#include <benchmark/benchmark.h>
+
+#include "core/object_image.hpp"
+#include "props/property.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "trigger/parser.hpp"
+#include "trigger/trigger.hpp"
+
+using namespace flecc;
+
+namespace {
+
+props::PropertySet make_set(std::size_t n_props, std::int64_t offset) {
+  props::PropertySet ps;
+  for (std::size_t p = 0; p < n_props; ++p) {
+    ps.set("prop" + std::to_string(p),
+           props::Domain::interval(offset, offset + 100));
+  }
+  return ps;
+}
+
+void BM_PropertySetConflict(benchmark::State& state) {
+  const auto a = make_set(static_cast<std::size_t>(state.range(0)), 0);
+  const auto b = make_set(static_cast<std::size_t>(state.range(0)), 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.conflicts_with(b));
+  }
+}
+BENCHMARK(BM_PropertySetConflict)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PropertySetIntersect(benchmark::State& state) {
+  const auto a = make_set(static_cast<std::size_t>(state.range(0)), 0);
+  const auto b = make_set(static_cast<std::size_t>(state.range(0)), 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+}
+BENCHMARK(BM_PropertySetIntersect)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DiscreteDomainIntersect(benchmark::State& state) {
+  const auto n = state.range(0);
+  std::set<props::Value> va, vb;
+  for (std::int64_t i = 0; i < n; ++i) {
+    va.insert(props::Value{i});
+    vb.insert(props::Value{i + n / 2});
+  }
+  const auto a = props::Domain::discrete(std::move(va));
+  const auto b = props::Domain::discrete(std::move(vb));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+}
+BENCHMARK(BM_DiscreteDomainIntersect)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TriggerParse(benchmark::State& state) {
+  const std::string src =
+      "(t > 1500) && (pendingSales >= 3 || !urgent) && x * 2 < y + 7";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trigger::parse(src));
+  }
+}
+BENCHMARK(BM_TriggerParse);
+
+void BM_TriggerEval(benchmark::State& state) {
+  const trigger::Trigger trig(
+      "(t > 1500) && (pendingSales >= 3 || !urgent) && x * 2 < y + 7");
+  trigger::VariableStore env{
+      {"pendingSales", 5.0}, {"urgent", 0.0}, {"x", 3.0}, {"y", 10.0}};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(trig.evaluate(t, env));
+  }
+}
+BENCHMARK(BM_TriggerEval);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(rng.uniform_int(0, 1 << 20), [] {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.pop().when);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ObjectImageOverlay(benchmark::State& state) {
+  const auto n = state.range(0);
+  core::ObjectImage base, delta;
+  for (std::int64_t i = 0; i < n; ++i) {
+    base.set_int("key" + std::to_string(i), i);
+    if (i % 4 == 0) delta.set_int("key" + std::to_string(i), i * 2);
+  }
+  for (auto _ : state) {
+    core::ObjectImage copy = base;
+    benchmark::DoNotOptimize(copy.overlay(delta));
+  }
+}
+BENCHMARK(BM_ObjectImageOverlay)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ObjectImageWireSize(benchmark::State& state) {
+  core::ObjectImage img;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    img.set_int("f." + std::to_string(i) + ".res", i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img.wire_size());
+  }
+}
+BENCHMARK(BM_ObjectImageWireSize)->Arg(16)->Arg(256);
+
+}  // namespace

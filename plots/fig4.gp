@@ -1,0 +1,12 @@
+# gnuplot script for Figure 4 (run bench/fig4_efficiency first):
+#   ./build/bench/fig4_efficiency && gnuplot plots/fig4.gp
+set datafile separator ","
+set terminal pngcairo size 800,500
+set output "fig4_efficiency.png"
+set title "Figure 4 — messages between cache managers and directory manager"
+set xlabel "agents serving similar flights (conflicting-group size)"
+set ylabel "total messages"
+set key top left
+plot "fig4_efficiency.csv" using 1:2 with linespoints title "Flecc", \
+     "fig4_efficiency.csv" using 1:3 with linespoints title "time-sharing", \
+     "fig4_efficiency.csv" using 1:4 with linespoints title "multicast"

@@ -1,0 +1,14 @@
+# gnuplot script for Figure 5 (run bench/fig5_adaptability first):
+#   ./build/bench/fig5_adaptability && gnuplot plots/fig5.gp
+set datafile separator ","
+set terminal pngcairo size 800,600
+set output "fig5_adaptability.png"
+set multiplot layout 2,1 title \
+    "Figure 5 — WEAK/STRONG/WEAK trade-off (10 conflicting agents)"
+set xlabel ""
+set ylabel "data quality (unseen updates)"
+plot "fig5_adaptability.csv" using 1:5 with points pt 7 ps 0.6 notitle
+set xlabel "simulated time (ms)"
+set ylabel "method execution time (ms)"
+plot "fig5_adaptability.csv" using 1:4 with points pt 7 ps 0.6 notitle
+unset multiplot

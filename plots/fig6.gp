@@ -1,0 +1,13 @@
+# gnuplot script for Figure 6 (run bench/fig6_flexibility first):
+#   ./build/bench/fig6_flexibility && gnuplot plots/fig6.gp
+set datafile separator ","
+set terminal pngcairo size 800,500
+set output "fig6_flexibility.png"
+set title "Figure 6 — unseen remote updates per method call"
+set xlabel "simulated time (ms)"
+set ylabel "data quality (unseen updates)"
+set key top left
+plot "< awk -F, '$1==\"no-trigger\"'   fig6_flexibility.csv" \
+         using 3:4 with linespoints title "explicit pulls only", \
+     "< awk -F, '$1==\"with-trigger\"' fig6_flexibility.csv" \
+         using 3:4 with linespoints title "with pull trigger"

@@ -1,0 +1,24 @@
+// The airline reservation domain model (paper §5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flecc::airline {
+
+using FlightNumber = std::int64_t;
+
+struct Flight {
+  FlightNumber number = 0;
+  std::string origin;
+  std::string destination;
+  std::int64_t capacity = 0;
+  std::int64_t reserved = 0;
+  double price = 0.0;
+
+  [[nodiscard]] std::int64_t available() const noexcept {
+    return capacity - reserved;
+  }
+};
+
+}  // namespace flecc::airline

@@ -1,0 +1,98 @@
+// The main flight database — the paper's "original component".
+//
+// FlightDatabase holds authoritative seat state; FlightDatabaseAdapter
+// is its Flecc PrimaryAdapter: it extracts absolute seat state
+// ("f.<n>.cap", "f.<n>.res") and merges either reservation *deltas*
+// ("d.<n>", clamped at capacity — the application-specific conflict
+// resolution of §4.1) or absolute monotone state (used by the
+// hierarchical extension's gossip).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "airline/flight.hpp"
+#include "core/adapters.hpp"
+#include "props/property.hpp"
+#include "trigger/env.hpp"
+
+namespace flecc::airline {
+
+/// Name of the shared-data property ("Flights" in §5.2).
+inline constexpr const char* kFlightsProperty = "Flights";
+
+/// Image key helpers shared by the primary and view adapters.
+std::string key_capacity(FlightNumber n);
+std::string key_reserved(FlightNumber n);
+std::string key_delta(FlightNumber n);
+
+class FlightDatabase {
+ public:
+  void add_flight(Flight f);
+
+  /// `count` flights numbered consecutively from `first`, all with the
+  /// same capacity/price.
+  static FlightDatabase uniform(FlightNumber first, std::size_t count,
+                                std::int64_t capacity, double price = 100.0);
+
+  [[nodiscard]] const Flight* find(FlightNumber n) const;
+  [[nodiscard]] std::size_t size() const noexcept { return flights_.size(); }
+  [[nodiscard]] std::vector<FlightNumber> flight_numbers() const;
+
+  /// Reserve up to `count` seats; returns the accepted count (clamped at
+  /// capacity — requests beyond capacity are partially or fully
+  /// rejected, and the shortfall is tallied).
+  std::int64_t reserve(FlightNumber n, std::int64_t count);
+
+  /// Force the reserved count to at least `reserved` (monotone merge for
+  /// state-based synchronization). Returns false if the flight is
+  /// unknown.
+  bool raise_reserved(FlightNumber n, std::int64_t reserved);
+
+  [[nodiscard]] std::int64_t available(FlightNumber n) const;
+  [[nodiscard]] std::int64_t total_reserved() const;
+  [[nodiscard]] std::uint64_t rejected_seats() const noexcept {
+    return rejected_seats_;
+  }
+
+  [[nodiscard]] auto begin() const { return flights_.begin(); }
+  [[nodiscard]] auto end() const { return flights_.end(); }
+
+ private:
+  std::map<FlightNumber, Flight> flights_;
+  std::uint64_t rejected_seats_ = 0;
+};
+
+class FlightDatabaseAdapter : public core::PrimaryAdapter {
+ public:
+  explicit FlightDatabaseAdapter(FlightDatabase& db);
+
+  [[nodiscard]] core::ObjectImage extract_from_object(
+      const props::PropertySet& vpl) const override;
+  void merge_into_object(const core::ObjectImage& image,
+                         const props::PropertySet& vpl) override;
+  [[nodiscard]] const trigger::Env* variables() const override {
+    return &env_;
+  }
+  [[nodiscard]] props::PropertySet data_properties() const override;
+
+  [[nodiscard]] const FlightDatabase& database() const noexcept { return db_; }
+
+ private:
+  /// Exposes "_total_reserved" and "avail.<n>" to validity triggers.
+  class DbEnv : public trigger::Env {
+   public:
+    explicit DbEnv(const FlightDatabase& db) : db_(db) {}
+    [[nodiscard]] std::optional<double> lookup(
+        const std::string& name) const override;
+
+   private:
+    const FlightDatabase& db_;
+  };
+
+  FlightDatabase& db_;
+  DbEnv env_;
+};
+
+}  // namespace flecc::airline

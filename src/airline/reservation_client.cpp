@@ -1,0 +1,82 @@
+#include "airline/reservation_client.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/script.hpp"
+
+namespace flecc::airline {
+
+const char* to_string(ClientKind k) noexcept {
+  return k == ClientKind::kViewer ? "viewer" : "buyer";
+}
+
+ReservationClient::ReservationClient(TravelAgent& agent, Config cfg)
+    : agent_(agent), cfg_(cfg), kind_(cfg.kind) {}
+
+void ReservationClient::run(Done done) {
+  if (started_) {
+    throw std::logic_error("ReservationClient::run called twice");
+  }
+  started_ = true;
+  sim::Script script;
+  for (std::size_t i = 0; i < cfg_.requests; ++i) {
+    if (cfg_.upgrade_at.has_value() && *cfg_.upgrade_at == i) {
+      script.then([this](sim::Script::Next next) { upgrade(std::move(next)); });
+    }
+    script.then([this](sim::Script::Next next) {
+      if (kind_ == ClientKind::kViewer) {
+        browse_once(std::move(next));
+      } else {
+        buy_once(std::move(next));
+      }
+    });
+  }
+  std::move(script).run(std::move(done));
+}
+
+void ReservationClient::browse_once(Done done) {
+  // Browsing tolerates stale data: a read-only pull (never triggers a
+  // demand-fetch round under the read/write-semantics extension)
+  // followed by a local availability lookup.
+  agent_.cache().set_intent(core::AccessIntent::kReadOnly);
+  agent_.pull_now([this, done = std::move(done)] {
+    ++browses_;
+    last_observed_availability_ = agent_.view().available(cfg_.flight);
+    if (done) done();
+  });
+}
+
+void ReservationClient::buy_once(Done done) {
+  agent_.cache().set_intent(core::AccessIntent::kReadWrite);
+  ++purchase_attempts_;
+  const std::int64_t confirmed_before = agent_.view().confirmed_total();
+  // In strong mode startUseImage acquires fresh state; in weak mode an
+  // explicit fetch-fresh pull precedes the purchase.
+  const bool pull_first = agent_.cache().mode() == core::Mode::kWeak;
+  agent_.reserve_once(
+      cfg_.flight, cfg_.seats_per_purchase, pull_first,
+      [this, confirmed_before, done = std::move(done)] {
+        const std::int64_t got =
+            agent_.view().confirmed_total() - confirmed_before;
+        seats_bought_ += got;
+        if (got < cfg_.seats_per_purchase) ++refused_purchases_;
+        if (done) done();
+      });
+}
+
+void ReservationClient::upgrade(Done done) {
+  // "A viewer can become at any point a buyer and the travel agent
+  // component should be able to provide the requested information in a
+  // timely manner" (§5.1): the capability change maps to a run-time
+  // consistency-level change on the agent's cache manager.
+  kind_ = ClientKind::kBuyer;
+  upgraded_ = true;
+  if (cfg_.buy_in_strong_mode) {
+    agent_.switch_mode(core::Mode::kStrong, std::move(done));
+  } else if (done) {
+    done();
+  }
+}
+
+}  // namespace flecc::airline

@@ -1,0 +1,87 @@
+// Reservation clients (paper §5.1): "reservation clients of different
+// capabilities (viewers and buyers)".
+//
+// A viewer browses flight availability and tolerates stale data (weak
+// consistency, read-only intent); a buyer needs fresh seat counts to
+// make an educated decision (fetch-fresh pulls or strong mode). A
+// viewer may upgrade to a buyer at any point — the client switches the
+// travel agent's consistency level at run time, exactly the scenario
+// the paper's introduction motivates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "airline/travel_agent.hpp"
+
+namespace flecc::airline {
+
+enum class ClientKind : std::uint8_t { kViewer, kBuyer };
+
+const char* to_string(ClientKind k) noexcept;
+
+class ReservationClient {
+ public:
+  struct Config {
+    ClientKind kind = ClientKind::kViewer;
+    FlightNumber flight = 0;
+    /// Total requests this client issues against its travel agent.
+    std::size_t requests = 10;
+    /// Seats per purchase request (buyers only).
+    std::int64_t seats_per_purchase = 1;
+    /// If set, the client upgrades viewer → buyer before this request
+    /// index, switching the agent to strong mode.
+    std::optional<std::size_t> upgrade_at;
+    /// Consistency used while buying: strong mode (default) or weak
+    /// with fetch-fresh pulls.
+    bool buy_in_strong_mode = true;
+  };
+
+  using Done = std::function<void()>;
+
+  /// The client drives (and does not own) the given travel agent.
+  ReservationClient(TravelAgent& agent, Config cfg);
+
+  /// Issue all requests asynchronously; `done` fires after the last
+  /// request completes. Call once.
+  void run(Done done = {});
+
+  // ---- outcomes -------------------------------------------------------
+
+  [[nodiscard]] ClientKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t browses() const noexcept { return browses_; }
+  [[nodiscard]] std::size_t purchase_attempts() const noexcept {
+    return purchase_attempts_;
+  }
+  [[nodiscard]] std::int64_t seats_bought() const noexcept {
+    return seats_bought_;
+  }
+  [[nodiscard]] std::size_t refused_purchases() const noexcept {
+    return refused_purchases_;
+  }
+  /// Availability observed by the most recent browse.
+  [[nodiscard]] std::int64_t last_observed_availability() const noexcept {
+    return last_observed_availability_;
+  }
+  [[nodiscard]] bool upgraded() const noexcept { return upgraded_; }
+
+ private:
+  void browse_once(Done done);
+  void buy_once(Done done);
+  void upgrade(Done done);
+
+  TravelAgent& agent_;
+  Config cfg_;
+  ClientKind kind_;
+  bool upgraded_ = false;
+  bool started_ = false;
+
+  std::size_t browses_ = 0;
+  std::size_t purchase_attempts_ = 0;
+  std::int64_t seats_bought_ = 0;
+  std::size_t refused_purchases_ = 0;
+  std::int64_t last_observed_availability_ = 0;
+};
+
+}  // namespace flecc::airline

@@ -1,0 +1,148 @@
+#include "airline/testbed.hpp"
+
+#include <utility>
+
+#include "baselines/flecc_client.hpp"
+
+namespace flecc::airline {
+
+const char* to_string(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::kFlecc: return "flecc";
+    case Protocol::kTimeSharing: return "time-sharing";
+    case Protocol::kMulticast: return "multicast";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr net::PortId kServicePort = 1;
+
+net::Topology make_lan(std::size_t n_agents, sim::Duration latency,
+                       std::vector<net::NodeId>& hosts) {
+  net::LinkSpec link;
+  link.latency = latency;
+  // +1 host for the database/coordinator node.
+  return net::Topology::lan(n_agents + 1, link, &hosts);
+}
+
+FlightDatabase make_db(const GroupAssignment& assignment,
+                       std::int64_t capacity, FlightNumber base = 100) {
+  return FlightDatabase::uniform(
+      base, assignment.flight_count, capacity);
+}
+
+}  // namespace
+
+// ---- FleccTestbed -----------------------------------------------------------
+
+FleccTestbed::FleccTestbed(TestbedOptions opts)
+    : opts_(std::move(opts)),
+      assignment_(assign_flight_groups(opts_.n_agents, opts_.group_size,
+                                       opts_.flights_per_group)) {
+  std::vector<net::NodeId> hosts;
+  auto topo = make_lan(opts_.n_agents, opts_.lan_latency, hosts);
+  fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo));
+
+  db_ = make_db(assignment_, opts_.capacity);
+  adapter_ = std::make_unique<FlightDatabaseAdapter>(db_);
+
+  const net::Address dir_addr{hosts.back(), kServicePort};
+  directory_ = std::make_unique<core::DirectoryManager>(*fabric_, dir_addr,
+                                                        *adapter_,
+                                                        opts_.dir_cfg);
+
+  for (std::size_t i = 0; i < opts_.n_agents; ++i) {
+    TravelAgent::Config cfg;
+    cfg.flights = assignment_.agent_flights[i];
+    cfg.mode = opts_.mode;
+    cfg.push_trigger = opts_.push_trigger;
+    cfg.pull_trigger = opts_.pull_trigger;
+    cfg.validity_trigger = opts_.validity_trigger;
+    cfg.think_time = opts_.think_time;
+    cfg.trigger_poll = opts_.trigger_poll;
+    const net::Address addr{hosts[i], kServicePort};
+    agents_.push_back(
+        std::make_unique<TravelAgent>(*fabric_, addr, dir_addr, std::move(cfg)));
+  }
+}
+
+FleccTestbed::~FleccTestbed() = default;
+
+void FleccTestbed::init_all_agents() {
+  for (auto& agent : agents_) agent->init();
+  sim_.run();
+}
+
+// ---- CoherenceTestbed --------------------------------------------------------
+
+CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
+    : protocol_(protocol),
+      opts_(std::move(opts)),
+      assignment_(assign_flight_groups(opts_.n_agents, opts_.group_size,
+                                       opts_.flights_per_group)) {
+  std::vector<net::NodeId> hosts;
+  auto topo = make_lan(opts_.n_agents, opts_.lan_latency, hosts);
+  fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo));
+
+  db_ = make_db(assignment_, opts_.capacity);
+  adapter_ = std::make_unique<FlightDatabaseAdapter>(db_);
+
+  const net::Address coord_addr{hosts.back(), kServicePort};
+  switch (protocol_) {
+    case Protocol::kFlecc:
+      directory_ = std::make_unique<core::DirectoryManager>(
+          *fabric_, coord_addr, *adapter_, opts_.dir_cfg);
+      break;
+    case Protocol::kTimeSharing:
+      ts_coord_ = std::make_unique<baselines::TimeSharingCoordinator>(
+          *fabric_, coord_addr, *adapter_);
+      break;
+    case Protocol::kMulticast:
+      mc_dir_ = std::make_unique<baselines::MulticastDirectory>(
+          *fabric_, coord_addr, *adapter_);
+      break;
+  }
+
+  for (std::size_t i = 0; i < opts_.n_agents; ++i) {
+    auto view =
+        std::make_unique<TravelAgentView>(assignment_.agent_flights[i]);
+    const net::Address addr{hosts[i], kServicePort};
+    switch (protocol_) {
+      case Protocol::kFlecc: {
+        core::CacheManager::Config cfg;
+        cfg.view_name = "air.TravelAgent";
+        cfg.properties = view->properties();
+        cfg.mode = opts_.mode;
+        cfg.push_trigger = opts_.push_trigger;
+        cfg.pull_trigger = opts_.pull_trigger;
+        cfg.validity_trigger = opts_.validity_trigger;
+        cfg.trigger_poll = opts_.trigger_poll;
+        clients_.push_back(std::make_unique<baselines::FleccClient>(
+            *fabric_, addr, coord_addr, *view, std::move(cfg)));
+        break;
+      }
+      case Protocol::kTimeSharing:
+        clients_.push_back(std::make_unique<baselines::TimeSharingClient>(
+            *fabric_, addr, coord_addr, *view, "air.TravelAgent",
+            view->properties()));
+        break;
+      case Protocol::kMulticast:
+        clients_.push_back(std::make_unique<baselines::MulticastClient>(
+            *fabric_, addr, coord_addr, *view, "air.TravelAgent",
+            view->properties()));
+        break;
+    }
+    views_.push_back(std::move(view));
+  }
+}
+
+CoherenceTestbed::~CoherenceTestbed() = default;
+
+void CoherenceTestbed::connect_all() {
+  for (auto& client : clients_) client->connect({});
+  sim_.run();
+}
+
+}  // namespace flecc::airline

@@ -1,0 +1,137 @@
+// Ready-made simulated deployments of the airline system, shared by
+// tests, examples, and the figure-reproduction benches.
+//
+// Physical layout mirrors the paper's experiment: all travel agents and
+// the main database in one LAN ("deployed into a LAN and connected to a
+// main database running in the same LAN", §5.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "airline/flight_database.hpp"
+#include "airline/travel_agent.hpp"
+#include "airline/workload.hpp"
+#include "baselines/coherence_client.hpp"
+#include "baselines/multicast.hpp"
+#include "baselines/time_sharing.hpp"
+#include "core/directory_manager.hpp"
+#include "net/sim_fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace flecc::airline {
+
+/// Which coherence protocol a CoherenceTestbed deploys (Figure 4).
+enum class Protocol { kFlecc, kTimeSharing, kMulticast };
+
+const char* to_string(Protocol p) noexcept;
+
+struct TestbedOptions {
+  std::size_t n_agents = 10;
+  std::size_t group_size = 10;
+  std::size_t flights_per_group = 5;
+  std::int64_t capacity = 100000;
+  core::Mode mode = core::Mode::kWeak;
+  std::string push_trigger;
+  std::string pull_trigger;
+  std::string validity_trigger;
+  sim::Duration think_time = 0;
+  sim::Duration trigger_poll = sim::msec(100);
+  sim::Duration lan_latency = sim::usec(200);
+  core::DirectoryManager::Config dir_cfg{};
+};
+
+/// Full-featured Flecc deployment with TravelAgent drivers (Figures 5-6).
+class FleccTestbed {
+ public:
+  explicit FleccTestbed(TestbedOptions opts);
+  ~FleccTestbed();
+
+  FleccTestbed(const FleccTestbed&) = delete;
+  FleccTestbed& operator=(const FleccTestbed&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::SimFabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] FlightDatabase& database() noexcept { return db_; }
+  [[nodiscard]] core::DirectoryManager& directory() noexcept {
+    return *directory_;
+  }
+  [[nodiscard]] std::size_t agent_count() const noexcept {
+    return agents_.size();
+  }
+  [[nodiscard]] TravelAgent& agent(std::size_t i) { return *agents_.at(i); }
+  [[nodiscard]] const GroupAssignment& assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// Run the simulator until idle.
+  void run() { sim_.run(); }
+  void run_until(sim::Time t) { sim_.run_until(t); }
+
+  /// Initialize every agent (registration + initImage) and run to idle.
+  void init_all_agents();
+
+ private:
+  TestbedOptions opts_;
+  GroupAssignment assignment_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::SimFabric> fabric_;
+  FlightDatabase db_;
+  std::unique_ptr<FlightDatabaseAdapter> adapter_;
+  std::unique_ptr<core::DirectoryManager> directory_;
+  std::vector<std::unique_ptr<TravelAgent>> agents_;
+};
+
+/// Protocol-parametric deployment behind the CoherenceClient interface
+/// (the Figure-4 efficiency comparison).
+class CoherenceTestbed {
+ public:
+  CoherenceTestbed(Protocol protocol, TestbedOptions opts);
+  ~CoherenceTestbed();
+
+  CoherenceTestbed(const CoherenceTestbed&) = delete;
+  CoherenceTestbed& operator=(const CoherenceTestbed&) = delete;
+
+  [[nodiscard]] Protocol protocol() const noexcept { return protocol_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::SimFabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] FlightDatabase& database() noexcept { return db_; }
+  [[nodiscard]] std::size_t agent_count() const noexcept {
+    return clients_.size();
+  }
+  [[nodiscard]] baselines::CoherenceClient& client(std::size_t i) {
+    return *clients_.at(i);
+  }
+  [[nodiscard]] TravelAgentView& view(std::size_t i) { return *views_.at(i); }
+  [[nodiscard]] const GroupAssignment& assignment() const noexcept {
+    return assignment_;
+  }
+  /// Non-null only for Protocol::kFlecc.
+  [[nodiscard]] core::DirectoryManager* flecc_directory() noexcept {
+    return directory_.get();
+  }
+
+  void run() { sim_.run(); }
+
+  /// Connect every client and run to idle.
+  void connect_all();
+
+ private:
+  Protocol protocol_;
+  TestbedOptions opts_;
+  GroupAssignment assignment_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::SimFabric> fabric_;
+  FlightDatabase db_;
+  std::unique_ptr<FlightDatabaseAdapter> adapter_;
+
+  // exactly one of these coordinator sets is populated
+  std::unique_ptr<core::DirectoryManager> directory_;
+  std::unique_ptr<baselines::TimeSharingCoordinator> ts_coord_;
+  std::unique_ptr<baselines::MulticastDirectory> mc_dir_;
+
+  std::vector<std::unique_ptr<TravelAgentView>> views_;
+  std::vector<std::unique_ptr<baselines::CoherenceClient>> clients_;
+};
+
+}  // namespace flecc::airline

@@ -1,0 +1,119 @@
+#include "airline/travel_agent_view.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace flecc::airline {
+
+TravelAgentView::TravelAgentView(std::vector<FlightNumber> flights)
+    : flights_(std::move(flights)) {
+  for (const FlightNumber n : flights_) base_[n] = Seats{};
+  refresh_vars();
+}
+
+props::PropertySet TravelAgentView::properties() const {
+  std::set<props::Value> numbers;
+  for (const FlightNumber n : flights_) numbers.insert(props::Value{n});
+  props::PropertySet ps;
+  ps.set(kFlightsProperty, props::Domain::discrete(std::move(numbers)));
+  return ps;
+}
+
+std::int64_t TravelAgentView::confirm_tickets(FlightNumber flight,
+                                              std::int64_t count) {
+  if (count <= 0) return 0;
+  auto it = base_.find(flight);
+  if (it == base_.end()) {
+    refused_total_ += count;
+    refresh_vars();
+    return 0;
+  }
+  const std::int64_t pending = pending_.count(flight) ? pending_[flight] : 0;
+  const std::int64_t believed_free =
+      it->second.capacity - it->second.reserved - pending;
+  const std::int64_t confirmed = std::clamp<std::int64_t>(believed_free, 0,
+                                                          count);
+  if (confirmed > 0) pending_[flight] += confirmed;
+  confirmed_total_ += confirmed;
+  refused_total_ += count - confirmed;
+  refresh_vars();
+  return confirmed;
+}
+
+std::int64_t TravelAgentView::cancel_tickets(FlightNumber flight,
+                                             std::int64_t count) {
+  if (count <= 0) return 0;
+  auto it = pending_.find(flight);
+  if (it == pending_.end()) return 0;
+  const std::int64_t cancelled = std::min(count, it->second);
+  it->second -= cancelled;
+  if (it->second == 0) pending_.erase(it);
+  cancelled_total_ += cancelled;
+  refresh_vars();
+  return cancelled;
+}
+
+std::int64_t TravelAgentView::available(FlightNumber flight) const {
+  auto it = base_.find(flight);
+  if (it == base_.end()) return 0;
+  const auto pit = pending_.find(flight);
+  const std::int64_t pending = pit == pending_.end() ? 0 : pit->second;
+  return std::max<std::int64_t>(
+      0, it->second.capacity - it->second.reserved - pending);
+}
+
+std::int64_t TravelAgentView::pending_total() const {
+  std::int64_t total = 0;
+  for (const auto& [n, d] : pending_) {
+    (void)n;
+    total += d;
+  }
+  return total;
+}
+
+std::int64_t TravelAgentView::base_reserved(FlightNumber flight) const {
+  auto it = base_.find(flight);
+  return it == base_.end() ? 0 : it->second.reserved;
+}
+
+core::ObjectImage TravelAgentView::extract_from_view(
+    const props::PropertySet& vpl) {
+  const props::Domain* scope = vpl.find(kFlightsProperty);
+  core::ObjectImage image;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const auto [n, delta] = *it;
+    if (delta != 0 &&
+        (scope == nullptr || scope->contains(props::Value{n}))) {
+      image.set_int(key_delta(n), delta);
+      it = pending_.erase(it);  // the delta now travels with the image
+    } else {
+      ++it;
+    }
+  }
+  refresh_vars();
+  return image;
+}
+
+void TravelAgentView::merge_into_view(const core::ObjectImage& image,
+                                      const props::PropertySet& vpl) {
+  const props::Domain* scope = vpl.find(kFlightsProperty);
+  for (const FlightNumber n : flights_) {
+    if (scope != nullptr && !scope->contains(props::Value{n})) continue;
+    if (const auto cap = image.get_int(key_capacity(n))) {
+      base_[n].capacity = *cap;
+    }
+    if (const auto res = image.get_int(key_reserved(n))) {
+      base_[n].reserved = *res;
+    }
+  }
+  refresh_vars();
+}
+
+void TravelAgentView::refresh_vars() {
+  vars_.set("pendingSales", static_cast<double>(pending_total()));
+  vars_.set("confirmedSales", static_cast<double>(confirmed_total_));
+  vars_.set("refusedSales", static_cast<double>(refused_total_));
+  vars_.set("cancelledSales", static_cast<double>(cancelled_total_));
+}
+
+}  // namespace flecc::airline

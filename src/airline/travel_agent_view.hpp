@@ -1,0 +1,92 @@
+// The travel agent's local data view (paper §5.1-5.2, Figure 3).
+//
+// A travel agent serves a subset of flights (its "Flights" property)
+// and keeps:
+//   * base_    — the last seat state synchronized from the primary, and
+//   * pending_ — reservations confirmed locally but not yet propagated.
+// extract_from_view() *moves* the pending deltas into the image (they
+// now belong to the coherence layer); merge_into_view() refreshes the
+// base without disturbing still-pending local work.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "airline/flight.hpp"
+#include "airline/flight_database.hpp"
+#include "core/adapters.hpp"
+#include "trigger/env.hpp"
+
+namespace flecc::airline {
+
+class TravelAgentView : public core::ViewAdapter {
+ public:
+  explicit TravelAgentView(std::vector<FlightNumber> flights);
+
+  /// The "Flights" property set for this agent.
+  [[nodiscard]] props::PropertySet properties() const;
+
+  // ---- local application operations (Figure 3 work section) ----------
+
+  /// Figure 3's ars.confirmTickets: reserve `count` seats locally if the
+  /// view believes they are available. Returns the number confirmed.
+  std::int64_t confirm_tickets(FlightNumber flight, std::int64_t count);
+
+  /// Void up to `count` locally confirmed seats that have not yet been
+  /// propagated (a sale can be cancelled while still pending at the
+  /// agent). Returns the number actually cancelled.
+  std::int64_t cancel_tickets(FlightNumber flight, std::int64_t count);
+
+  /// Browse: seats the view currently believes are available.
+  [[nodiscard]] std::int64_t available(FlightNumber flight) const;
+
+  /// Reservations confirmed locally but not yet extracted.
+  [[nodiscard]] std::int64_t pending_total() const;
+  [[nodiscard]] std::int64_t confirmed_total() const noexcept {
+    return confirmed_total_;
+  }
+  [[nodiscard]] std::int64_t refused_total() const noexcept {
+    return refused_total_;
+  }
+  [[nodiscard]] std::int64_t cancelled_total() const noexcept {
+    return cancelled_total_;
+  }
+  /// Seats this view has net-sold: confirmed minus cancelled.
+  [[nodiscard]] std::int64_t net_sold() const noexcept {
+    return confirmed_total_ - cancelled_total_;
+  }
+  [[nodiscard]] const std::vector<FlightNumber>& flights() const noexcept {
+    return flights_;
+  }
+  /// Last base seat state synced for `flight` (for tests).
+  [[nodiscard]] std::int64_t base_reserved(FlightNumber flight) const;
+
+  // ---- ViewAdapter -----------------------------------------------------
+
+  [[nodiscard]] core::ObjectImage extract_from_view(
+      const props::PropertySet& vpl) override;
+  void merge_into_view(const core::ObjectImage& image,
+                       const props::PropertySet& vpl) override;
+  [[nodiscard]] const trigger::Env& variables() const override {
+    return vars_;
+  }
+
+ private:
+  void refresh_vars();
+
+  struct Seats {
+    std::int64_t capacity = 0;
+    std::int64_t reserved = 0;
+  };
+
+  std::vector<FlightNumber> flights_;
+  std::map<FlightNumber, Seats> base_;
+  std::map<FlightNumber, std::int64_t> pending_;
+  std::int64_t confirmed_total_ = 0;
+  std::int64_t refused_total_ = 0;
+  std::int64_t cancelled_total_ = 0;
+  trigger::VariableStore vars_;  // pendingSales, confirmedSales
+};
+
+}  // namespace flecc::airline

@@ -1,0 +1,36 @@
+#include "airline/workload.hpp"
+
+#include <stdexcept>
+
+namespace flecc::airline {
+
+GroupAssignment assign_flight_groups(std::size_t n_agents,
+                                     std::size_t group_size,
+                                     std::size_t flights_per_group,
+                                     FlightNumber base) {
+  if (group_size == 0 || flights_per_group == 0) {
+    throw std::invalid_argument(
+        "assign_flight_groups: group_size and flights_per_group must be > 0");
+  }
+  GroupAssignment out;
+  out.agent_flights.reserve(n_agents);
+  out.agent_group.reserve(n_agents);
+  out.group_count = (n_agents + group_size - 1) / group_size;
+  out.flight_count = out.group_count * flights_per_group;
+
+  for (std::size_t a = 0; a < n_agents; ++a) {
+    const std::size_t g = a / group_size;
+    std::vector<FlightNumber> flights;
+    flights.reserve(flights_per_group);
+    const FlightNumber first =
+        base + static_cast<FlightNumber>(g * flights_per_group);
+    for (std::size_t i = 0; i < flights_per_group; ++i) {
+      flights.push_back(first + static_cast<FlightNumber>(i));
+    }
+    out.agent_flights.push_back(std::move(flights));
+    out.agent_group.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace flecc::airline

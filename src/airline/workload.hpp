@@ -1,0 +1,36 @@
+// Workload construction for the paper's evaluation scenarios (§5.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "airline/flight.hpp"
+
+namespace flecc::airline {
+
+/// Flight assignment for a fleet of agents partitioned into conflicting
+/// groups: agents within a group serve the *same* flights (their
+/// "Flights" properties intersect ⇒ dynConfl = 1); agents in different
+/// groups serve disjoint flights (dynConfl = 0). This realizes the
+/// Figure-4 sweep "the number of travel agents that serve similar
+/// flights is initially 10, and increases in increments of 10 up to
+/// 100".
+struct GroupAssignment {
+  /// agent index → flights served.
+  std::vector<std::vector<FlightNumber>> agent_flights;
+  /// agent index → group index.
+  std::vector<std::size_t> agent_group;
+  std::size_t group_count = 0;
+  /// Total distinct flights across all groups.
+  std::size_t flight_count = 0;
+};
+
+/// Partition `n_agents` into groups of `group_size` (the last group may
+/// be smaller); each group serves `flights_per_group` flights numbered
+/// consecutively from `base`.
+GroupAssignment assign_flight_groups(std::size_t n_agents,
+                                     std::size_t group_size,
+                                     std::size_t flights_per_group,
+                                     FlightNumber base = 100);
+
+}  // namespace flecc::airline

@@ -1,0 +1,35 @@
+// A protocol-neutral client interface for the efficiency comparison
+// (paper §5.2, Figure 4): the same agent workload runs over Flecc, the
+// time-sharing protocol, and the multicast-based protocol, and the
+// fabric's message counters are compared.
+//
+// The unit of work is one "operate on the most current data" step:
+// whatever the protocol must do to (a) bring the freshest shared state
+// to the agent, (b) run the agent's mutation, and (c) make the mutation
+// visible to future operations of other agents.
+#pragma once
+
+#include <functional>
+
+namespace flecc::baselines {
+
+class CoherenceClient {
+ public:
+  using Done = std::function<void()>;
+  /// The agent's mutation, executed against its local view object while
+  /// the client guarantees the freshest available data underneath it.
+  using WorkFn = std::function<void()>;
+
+  virtual ~CoherenceClient() = default;
+
+  /// Register with the coordinator and obtain initial data.
+  virtual void connect(Done done) = 0;
+
+  /// One fresh-data operation (see above).
+  virtual void do_operation(WorkFn work, Done done) = 0;
+
+  /// Surrender final updates and deregister.
+  virtual void disconnect(Done done) = 0;
+};
+
+}  // namespace flecc::baselines

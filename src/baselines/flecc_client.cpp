@@ -1,0 +1,35 @@
+#include "baselines/flecc_client.hpp"
+
+#include <utility>
+
+namespace flecc::baselines {
+
+namespace {
+core::CacheManager::Config with_default_validity(
+    core::CacheManager::Config cfg) {
+  if (cfg.validity_trigger.empty()) cfg.validity_trigger = "false";
+  return cfg;
+}
+}  // namespace
+
+FleccClient::FleccClient(net::Fabric& fabric, net::Address self,
+                         net::Address directory, core::ViewAdapter& view,
+                         core::CacheManager::Config cfg)
+    : cm_(fabric, self, directory, view, with_default_validity(std::move(cfg))) {}
+
+void FleccClient::connect(Done done) { cm_.init_image(std::move(done)); }
+
+void FleccClient::do_operation(WorkFn work, Done done) {
+  cm_.pull_image([this, work = std::move(work), done = std::move(done)] {
+    cm_.start_use_image([this, work = std::move(work),
+                         done = std::move(done)] {
+      work();
+      cm_.end_use_image(/*modified=*/true);
+      if (done) done();
+    });
+  });
+}
+
+void FleccClient::disconnect(Done done) { cm_.kill_image(std::move(done)); }
+
+}  // namespace flecc::baselines

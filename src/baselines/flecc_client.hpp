@@ -1,0 +1,34 @@
+// CoherenceClient adapter over the Flecc cache manager, so the Figure-4
+// efficiency comparison runs the identical workload over all three
+// protocols. A "fresh data" operation maps to the paper's travel-agent
+// loop body: pullImage → startUseImage → work → endUseImage, with a
+// validity trigger of "false" ("the primary alone is never good
+// enough") so every pull demand-fetches the latest updates from
+// *conflicting* active views — Flecc's application-aware advantage.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/coherence_client.hpp"
+#include "core/cache_manager.hpp"
+
+namespace flecc::baselines {
+
+class FleccClient : public CoherenceClient {
+ public:
+  /// `cfg.validity_trigger` defaults to "false" if unset (always fetch).
+  FleccClient(net::Fabric& fabric, net::Address self, net::Address directory,
+              core::ViewAdapter& view, core::CacheManager::Config cfg);
+
+  void connect(Done done) override;
+  void do_operation(WorkFn work, Done done) override;
+  void disconnect(Done done) override;
+
+  [[nodiscard]] core::CacheManager& cache_manager() noexcept { return cm_; }
+
+ private:
+  core::CacheManager cm_;
+};
+
+}  // namespace flecc::baselines

@@ -1,0 +1,155 @@
+// The multicast-based baseline (paper §5.2): application-oblivious —
+// whenever any agent needs fresh data, the directory "does not
+// discriminate between cache managers and asks all of them to send
+// updates". Message count per operation therefore scales with the total
+// number of agents, independent of who actually shares data; this is
+// the worst case an application-oblivious protocol pays.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "baselines/coherence_client.hpp"
+#include "core/adapters.hpp"
+#include "core/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/stats.hpp"
+
+namespace flecc::baselines {
+
+namespace mc_msg {
+inline constexpr const char* kRegisterReq = "mc.register_req";
+inline constexpr const char* kRegisterAck = "mc.register_ack";
+inline constexpr const char* kSyncReq = "mc.sync_req";
+inline constexpr const char* kSyncReply = "mc.sync_reply";
+inline constexpr const char* kUpdateReq = "mc.update_req";
+inline constexpr const char* kUpdateReply = "mc.update_reply";
+inline constexpr const char* kLeaveReq = "mc.leave_req";
+inline constexpr const char* kLeaveAck = "mc.leave_ack";
+
+struct RegisterReq {
+  std::string name;
+  props::PropertySet properties;
+};
+struct RegisterAck {
+  std::uint32_t agent = 0;
+};
+struct SyncReq {
+  std::uint32_t agent = 0;
+};
+struct SyncReply {
+  core::ObjectImage image;
+};
+struct UpdateReq {
+  std::uint64_t token = 0;
+};
+struct UpdateReply {
+  std::uint32_t agent = 0;
+  std::uint64_t token = 0;
+  core::ObjectImage image;
+  bool dirty = false;
+};
+struct LeaveReq {
+  std::uint32_t agent = 0;
+  core::ObjectImage final_image;
+  bool dirty = false;
+};
+struct LeaveAck {};
+}  // namespace mc_msg
+
+class MulticastDirectory : public net::Endpoint {
+ public:
+  struct Config {
+    sim::Duration update_timeout = sim::msec(500);
+  };
+
+  MulticastDirectory(net::Fabric& fabric, net::Address self,
+                     core::PrimaryAdapter& primary, Config cfg);
+  MulticastDirectory(net::Fabric& fabric, net::Address self,
+                     core::PrimaryAdapter& primary)
+      : MulticastDirectory(fabric, self, primary, Config{}) {}
+  ~MulticastDirectory() override;
+
+  MulticastDirectory(const MulticastDirectory&) = delete;
+  MulticastDirectory& operator=(const MulticastDirectory&) = delete;
+
+  void on_message(const net::Message& m) override;
+
+  [[nodiscard]] std::size_t registered_count() const noexcept {
+    return agents_.size();
+  }
+  [[nodiscard]] const sim::CounterSet& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  struct AgentRecord {
+    std::uint32_t id;
+    net::Address addr;
+    props::PropertySet properties;
+  };
+  struct PendingSync {
+    std::uint64_t token = 0;
+    std::uint32_t requester = 0;
+    std::set<std::uint32_t> outstanding;
+    net::TimerId timeout = net::kInvalidTimerId;
+  };
+
+  void finish_sync(PendingSync& ps);
+
+  net::Fabric& fabric_;
+  net::Address self_;
+  core::PrimaryAdapter& primary_;
+  Config cfg_;
+  std::map<std::uint32_t, AgentRecord> agents_;
+  std::uint32_t next_id_ = 1;
+  std::map<std::uint64_t, PendingSync> pending_;
+  std::uint64_t next_token_ = 1;
+  sim::CounterSet stats_;
+};
+
+class MulticastClient : public net::Endpoint, public CoherenceClient {
+ public:
+  MulticastClient(net::Fabric& fabric, net::Address self,
+                  net::Address directory, core::ViewAdapter& view,
+                  std::string name, props::PropertySet properties);
+  ~MulticastClient() override;
+
+  MulticastClient(const MulticastClient&) = delete;
+  MulticastClient& operator=(const MulticastClient&) = delete;
+
+  void connect(Done done) override;
+  void do_operation(WorkFn work, Done done) override;
+  void disconnect(Done done) override;
+
+  void on_message(const net::Message& m) override;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+
+ private:
+  net::Fabric& fabric_;
+  net::Address self_;
+  net::Address directory_;
+  core::ViewAdapter& view_;
+  std::string name_;
+  props::PropertySet properties_;
+
+  void pump_ops();
+
+  std::uint32_t id_ = 0;
+  bool connected_ = false;
+  bool dirty_ = false;
+  Done pending_connect_;
+  Done pending_disconnect_;
+  // Operations queue FIFO; one sync request is outstanding at a time.
+  std::deque<std::pair<WorkFn, Done>> ops_;
+  bool op_inflight_ = false;
+};
+
+}  // namespace flecc::baselines

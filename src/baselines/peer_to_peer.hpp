@@ -1,0 +1,137 @@
+// A decentralized (peer-to-peer) coherence protocol — the design §4.1
+// argues *against* and the reason Flecc is centralized.
+//
+// Every view is a peer: there is no directory and no primary copy.
+// Each peer appends its own updates to a local log; a fresh-data
+// operation asks every *conflicting* peer for the log entries this peer
+// has not seen (cursor-based anti-entropy) and applies them before
+// working. This only works when the application's updates commute
+// (increment-style deltas) — in general each *pair* of peers needs its
+// own reconciliation knowledge, which is precisely the O(n²) burden the
+// paper's centralized design avoids. The implementation demonstrates
+// the alternative honestly: it is correct for commutative updates and
+// measurably heavier in state (per-peer logs + cursors) while paying
+// similar message counts to Flecc's demand fetch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/object_image.hpp"
+#include "net/fabric.hpp"
+#include "props/property.hpp"
+#include "sim/stats.hpp"
+
+namespace flecc::baselines {
+
+/// Application hooks for peer-to-peer synchronization. Updates must be
+/// commutative and idempotent-per-application (each is applied exactly
+/// once, but in arbitrary interleavings across peers).
+class PeerAdapter {
+ public:
+  virtual ~PeerAdapter() = default;
+
+  /// Extract this peer's latest local updates as a delta image (empty
+  /// if nothing changed since the last extraction).
+  [[nodiscard]] virtual core::ObjectImage extract_update() = 0;
+
+  /// Apply another peer's delta.
+  virtual void apply_update(const core::ObjectImage& delta) = 0;
+};
+
+namespace p2p_msg {
+inline constexpr const char* kSyncReq = "p2p.sync_req";
+inline constexpr const char* kSyncReply = "p2p.sync_reply";
+
+struct SyncReq {
+  std::uint64_t token = 0;
+  /// How many of the responder's log entries the requester has seen.
+  std::uint64_t seen = 0;
+};
+struct SyncReply {
+  std::uint64_t token = 0;
+  /// Entries [req.seen, new_seen) of the responder's log.
+  std::vector<core::ObjectImage> entries;
+  std::uint64_t new_seen = 0;
+};
+}  // namespace p2p_msg
+
+class Peer : public net::Endpoint {
+ public:
+  struct Config {
+    std::string name = "peer";
+    props::PropertySet properties;
+    /// Give up on unresponsive peers after this long.
+    sim::Duration sync_timeout = sim::msec(500);
+  };
+
+  using Done = std::function<void()>;
+  using WorkFn = std::function<void()>;
+
+  Peer(net::Fabric& fabric, net::Address self, PeerAdapter& adapter,
+       Config cfg);
+  ~Peer() override;
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  /// Static wiring: every peer must learn all others' address and
+  /// property set (itself an O(n²) exchange in a real deployment).
+  void add_peer(net::Address addr, props::PropertySet properties);
+
+  /// One fresh-data operation: gather unseen updates from every
+  /// conflicting peer, apply them, run `work`, then append the local
+  /// delta to the log for others to fetch.
+  void do_operation(WorkFn work, Done done = {});
+
+  void on_message(const net::Message& m) override;
+
+  [[nodiscard]] std::size_t log_size() const noexcept { return log_.size(); }
+  [[nodiscard]] std::size_t peer_count() const noexcept {
+    return peers_.size();
+  }
+  [[nodiscard]] std::size_t conflicting_peer_count() const;
+  [[nodiscard]] const sim::CounterSet& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  struct PeerInfo {
+    net::Address addr;
+    props::PropertySet properties;
+    bool conflicting = false;
+    std::uint64_t seen = 0;  // how many of THEIR log entries we applied
+  };
+
+  struct PendingSync {
+    std::uint64_t token = 0;
+    std::size_t outstanding = 0;
+    net::TimerId timeout = net::kInvalidTimerId;
+    WorkFn work;
+    Done done;
+  };
+
+  void finish_sync(PendingSync& ps);
+  void pump_ops();
+
+  net::Fabric& fabric_;
+  net::Address self_;
+  PeerAdapter& adapter_;
+  Config cfg_;
+
+  std::vector<PeerInfo> peers_;
+  std::map<net::Address, std::size_t> peer_index_;
+  std::vector<core::ObjectImage> log_;  // my own updates, append-only
+
+  std::deque<std::pair<WorkFn, Done>> ops_;
+  std::optional<PendingSync> inflight_;
+  std::uint64_t next_token_ = 1;
+  sim::CounterSet stats_;
+};
+
+}  // namespace flecc::baselines

@@ -1,0 +1,175 @@
+#include "baselines/time_sharing.hpp"
+
+#include <utility>
+
+#include "core/messages.hpp"
+
+namespace flecc::baselines {
+
+namespace {
+constexpr std::size_t kHdr = core::msg::kHeaderBytes;
+}
+
+// ---- coordinator ---------------------------------------------------------
+
+TimeSharingCoordinator::TimeSharingCoordinator(net::Fabric& fabric,
+                                               net::Address self,
+                                               core::PrimaryAdapter& primary)
+    : fabric_(fabric), self_(self), primary_(primary) {
+  fabric_.bind(self_, *this);
+}
+
+TimeSharingCoordinator::~TimeSharingCoordinator() { fabric_.unbind(self_); }
+
+void TimeSharingCoordinator::on_message(const net::Message& m) {
+  if (m.type == ts_msg::kRegisterReq) {
+    const auto& req = net::payload_as<ts_msg::RegisterReq>(m);
+    stats_.inc("op.register");
+    AgentRecord rec{next_id_++, m.from, req.properties};
+    const AgentId id = rec.id;
+    agents_.emplace(id, std::move(rec));
+    ts_msg::RegisterAck ack{id};
+    fabric_.send(self_, m.from, ts_msg::kRegisterAck, ack, kHdr);
+    return;
+  }
+  if (m.type == ts_msg::kTurnReq) {
+    const auto& req = net::payload_as<ts_msg::TurnReq>(m);
+    stats_.inc("op.turn_req");
+    if (agents_.count(req.agent) == 0) return;
+    turn_queue_.push_back(req.agent);
+    pump();
+    return;
+  }
+  if (m.type == ts_msg::kTurnRelease) {
+    const auto& rel = net::payload_as<ts_msg::TurnRelease>(m);
+    stats_.inc("op.turn_release");
+    auto it = agents_.find(rel.agent);
+    if (rel.dirty && it != agents_.end()) {
+      primary_.merge_into_object(rel.image, it->second.properties);
+    }
+    if (holder_.has_value() && *holder_ == rel.agent) {
+      holder_.reset();
+      pump();
+    }
+    return;
+  }
+  if (m.type == ts_msg::kLeaveReq) {
+    const auto& req = net::payload_as<ts_msg::LeaveReq>(m);
+    stats_.inc("op.leave");
+    auto it = agents_.find(req.agent);
+    if (it == agents_.end()) return;
+    if (req.dirty) {
+      primary_.merge_into_object(req.final_image, it->second.properties);
+    }
+    const net::Address addr = it->second.addr;
+    agents_.erase(it);
+    if (holder_.has_value() && *holder_ == req.agent) holder_.reset();
+    ts_msg::LeaveAck ack;
+    fabric_.send(self_, addr, ts_msg::kLeaveAck, ack, kHdr);
+    pump();
+    return;
+  }
+  stats_.inc("msg.unknown");
+}
+
+void TimeSharingCoordinator::pump() {
+  while (!holder_.has_value() && !turn_queue_.empty()) {
+    const AgentId next = turn_queue_.front();
+    turn_queue_.pop_front();
+    auto it = agents_.find(next);
+    if (it == agents_.end()) continue;  // left while queued
+    holder_ = next;
+    ++turns_granted_;
+    stats_.inc("op.turn_grant");
+    ts_msg::TurnGrant grant;
+    grant.image = primary_.extract_from_object(it->second.properties);
+    const auto bytes = kHdr + grant.image.wire_size();
+    fabric_.send(self_, it->second.addr, ts_msg::kTurnGrant, std::move(grant),
+                 bytes);
+    return;
+  }
+}
+
+// ---- client ----------------------------------------------------------------
+
+TimeSharingClient::TimeSharingClient(net::Fabric& fabric, net::Address self,
+                                     net::Address coordinator,
+                                     core::ViewAdapter& view, std::string name,
+                                     props::PropertySet properties)
+    : fabric_(fabric),
+      self_(self),
+      coordinator_(coordinator),
+      view_(view),
+      name_(std::move(name)),
+      properties_(std::move(properties)) {
+  fabric_.bind(self_, *this);
+}
+
+TimeSharingClient::~TimeSharingClient() { fabric_.unbind(self_); }
+
+void TimeSharingClient::connect(Done done) {
+  pending_connect_ = std::move(done);
+  ts_msg::RegisterReq req{name_, properties_};
+  const auto bytes = kHdr + name_.size() + core::msg::wire_size(properties_);
+  fabric_.send(self_, coordinator_, ts_msg::kRegisterReq, std::move(req),
+               bytes);
+}
+
+void TimeSharingClient::do_operation(WorkFn work, Done done) {
+  ops_.emplace_back(std::move(work), std::move(done));
+  pump_ops();
+}
+
+void TimeSharingClient::pump_ops() {
+  if (op_inflight_ || ops_.empty() || !connected_) return;
+  op_inflight_ = true;
+  ts_msg::TurnReq req{id_};
+  fabric_.send(self_, coordinator_, ts_msg::kTurnReq, req, kHdr);
+}
+
+void TimeSharingClient::disconnect(Done done) {
+  pending_disconnect_ = std::move(done);
+  ts_msg::LeaveReq req;
+  req.agent = id_;
+  req.final_image = view_.extract_from_view(properties_);
+  req.dirty = !req.final_image.empty();
+  const auto bytes = kHdr + req.final_image.wire_size();
+  fabric_.send(self_, coordinator_, ts_msg::kLeaveReq, std::move(req), bytes);
+}
+
+void TimeSharingClient::on_message(const net::Message& m) {
+  if (m.type == ts_msg::kRegisterAck) {
+    const auto& ack = net::payload_as<ts_msg::RegisterAck>(m);
+    id_ = ack.agent;
+    connected_ = true;
+    if (pending_connect_) std::exchange(pending_connect_, {})();
+    pump_ops();
+    return;
+  }
+  if (m.type == ts_msg::kTurnGrant) {
+    const auto& grant = net::payload_as<ts_msg::TurnGrant>(m);
+    if (!op_inflight_ || ops_.empty()) return;  // stale grant (we left?)
+    view_.merge_into_view(grant.image, properties_);
+    auto [work, done] = std::move(ops_.front());
+    ops_.pop_front();
+    work();
+    ts_msg::TurnRelease rel;
+    rel.agent = id_;
+    rel.image = view_.extract_from_view(properties_);
+    rel.dirty = !rel.image.empty();
+    const auto bytes = kHdr + rel.image.wire_size();
+    fabric_.send(self_, coordinator_, ts_msg::kTurnRelease, std::move(rel),
+                 bytes);
+    op_inflight_ = false;
+    if (done) done();
+    pump_ops();
+    return;
+  }
+  if (m.type == ts_msg::kLeaveAck) {
+    connected_ = false;
+    if (pending_disconnect_) std::exchange(pending_disconnect_, {})();
+    return;
+  }
+}
+
+}  // namespace flecc::baselines

@@ -1,0 +1,143 @@
+// The time-sharing baseline (paper §5.2): agents execute one after
+// another. A coordinator colocated with the primary grants a global
+// turn token FIFO; the grant carries fresh data, the release carries the
+// agent's updates. Control traffic per operation is constant (3
+// messages) regardless of how many agents share data — the paper's
+// "minimum number of control messages" — but execution is fully
+// serialized (no concurrency between agents).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "baselines/coherence_client.hpp"
+#include "core/adapters.hpp"
+#include "core/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/stats.hpp"
+
+namespace flecc::baselines {
+
+using AgentId = std::uint32_t;
+
+namespace ts_msg {
+inline constexpr const char* kRegisterReq = "ts.register_req";
+inline constexpr const char* kRegisterAck = "ts.register_ack";
+inline constexpr const char* kTurnReq = "ts.turn_req";
+inline constexpr const char* kTurnGrant = "ts.turn_grant";
+inline constexpr const char* kTurnRelease = "ts.turn_release";
+inline constexpr const char* kLeaveReq = "ts.leave_req";
+inline constexpr const char* kLeaveAck = "ts.leave_ack";
+
+struct RegisterReq {
+  std::string name;
+  props::PropertySet properties;
+};
+struct RegisterAck {
+  AgentId agent = 0;
+};
+struct TurnReq {
+  AgentId agent = 0;
+};
+struct TurnGrant {
+  core::ObjectImage image;
+};
+struct TurnRelease {
+  AgentId agent = 0;
+  core::ObjectImage image;
+  bool dirty = false;
+};
+struct LeaveReq {
+  AgentId agent = 0;
+  core::ObjectImage final_image;
+  bool dirty = false;
+};
+struct LeaveAck {};
+}  // namespace ts_msg
+
+/// Coordinator colocated with the original component.
+class TimeSharingCoordinator : public net::Endpoint {
+ public:
+  TimeSharingCoordinator(net::Fabric& fabric, net::Address self,
+                         core::PrimaryAdapter& primary);
+  ~TimeSharingCoordinator() override;
+
+  TimeSharingCoordinator(const TimeSharingCoordinator&) = delete;
+  TimeSharingCoordinator& operator=(const TimeSharingCoordinator&) = delete;
+
+  void on_message(const net::Message& m) override;
+
+  [[nodiscard]] std::size_t registered_count() const noexcept {
+    return agents_.size();
+  }
+  [[nodiscard]] std::uint64_t turns_granted() const noexcept {
+    return turns_granted_;
+  }
+  [[nodiscard]] const sim::CounterSet& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  struct AgentRecord {
+    AgentId id;
+    net::Address addr;
+    props::PropertySet properties;
+  };
+
+  void pump();
+
+  net::Fabric& fabric_;
+  net::Address self_;
+  core::PrimaryAdapter& primary_;
+  std::map<AgentId, AgentRecord> agents_;
+  AgentId next_id_ = 1;
+  std::deque<AgentId> turn_queue_;
+  std::optional<AgentId> holder_;
+  std::uint64_t turns_granted_ = 0;
+  sim::CounterSet stats_;
+};
+
+/// Agent-side client.
+class TimeSharingClient : public net::Endpoint, public CoherenceClient {
+ public:
+  TimeSharingClient(net::Fabric& fabric, net::Address self,
+                    net::Address coordinator, core::ViewAdapter& view,
+                    std::string name, props::PropertySet properties);
+  ~TimeSharingClient() override;
+
+  TimeSharingClient(const TimeSharingClient&) = delete;
+  TimeSharingClient& operator=(const TimeSharingClient&) = delete;
+
+  void connect(Done done) override;
+  void do_operation(WorkFn work, Done done) override;
+  void disconnect(Done done) override;
+
+  void on_message(const net::Message& m) override;
+
+  [[nodiscard]] AgentId id() const noexcept { return id_; }
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+
+ private:
+  net::Fabric& fabric_;
+  net::Address self_;
+  net::Address coordinator_;
+  core::ViewAdapter& view_;
+  std::string name_;
+  props::PropertySet properties_;
+
+  void pump_ops();
+
+  AgentId id_ = 0;
+  bool connected_ = false;
+  Done pending_connect_;
+  Done pending_disconnect_;
+  // Operations queue FIFO; one turn request is outstanding at a time.
+  std::deque<std::pair<WorkFn, Done>> ops_;
+  bool op_inflight_ = false;
+};
+
+}  // namespace flecc::baselines

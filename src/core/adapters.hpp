@@ -1,0 +1,59 @@
+// Application-supplied extract/merge hooks (paper §4.1 and Figure 3).
+//
+// The centralized design means the application provides only O(n)
+// adapters: one PrimaryAdapter for the original component and one
+// ViewAdapter per view — never per-pair merge logic.
+#pragma once
+
+#include "core/object_image.hpp"
+#include "props/property.hpp"
+#include "trigger/env.hpp"
+
+namespace flecc::core {
+
+/// Hooks for the original component (the primary copy).
+/// Mirrors Figure 3's `extractFromObject` / `mergeIntoObject`.
+class PrimaryAdapter {
+ public:
+  virtual ~PrimaryAdapter() = default;
+
+  /// Extract the state covered by `vpl` from the component.
+  [[nodiscard]] virtual ObjectImage extract_from_object(
+      const props::PropertySet& vpl) const = 0;
+
+  /// Merge a view's update image into the component. The adapter owns
+  /// conflict resolution (e.g. applying reservation deltas).
+  virtual void merge_into_object(const ObjectImage& image,
+                                 const props::PropertySet& vpl) = 0;
+
+  /// Variables exposed for validity-trigger evaluation at the directory.
+  /// Default: no variables.
+  [[nodiscard]] virtual const trigger::Env* variables() const {
+    return nullptr;
+  }
+
+  /// The full property set of the component's shared data (V_c). Used to
+  /// validate that registering views are genuine views (V_v ⊆ V_c).
+  [[nodiscard]] virtual props::PropertySet data_properties() const = 0;
+};
+
+/// Hooks for a view. Mirrors Figure 3's `extractFromView` /
+/// `mergeIntoView`, plus the variable registry that substitutes for the
+/// Java-reflection variable access in the paper's prototype.
+class ViewAdapter {
+ public:
+  virtual ~ViewAdapter() = default;
+
+  /// Extract the view's (possibly delta) update image.
+  [[nodiscard]] virtual ObjectImage extract_from_view(
+      const props::PropertySet& vpl) = 0;
+
+  /// Merge fresh primary state into the view.
+  virtual void merge_into_view(const ObjectImage& image,
+                               const props::PropertySet& vpl) = 0;
+
+  /// Current values of the view variables referenced by triggers.
+  [[nodiscard]] virtual const trigger::Env& variables() const = 0;
+};
+
+}  // namespace flecc::core

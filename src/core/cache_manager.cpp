@@ -1,0 +1,417 @@
+#include "core/cache_manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace flecc::core {
+
+CacheManager::CacheManager(net::Fabric& fabric, net::Address self,
+                           net::Address directory, ViewAdapter& view,
+                           Config cfg)
+    : fabric_(fabric),
+      self_(self),
+      directory_(directory),
+      view_(view),
+      cfg_(std::move(cfg)),
+      mode_(cfg_.mode) {
+  if (!cfg_.push_trigger.empty()) push_trigger_.emplace(cfg_.push_trigger);
+  if (!cfg_.pull_trigger.empty()) pull_trigger_.emplace(cfg_.pull_trigger);
+  fabric_.bind(self_, *this);
+
+  msg::RegisterReq req;
+  req.view_name = cfg_.view_name;
+  req.properties = cfg_.properties;
+  req.mode = cfg_.mode;
+  req.push_trigger = cfg_.push_trigger;
+  req.pull_trigger = cfg_.pull_trigger;
+  req.validity_trigger = cfg_.validity_trigger;
+  const auto bytes = msg::wire_size(req);
+  fabric_.send(self_, directory_, msg::kRegisterReq, std::move(req), bytes);
+}
+
+CacheManager::~CacheManager() {
+  if (trigger_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(trigger_timer_);
+  }
+  fabric_.unbind(self_);
+}
+
+// ---- public API ------------------------------------------------------------
+
+void CacheManager::init_image(Done done) {
+  enqueue(Op{OpKind::kInit, {}, std::move(done)});
+}
+
+void CacheManager::pull_image(Done done) {
+  enqueue(Op{OpKind::kPull, {}, std::move(done)});
+}
+
+void CacheManager::push_image(Done done) {
+  enqueue(Op{OpKind::kPush, {}, std::move(done)});
+}
+
+void CacheManager::start_use_image(Done done) {
+  if (in_use_) {
+    throw std::logic_error("CacheManager: startUseImage while already in use");
+  }
+  // Fast path: a valid copy (exclusive in strong mode) needs no traffic.
+  const bool ready =
+      mode_ == Mode::kStrong ? (valid_ && exclusive_) : valid_;
+  if (ready && queue_.empty() && !current_.has_value()) {
+    in_use_ = true;
+    stats_.inc("start_use.local");
+    if (done) done();
+    return;
+  }
+  stats_.inc("start_use.remote");
+  const OpKind kind = mode_ == Mode::kStrong ? OpKind::kAcquire : OpKind::kPull;
+  // Wrap the completion to enter the use section once revalidated.
+  enqueue(Op{kind, {}, [this, done = std::move(done)] {
+               in_use_ = true;
+               if (done) done();
+             }});
+}
+
+void CacheManager::end_use_image(bool modified) {
+  if (!in_use_) {
+    throw std::logic_error("CacheManager: endUseImage without startUseImage");
+  }
+  in_use_ = false;
+  if (modified) dirty_ = true;
+  // Serve commands deferred by the mutual-exclusion section (§4.2: "the
+  // view needs to mark the code that processes the data as mutually
+  // exclusive" so merges/extracts never interleave with work).
+  if (deferred_invalidate_epoch_.has_value()) {
+    const auto epoch = *deferred_invalidate_epoch_;
+    deferred_invalidate_epoch_.reset();
+    serve_invalidate(epoch);
+  }
+  auto tokens = std::move(deferred_fetch_tokens_);
+  deferred_fetch_tokens_.clear();
+  for (const auto token : tokens) serve_fetch(token);
+}
+
+void CacheManager::set_mode(Mode m, Done done) {
+  enqueue(Op{OpKind::kModeChange, m, std::move(done)});
+}
+
+void CacheManager::kill_image(Done done) {
+  enqueue(Op{OpKind::kKill, {}, std::move(done)});
+}
+
+void CacheManager::reconnect(Done done) {
+  if (!alive_) {
+    if (done) done();
+    return;
+  }
+  // Forget the old incarnation: its replies will never arrive.
+  current_.reset();
+  registered_ = false;
+  rejected_ = false;
+  reject_reason_.clear();
+  id_ = kInvalidViewId;
+  valid_ = false;
+  exclusive_ = false;
+  deferred_invalidate_epoch_.reset();
+  deferred_fetch_tokens_.clear();
+  stats_.inc("reconnect");
+
+  // Recovery ops run before anything previously queued: refresh the
+  // base image, then surrender locally pending updates.
+  const bool need_push = dirty_;
+  if (need_push) {
+    queue_.push_front(Op{OpKind::kPush, {}, std::move(done)});
+    queue_.push_front(Op{OpKind::kInit, {}, {}});
+  } else {
+    queue_.push_front(Op{OpKind::kInit, {}, std::move(done)});
+  }
+
+  msg::RegisterReq req;
+  req.view_name = cfg_.view_name;
+  req.properties = cfg_.properties;
+  req.mode = mode_;
+  req.push_trigger = cfg_.push_trigger;
+  req.pull_trigger = cfg_.pull_trigger;
+  req.validity_trigger = cfg_.validity_trigger;
+  const auto bytes = msg::wire_size(req);
+  fabric_.send(self_, directory_, msg::kRegisterReq, std::move(req), bytes);
+}
+
+// ---- op queue ---------------------------------------------------------------
+
+void CacheManager::enqueue(Op op) {
+  if (!alive_ || rejected_) {
+    // Registration failed or the manager is dead: complete immediately;
+    // callers observe the failure through rejected()/alive().
+    if (op.done) op.done();
+    return;
+  }
+  queue_.push_back(std::move(op));
+  pump();
+}
+
+void CacheManager::pump() {
+  if (current_.has_value() || !registered_ || queue_.empty()) return;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  issue(*current_);
+}
+
+void CacheManager::issue(Op& op) {
+  switch (op.kind) {
+    case OpKind::kInit: {
+      msg::InitReq req{id_};
+      fabric_.send(self_, directory_, msg::kInitReq, req, msg::wire_size(req));
+      break;
+    }
+    case OpKind::kPull: {
+      msg::PullReq req{id_, intent_};
+      fabric_.send(self_, directory_, msg::kPullReq, req, msg::wire_size(req));
+      break;
+    }
+    case OpKind::kPush: {
+      msg::PushUpdate req;
+      req.view = id_;
+      req.image = extract_dirty();
+      const auto bytes = msg::wire_size(req);
+      fabric_.send(self_, directory_, msg::kPushUpdate, std::move(req), bytes);
+      break;
+    }
+    case OpKind::kAcquire: {
+      msg::AcquireReq req{id_, intent_};
+      fabric_.send(self_, directory_, msg::kAcquireReq, req,
+                   msg::wire_size(req));
+      break;
+    }
+    case OpKind::kModeChange: {
+      msg::ModeChangeReq req{id_, op.new_mode};
+      fabric_.send(self_, directory_, msg::kModeChangeReq, req,
+                   msg::wire_size(req));
+      break;
+    }
+    case OpKind::kKill: {
+      msg::KillReq req;
+      req.view = id_;
+      req.dirty = dirty_;
+      if (dirty_) req.final_image = extract_dirty();
+      const auto bytes = msg::wire_size(req);
+      fabric_.send(self_, directory_, msg::kKillReq, std::move(req), bytes);
+      break;
+    }
+  }
+}
+
+void CacheManager::complete_current() {
+  Done done = std::move(current_->done);
+  current_.reset();
+  if (done) done();
+  pump();
+}
+
+ObjectImage CacheManager::extract_dirty() {
+  ObjectImage image = view_.extract_from_view(cfg_.properties);
+  return image;
+}
+
+// ---- message handling -------------------------------------------------------
+
+void CacheManager::on_message(const net::Message& m) {
+  if (m.type == msg::kRegisterAck) {
+    const auto& ack = net::payload_as<msg::RegisterAck>(m);
+    if (ack.accepted) {
+      registered_ = true;
+      id_ = ack.view;
+      arm_trigger_timer();
+      pump();
+    } else {
+      rejected_ = true;
+      reject_reason_ = ack.reason;
+      // Flush queued ops so callers do not hang.
+      std::deque<Op> q = std::move(queue_);
+      queue_.clear();
+      for (auto& op : q) {
+        if (op.done) op.done();
+      }
+    }
+    return;
+  }
+
+  if (m.type == msg::kInvalidateReq) {
+    const auto& req = net::payload_as<msg::InvalidateReq>(m);
+    if (in_use_) {
+      deferred_invalidate_epoch_ = req.epoch;  // ack after endUseImage
+      stats_.inc("invalidate.deferred");
+    } else {
+      serve_invalidate(req.epoch);
+    }
+    return;
+  }
+
+  if (m.type == msg::kFetchReq) {
+    const auto& req = net::payload_as<msg::FetchReq>(m);
+    if (in_use_) {
+      deferred_fetch_tokens_.push_back(req.token);
+      stats_.inc("fetch.deferred");
+    } else {
+      serve_fetch(req.token);
+    }
+    return;
+  }
+
+  if (m.type == msg::kUpdateNotify) {
+    ++notifies_received_;
+    stats_.inc("notify.received");
+    return;
+  }
+
+  // Replies to the in-flight operation.
+  if (!current_.has_value()) {
+    stats_.inc("msg.unexpected");
+    return;
+  }
+
+  if (m.type == msg::kInitReply && current_->kind == OpKind::kInit) {
+    const auto& reply = net::payload_as<msg::InitReply>(m);
+    view_.merge_into_view(reply.image, cfg_.properties);
+    valid_ = true;
+    dirty_ = false;
+    last_version_ = reply.image.version();
+    last_pull_at_ = fabric_.now();
+    complete_current();
+    return;
+  }
+  if (m.type == msg::kPullReply && current_->kind == OpKind::kPull) {
+    const auto& reply = net::payload_as<msg::PullReply>(m);
+    view_.merge_into_view(reply.image, cfg_.properties);
+    valid_ = true;
+    last_version_ = reply.image.version();
+    last_pull_unseen_ = reply.unseen_before;
+    last_pull_at_ = fabric_.now();
+    complete_current();
+    return;
+  }
+  if (m.type == msg::kPushAck && current_->kind == OpKind::kPush) {
+    const auto& ack = net::payload_as<msg::PushAck>(m);
+    last_version_ = ack.version;
+    dirty_ = false;
+    last_push_at_ = fabric_.now();
+    complete_current();
+    return;
+  }
+  if (m.type == msg::kAcquireGrant && current_->kind == OpKind::kAcquire) {
+    const auto& grant = net::payload_as<msg::AcquireGrant>(m);
+    view_.merge_into_view(grant.image, cfg_.properties);
+    valid_ = true;
+    exclusive_ = true;
+    // dirty_ is deliberately preserved: updates made before the acquire
+    // (e.g. in weak mode just before a mode switch) still need to be
+    // surrendered on the next invalidation/push/kill.
+    last_version_ = grant.image.version();
+    last_pull_at_ = fabric_.now();
+    complete_current();
+    return;
+  }
+  if (m.type == msg::kModeChangeAck &&
+      current_->kind == OpKind::kModeChange) {
+    const auto& ack = net::payload_as<msg::ModeChangeAck>(m);
+    mode_ = ack.mode;
+    if (mode_ == Mode::kStrong) {
+      // Must re-acquire before the next use section.
+      valid_ = false;
+      exclusive_ = false;
+    } else {
+      exclusive_ = false;  // copy stays valid in weak mode
+    }
+    complete_current();
+    return;
+  }
+  if (m.type == msg::kKillAck && current_->kind == OpKind::kKill) {
+    alive_ = false;
+    registered_ = false;
+    valid_ = false;
+    exclusive_ = false;
+    dirty_ = false;
+    if (trigger_timer_ != net::kInvalidTimerId) {
+      fabric_.cancel_timer(trigger_timer_);
+      trigger_timer_ = net::kInvalidTimerId;
+    }
+    // Any ops queued behind kill can never complete remotely.
+    std::deque<Op> q = std::move(queue_);
+    queue_.clear();
+    complete_current();
+    for (auto& op : q) {
+      if (op.done) op.done();
+    }
+    return;
+  }
+  stats_.inc("msg.unexpected");
+}
+
+void CacheManager::serve_invalidate(std::uint64_t epoch) {
+  ++invalidations_served_;
+  stats_.inc("invalidate.served");
+  msg::InvalidateAck ack;
+  ack.view = id_;
+  ack.epoch = epoch;
+  ack.dirty = dirty_ && valid_;
+  if (ack.dirty) ack.image = extract_dirty();
+  valid_ = false;
+  exclusive_ = false;
+  dirty_ = false;
+  const auto bytes = msg::wire_size(ack);
+  fabric_.send(self_, directory_, msg::kInvalidateAck, std::move(ack), bytes);
+}
+
+void CacheManager::serve_fetch(std::uint64_t token) {
+  stats_.inc("fetch.served");
+  msg::FetchReply reply;
+  reply.view = id_;
+  reply.token = token;
+  reply.dirty = dirty_ && valid_;
+  if (reply.dirty) {
+    reply.image = extract_dirty();
+    dirty_ = false;  // our updates are now at the primary
+  }
+  const auto bytes = msg::wire_size(reply);
+  fabric_.send(self_, directory_, msg::kFetchReply, std::move(reply), bytes);
+}
+
+// ---- quality triggers --------------------------------------------------------
+
+void CacheManager::arm_trigger_timer() {
+  if (!push_trigger_.has_value() && !pull_trigger_.has_value()) return;
+  if (trigger_timer_ != net::kInvalidTimerId) return;  // already armed
+  // Daemon timer: the recurring poll must not keep a run-to-quiescence
+  // simulation alive forever.
+  trigger_timer_ = fabric_.schedule_daemon(self_, cfg_.trigger_poll,
+                                           [this] { poll_triggers(); });
+}
+
+void CacheManager::poll_triggers() {
+  trigger_timer_ = net::kInvalidTimerId;
+  if (!alive_) return;
+  // Quiescent only: triggers never interrupt the mutual-exclusion
+  // section or preempt an in-flight operation.
+  const bool can_fire =
+      !in_use_ && !current_.has_value() && queue_.empty();
+  if (can_fire) {
+    const trigger::Env& vars = view_.variables();
+    if (pull_trigger_.has_value()) {
+      const double t_ms = sim::to_ms(fabric_.now() - last_pull_at_);
+      if (pull_trigger_->evaluate(t_ms, vars)) {
+        stats_.inc("auto.pull");
+        pull_image();
+      }
+    }
+    if (push_trigger_.has_value() && dirty_) {
+      const double t_ms = sim::to_ms(fabric_.now() - last_push_at_);
+      if (push_trigger_->evaluate(t_ms, vars)) {
+        stats_.inc("auto.push");
+        push_image();
+      }
+    }
+  }
+  arm_trigger_timer();
+}
+
+}  // namespace flecc::core

@@ -1,0 +1,185 @@
+// The Flecc cache manager (paper §4.2, Figure 3).
+//
+// One cache manager accompanies each deployed view. It exposes the
+// paper's view-facing API — initImage / pullImage / pushImage /
+// startUseImage / endUseImage / killImage plus run-time mode changes —
+// forwards requests to the directory manager, executes its commands
+// (invalidations, demand fetches), and evaluates the view's push/pull
+// quality triggers against the view's variable registry.
+//
+// All operations are asynchronous: the optional completion callback
+// fires when the protocol exchange finishes. Operations are serialized
+// FIFO per cache manager (views are sequential programs, Figure 3).
+//
+// Trigger time semantics: within a push (resp. pull) trigger, the
+// builtin `t` is the number of milliseconds since this view's last push
+// (resp. pull), so "(t > 1500)" reads "synchronize every 1.5 s".
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/adapters.hpp"
+#include "core/messages.hpp"
+#include "core/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/stats.hpp"
+#include "trigger/trigger.hpp"
+
+namespace flecc::core {
+
+class CacheManager : public net::Endpoint {
+ public:
+  struct Config {
+    /// Component type name; the static map is keyed by it.
+    std::string view_name = "view";
+    /// The view's data properties (which data it shares).
+    props::PropertySet properties;
+    /// Initial consistency mode.
+    Mode mode = Mode::kWeak;
+    /// Trigger sources; empty = absent. Validity is evaluated at the
+    /// directory; push/pull are evaluated here on a polling timer.
+    std::string push_trigger;
+    std::string pull_trigger;
+    std::string validity_trigger;
+    /// How often push/pull triggers are (re)evaluated.
+    sim::Duration trigger_poll = sim::msec(100);
+  };
+
+  using Done = std::function<void()>;
+
+  /// Construction registers with the directory (Figure 2, steps 1-2);
+  /// operations issued before the ack arrives are queued.
+  CacheManager(net::Fabric& fabric, net::Address self, net::Address directory,
+               ViewAdapter& view, Config cfg);
+  ~CacheManager() override;
+
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  // ---- the Figure 3 API ----------------------------------------------
+
+  /// Fetch the initial data image (cm.initImage()).
+  void init_image(Done done = {});
+  /// Refresh from the primary (cm.pullImage()); honors the validity
+  /// trigger at the directory.
+  void pull_image(Done done = {});
+  /// Send current updates to the primary (explicit push).
+  void push_image(Done done = {});
+  /// Enter the mutually-exclusive work section (cm.startUseImage()).
+  /// In strong mode this acquires exclusivity (invalidating conflicting
+  /// active views); in weak mode it revalidates if needed.
+  void start_use_image(Done done = {});
+  /// Leave the work section; `modified` marks the image dirty. Deferred
+  /// invalidations/fetches are served here.
+  void end_use_image(bool modified = true);
+  /// Change consistency mode at run time.
+  void set_mode(Mode m, Done done = {});
+  /// Deregister, surrendering final updates (cm.killImage()).
+  void kill_image(Done done = {});
+
+  /// Fail-safe recovery (§4.1 notes the centralized protocol assumes a
+  /// live original component and that "fail-safe mechanisms can be
+  /// implemented"): reconnect to a (re)started directory manager.
+  /// Abandons the reply of any in-flight operation, re-registers with
+  /// the original configuration, re-initializes the image, and re-pushes
+  /// dirty local state; previously queued operations then continue.
+  void reconnect(Done done = {});
+
+  /// Read/write-semantics extension (§6): annotate subsequent
+  /// pulls/acquires with an access intent.
+  void set_intent(AccessIntent intent) noexcept { intent_ = intent; }
+
+  // ---- introspection ----------------------------------------------------
+
+  [[nodiscard]] ViewId id() const noexcept { return id_; }
+  [[nodiscard]] net::Address address() const noexcept { return self_; }
+  [[nodiscard]] bool registered() const noexcept { return registered_; }
+  [[nodiscard]] bool rejected() const noexcept { return rejected_; }
+  [[nodiscard]] const std::string& reject_reason() const noexcept {
+    return reject_reason_;
+  }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+  [[nodiscard]] bool exclusive() const noexcept { return exclusive_; }
+  [[nodiscard]] bool in_use() const noexcept { return in_use_; }
+  [[nodiscard]] bool dirty() const noexcept { return dirty_; }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  [[nodiscard]] Version last_version() const noexcept { return last_version_; }
+  /// Quality reported by the most recent pull (remote unseen updates).
+  [[nodiscard]] std::uint64_t last_pull_unseen() const noexcept {
+    return last_pull_unseen_;
+  }
+  [[nodiscard]] std::uint64_t notifies_received() const noexcept {
+    return notifies_received_;
+  }
+  [[nodiscard]] std::uint64_t invalidations_served() const noexcept {
+    return invalidations_served_;
+  }
+  [[nodiscard]] const sim::CounterSet& stats() const noexcept {
+    return stats_;
+  }
+
+  void on_message(const net::Message& m) override;
+
+ private:
+  enum class OpKind { kInit, kPull, kPush, kAcquire, kModeChange, kKill };
+
+  struct Op {
+    OpKind kind;
+    Mode new_mode = Mode::kWeak;  // for kModeChange
+    Done done;
+  };
+
+  void enqueue(Op op);
+  void pump();
+  void issue(Op& op);
+  void complete_current();
+  void serve_invalidate(std::uint64_t epoch);
+  void serve_fetch(std::uint64_t token);
+  void arm_trigger_timer();
+  void poll_triggers();
+  ObjectImage extract_dirty();
+
+  net::Fabric& fabric_;
+  net::Address self_;
+  net::Address directory_;
+  ViewAdapter& view_;
+  Config cfg_;
+
+  std::optional<trigger::Trigger> push_trigger_;
+  std::optional<trigger::Trigger> pull_trigger_;
+
+  ViewId id_ = kInvalidViewId;
+  Mode mode_;
+  AccessIntent intent_ = AccessIntent::kReadWrite;
+  bool registered_ = false;
+  bool rejected_ = false;
+  std::string reject_reason_;
+  bool alive_ = true;
+  bool valid_ = false;
+  bool exclusive_ = false;
+  bool in_use_ = false;
+  bool dirty_ = false;
+  Version last_version_ = 0;
+  std::uint64_t last_pull_unseen_ = 0;
+  std::uint64_t notifies_received_ = 0;
+  std::uint64_t invalidations_served_ = 0;
+
+  sim::Time last_push_at_ = 0;
+  sim::Time last_pull_at_ = 0;
+
+  std::deque<Op> queue_;
+  std::optional<Op> current_;
+
+  std::optional<std::uint64_t> deferred_invalidate_epoch_;
+  std::vector<std::uint64_t> deferred_fetch_tokens_;
+
+  net::TimerId trigger_timer_ = net::kInvalidTimerId;
+  sim::CounterSet stats_;
+};
+
+}  // namespace flecc::core

@@ -1,0 +1,507 @@
+#include "core/directory_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "trigger/errors.hpp"
+
+namespace flecc::core {
+
+DirectoryManager::DirectoryManager(net::Fabric& fabric, net::Address self,
+                                   PrimaryAdapter& primary, Config cfg)
+    : fabric_(fabric), self_(self), primary_(primary), cfg_(cfg) {
+  fabric_.bind(self_, *this);
+}
+
+DirectoryManager::~DirectoryManager() { fabric_.unbind(self_); }
+
+void DirectoryManager::on_message(const net::Message& m) {
+  if (m.type == msg::kRegisterReq) return handle_register(m);
+  if (m.type == msg::kInitReq) return handle_init(m);
+  if (m.type == msg::kPullReq) return handle_pull(m);
+  if (m.type == msg::kPushUpdate) return handle_push(m);
+  if (m.type == msg::kAcquireReq) return handle_acquire(m);
+  if (m.type == msg::kInvalidateAck) return handle_invalidate_ack(m);
+  if (m.type == msg::kFetchReply) return handle_fetch_reply(m);
+  if (m.type == msg::kModeChangeReq) return handle_mode_change(m);
+  if (m.type == msg::kKillReq) return handle_kill(m);
+  stats_.inc("msg.unknown");
+}
+
+// ---- lookup helpers -----------------------------------------------------
+
+DirectoryManager::ViewRecord* DirectoryManager::find(ViewId v) {
+  auto it = views_.find(v);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+const DirectoryManager::ViewRecord* DirectoryManager::find(ViewId v) const {
+  auto it = views_.find(v);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+bool DirectoryManager::is_active(ViewId v) const {
+  const auto* r = find(v);
+  return r != nullptr && r->active;
+}
+
+bool DirectoryManager::is_exclusive(ViewId v) const {
+  const auto* r = find(v);
+  return r != nullptr && r->exclusive;
+}
+
+Mode DirectoryManager::mode_of(ViewId v) const {
+  const auto* r = find(v);
+  return r == nullptr ? Mode::kWeak : r->mode;
+}
+
+std::uint64_t DirectoryManager::quality(ViewId v) const {
+  const auto* r = find(v);
+  if (r == nullptr) return 0;
+  return log_.unseen_if(r->last_sync, [&](const MergeRecord& rec) {
+    if (rec.source == v) return false;
+    // Live sources go through the full conflict relation (static map
+    // first); for departed views fall back to the property snapshot the
+    // log kept.
+    if (find(rec.source) != nullptr) return conflicts(v, rec.source);
+    return rec.touched.conflicts_with(r->properties);
+  });
+}
+
+bool DirectoryManager::conflicts(ViewId a, ViewId b) const {
+  if (a == b) return false;
+  const auto* ra = find(a);
+  const auto* rb = find(b);
+  if (ra == nullptr || rb == nullptr) return false;
+  switch (static_map_.query(ra->name, rb->name)) {
+    case Relation::kConflict:
+      return true;
+    case Relation::kNoConflict:
+      return false;
+    case Relation::kDynamic:
+      break;
+  }
+  // Definition 1: dynConfl via property-set intersection.
+  return ra->properties.conflicts_with(rb->properties);
+}
+
+std::vector<ViewId> DirectoryManager::conflicting_views(ViewId v) const {
+  std::vector<ViewId> out;
+  for (const auto& [id, rec] : views_) {
+    (void)rec;
+    if (id != v && conflicts(v, id)) out.push_back(id);
+  }
+  return out;
+}
+
+void DirectoryManager::send_to_view(const ViewRecord& rec, const char* type,
+                                    std::any payload, std::size_t bytes) {
+  fabric_.send(self_, rec.cache_addr, type, std::move(payload), bytes);
+}
+
+// ---- registration -------------------------------------------------------
+
+void DirectoryManager::handle_register(const net::Message& m) {
+  const auto& req = net::payload_as<msg::RegisterReq>(m);
+  stats_.inc("op.register");
+
+  auto reject = [&](const std::string& why) {
+    stats_.inc("op.register.rejected");
+    msg::RegisterAck ack{kInvalidViewId, false, why};
+    const auto bytes = msg::wire_size(ack);
+    fabric_.send(self_, m.from, msg::kRegisterAck, ack, bytes);
+  };
+
+  if (req.view_name.empty()) {
+    return reject("view name must be non-empty");
+  }
+  // A genuine view's shared data is a subset of the component's data
+  // (paper §3.2: V_v ∩ V_c ≠ ∅, and the view only shares what the
+  // component defines).
+  if (!req.properties.subset_of(primary_.data_properties())) {
+    return reject("view properties are not a subset of component data");
+  }
+  std::optional<trigger::Trigger> validity;
+  if (!req.validity_trigger.empty()) {
+    try {
+      validity.emplace(req.validity_trigger);
+    } catch (const trigger::ParseError& e) {
+      return reject(std::string("bad validity trigger: ") + e.what());
+    }
+  }
+
+  // A registration from an address we already know supersedes the old
+  // record: the cache manager reconnected (fail-safe path) and its
+  // previous incarnation is a ghost.
+  for (auto it = views_.begin(); it != views_.end();) {
+    if (it->second.cache_addr == m.from) {
+      const ViewId ghost = it->first;
+      it = views_.erase(it);
+      complete_fetch_or_acquire_for_dead_view(ghost);
+      stats_.inc("op.register.superseded");
+    } else {
+      ++it;
+    }
+  }
+
+  ViewRecord rec;
+  rec.id = next_view_id_++;
+  rec.cache_addr = m.from;
+  rec.name = req.view_name;
+  rec.properties = req.properties;
+  rec.mode = req.mode;
+  rec.validity = std::move(validity);
+  const ViewId id = rec.id;
+  views_.emplace(id, std::move(rec));
+
+  msg::RegisterAck ack{id, true, {}};
+  const auto bytes = msg::wire_size(ack);
+  fabric_.send(self_, m.from, msg::kRegisterAck, ack, bytes);
+}
+
+// ---- init ---------------------------------------------------------------
+
+void DirectoryManager::handle_init(const net::Message& m) {
+  const auto& req = net::payload_as<msg::InitReq>(m);
+  stats_.inc("op.init");
+  auto* rec = find(req.view);
+  if (rec == nullptr) return;
+  msg::InitReply reply;
+  reply.image = primary_.extract_from_object(rec->properties);
+  reply.image.set_version(version_);
+  rec->active = true;
+  rec->last_sync = version_;
+  rec->last_sync_at = fabric_.now();
+  const auto bytes = msg::wire_size(reply);
+  send_to_view(*rec, msg::kInitReply, std::move(reply), bytes);
+}
+
+// ---- weak-mode pull (with validity-triggered demand fetch) ---------------
+
+void DirectoryManager::handle_pull(const net::Message& m) {
+  const auto& req = net::payload_as<msg::PullReq>(m);
+  stats_.inc("op.pull");
+  auto* rec = find(req.view);
+  if (rec == nullptr) return;
+
+  const std::uint64_t unseen = quality(req.view);
+
+  bool need_fetch = false;
+  if (rec->validity.has_value()) {
+    // Validity trigger: true ⇒ the primary's data is "good enough".
+    // Environment: t (global time, ms), _age (ms since last merge into
+    // the primary), _unseen (the requester's quality), layered over any
+    // variables the primary component exposes.
+    trigger::VariableStore meta;
+    meta.set("t", sim::to_ms(fabric_.now()));
+    meta.set("_age", sim::to_ms(fabric_.now() - last_merge_at_));
+    meta.set("_unseen", static_cast<double>(unseen));
+    bool good;
+    if (const trigger::Env* pv = primary_.variables(); pv != nullptr) {
+      trigger::LayeredEnv env(meta, *pv);
+      good = rec->validity->evaluate(env);
+    } else {
+      good = rec->validity->evaluate(meta);
+    }
+    need_fetch = !good;
+  }
+  if (cfg_.use_rw_semantics && req.intent == AccessIntent::kReadOnly) {
+    // Extension 1 (§6): read-only executions tolerate the primary's
+    // current data; never chase conflicting views for updates.
+    need_fetch = false;
+    stats_.inc("op.pull.ro_shortcut");
+  }
+
+  std::set<ViewId> candidates;
+  if (need_fetch) {
+    for (const auto& [id, other] : views_) {
+      if (id == req.view || !other.active) continue;
+      if (conflicts(req.view, id)) candidates.insert(id);
+    }
+  }
+
+  if (candidates.empty()) {
+    PendingPull pp;
+    pp.requester = req.view;
+    pp.unseen_before = unseen;
+    finish_pull(pp);
+    return;
+  }
+
+  stats_.inc("op.pull.fetch_round");
+  PendingPull pp;
+  pp.token = next_token_++;
+  pp.requester = req.view;
+  pp.outstanding = candidates;
+  pp.unseen_before = unseen;
+  const std::uint64_t token = pp.token;
+  for (const ViewId id : candidates) {
+    stats_.inc("op.fetch.sent");
+    msg::FetchReq freq{token};
+    send_to_view(views_.at(id), msg::kFetchReq, freq, msg::wire_size(freq));
+  }
+  pp.timeout = fabric_.schedule(self_, cfg_.fetch_timeout, [this, token] {
+    auto it = pending_pulls_.find(token);
+    if (it == pending_pulls_.end()) return;
+    stats_.inc("op.fetch.timeout");
+    PendingPull pp2 = std::move(it->second);
+    pending_pulls_.erase(it);
+    finish_pull(pp2);
+  });
+  pending_pulls_.emplace(token, std::move(pp));
+}
+
+void DirectoryManager::finish_pull(PendingPull& pp) {
+  if (pp.timeout != net::kInvalidTimerId) fabric_.cancel_timer(pp.timeout);
+  auto* rec = find(pp.requester);
+  if (rec == nullptr) return;  // requester died while we fetched
+  msg::PullReply reply;
+  reply.image = primary_.extract_from_object(rec->properties);
+  reply.image.set_version(version_);
+  reply.unseen_before = pp.unseen_before;
+  rec->active = true;
+  rec->last_sync = version_;
+  rec->last_sync_at = fabric_.now();
+  const auto bytes = msg::wire_size(reply);
+  send_to_view(*rec, msg::kPullReply, std::move(reply), bytes);
+}
+
+void DirectoryManager::handle_fetch_reply(const net::Message& m) {
+  const auto& rep = net::payload_as<msg::FetchReply>(m);
+  auto it = pending_pulls_.find(rep.token);
+  if (it == pending_pulls_.end()) {
+    stats_.inc("op.fetch.late");
+    return;
+  }
+  if (rep.dirty) {
+    const auto* src = find(rep.view);
+    if (src != nullptr) {
+      merge_update(rep.image, rep.view, src->properties);
+    }
+  }
+  it->second.outstanding.erase(rep.view);
+  if (it->second.outstanding.empty()) {
+    PendingPull pp = std::move(it->second);
+    pending_pulls_.erase(it);
+    finish_pull(pp);
+  }
+}
+
+// ---- push ---------------------------------------------------------------
+
+void DirectoryManager::handle_push(const net::Message& m) {
+  const auto& req = net::payload_as<msg::PushUpdate>(m);
+  stats_.inc("op.push");
+  auto* rec = find(req.view);
+  if (rec == nullptr) return;
+  merge_update(req.image, req.view, rec->properties);
+  rec->active = true;
+  msg::PushAck ack{version_};
+  send_to_view(*rec, msg::kPushAck, ack, msg::wire_size(ack));
+}
+
+void DirectoryManager::merge_update(const ObjectImage& image, ViewId source,
+                                    const props::PropertySet& touched) {
+  primary_.merge_into_object(image, touched);
+  ++version_;
+  last_merge_at_ = fabric_.now();
+  log_.record(MergeRecord{version_, source, touched, fabric_.now()});
+  stats_.inc("merge.count");
+  maybe_prune_log();
+
+  if (cfg_.notify_on_update) {
+    for (const auto& [id, other] : views_) {
+      if (id == source || !other.active) continue;
+      if (!conflicts(source, id)) continue;
+      msg::UpdateNotify note{version_};
+      send_to_view(other, msg::kUpdateNotify, note, msg::wire_size(note));
+      stats_.inc("op.notify.sent");
+    }
+  }
+}
+
+void DirectoryManager::maybe_prune_log() {
+  if (log_.size() <= cfg_.merge_log_cap) return;
+  Version floor = version_;
+  for (const auto& [id, rec] : views_) {
+    (void)id;
+    floor = std::min(floor, rec.last_sync);
+  }
+  log_.prune_below(floor);
+}
+
+// ---- strong-mode acquire/invalidate --------------------------------------
+
+void DirectoryManager::handle_acquire(const net::Message& m) {
+  const auto& req = net::payload_as<msg::AcquireReq>(m);
+  stats_.inc("op.acquire");
+  if (find(req.view) == nullptr) return;
+  acquire_queue_.push_back(req);
+  if (!acquire_inflight_.has_value()) start_next_acquire();
+}
+
+void DirectoryManager::start_next_acquire() {
+  while (!acquire_queue_.empty()) {
+    const msg::AcquireReq req = acquire_queue_.front();
+    acquire_queue_.erase(acquire_queue_.begin());
+    auto* rec = find(req.view);
+    if (rec == nullptr) continue;  // requester died while queued
+
+    PendingAcquire pa;
+    pa.requester = req.view;
+    pa.epoch = next_epoch_++;
+
+    // Read-only acquires under the read/write-semantics extension can
+    // share: they do not invalidate other read-only holders. A plain
+    // Flecc acquire invalidates every conflicting active view (paper
+    // Fig. 2, steps 12-14).
+    const bool ro_share =
+        cfg_.use_rw_semantics && req.intent == AccessIntent::kReadOnly;
+    for (const auto& [id, other] : views_) {
+      if (id == req.view || !other.active) continue;
+      if (!conflicts(req.view, id)) continue;
+      if (ro_share && !other.exclusive) continue;  // RO can coexist
+      pa.awaiting.insert(id);
+    }
+
+    if (pa.awaiting.empty()) {
+      finish_acquire(pa);
+      continue;  // finish_acquire did not set inflight; serve next
+    }
+
+    for (const ViewId id : pa.awaiting) {
+      stats_.inc("op.acquire.invalidations");
+      msg::InvalidateReq inv{pa.epoch};
+      send_to_view(views_.at(id), msg::kInvalidateReq, inv,
+                   msg::wire_size(inv));
+    }
+    const std::uint64_t epoch = pa.epoch;
+    // Straggler protection: if an invalidated view never acks (crash),
+    // proceed after the timeout.
+    pa.timeout = fabric_.schedule(self_, cfg_.fetch_timeout, [this, epoch] {
+      if (!acquire_inflight_.has_value() ||
+          acquire_inflight_->epoch != epoch) {
+        return;
+      }
+      stats_.inc("op.acquire.timeout");
+      PendingAcquire pa2 = std::move(*acquire_inflight_);
+      acquire_inflight_.reset();
+      finish_acquire(pa2);
+      if (!acquire_inflight_.has_value()) start_next_acquire();
+    });
+    acquire_inflight_ = std::move(pa);
+    return;
+  }
+}
+
+void DirectoryManager::finish_acquire(PendingAcquire& pa) {
+  if (pa.timeout != net::kInvalidTimerId) fabric_.cancel_timer(pa.timeout);
+  auto* rec = find(pa.requester);
+  if (rec == nullptr) return;
+  rec->active = true;
+  rec->exclusive = true;
+  rec->last_sync = version_;
+  rec->last_sync_at = fabric_.now();
+  msg::AcquireGrant grant;
+  grant.image = primary_.extract_from_object(rec->properties);
+  grant.image.set_version(version_);
+  const auto bytes = msg::wire_size(grant);
+  send_to_view(*rec, msg::kAcquireGrant, std::move(grant), bytes);
+}
+
+void DirectoryManager::handle_invalidate_ack(const net::Message& m) {
+  const auto& ack = net::payload_as<msg::InvalidateAck>(m);
+  if (!acquire_inflight_.has_value() ||
+      acquire_inflight_->epoch != ack.epoch) {
+    stats_.inc("op.invalidate.stale_ack");
+    return;
+  }
+  if (ack.dirty) {
+    const auto* src = find(ack.view);
+    if (src != nullptr) merge_update(ack.image, ack.view, src->properties);
+  }
+  if (auto* rec = find(ack.view); rec != nullptr) {
+    rec->active = false;
+    rec->exclusive = false;
+  }
+  acquire_inflight_->awaiting.erase(ack.view);
+  if (acquire_inflight_->awaiting.empty()) {
+    PendingAcquire pa = std::move(*acquire_inflight_);
+    acquire_inflight_.reset();
+    finish_acquire(pa);
+    if (!acquire_inflight_.has_value()) start_next_acquire();
+  }
+}
+
+// ---- mode change ----------------------------------------------------------
+
+void DirectoryManager::handle_mode_change(const net::Message& m) {
+  const auto& req = net::payload_as<msg::ModeChangeReq>(m);
+  stats_.inc("op.mode_change");
+  auto* rec = find(req.view);
+  if (rec == nullptr) return;
+  rec->mode = req.mode;
+  if (req.mode == Mode::kWeak) {
+    // Leaving strong: surrender exclusivity; the copy stays valid.
+    rec->exclusive = false;
+  } else {
+    // Entering strong: the view must (re)acquire before working.
+    rec->active = false;
+    rec->exclusive = false;
+  }
+  msg::ModeChangeAck ack{req.mode};
+  send_to_view(*rec, msg::kModeChangeAck, ack, msg::wire_size(ack));
+}
+
+// ---- kill -----------------------------------------------------------------
+
+void DirectoryManager::handle_kill(const net::Message& m) {
+  const auto& req = net::payload_as<msg::KillReq>(m);
+  stats_.inc("op.kill");
+  auto* rec = find(req.view);
+  if (rec == nullptr) return;
+  if (req.dirty) {
+    merge_update(req.final_image, req.view, rec->properties);
+  }
+  const net::Address addr = rec->cache_addr;
+  views_.erase(req.view);
+  complete_fetch_or_acquire_for_dead_view(req.view);
+  msg::KillAck ack;
+  fabric_.send(self_, addr, msg::kKillAck, ack, msg::wire_size(ack));
+}
+
+void DirectoryManager::complete_fetch_or_acquire_for_dead_view(ViewId v) {
+  // A dead view can no longer answer FetchReq/InvalidateReq; settle any
+  // round that was waiting on it.
+  std::vector<std::uint64_t> done_tokens;
+  for (auto& [token, pp] : pending_pulls_) {
+    pp.outstanding.erase(v);
+    if (pp.outstanding.empty()) done_tokens.push_back(token);
+  }
+  for (const auto token : done_tokens) {
+    auto it = pending_pulls_.find(token);
+    PendingPull pp = std::move(it->second);
+    pending_pulls_.erase(it);
+    finish_pull(pp);
+  }
+
+  if (acquire_inflight_.has_value()) {
+    if (acquire_inflight_->requester == v) {
+      if (acquire_inflight_->timeout != net::kInvalidTimerId) {
+        fabric_.cancel_timer(acquire_inflight_->timeout);
+      }
+      acquire_inflight_.reset();
+      start_next_acquire();
+    } else {
+      acquire_inflight_->awaiting.erase(v);
+      if (acquire_inflight_->awaiting.empty()) {
+        PendingAcquire pa = std::move(*acquire_inflight_);
+        acquire_inflight_.reset();
+        finish_acquire(pa);
+        if (!acquire_inflight_.has_value()) start_next_acquire();
+      }
+    }
+  }
+}
+
+}  // namespace flecc::core

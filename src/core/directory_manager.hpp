@@ -1,0 +1,167 @@
+// The Flecc directory manager (paper §4.2).
+//
+// One directory manager is colocated with the original component. It
+// tracks every registered view, decides which views conflict (static map
+// first, dynamic property intersection as fallback), arbitrates
+// strong-mode exclusivity via invalidations, serves weak-mode pulls
+// (honoring validity triggers with demand fetches from conflicting
+// active views), merges pushed updates into the primary copy, and keeps
+// the merge log from which the data-quality metric is computed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/adapters.hpp"
+#include "core/merge_log.hpp"
+#include "core/messages.hpp"
+#include "core/static_map.hpp"
+#include "core/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/stats.hpp"
+#include "trigger/trigger.hpp"
+
+namespace flecc::core {
+
+class DirectoryManager : public net::Endpoint {
+ public:
+  struct Config {
+    /// How long to wait for FetchReply/InvalidateAck stragglers before
+    /// proceeding with what arrived (crash resilience).
+    sim::Duration fetch_timeout = sim::msec(500);
+    /// Send UpdateNotify to conflicting active views after each merge.
+    bool notify_on_update = false;
+    /// Honor AccessIntent::kReadOnly (future-work extension 1): read-only
+    /// pulls skip demand fetches, read-only acquires skip invalidations.
+    bool use_rw_semantics = false;
+    /// Prune the merge log when it exceeds this many records.
+    std::size_t merge_log_cap = 1 << 16;
+  };
+
+  DirectoryManager(net::Fabric& fabric, net::Address self,
+                   PrimaryAdapter& primary, Config cfg);
+  DirectoryManager(net::Fabric& fabric, net::Address self,
+                   PrimaryAdapter& primary)
+      : DirectoryManager(fabric, self, primary, Config{}) {}
+  ~DirectoryManager() override;
+
+  DirectoryManager(const DirectoryManager&) = delete;
+  DirectoryManager& operator=(const DirectoryManager&) = delete;
+
+  /// Install statically-known sharing relationships (entries default to
+  /// Relation::kDynamic).
+  void set_static_map(StaticMap m) { static_map_ = std::move(m); }
+
+  void on_message(const net::Message& m) override;
+
+  // ---- out-of-band introspection (no protocol messages) --------------
+
+  [[nodiscard]] net::Address address() const noexcept { return self_; }
+  [[nodiscard]] Version version() const noexcept { return version_; }
+  [[nodiscard]] std::size_t registered_count() const noexcept {
+    return views_.size();
+  }
+  [[nodiscard]] bool known(ViewId v) const { return views_.count(v) != 0; }
+  [[nodiscard]] bool is_active(ViewId v) const;
+  [[nodiscard]] bool is_exclusive(ViewId v) const;
+  [[nodiscard]] Mode mode_of(ViewId v) const;
+
+  /// Remote unseen updates for `v` right now (the paper's data-quality
+  /// metric; Figures 5 and 6 sample this).
+  [[nodiscard]] std::uint64_t quality(ViewId v) const;
+
+  /// Views whose data conflicts with `v` (static map or dynConfl).
+  [[nodiscard]] std::vector<ViewId> conflicting_views(ViewId v) const;
+
+  /// Do two registered views conflict?
+  [[nodiscard]] bool conflicts(ViewId a, ViewId b) const;
+
+  /// Directory-local operation counters (op.pull, op.fetch_round, ...).
+  [[nodiscard]] const sim::CounterSet& stats() const noexcept {
+    return stats_;
+  }
+
+  [[nodiscard]] const MergeLog& merge_log() const noexcept { return log_; }
+
+ private:
+  struct ViewRecord {
+    ViewId id = kInvalidViewId;
+    net::Address cache_addr;
+    std::string name;
+    props::PropertySet properties;
+    Mode mode = Mode::kWeak;
+    std::optional<trigger::Trigger> validity;
+    bool active = false;     // holds a valid working copy
+    bool exclusive = false;  // strong-mode ownership
+    Version last_sync = 0;
+    sim::Time last_sync_at = 0;
+  };
+
+  struct PendingPull {
+    std::uint64_t token = 0;
+    ViewId requester = kInvalidViewId;
+    std::set<ViewId> outstanding;
+    net::TimerId timeout = net::kInvalidTimerId;
+    std::uint64_t unseen_before = 0;
+  };
+
+  struct PendingAcquire {
+    ViewId requester = kInvalidViewId;
+    std::uint64_t epoch = 0;
+    std::set<ViewId> awaiting;
+    net::TimerId timeout = net::kInvalidTimerId;
+  };
+
+  // message handlers
+  void handle_register(const net::Message& m);
+  void handle_init(const net::Message& m);
+  void handle_pull(const net::Message& m);
+  void handle_push(const net::Message& m);
+  void handle_acquire(const net::Message& m);
+  void handle_invalidate_ack(const net::Message& m);
+  void handle_fetch_reply(const net::Message& m);
+  void handle_mode_change(const net::Message& m);
+  void handle_kill(const net::Message& m);
+
+  // helpers
+  ViewRecord* find(ViewId v);
+  const ViewRecord* find(ViewId v) const;
+  void merge_update(const ObjectImage& image, ViewId source,
+                    const props::PropertySet& touched);
+  void finish_pull(PendingPull& pp);
+  void start_next_acquire();
+  void finish_acquire(PendingAcquire& pa);
+  void complete_fetch_or_acquire_for_dead_view(ViewId v);
+  void maybe_prune_log();
+  void send_to_view(const ViewRecord& rec, const char* type, std::any payload,
+                    std::size_t bytes);
+
+  net::Fabric& fabric_;
+  net::Address self_;
+  PrimaryAdapter& primary_;
+  Config cfg_;
+
+  StaticMap static_map_;
+  std::map<ViewId, ViewRecord> views_;
+  ViewId next_view_id_ = 1;
+  Version version_ = 0;
+  sim::Time last_merge_at_ = 0;
+  MergeLog log_;
+
+  std::map<std::uint64_t, PendingPull> pending_pulls_;
+  std::uint64_t next_token_ = 1;
+
+  // Strong-mode acquires are processed strictly FIFO, one at a time.
+  std::vector<msg::AcquireReq> acquire_queue_;
+  std::optional<PendingAcquire> acquire_inflight_;
+  std::uint64_t next_epoch_ = 1;
+
+  sim::CounterSet stats_;
+};
+
+}  // namespace flecc::core

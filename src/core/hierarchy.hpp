@@ -1,0 +1,109 @@
+// Two-level hierarchical Flecc (paper §6, future-work extension 2).
+//
+// The paper's protocol keeps views of a *single* component instance
+// consistent through that instance's directory manager. The proposed
+// extension adds a high-level, decentralized protocol between component
+// *instances* (no primary copy among instances), while each instance
+// keeps running plain Flecc between itself and its views.
+//
+// We implement the high level as anti-entropy gossip: one SyncAgent per
+// instance periodically extracts the instance's state and sends it to
+// peers in ring order; receivers apply it through the instance's
+// application-provided merge hook if the update is newer than what they
+// have already seen from that origin. The exchange is decentralized and
+// needs only O(#instances) application merge knowledge — matching the
+// §4.1 argument for the low level.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/adapters.hpp"
+#include "core/messages.hpp"
+#include "core/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/stats.hpp"
+
+namespace flecc::core {
+
+/// Instance-level identifier in the high-level protocol.
+using InstanceId = std::uint32_t;
+
+namespace msg {
+inline constexpr const char* kHierSyncUpdate = "flecc.hier.sync_update";
+
+struct HierSyncUpdate {
+  InstanceId origin = 0;
+  std::uint64_t seq = 0;  // origin-local sequence number
+  ObjectImage image;
+};
+
+inline std::size_t wire_size(const HierSyncUpdate& m) {
+  return kHeaderBytes + m.image.wire_size();
+}
+}  // namespace msg
+
+class SyncAgent : public net::Endpoint {
+ public:
+  struct Config {
+    InstanceId instance = 0;
+    /// Gossip period.
+    sim::Duration interval = sim::msec(500);
+    /// Peers contacted per round (ring rotation makes coverage uniform).
+    std::size_t fanout = 1;
+  };
+
+  /// `scope` is the property set describing the replicated data slice.
+  SyncAgent(net::Fabric& fabric, net::Address self, PrimaryAdapter& primary,
+            props::PropertySet scope, Config cfg);
+  ~SyncAgent() override;
+
+  SyncAgent(const SyncAgent&) = delete;
+  SyncAgent& operator=(const SyncAgent&) = delete;
+
+  void add_peer(net::Address peer) { peers_.push_back(peer); }
+
+  /// Begin periodic gossip.
+  void start();
+  /// Stop gossiping (in-flight messages still apply on receipt).
+  void stop();
+
+  /// Force one gossip round immediately (useful in tests).
+  void gossip_once();
+
+  void on_message(const net::Message& m) override;
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t applied() const noexcept { return applied_; }
+  [[nodiscard]] std::uint64_t ignored_stale() const noexcept {
+    return ignored_stale_;
+  }
+  [[nodiscard]] const sim::CounterSet& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  void tick();
+
+  net::Fabric& fabric_;
+  net::Address self_;
+  PrimaryAdapter& primary_;
+  props::PropertySet scope_;
+  Config cfg_;
+
+  std::vector<net::Address> peers_;
+  std::size_t next_peer_ = 0;
+  std::uint64_t seq_ = 0;
+  std::map<InstanceId, std::uint64_t> seen_;
+  bool running_ = false;
+  net::TimerId timer_ = net::kInvalidTimerId;
+
+  std::uint64_t rounds_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t ignored_stale_ = 0;
+  sim::CounterSet stats_;
+};
+
+}  // namespace flecc::core

@@ -1,0 +1,37 @@
+#include "core/merge_log.hpp"
+
+#include <algorithm>
+
+namespace flecc::core {
+
+std::uint64_t MergeLog::unseen_for(const props::PropertySet& viewer_props,
+                                   ViewId self, Version since) const {
+  return unseen_if(since, [&](const MergeRecord& r) {
+    return r.source != self && r.touched.conflicts_with(viewer_props);
+  });
+}
+
+std::uint64_t MergeLog::unseen_if(
+    Version since,
+    const std::function<bool(const MergeRecord&)>& pred) const {
+  // Records are version-ordered; binary-search the first unseen one.
+  auto it = std::lower_bound(
+      records_.begin(), records_.end(), since,
+      [](const MergeRecord& r, Version v) { return r.version <= v; });
+  std::uint64_t n = 0;
+  for (; it != records_.end(); ++it) {
+    if (pred(*it)) ++n;
+  }
+  return n;
+}
+
+std::size_t MergeLog::prune_below(Version floor) {
+  std::size_t pruned = 0;
+  while (!records_.empty() && records_.front().version <= floor) {
+    records_.pop_front();
+    ++pruned;
+  }
+  return pruned;
+}
+
+}  // namespace flecc::core

@@ -1,0 +1,56 @@
+// The directory's record of merges into the primary copy, from which
+// the data-quality metric of the paper's evaluation is computed:
+// quality(v) = number of *remote unseen updates* — merges newer than
+// v's last sync, originating from a different view whose data actually
+// conflicts with v's (paper §5.2, Figures 5 and 6).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/types.hpp"
+#include "props/property.hpp"
+#include "sim/time.hpp"
+
+namespace flecc::core {
+
+struct MergeRecord {
+  Version version = 0;
+  ViewId source = kInvalidViewId;  // kInvalidViewId = direct primary write
+  props::PropertySet touched;      // properties covered by the merge
+  sim::Time at = 0;
+};
+
+class MergeLog {
+ public:
+  void record(MergeRecord r) { records_.push_back(std::move(r)); }
+
+  /// Count records newer than `since` whose source is not `self` and
+  /// whose touched properties conflict with `viewer_props`.
+  [[nodiscard]] std::uint64_t unseen_for(
+      const props::PropertySet& viewer_props, ViewId self,
+      Version since) const;
+
+  /// Count records newer than `since` matching an arbitrary predicate —
+  /// used by the directory so the conflict decision can consult the
+  /// static map, not only property intersection.
+  [[nodiscard]] std::uint64_t unseen_if(
+      Version since,
+      const std::function<bool(const MergeRecord&)>& pred) const;
+
+  /// Drop records with version <= floor (they are seen by every live
+  /// view). Returns the number pruned.
+  std::size_t prune_below(Version floor);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const std::deque<MergeRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::deque<MergeRecord> records_;  // version-ordered (append-only)
+};
+
+}  // namespace flecc::core

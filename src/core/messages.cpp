@@ -1,0 +1,25 @@
+#include "core/messages.hpp"
+
+namespace flecc::core::msg {
+
+std::size_t wire_size(const props::PropertySet& ps) {
+  std::size_t bytes = 4;  // count
+  for (const auto& [name, dom] : ps) {
+    bytes += name.size() + 2;
+    if (dom.is_interval()) {
+      bytes += 16;
+    } else {
+      bytes += 2;
+      for (const auto& v : dom.as_discrete()) {
+        if (const auto* s = std::get_if<std::string>(&v)) {
+          bytes += s->size() + 2;
+        } else {
+          bytes += 8;
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace flecc::core::msg

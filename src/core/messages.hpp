@@ -1,0 +1,190 @@
+// The Flecc wire protocol between cache managers and the directory
+// manager (paper §4.2, Figure 2).
+//
+// Each payload struct travels as a net::Message whose `type` is the
+// matching tag below; tags are what the traffic counters aggregate by.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/object_image.hpp"
+#include "core/types.hpp"
+#include "props/property.hpp"
+
+namespace flecc::core::msg {
+
+// ---- type tags --------------------------------------------------------
+inline constexpr const char* kRegisterReq = "flecc.register_req";
+inline constexpr const char* kRegisterAck = "flecc.register_ack";
+inline constexpr const char* kInitReq = "flecc.init_req";
+inline constexpr const char* kInitReply = "flecc.init_reply";
+inline constexpr const char* kPullReq = "flecc.pull_req";
+inline constexpr const char* kPullReply = "flecc.pull_reply";
+inline constexpr const char* kPushUpdate = "flecc.push_update";
+inline constexpr const char* kPushAck = "flecc.push_ack";
+inline constexpr const char* kAcquireReq = "flecc.acquire_req";
+inline constexpr const char* kAcquireGrant = "flecc.acquire_grant";
+inline constexpr const char* kInvalidateReq = "flecc.invalidate_req";
+inline constexpr const char* kInvalidateAck = "flecc.invalidate_ack";
+inline constexpr const char* kFetchReq = "flecc.fetch_req";
+inline constexpr const char* kFetchReply = "flecc.fetch_reply";
+inline constexpr const char* kModeChangeReq = "flecc.mode_change_req";
+inline constexpr const char* kModeChangeAck = "flecc.mode_change_ack";
+inline constexpr const char* kKillReq = "flecc.kill_req";
+inline constexpr const char* kKillAck = "flecc.kill_ack";
+inline constexpr const char* kUpdateNotify = "flecc.update_notify";
+
+// ---- payloads ---------------------------------------------------------
+
+/// View registration (Figure 2, step 2). Carries all the
+/// application-specific information of §4.1: the property list, the
+/// mode, and the three trigger sources (empty string = absent).
+struct RegisterReq {
+  std::string view_name;  // component type, e.g. "air.TravelAgent"
+  props::PropertySet properties;
+  Mode mode = Mode::kWeak;
+  std::string push_trigger;
+  std::string pull_trigger;
+  std::string validity_trigger;
+};
+
+struct RegisterAck {
+  ViewId view = kInvalidViewId;
+  bool accepted = false;
+  std::string reason;  // on rejection: why
+};
+
+/// Initial data request (Figure 2, steps 3-5).
+struct InitReq {
+  ViewId view = kInvalidViewId;
+};
+struct InitReply {
+  ObjectImage image;
+};
+
+/// Weak-mode refresh. `intent` supports the read/write-semantics
+/// extension (§6): read-only pulls never trigger demand fetches.
+struct PullReq {
+  ViewId view = kInvalidViewId;
+  AccessIntent intent = AccessIntent::kReadWrite;
+};
+struct PullReply {
+  ObjectImage image;
+  /// Remote updates the view had not seen before this pull (quality).
+  std::uint64_t unseen_before = 0;
+};
+
+/// Update propagation view → primary.
+struct PushUpdate {
+  ViewId view = kInvalidViewId;
+  ObjectImage image;
+};
+struct PushAck {
+  Version version = 0;
+};
+
+/// Strong-mode activation (the directory serializes conflicting views).
+struct AcquireReq {
+  ViewId view = kInvalidViewId;
+  AccessIntent intent = AccessIntent::kReadWrite;
+};
+struct AcquireGrant {
+  ObjectImage image;
+};
+
+/// Directory → cache: stop working, surrender updates (Fig. 2 step 12).
+struct InvalidateReq {
+  std::uint64_t epoch = 0;
+};
+struct InvalidateAck {
+  ViewId view = kInvalidViewId;
+  std::uint64_t epoch = 0;
+  ObjectImage image;  // final extracted state (empty if clean)
+  bool dirty = false;
+};
+
+/// Directory → cache: demand fetch for a validity-triggered pull.
+struct FetchReq {
+  std::uint64_t token = 0;
+};
+struct FetchReply {
+  ViewId view = kInvalidViewId;
+  std::uint64_t token = 0;
+  ObjectImage image;
+  bool dirty = false;
+};
+
+/// Run-time consistency-level change (§4, "Flecc allows views to ...
+/// switch between the strong and weak modes of operation").
+struct ModeChangeReq {
+  ViewId view = kInvalidViewId;
+  Mode mode = Mode::kWeak;
+};
+struct ModeChangeAck {
+  Mode mode = Mode::kWeak;
+};
+
+/// Teardown (Figure 2, steps 20-21). Carries the final update image so
+/// no separate push round trip is needed.
+struct KillReq {
+  ViewId view = kInvalidViewId;
+  ObjectImage final_image;
+  bool dirty = false;
+};
+struct KillAck {};
+
+/// Optional notification to conflicting views that the primary advanced
+/// (off by default; enabled for the notification ablation).
+struct UpdateNotify {
+  Version version = 0;
+};
+
+// ---- wire-size estimation ---------------------------------------------
+
+/// Simulated serialized size of a property set.
+std::size_t wire_size(const props::PropertySet& ps);
+
+inline constexpr std::size_t kHeaderBytes = 32;  // ids, type tag, framing
+
+inline std::size_t wire_size(const RegisterReq& m) {
+  return kHeaderBytes + m.view_name.size() + wire_size(m.properties) +
+         m.push_trigger.size() + m.pull_trigger.size() +
+         m.validity_trigger.size();
+}
+inline std::size_t wire_size(const RegisterAck& m) {
+  return kHeaderBytes + m.reason.size();
+}
+inline std::size_t wire_size(const InitReq&) { return kHeaderBytes; }
+inline std::size_t wire_size(const InitReply& m) {
+  return kHeaderBytes + m.image.wire_size();
+}
+inline std::size_t wire_size(const PullReq&) { return kHeaderBytes; }
+inline std::size_t wire_size(const PullReply& m) {
+  return kHeaderBytes + m.image.wire_size();
+}
+inline std::size_t wire_size(const PushUpdate& m) {
+  return kHeaderBytes + m.image.wire_size();
+}
+inline std::size_t wire_size(const PushAck&) { return kHeaderBytes; }
+inline std::size_t wire_size(const AcquireReq&) { return kHeaderBytes; }
+inline std::size_t wire_size(const AcquireGrant& m) {
+  return kHeaderBytes + m.image.wire_size();
+}
+inline std::size_t wire_size(const InvalidateReq&) { return kHeaderBytes; }
+inline std::size_t wire_size(const InvalidateAck& m) {
+  return kHeaderBytes + m.image.wire_size();
+}
+inline std::size_t wire_size(const FetchReq&) { return kHeaderBytes; }
+inline std::size_t wire_size(const FetchReply& m) {
+  return kHeaderBytes + m.image.wire_size();
+}
+inline std::size_t wire_size(const ModeChangeReq&) { return kHeaderBytes; }
+inline std::size_t wire_size(const ModeChangeAck&) { return kHeaderBytes; }
+inline std::size_t wire_size(const KillReq& m) {
+  return kHeaderBytes + m.final_image.wire_size();
+}
+inline std::size_t wire_size(const KillAck&) { return kHeaderBytes; }
+inline std::size_t wire_size(const UpdateNotify&) { return kHeaderBytes; }
+
+}  // namespace flecc::core::msg

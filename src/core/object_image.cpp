@@ -1,0 +1,74 @@
+#include "core/object_image.hpp"
+
+#include <sstream>
+
+namespace flecc::core {
+
+std::string to_string(const ImageValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return std::to_string(*d);
+  return "\"" + std::get<std::string>(v) + "\"";
+}
+
+const ImageValue* ObjectImage::find(const std::string& key) const {
+  auto it = fields_.find(key);
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::int64_t> ObjectImage::get_int(
+    const std::string& key) const {
+  const auto* v = find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i;
+  return std::nullopt;
+}
+
+std::optional<double> ObjectImage::get_real(const std::string& key) const {
+  const auto* v = find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(v)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ObjectImage::get_str(const std::string& key) const {
+  const auto* v = find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  return std::nullopt;
+}
+
+std::size_t ObjectImage::overlay(const ObjectImage& delta) {
+  for (const auto& [k, v] : delta.fields_) fields_[k] = v;
+  return delta.fields_.size();
+}
+
+std::size_t ObjectImage::wire_size() const {
+  std::size_t bytes = 16;  // header: version + count
+  for (const auto& [k, v] : fields_) {
+    bytes += k.size() + 2;
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      bytes += s->size() + 2;
+    } else {
+      bytes += 8;
+    }
+  }
+  return bytes;
+}
+
+std::string ObjectImage::to_string() const {
+  std::ostringstream os;
+  os << "Image(v" << version_ << "){";
+  bool first = true;
+  for (const auto& [k, v] : fields_) {
+    if (!first) os << ", ";
+    first = false;
+    os << k << "=" << core::to_string(v);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace flecc::core

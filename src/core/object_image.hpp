@@ -1,0 +1,75 @@
+// ObjectImage — the application-neutral unit of state transfer.
+//
+// Flecc never interprets application data; extract/merge functions map
+// between the application's objects and this keyed scalar container
+// (paper §4.1, "Merge/Extract methods"). Images also serve as *deltas*:
+// an application may extract only changed keys and merge them key-wise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "core/types.hpp"
+
+namespace flecc::core {
+
+using ImageValue = std::variant<std::int64_t, double, std::string>;
+
+std::string to_string(const ImageValue& v);
+
+class ObjectImage {
+ public:
+  ObjectImage() = default;
+
+  void set_int(const std::string& key, std::int64_t v) { fields_[key] = v; }
+  void set_real(const std::string& key, double v) { fields_[key] = v; }
+  void set_str(const std::string& key, std::string v) {
+    fields_[key] = std::move(v);
+  }
+  void set(const std::string& key, ImageValue v) {
+    fields_[key] = std::move(v);
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return fields_.count(key) != 0;
+  }
+  [[nodiscard]] const ImageValue* find(const std::string& key) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(
+      const std::string& key) const;
+  [[nodiscard]] std::optional<double> get_real(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get_str(
+      const std::string& key) const;
+
+  bool erase(const std::string& key) { return fields_.erase(key) != 0; }
+
+  [[nodiscard]] bool empty() const noexcept { return fields_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
+
+  /// Key-wise overwrite: every field of `delta` replaces/creates the
+  /// same field here. Returns the number of fields applied.
+  std::size_t overlay(const ObjectImage& delta);
+
+  /// The primary-assigned version this image reflects (0 = unversioned).
+  [[nodiscard]] Version version() const noexcept { return version_; }
+  void set_version(Version v) noexcept { version_ = v; }
+
+  /// Simulated wire size: per-field key + value costs plus a header.
+  [[nodiscard]] std::size_t wire_size() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Deterministic iteration.
+  [[nodiscard]] auto begin() const { return fields_.begin(); }
+  [[nodiscard]] auto end() const { return fields_.end(); }
+
+  friend bool operator==(const ObjectImage&, const ObjectImage&) = default;
+
+ private:
+  std::map<std::string, ImageValue> fields_;
+  Version version_ = 0;
+};
+
+}  // namespace flecc::core

@@ -1,0 +1,44 @@
+// The static sharing map (paper §4.1, "Data properties").
+//
+// The paper encodes statically-known sharing relationships in a
+// symmetric matrix over views: 1 = share data, 0 = never share,
+// -1 = decide dynamically via property intersection. Because views
+// register dynamically, our map is keyed by *view name* (the component
+// type string, e.g. "air.TravelAgent"); the directory resolves pairs of
+// registered views through their names. Unlisted pairs default to
+// kDynamic, preserving the paper's fallback behavior.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+namespace flecc::core {
+
+enum class Relation : std::int8_t {
+  kNoConflict = 0,  // matrix entry 0
+  kConflict = 1,    // matrix entry 1
+  kDynamic = -1,    // matrix entry -1: use dynConfl on property sets
+};
+
+const char* to_string(Relation r) noexcept;
+
+class StaticMap {
+ public:
+  /// Record the relation between two view names (symmetric).
+  void set(const std::string& a, const std::string& b, Relation r);
+
+  /// Query; unlisted pairs are kDynamic.
+  [[nodiscard]] Relation query(const std::string& a,
+                               const std::string& b) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  static std::pair<std::string, std::string> ordered(const std::string& a,
+                                                     const std::string& b);
+  std::map<std::pair<std::string, std::string>, Relation> entries_;
+};
+
+}  // namespace flecc::core

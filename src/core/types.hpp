@@ -1,0 +1,33 @@
+// Shared identifiers and enumerations of the Flecc protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flecc::core {
+
+/// Identifies a registered view at its directory manager.
+using ViewId = std::uint32_t;
+inline constexpr ViewId kInvalidViewId = 0;
+
+/// Image/merge version numbers (monotonic at the primary).
+using Version = std::uint64_t;
+
+/// Consistency mode of a view (paper §4: strong = one-copy
+/// serializability among conflicting views; weak = many active views).
+enum class Mode : std::uint8_t { kStrong, kWeak };
+
+inline const char* to_string(Mode m) noexcept {
+  return m == Mode::kStrong ? "STRONG" : "WEAK";
+}
+
+/// Read/write semantics attached to an operation (future-work extension
+/// 1 of the paper §6: the directory can skip invalidations and fetches
+/// for read-only activity).
+enum class AccessIntent : std::uint8_t { kReadWrite, kReadOnly };
+
+inline const char* to_string(AccessIntent a) noexcept {
+  return a == AccessIntent::kReadOnly ? "RO" : "RW";
+}
+
+}  // namespace flecc::core

@@ -1,0 +1,36 @@
+// Network addressing.
+//
+// An endpoint lives at (node, port). Nodes are vertices of the simulated
+// topology; ports distinguish endpoints colocated on one node (e.g. a
+// component and its directory manager).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace flecc::net {
+
+using NodeId = std::uint32_t;
+using PortId = std::uint32_t;
+
+struct Address {
+  NodeId node = 0;
+  PortId port = 0;
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(node) + ":" + std::to_string(port);
+  }
+};
+
+struct AddressHash {
+  std::size_t operator()(const Address& a) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(a.node) << 32) | a.port);
+  }
+};
+
+}  // namespace flecc::net

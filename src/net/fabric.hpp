@@ -1,0 +1,89 @@
+// The transport abstraction the coherence protocols are written against.
+//
+// Both runtimes implement it:
+//   * net::SimFabric — deterministic discrete-event delivery (tests,
+//     benches, figure reproduction);
+//   * rt::ThreadFabric — real threads, one mailbox thread per endpoint.
+//
+// Contract: an endpoint's handlers (`on_message`, timer callbacks) are
+// never invoked concurrently with each other. Under SimFabric this is
+// trivial (single thread); under ThreadFabric it is guaranteed by the
+// per-endpoint mailbox.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/address.hpp"
+#include "net/message.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace flecc::net {
+
+/// A message handler attached to an address.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_message(const Message& m) = 0;
+};
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimerId = 0;
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Current time: simulated (SimFabric) or wall-clock-derived
+  /// (ThreadFabric). Monotonic, microseconds.
+  [[nodiscard]] virtual sim::Time now() const = 0;
+
+  /// Attach an endpoint at `addr`. The endpoint must outlive the binding.
+  virtual void bind(const Address& addr, Endpoint& ep) = 0;
+
+  /// Detach the endpoint at `addr`; in-flight messages to it are dropped.
+  virtual void unbind(const Address& addr) = 0;
+
+  /// Send a message. Never blocks; delivery is asynchronous.
+  virtual void send(Address from, Address to, std::string type,
+                    std::any payload, std::size_t bytes) = 0;
+
+  /// Run `fn` after `delay`, serialized with `owner`'s message handlers.
+  virtual TimerId schedule(const Address& owner, sim::Duration delay,
+                           std::function<void()> fn) = 0;
+
+  /// Like schedule(), but for recurring maintenance (trigger polls,
+  /// gossip ticks): under SimFabric such timers do not keep
+  /// Simulator::run() alive — the run-to-quiescence loop may end with
+  /// daemon timers still pending. ThreadFabric treats both identically.
+  virtual TimerId schedule_daemon(const Address& owner, sim::Duration delay,
+                                  std::function<void()> fn) {
+    return schedule(owner, delay, std::move(fn));
+  }
+
+  /// Cancel a pending timer; returns true if it had not fired yet.
+  virtual bool cancel_timer(TimerId id) = 0;
+
+  /// Traffic counters: msg.sent.<type>, msg.delivered.<type>,
+  /// bytes.sent.<type>, msg.dropped.*.
+  [[nodiscard]] virtual sim::CounterSet& counters() = 0;
+  [[nodiscard]] virtual const sim::CounterSet& counters() const = 0;
+};
+
+/// A delivered-message observation for tracing (Figure-2 style output).
+struct TraceEntry {
+  std::uint64_t msg_id;
+  Address from;
+  Address to;
+  std::string type;
+  std::size_t bytes;
+  sim::Time sent_at;
+  sim::Time delivered_at;
+};
+
+using TraceHook = std::function<void(const TraceEntry&)>;
+
+}  // namespace flecc::net

@@ -1,0 +1,33 @@
+// Typed, size-annotated messages.
+//
+// Payloads are type-erased (`std::any`); receivers cast to the concrete
+// protocol struct. `type` is a dotted tag ("flecc.pull_req") used for
+// counting and tracing; `bytes` is the simulated wire size used for
+// transmission-delay modeling.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string>
+
+#include "net/address.hpp"
+
+namespace flecc::net {
+
+struct Message {
+  std::uint64_t id = 0;
+  Address from;
+  Address to;
+  std::string type;
+  std::any payload;
+  std::size_t bytes = 0;
+};
+
+/// Cast a message payload to its concrete protocol struct.
+/// Throws std::bad_any_cast on type mismatch (a protocol bug).
+template <typename T>
+const T& payload_as(const Message& m) {
+  return std::any_cast<const T&>(m.payload);
+}
+
+}  // namespace flecc::net

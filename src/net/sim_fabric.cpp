@@ -1,0 +1,119 @@
+#include "net/sim_fabric.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace flecc::net {
+
+SimFabric::SimFabric(sim::Simulator& simulator, Topology topology, Config cfg)
+    : sim_(simulator),
+      topology_(std::move(topology)),
+      cfg_(cfg),
+      loss_rng_(cfg.seed) {}
+
+void SimFabric::bind(const Address& addr, Endpoint& ep) {
+  auto [it, inserted] = endpoints_.emplace(addr, &ep);
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("SimFabric::bind: address already bound: " +
+                           addr.to_string());
+  }
+}
+
+void SimFabric::unbind(const Address& addr) { endpoints_.erase(addr); }
+
+void SimFabric::send(Address from, Address to, std::string type,
+                     std::any payload, std::size_t bytes) {
+  ++sent_;
+  counters_.inc("msg.sent." + type);
+  counters_.inc("msg.sent");
+  counters_.inc("bytes.sent", bytes);
+
+  if (cfg_.loss_probability > 0.0 && loss_rng_.chance(cfg_.loss_probability)) {
+    counters_.inc("msg.dropped.loss");
+    return;
+  }
+  const auto route = topology_.route(from.node, to.node);
+  if (!route) {
+    counters_.inc("msg.dropped.no_route");
+    return;
+  }
+  const sim::Duration delay =
+      (cfg_.model_contention ? contended_delay(*route, bytes)
+                             : Topology::transfer_delay(*route, bytes)) +
+      cfg_.per_message_overhead;
+
+  Message msg;
+  msg.id = next_msg_id_++;
+  msg.from = from;
+  msg.to = to;
+  msg.type = std::move(type);
+  msg.payload = std::move(payload);
+  msg.bytes = bytes;
+
+  const sim::Time sent_at = sim_.now();
+  sim_.schedule_after(delay, [this, msg = std::move(msg), sent_at]() mutable {
+    auto it = endpoints_.find(msg.to);
+    if (it == endpoints_.end()) {
+      counters_.inc("msg.dropped.unbound");
+      return;
+    }
+    ++delivered_;
+    counters_.inc("msg.delivered." + msg.type);
+    counters_.inc("msg.delivered");
+    if (trace_) {
+      trace_(TraceEntry{msg.id, msg.from, msg.to, msg.type, msg.bytes,
+                        sent_at, sim_.now()});
+    }
+    it->second->on_message(msg);
+  });
+}
+
+sim::Duration SimFabric::contended_delay(const Route& route,
+                                         std::size_t bytes) {
+  sim::Time at = sim_.now();
+  for (const LinkId link : route.links) {
+    const LinkSpec& spec = topology_.link(link);
+    auto& free_at = link_free_at_[link];
+    const sim::Time start = std::max(at, free_at);
+    if (start > at) counters_.inc("msg.queued");
+    const auto tx = static_cast<sim::Duration>(
+        static_cast<double>(bytes) / spec.bandwidth_bytes_per_us);
+    free_at = start + tx;            // the link is busy while transmitting
+    at = start + tx + spec.latency;  // then the bits propagate
+  }
+  return at - sim_.now();
+}
+
+TimerId SimFabric::schedule(const Address& owner, sim::Duration delay,
+                            std::function<void()> fn) {
+  // Under the single-threaded simulator no extra serialization per owner
+  // is needed; the owner address matters only for ThreadFabric.
+  (void)owner;
+  return sim_.schedule_after(delay, std::move(fn));
+}
+
+TimerId SimFabric::schedule_daemon(const Address& owner, sim::Duration delay,
+                                   std::function<void()> fn) {
+  (void)owner;
+  return sim_.schedule_after(delay, std::move(fn), /*daemon=*/true);
+}
+
+bool SimFabric::cancel_timer(TimerId id) { return sim_.cancel(id); }
+
+void TraceRecorder::attach(SimFabric& fabric) {
+  fabric.set_trace_hook(
+      [this](const TraceEntry& e) { entries_.push_back(e); });
+}
+
+std::string TraceRecorder::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << "t=" << e.delivered_at << "us  " << e.from.to_string() << " -> "
+       << e.to.to_string() << "  " << e.type << " (" << e.bytes << "B)\n";
+  }
+  return os.str();
+}
+
+}  // namespace flecc::net

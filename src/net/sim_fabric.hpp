@@ -1,0 +1,113 @@
+// Discrete-event Fabric implementation.
+//
+// Messages traverse the Topology's minimum-latency route; end-to-end
+// delay is propagation + bottleneck transmission + a fixed software
+// overhead. Optional loss injection drops messages with a configured
+// probability (deterministic given the seed).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace flecc::net {
+
+class SimFabric : public Fabric {
+ public:
+  struct Config {
+    /// Per-message software overhead added to every delivery.
+    sim::Duration per_message_overhead = sim::usec(50);
+    /// Probability that any message is silently dropped (fault injection).
+    double loss_probability = 0.0;
+    /// Seed for the loss process.
+    std::uint64_t seed = 1;
+    /// Model per-link transmission contention: each link serializes
+    /// transmissions (store-and-forward), so bursts through a shared
+    /// link queue behind each other. Off by default: the uncontended
+    /// model keeps message-count experiments independent of burst
+    /// timing.
+    bool model_contention = false;
+  };
+
+  SimFabric(sim::Simulator& simulator, Topology topology, Config cfg);
+  SimFabric(sim::Simulator& simulator, Topology topology)
+      : SimFabric(simulator, std::move(topology), Config{}) {}
+
+  [[nodiscard]] sim::Time now() const override { return sim_.now(); }
+  void bind(const Address& addr, Endpoint& ep) override;
+  void unbind(const Address& addr) override;
+  void send(Address from, Address to, std::string type, std::any payload,
+            std::size_t bytes) override;
+  TimerId schedule(const Address& owner, sim::Duration delay,
+                   std::function<void()> fn) override;
+  TimerId schedule_daemon(const Address& owner, sim::Duration delay,
+                          std::function<void()> fn) override;
+  bool cancel_timer(TimerId id) override;
+  [[nodiscard]] sim::CounterSet& counters() override { return counters_; }
+  [[nodiscard]] const sim::CounterSet& counters() const override {
+    return counters_;
+  }
+
+  /// The underlying graph (mutable for fault injection in tests).
+  [[nodiscard]] Topology& topology() noexcept { return topology_; }
+  [[nodiscard]] const Topology& topology() const noexcept {
+    return topology_;
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  /// Observe every delivered message (nullptr to disable).
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+  /// Loss injection control.
+  void set_loss_probability(double p) { cfg_.loss_probability = p; }
+
+  /// Total protocol messages successfully delivered so far.
+  [[nodiscard]] std::uint64_t delivered_count() const noexcept {
+    return delivered_;
+  }
+  /// Total messages sent (delivered or not).
+  [[nodiscard]] std::uint64_t sent_count() const noexcept { return sent_; }
+
+ private:
+  /// End-to-end delay under the contention model: per hop, wait for the
+  /// link to free up, transmit (bytes/bandwidth), then propagate; link
+  /// busy times advance as a side effect.
+  sim::Duration contended_delay(const Route& route, std::size_t bytes);
+
+  sim::Simulator& sim_;
+  Topology topology_;
+  Config cfg_;
+  sim::Rng loss_rng_;
+  std::unordered_map<LinkId, sim::Time> link_free_at_;
+  std::unordered_map<Address, Endpoint*, AddressHash> endpoints_;
+  sim::CounterSet counters_;
+  TraceHook trace_;
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Collects TraceEntries for later rendering (used by examples/tests).
+class TraceRecorder {
+ public:
+  /// Install onto a fabric; entries accumulate in order of delivery.
+  void attach(SimFabric& fabric);
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+  void clear() { entries_.clear(); }
+  /// Render "t=... A -> B type (bytes)" lines.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace flecc::net

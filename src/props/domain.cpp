@@ -1,0 +1,114 @@
+#include "props/domain.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace flecc::props {
+
+Domain Domain::interval(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Domain::interval: lo > hi");
+  }
+  Domain d;
+  d.interval_ = Interval{lo, hi};
+  return d;
+}
+
+Domain Domain::discrete(std::initializer_list<Value> values) {
+  Domain d;
+  d.values_ = std::set<Value>(values);
+  return d;
+}
+
+Domain Domain::discrete(std::set<Value> values) {
+  Domain d;
+  d.values_ = std::move(values);
+  return d;
+}
+
+Domain Domain::discrete_range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Domain::discrete_range: lo > hi");
+  }
+  Domain d;
+  for (std::int64_t x = lo; x <= hi; ++x) d.values_.insert(Value{x});
+  return d;
+}
+
+const std::set<Value>& Domain::as_discrete() const {
+  if (is_interval()) {
+    throw std::logic_error("Domain::as_discrete on interval domain");
+  }
+  return values_;
+}
+
+bool Domain::empty() const noexcept {
+  return !interval_.has_value() && values_.empty();
+}
+
+std::uint64_t Domain::size() const noexcept {
+  if (interval_) return interval_->width();
+  return values_.size();
+}
+
+bool Domain::contains(const Value& v) const {
+  if (interval_) {
+    const auto* i = std::get_if<std::int64_t>(&v);
+    return i != nullptr && interval_->contains(*i);
+  }
+  return values_.count(v) != 0;
+}
+
+bool Domain::overlaps(const Domain& other) const {
+  if (interval_ && other.interval_) {
+    return interval_->lo <= other.interval_->hi &&
+           other.interval_->lo <= interval_->hi;
+  }
+  // At least one side is discrete: scan the smaller discrete set.
+  const Domain& discrete_side = is_discrete() ? *this : other;
+  const Domain& other_side = is_discrete() ? other : *this;
+  if (other_side.is_discrete() &&
+      other_side.values_.size() < discrete_side.values_.size()) {
+    return other_side.overlaps(discrete_side);
+  }
+  return std::any_of(
+      discrete_side.values_.begin(), discrete_side.values_.end(),
+      [&](const Value& v) { return other_side.contains(v); });
+}
+
+Domain Domain::intersect(const Domain& other) const {
+  if (interval_ && other.interval_) {
+    const std::int64_t lo = std::max(interval_->lo, other.interval_->lo);
+    const std::int64_t hi = std::min(interval_->hi, other.interval_->hi);
+    if (lo > hi) return Domain{};  // empty
+    return Domain::interval(lo, hi);
+  }
+  const Domain& discrete_side = is_discrete() ? *this : other;
+  const Domain& other_side = is_discrete() ? other : *this;
+  std::set<Value> out;
+  for (const Value& v : discrete_side.values_) {
+    if (other_side.contains(v)) out.insert(v);
+  }
+  return Domain::discrete(std::move(out));
+}
+
+std::string Domain::to_string() const {
+  std::ostringstream os;
+  if (interval_) {
+    os << "[" << interval_->lo << ", " << interval_->hi << "]";
+    return os.str();
+  }
+  os << "{";
+  bool first = true;
+  for (const Value& v : values_) {
+    if (!first) os << ", ";
+    first = false;
+    os << props::to_string(v);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace flecc::props

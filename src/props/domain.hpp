@@ -1,0 +1,86 @@
+// Property domains (paper §4.1, "Data properties").
+//
+// A domain D_p is either an integer interval [lo, hi] or a finite set of
+// discrete values {d1, ..., dn}. Intersection over domains is the
+// primitive underlying conflict detection (Definition 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "props/value.hpp"
+
+namespace flecc::props {
+
+/// Closed integer interval [lo, hi].
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  [[nodiscard]] bool contains(std::int64_t x) const noexcept {
+    return lo <= x && x <= hi;
+  }
+  [[nodiscard]] std::uint64_t width() const noexcept {
+    return static_cast<std::uint64_t>(hi - lo) + 1;
+  }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A property domain: interval or discrete value set.
+///
+/// Invariant: an interval domain has lo <= hi; a discrete domain may be
+/// empty (the empty domain intersects nothing).
+class Domain {
+ public:
+  /// Discrete empty domain.
+  Domain() = default;
+
+  /// Interval domain [lo, hi]. Throws std::invalid_argument if lo > hi.
+  static Domain interval(std::int64_t lo, std::int64_t hi);
+
+  /// Discrete domain from values (duplicates collapse).
+  static Domain discrete(std::initializer_list<Value> values);
+  static Domain discrete(std::set<Value> values);
+
+  /// Discrete domain of consecutive integers [lo, hi] materialized as a
+  /// set — convenient for small enumerations in tests/workloads.
+  static Domain discrete_range(std::int64_t lo, std::int64_t hi);
+
+  [[nodiscard]] bool is_interval() const noexcept { return interval_.has_value(); }
+  [[nodiscard]] bool is_discrete() const noexcept { return !interval_.has_value(); }
+
+  /// Underlying interval. Precondition: is_interval().
+  [[nodiscard]] const Interval& as_interval() const { return interval_.value(); }
+
+  /// Underlying value set. Precondition: is_discrete().
+  [[nodiscard]] const std::set<Value>& as_discrete() const;
+
+  /// True for a discrete domain with no values.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Number of representable values (interval width or set size).
+  [[nodiscard]] std::uint64_t size() const noexcept;
+
+  /// Membership test.
+  [[nodiscard]] bool contains(const Value& v) const;
+
+  /// True if the two domains share at least one value.
+  [[nodiscard]] bool overlaps(const Domain& other) const;
+
+  /// Set intersection. Returns the (possibly empty) common domain.
+  /// interval∩interval stays an interval; any mix involving a discrete
+  /// domain yields a discrete domain.
+  [[nodiscard]] Domain intersect(const Domain& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Domain&, const Domain&) = default;
+
+ private:
+  std::optional<Interval> interval_;
+  std::set<Value> values_;
+};
+
+}  // namespace flecc::props

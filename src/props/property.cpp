@@ -1,0 +1,77 @@
+#include "props/property.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace flecc::props {
+
+std::optional<Property> Property::intersect(const Property& q) const {
+  if (name != q.name) return std::nullopt;
+  Domain common = domain.intersect(q.domain);
+  if (common.empty()) return std::nullopt;
+  return Property{name, std::move(common)};
+}
+
+PropertySet::PropertySet(std::initializer_list<Property> props) {
+  for (const auto& p : props) set(p);
+}
+
+void PropertySet::set(Property p) {
+  by_name_[std::move(p.name)] = std::move(p.domain);
+}
+
+bool PropertySet::erase(const std::string& name) {
+  return by_name_.erase(name) != 0;
+}
+
+const Domain* PropertySet::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+PropertySet PropertySet::intersect(const PropertySet& other) const {
+  PropertySet out;
+  for (const auto& [name, dom] : by_name_) {
+    const Domain* od = other.find(name);
+    if (od == nullptr) continue;
+    Domain common = dom.intersect(*od);
+    if (!common.empty()) out.set(name, std::move(common));
+  }
+  return out;
+}
+
+bool PropertySet::conflicts_with(const PropertySet& other) const {
+  // Iterate the smaller set; each lookup is O(log n).
+  if (other.size() < size()) return other.conflicts_with(*this);
+  for (const auto& [name, dom] : by_name_) {
+    const Domain* od = other.find(name);
+    if (od != nullptr && dom.overlaps(*od)) return true;
+  }
+  return false;
+}
+
+bool PropertySet::subset_of(const PropertySet& other) const {
+  for (const auto& [name, dom] : by_name_) {
+    const Domain* od = other.find(name);
+    if (od == nullptr) return false;
+    // dom ⊆ od  ⇔  dom ∩ od == dom (by size, domains are value sets).
+    Domain common = dom.intersect(*od);
+    if (common.size() != dom.size()) return false;
+  }
+  return true;
+}
+
+std::string PropertySet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [name, dom] : by_name_) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << "=" << dom.to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace flecc::props

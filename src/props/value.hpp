@@ -1,0 +1,24 @@
+// Property values.
+//
+// Flecc is application-neutral: a property value is an opaque scalar the
+// protocol can only compare for equality/ordering. We support integers
+// (flight numbers, shard ids, price bands) and strings (region names,
+// symbolic ids).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace flecc::props {
+
+/// A single property value: integer or string.
+using Value = std::variant<std::int64_t, std::string>;
+
+/// Readable rendering ("42" or "\"LAX\"").
+inline std::string to_string(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  return "\"" + std::get<std::string>(v) + "\"";
+}
+
+}  // namespace flecc::props

@@ -1,0 +1,48 @@
+#include "psf/component.hpp"
+
+#include <algorithm>
+
+namespace flecc::psf {
+
+bool ComponentType::implements_interface(const std::string& iface) const {
+  return std::any_of(implements.begin(), implements.end(),
+                     [&](const InterfaceDesc& d) { return d.name == iface; });
+}
+
+bool ComponentType::has_method(const std::string& method) const {
+  return std::find(methods.begin(), methods.end(), method) != methods.end();
+}
+
+bool is_view_of(const ViewSpec& v, const ComponentType& c) {
+  if (v.of_component != c.name) return false;
+  const bool shares_methods = std::any_of(
+      v.methods.begin(), v.methods.end(),
+      [&](const std::string& m) { return c.has_method(m); });
+  if (shares_methods) return true;
+  return v.data.conflicts_with(c.data);  // V_v ∩ V_c ≠ ∅
+}
+
+bool is_deployable_view(const ViewSpec& v, const ComponentType& c,
+                        std::string* reason) {
+  auto fail = [&](std::string why) {
+    if (reason != nullptr) *reason = std::move(why);
+    return false;
+  };
+  if (v.of_component != c.name) {
+    return fail("view does not derive from component '" + c.name + "'");
+  }
+  if (!is_view_of(v, c)) {
+    return fail("view shares neither functionality nor data with component");
+  }
+  for (const std::string& m : v.methods) {
+    if (!c.has_method(m)) {
+      return fail("view method '" + m + "' does not exist on component");
+    }
+  }
+  if (!v.data.subset_of(c.data)) {
+    return fail("view data is not a subset of component data");
+  }
+  return true;
+}
+
+}  // namespace flecc::psf

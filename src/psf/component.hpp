@@ -1,0 +1,53 @@
+// Declarative component and view specifications (paper §3.1-3.2).
+//
+// PSF models components as entities that *implement* and *require*
+// interfaces; a view v of component c satisfies F_v ∩ F_c ≠ ∅ (derived
+// functionality) or V_v ∩ V_c ≠ ∅ (shared data subset).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "props/property.hpp"
+
+namespace flecc::psf {
+
+/// An interface with associated properties.
+struct InterfaceDesc {
+  std::string name;
+  props::PropertySet properties;
+};
+
+/// A component type: implemented/required interfaces, its shared-data
+/// property set (V_c), and its method names (F_c).
+struct ComponentType {
+  std::string name;
+  std::vector<InterfaceDesc> implements;
+  std::vector<std::string> requires_ifaces;
+  props::PropertySet data;            // V_c
+  std::vector<std::string> methods;   // F_c
+
+  [[nodiscard]] bool implements_interface(const std::string& iface) const;
+  [[nodiscard]] bool has_method(const std::string& method) const;
+};
+
+/// A view derived from a component (paper §3.2): a proxy, a safe local
+/// customization, or a split local/remote component.
+struct ViewSpec {
+  std::string name;
+  std::string of_component;
+  std::vector<std::string> methods;  // F_v
+  props::PropertySet data;           // V_v
+};
+
+/// The §3.2 definition: v is a view of c iff F_v ∩ F_c ≠ ∅ or
+/// V_v ∩ V_c ≠ ∅ (and v claims to derive from c).
+bool is_view_of(const ViewSpec& v, const ComponentType& c);
+
+/// Stricter well-formedness used before deployment: every view method
+/// exists on the component and the view's data is covered by the
+/// component's data (V_v ⊆ V_c).
+bool is_deployable_view(const ViewSpec& v, const ComponentType& c,
+                        std::string* reason = nullptr);
+
+}  // namespace flecc::psf

@@ -1,0 +1,75 @@
+#include "psf/deployer.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace flecc::psf {
+
+Deployment::~Deployment() { stop_all(); }
+
+Deployment& Deployment::operator=(Deployment&& other) noexcept {
+  if (this != &other) {
+    stop_all();
+    instances_ = std::move(other.instances_);
+  }
+  return *this;
+}
+
+void Deployment::stop_all() {
+  for (auto it = instances_.rbegin(); it != instances_.rend(); ++it) {
+    if (*it) (*it)->stop();
+  }
+  instances_.clear();
+}
+
+void Deployment::add(std::unique_ptr<ComponentInstance> instance) {
+  instances_.push_back(std::move(instance));
+}
+
+std::vector<const ComponentInstance*> Deployment::instances_of(
+    const std::string& type) const {
+  std::vector<const ComponentInstance*> out;
+  for (const auto& inst : instances_) {
+    if (inst->type() == type) out.push_back(inst.get());
+  }
+  return out;
+}
+
+namespace {
+/// Default instance for infrastructure components with no behavior
+/// beyond existing (encryptors/decryptors in the simulated setting).
+class PassthroughInstance : public ComponentInstance {
+ public:
+  using ComponentInstance::ComponentInstance;
+};
+}  // namespace
+
+Deployer::Deployer() {
+  register_factory(kEncryptorComponent, [](net::NodeId node) {
+    return std::make_unique<PassthroughInstance>(kEncryptorComponent, node);
+  });
+  register_factory(kDecryptorComponent, [](net::NodeId node) {
+    return std::make_unique<PassthroughInstance>(kDecryptorComponent, node);
+  });
+}
+
+void Deployer::register_factory(const std::string& type, Factory factory) {
+  factories_[type] = std::move(factory);
+}
+
+Deployment Deployer::deploy(const DeploymentPlan& plan) const {
+  Deployment out;
+  for (const Placement& p : plan.placements) {
+    auto it = factories_.find(p.component);
+    if (it == factories_.end()) {
+      throw std::runtime_error("Deployer: no factory for component type '" +
+                               p.component + "'");
+    }
+    auto instance = it->second(p.node);
+    instance->start();
+    out.add(std::move(instance));
+  }
+  return out;
+}
+
+}  // namespace flecc::psf

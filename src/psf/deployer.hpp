@@ -1,0 +1,101 @@
+// The PSF deployment module (paper §3.1): instantiate a plan's
+// components onto nodes and manage their lifecycle.
+//
+// Deployment is factory-based: the application registers one factory per
+// component type name (e.g. "air.TravelAgent" creating a view plus its
+// cache manager); the deployer instantiates every placement in plan
+// order and starts the instances. Encryptor/decryptor components have
+// built-in factories.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psf/planner.hpp"
+
+namespace flecc::psf {
+
+/// A running deployed component.
+class ComponentInstance {
+ public:
+  ComponentInstance(std::string type, net::NodeId node)
+      : type_(std::move(type)), node_(node) {}
+  virtual ~ComponentInstance() = default;
+
+  [[nodiscard]] const std::string& type() const noexcept { return type_; }
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] bool started() const noexcept { return started_; }
+
+  void start() {
+    if (!started_) {
+      started_ = true;
+      on_start();
+    }
+  }
+  void stop() {
+    if (started_) {
+      started_ = false;
+      on_stop();
+    }
+  }
+
+ protected:
+  virtual void on_start() {}
+  virtual void on_stop() {}
+
+ private:
+  std::string type_;
+  net::NodeId node_;
+  bool started_ = false;
+};
+
+/// A deployment in progress or complete: owns its instances; stopping
+/// happens in reverse deployment order on destruction.
+class Deployment {
+ public:
+  Deployment() = default;
+  ~Deployment();
+  Deployment(Deployment&&) noexcept = default;
+  Deployment& operator=(Deployment&& other) noexcept;
+
+  /// Stop every instance in reverse deployment order and release them.
+  void stop_all();
+
+  void add(std::unique_ptr<ComponentInstance> instance);
+  [[nodiscard]] std::size_t size() const noexcept { return instances_.size(); }
+  [[nodiscard]] ComponentInstance& instance(std::size_t i) {
+    return *instances_.at(i);
+  }
+  [[nodiscard]] std::vector<const ComponentInstance*> instances_of(
+      const std::string& type) const;
+
+ private:
+  std::vector<std::unique_ptr<ComponentInstance>> instances_;
+};
+
+class Deployer {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<ComponentInstance>(net::NodeId)>;
+
+  /// Built-in encryptor/decryptor factories are pre-registered.
+  Deployer();
+
+  /// Register (or replace) the factory for a component type.
+  void register_factory(const std::string& type, Factory factory);
+  [[nodiscard]] bool has_factory(const std::string& type) const {
+    return factories_.count(type) != 0;
+  }
+
+  /// Instantiate and start every placement of the plan, in order.
+  /// Throws std::runtime_error on an unknown component type.
+  [[nodiscard]] Deployment deploy(const DeploymentPlan& plan) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace flecc::psf

@@ -1,0 +1,70 @@
+#include "psf/environment.hpp"
+
+#include <utility>
+
+namespace flecc::psf {
+
+net::NodeId Environment::add_node(std::string name,
+                                  std::map<std::string, std::string> attrs) {
+  const auto id = topo_.add_node(std::move(name), std::move(attrs));
+  notify(Change{ChangeKind::kNodeAdded, id, 0});
+  return id;
+}
+
+net::LinkId Environment::connect(net::NodeId a, net::NodeId b,
+                                 net::LinkSpec spec) {
+  const auto id = topo_.add_link(a, b, spec);
+  notify(Change{ChangeKind::kLinkAdded, 0, id});
+  return id;
+}
+
+void Environment::set_link_up(net::LinkId id, bool up) {
+  const bool was = topo_.link(id).up;
+  topo_.set_link_up(id, up);
+  if (was != up) {
+    notify(Change{up ? ChangeKind::kLinkUp : ChangeKind::kLinkDown, 0, id});
+  }
+}
+
+void Environment::set_link_secure(net::LinkId id, bool secure) {
+  const bool was = topo_.link(id).secure;
+  topo_.set_link_secure(id, secure);
+  if (was != secure) {
+    notify(Change{
+        secure ? ChangeKind::kLinkSecured : ChangeKind::kLinkUnsecured, 0,
+        id});
+  }
+}
+
+void Environment::set_link_latency(net::LinkId id, sim::Duration latency) {
+  topo_.set_link_latency(id, latency);
+  notify(Change{ChangeKind::kLinkLatency, 0, id});
+}
+
+std::string Environment::node_attr(net::NodeId id,
+                                   const std::string& key) const {
+  const auto& attrs = topo_.node(id).attrs;
+  auto it = attrs.find(key);
+  return it == attrs.end() ? std::string{} : it->second;
+}
+
+Environment::SubscriptionId Environment::subscribe(Listener listener) {
+  const auto id = next_sub_++;
+  listeners_.emplace(id, std::move(listener));
+  return id;
+}
+
+bool Environment::unsubscribe(SubscriptionId id) {
+  return listeners_.erase(id) != 0;
+}
+
+void Environment::notify(const Change& change) {
+  // Copy so listeners may (un)subscribe from within callbacks.
+  const auto snapshot = listeners_;
+  for (const auto& [id, listener] : snapshot) {
+    (void)id;
+    listener(change);
+  }
+}
+
+}  // namespace flecc::psf

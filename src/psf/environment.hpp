@@ -1,0 +1,72 @@
+// The PSF environment model: nodes and links with their properties,
+// plus change notification feeding the monitoring module (paper §3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace flecc::psf {
+
+class Environment {
+ public:
+  enum class ChangeKind {
+    kNodeAdded,
+    kLinkAdded,
+    kLinkUp,
+    kLinkDown,
+    kLinkSecured,
+    kLinkUnsecured,
+    kLinkLatency,
+  };
+
+  struct Change {
+    ChangeKind kind;
+    net::NodeId node = 0;
+    net::LinkId link = 0;
+  };
+
+  using Listener = std::function<void(const Change&)>;
+  using SubscriptionId = std::uint64_t;
+
+  // ---- construction ----------------------------------------------------
+
+  net::NodeId add_node(std::string name,
+                       std::map<std::string, std::string> attrs = {});
+  net::LinkId connect(net::NodeId a, net::NodeId b, net::LinkSpec spec = {});
+
+  // ---- run-time mutation (notifies listeners) ---------------------------
+
+  void set_link_up(net::LinkId id, bool up);
+  void set_link_secure(net::LinkId id, bool secure);
+  void set_link_latency(net::LinkId id, sim::Duration latency);
+
+  // ---- queries ----------------------------------------------------------
+
+  [[nodiscard]] const net::Topology& topology() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return topo_.node_count();
+  }
+  /// Node attribute lookup ("domain", "trusted", ...); empty if absent.
+  [[nodiscard]] std::string node_attr(net::NodeId id,
+                                      const std::string& key) const;
+
+  // ---- change subscription ------------------------------------------------
+
+  SubscriptionId subscribe(Listener listener);
+  bool unsubscribe(SubscriptionId id);
+
+ private:
+  void notify(const Change& change);
+
+  net::Topology topo_;
+  std::map<SubscriptionId, Listener> listeners_;
+  SubscriptionId next_sub_ = 1;
+};
+
+}  // namespace flecc::psf

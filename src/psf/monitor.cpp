@@ -1,0 +1,90 @@
+#include "psf/monitor.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace flecc::psf {
+
+Monitor::Monitor(Environment& env) : env_(env) {
+  sub_ = env_.subscribe(
+      [this](const Environment::Change& c) { on_change(c); });
+}
+
+Monitor::~Monitor() { env_.unsubscribe(sub_); }
+
+Monitor::WatchId Monitor::watch(DeploymentPlan plan, ViolationCallback cb) {
+  const auto id = next_watch_++;
+  watches_.emplace(id, Watch{std::move(plan), std::move(cb)});
+  return id;
+}
+
+bool Monitor::unwatch(WatchId id) { return watches_.erase(id) != 0; }
+
+bool Monitor::still_valid(const DeploymentPlan& plan,
+                          std::string* reason) const {
+  auto fail = [&](std::string why) {
+    if (reason != nullptr) *reason = std::move(why);
+    return false;
+  };
+
+  // A plan satisfied by a local view keeps working as long as the view's
+  // node exists; the remote path only matters for synchronization, which
+  // Flecc handles (and tolerates outages of).
+  if (plan.uses_local_view) return true;
+
+  sim::Duration latency = 0;
+  for (const net::LinkId link : plan.path) {
+    const net::LinkSpec& spec = env_.topology().link(link);
+    if (!spec.up) {
+      return fail("link " + std::to_string(link) + " is down");
+    }
+    if (plan.request.privacy_required && !spec.secure) {
+      const bool wrapped = std::any_of(
+          plan.placements.begin(), plan.placements.end(),
+          [&](const Placement& p) {
+            const auto [a, b] = env_.topology().link_ends(link);
+            return (p.component == kEncryptorComponent && p.node == a) ||
+                   (p.component == kDecryptorComponent && p.node == b);
+          });
+      if (!wrapped) {
+        return fail("link " + std::to_string(link) +
+                    " became insecure and is not wrapped");
+      }
+    }
+    latency += spec.latency;
+  }
+  if (latency > plan.request.max_latency) {
+    return fail("path latency " + std::to_string(latency) +
+                "us exceeds budget " +
+                std::to_string(plan.request.max_latency) + "us");
+  }
+  return true;
+}
+
+void Monitor::on_change(const Environment::Change& change) {
+  (void)change;  // any change re-validates everything (small fleets)
+  std::vector<std::pair<DeploymentPlan, std::string>> broken;
+  std::vector<WatchId> drop;
+  for (const auto& [id, w] : watches_) {
+    std::string reason;
+    if (!still_valid(w.plan, &reason)) {
+      ++violations_;
+      broken.emplace_back(w.plan, reason);
+      drop.push_back(id);
+    }
+  }
+  // Fire callbacks after dropping so a callback may immediately re-watch
+  // the re-planned deployment.
+  std::vector<ViolationCallback> cbs;
+  cbs.reserve(drop.size());
+  for (const WatchId id : drop) {
+    cbs.push_back(std::move(watches_[id].cb));
+    watches_.erase(id);
+  }
+  for (std::size_t i = 0; i < cbs.size(); ++i) {
+    if (cbs[i]) cbs[i](broken[i].first, broken[i].second);
+  }
+}
+
+}  // namespace flecc::psf

@@ -1,0 +1,62 @@
+// The PSF monitoring module (paper §3.1): track environment changes and
+// trigger adaptation when a deployed plan's QoS guarantees break.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "psf/environment.hpp"
+#include "psf/planner.hpp"
+
+namespace flecc::psf {
+
+class Monitor {
+ public:
+  /// Invoked when a watched plan stops satisfying its request; the
+  /// receiver typically re-plans and re-deploys.
+  using ViolationCallback =
+      std::function<void(const DeploymentPlan&, const std::string& reason)>;
+
+  using WatchId = std::uint64_t;
+
+  explicit Monitor(Environment& env);
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Watch a deployed plan; `cb` fires (once per violation event) when
+  /// the environment changes in a way that breaks the plan.
+  WatchId watch(DeploymentPlan plan, ViolationCallback cb);
+  bool unwatch(WatchId id);
+
+  [[nodiscard]] std::size_t watched_count() const noexcept {
+    return watches_.size();
+  }
+  [[nodiscard]] std::uint64_t violations_detected() const noexcept {
+    return violations_;
+  }
+
+  /// Re-validate one plan against the current environment; returns
+  /// whether it still satisfies its request (reason set otherwise).
+  [[nodiscard]] bool still_valid(const DeploymentPlan& plan,
+                                 std::string* reason = nullptr) const;
+
+ private:
+  void on_change(const Environment::Change& change);
+
+  struct Watch {
+    DeploymentPlan plan;
+    ViolationCallback cb;
+  };
+
+  Environment& env_;
+  Environment::SubscriptionId sub_;
+  std::map<WatchId, Watch> watches_;
+  WatchId next_watch_ = 1;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace flecc::psf

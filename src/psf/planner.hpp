@@ -1,0 +1,78 @@
+// The PSF planning module (paper §3.1): assemble a component deployment
+// that satisfies the client's QoS requirements given the current
+// environment.
+//
+// Supported QoS knobs mirror the airline scenario (§5.1): transaction
+// privacy (wrap every insecure link on the access path with an
+// encryptor/decryptor pair) and maximum access latency (if the direct
+// path is too slow, deploy a view — e.g. a travel agent — near the
+// client).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psf/environment.hpp"
+#include "sim/time.hpp"
+
+namespace flecc::psf {
+
+/// Well-known component type names the planner synthesizes.
+inline constexpr const char* kEncryptorComponent = "psf.Encryptor";
+inline constexpr const char* kDecryptorComponent = "psf.Decryptor";
+
+struct ServiceRequest {
+  /// Where the client runs.
+  net::NodeId client = 0;
+  /// Where the original component runs.
+  net::NodeId origin = 0;
+  /// Interface the client needs.
+  std::string interface_name;
+  /// View component type deployed near the client when latency demands
+  /// it (e.g. "air.TravelAgent").
+  std::string view_component;
+  /// QoS: maximum acceptable one-way access latency.
+  sim::Duration max_latency = sim::kTimeInfinity;
+  /// QoS: must every traversed link be secure (or wrapped)?
+  bool privacy_required = false;
+  /// May the planner place a view at the client's node?
+  bool allow_local_view = true;
+};
+
+struct Placement {
+  std::string component;  // component type name
+  net::NodeId node = 0;
+
+  friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+struct DeploymentPlan {
+  ServiceRequest request;
+  /// Components to instantiate (encryptor/decryptor pairs, views).
+  std::vector<Placement> placements;
+  /// Links of the access path client → origin.
+  std::vector<net::LinkId> path;
+  /// Expected one-way latency along the path.
+  sim::Duration expected_latency = 0;
+  /// True if the plan satisfies latency by a client-side view.
+  bool uses_local_view = false;
+
+  [[nodiscard]] std::string to_string(const Environment& env) const;
+};
+
+class Planner {
+ public:
+  explicit Planner(const Environment& env) : env_(env) {}
+
+  /// Produce a deployment plan, or nullopt if the request is
+  /// unsatisfiable (client and origin disconnected, or the latency
+  /// budget cannot be met and views are disallowed).
+  [[nodiscard]] std::optional<DeploymentPlan> plan(
+      const ServiceRequest& req) const;
+
+ private:
+  const Environment& env_;
+};
+
+}  // namespace flecc::psf

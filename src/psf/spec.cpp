@@ -1,0 +1,344 @@
+#include "psf/spec.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+namespace flecc::psf {
+
+const ComponentType* ApplicationSpec::find_component(
+    const std::string& name) const {
+  for (const auto& c : components) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const ViewSpec* ApplicationSpec::find_view(const std::string& name) const {
+  for (const auto& v : views) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream is(line);
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+
+/// Parse "35ms", "200us", "2s" into microseconds.
+sim::Duration parse_duration(const std::string& text, std::size_t line) {
+  std::size_t suffix = text.size();
+  while (suffix > 0 && !(text[suffix - 1] >= '0' && text[suffix - 1] <= '9')) {
+    --suffix;
+  }
+  const std::string unit = text.substr(suffix);
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + suffix, value);
+  if (ec != std::errc() || ptr != text.data() + suffix || suffix == 0) {
+    throw SpecError("malformed duration '" + text + "'", line);
+  }
+  if (unit == "us") return sim::usec(value);
+  if (unit == "ms") return sim::msec(value);
+  if (unit == "s") return sim::seconds(value);
+  throw SpecError("unknown duration unit '" + unit + "' (use us/ms/s)", line);
+}
+
+std::int64_t parse_int(const std::string& text, std::size_t line) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw SpecError("malformed integer '" + text + "'", line);
+  }
+  return value;
+}
+
+double parse_real(const std::string& text, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw SpecError("malformed number '" + text + "'", line);
+  }
+}
+
+/// key=value attribute; returns nullopt for bare flags.
+std::optional<std::pair<std::string, std::string>> split_attr(
+    const std::string& word) {
+  const auto eq = word.find('=');
+  if (eq == std::string::npos) return std::nullopt;
+  return std::make_pair(word.substr(0, eq), word.substr(eq + 1));
+}
+
+/// Shared parser for "data <name> interval <lo> <hi>" and
+/// "data <name> values <v1> <v2> ...".
+void parse_data_line(const std::vector<std::string>& words, std::size_t line,
+                     props::PropertySet& out) {
+  if (words.size() < 3) {
+    throw SpecError("data needs: data <name> interval|values ...", line);
+  }
+  const std::string& prop_name = words[1];
+  const std::string& kind = words[2];
+  if (kind == "interval") {
+    if (words.size() != 5) {
+      throw SpecError("interval needs: data <name> interval <lo> <hi>", line);
+    }
+    const auto lo = parse_int(words[3], line);
+    const auto hi = parse_int(words[4], line);
+    if (lo > hi) throw SpecError("interval lo > hi", line);
+    out.set(prop_name, props::Domain::interval(lo, hi));
+    return;
+  }
+  if (kind == "values") {
+    if (words.size() < 4) {
+      throw SpecError("values needs at least one value", line);
+    }
+    std::set<props::Value> values;
+    for (std::size_t i = 3; i < words.size(); ++i) {
+      std::int64_t v = 0;
+      const auto [ptr, ec] = std::from_chars(
+          words[i].data(), words[i].data() + words[i].size(), v);
+      if (ec == std::errc() && ptr == words[i].data() + words[i].size()) {
+        values.insert(props::Value{v});
+      } else {
+        values.insert(props::Value{words[i]});
+      }
+    }
+    out.set(prop_name, props::Domain::discrete(std::move(values)));
+    return;
+  }
+  throw SpecError("unknown data domain kind '" + kind + "'", line);
+}
+
+}  // namespace
+
+DeploymentSpec parse_spec(std::string_view text) {
+  DeploymentSpec spec;
+
+  enum class Section { kTop, kComponent, kView };
+  Section section = Section::kTop;
+  ComponentType current_component;
+  ViewSpec current_view;
+
+  auto close_section = [&](std::size_t line) {
+    if (section == Section::kComponent) {
+      if (spec.app.find_component(current_component.name) != nullptr) {
+        throw SpecError(
+            "duplicate component '" + current_component.name + "'", line);
+      }
+      spec.app.components.push_back(std::move(current_component));
+      current_component = {};
+    } else if (section == Section::kView) {
+      const ComponentType* base =
+          spec.app.find_component(current_view.of_component);
+      if (base == nullptr) {
+        throw SpecError("view '" + current_view.name +
+                            "' references unknown component '" +
+                            current_view.of_component + "'",
+                        line);
+      }
+      std::string reason;
+      if (!is_deployable_view(current_view, *base, &reason)) {
+        throw SpecError("view '" + current_view.name + "': " + reason, line);
+      }
+      if (spec.app.find_view(current_view.name) != nullptr) {
+        throw SpecError("duplicate view '" + current_view.name + "'", line);
+      }
+      spec.app.views.push_back(std::move(current_view));
+      current_view = {};
+    }
+    section = Section::kTop;
+  };
+
+  auto node_id = [&](const std::string& name,
+                     std::size_t line) -> net::NodeId {
+    auto it = spec.node_ids.find(name);
+    if (it == spec.node_ids.end()) {
+      throw SpecError("unknown node '" + name + "'", line);
+    }
+    return it->second;
+  };
+
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const auto words = split_words(raw);
+    if (words.empty()) continue;
+    const std::string& head = words[0];
+
+    // ---- section bodies --------------------------------------------------
+    if (section == Section::kComponent || section == Section::kView) {
+      if (head == "end") {
+        close_section(line_no);
+        continue;
+      }
+      if (head == "method") {
+        if (words.size() != 2) throw SpecError("method needs a name", line_no);
+        (section == Section::kComponent ? current_component.methods
+                                        : current_view.methods)
+            .push_back(words[1]);
+        continue;
+      }
+      if (head == "data") {
+        parse_data_line(words, line_no,
+                        section == Section::kComponent
+                            ? current_component.data
+                            : current_view.data);
+        continue;
+      }
+      if (section == Section::kComponent) {
+        if (head == "implements") {
+          if (words.size() != 2) {
+            throw SpecError("implements needs an interface name", line_no);
+          }
+          current_component.implements.push_back(
+              InterfaceDesc{words[1], props::PropertySet{}});
+          continue;
+        }
+        if (head == "requires") {
+          if (words.size() != 2) {
+            throw SpecError("requires needs an interface name", line_no);
+          }
+          current_component.requires_ifaces.push_back(words[1]);
+          continue;
+        }
+      }
+      throw SpecError("unexpected '" + head + "' inside " +
+                          (section == Section::kComponent ? "component"
+                                                          : "view") +
+                          " block",
+                      line_no);
+    }
+
+    // ---- top level ---------------------------------------------------------
+    if (head == "component") {
+      if (words.size() != 2) {
+        throw SpecError("component needs a name", line_no);
+      }
+      current_component = {};
+      current_component.name = words[1];
+      section = Section::kComponent;
+      continue;
+    }
+    if (head == "view") {
+      if (words.size() != 4 || words[2] != "of") {
+        throw SpecError("view needs: view <name> of <component>", line_no);
+      }
+      current_view = {};
+      current_view.name = words[1];
+      current_view.of_component = words[3];
+      section = Section::kView;
+      continue;
+    }
+    if (head == "node") {
+      if (words.size() < 2) throw SpecError("node needs a name", line_no);
+      if (spec.node_ids.count(words[1]) != 0) {
+        throw SpecError("duplicate node '" + words[1] + "'", line_no);
+      }
+      std::map<std::string, std::string> attrs;
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        const auto attr = split_attr(words[i]);
+        if (!attr.has_value()) {
+          throw SpecError("node attributes must be key=value", line_no);
+        }
+        attrs[attr->first] = attr->second;
+      }
+      spec.node_ids[words[1]] =
+          spec.environment.add_node(words[1], std::move(attrs));
+      continue;
+    }
+    if (head == "link") {
+      if (words.size() < 3) {
+        throw SpecError("link needs: link <a> <b> [attrs]", line_no);
+      }
+      net::LinkSpec link;
+      for (std::size_t i = 3; i < words.size(); ++i) {
+        if (words[i] == "insecure") {
+          link.secure = false;
+          continue;
+        }
+        if (words[i] == "secure") {
+          link.secure = true;
+          continue;
+        }
+        const auto attr = split_attr(words[i]);
+        if (!attr.has_value()) {
+          throw SpecError("unknown link flag '" + words[i] + "'", line_no);
+        }
+        if (attr->first == "latency") {
+          link.latency = parse_duration(attr->second, line_no);
+        } else if (attr->first == "bandwidth") {
+          link.bandwidth_bytes_per_us = parse_real(attr->second, line_no);
+        } else {
+          throw SpecError("unknown link attribute '" + attr->first + "'",
+                          line_no);
+        }
+      }
+      spec.environment.connect(node_id(words[1], line_no),
+                               node_id(words[2], line_no), link);
+      continue;
+    }
+    if (head == "request") {
+      if (words.size() < 3) {
+        throw SpecError("request needs: request <client> <origin> [attrs]",
+                        line_no);
+      }
+      ServiceRequest req;
+      req.client = node_id(words[1], line_no);
+      req.origin = node_id(words[2], line_no);
+      for (std::size_t i = 3; i < words.size(); ++i) {
+        if (words[i] == "privacy") {
+          req.privacy_required = true;
+          continue;
+        }
+        const auto attr = split_attr(words[i]);
+        if (!attr.has_value()) {
+          throw SpecError("unknown request flag '" + words[i] + "'", line_no);
+        }
+        if (attr->first == "interface") {
+          req.interface_name = attr->second;
+        } else if (attr->first == "max_latency") {
+          req.max_latency = parse_duration(attr->second, line_no);
+        } else if (attr->first == "view") {
+          if (spec.app.find_view(attr->second) == nullptr) {
+            throw SpecError("request references unknown view '" +
+                                attr->second + "'",
+                            line_no);
+          }
+          req.view_component = attr->second;
+        } else {
+          throw SpecError("unknown request attribute '" + attr->first + "'",
+                          line_no);
+        }
+      }
+      spec.requests.push_back(std::move(req));
+      continue;
+    }
+    if (head == "end") {
+      throw SpecError("'end' without an open component/view block", line_no);
+    }
+    throw SpecError("unknown directive '" + head + "'", line_no);
+  }
+
+  if (section != Section::kTop) {
+    throw SpecError("unterminated block (missing 'end')", line_no);
+  }
+  return spec;
+}
+
+}  // namespace flecc::psf

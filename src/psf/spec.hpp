@@ -1,0 +1,84 @@
+// Declarative specifications (paper §3.1: PSF relies on "a declarative
+// specification of the application and the environment").
+//
+// A small line-oriented language describes components (interfaces,
+// methods, shared-data properties), views, the environment (nodes,
+// links), and client service requests. `parse_spec` validates
+// everything (views really are views, links reference known nodes, ...)
+// and produces ready-to-use planner inputs.
+//
+//   # application
+//   component air.ReservationSystem
+//     implements AirlineReservationInterface
+//     requires DatabaseInterface
+//     method browse
+//     method confirmTickets
+//     data Flights interval 100 199
+//   end
+//
+//   view air.TravelAgent of air.ReservationSystem
+//     method browse
+//     method confirmTickets
+//     data Flights interval 100 149
+//   end
+//
+//   # environment
+//   node client domain=2
+//   node internet
+//   node server domain=1
+//   link client internet latency=35ms insecure
+//   link internet server latency=35ms insecure
+//
+//   # requests
+//   request client server interface=AirlineReservationInterface
+//           privacy max_latency=5ms view=air.TravelAgent
+//   (one line in the real input; wrapped here for readability)
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psf/component.hpp"
+#include "psf/environment.hpp"
+#include "psf/planner.hpp"
+
+namespace flecc::psf {
+
+/// Raised on malformed or inconsistent specifications; carries the
+/// 1-based line number of the offending line.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(const std::string& what, std::size_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct ApplicationSpec {
+  std::vector<ComponentType> components;
+  std::vector<ViewSpec> views;
+
+  [[nodiscard]] const ComponentType* find_component(
+      const std::string& name) const;
+  [[nodiscard]] const ViewSpec* find_view(const std::string& name) const;
+};
+
+/// A fully parsed specification: application + environment + requests.
+struct DeploymentSpec {
+  ApplicationSpec app;
+  Environment environment;
+  /// Node name → id in `environment`.
+  std::map<std::string, net::NodeId> node_ids;
+  std::vector<ServiceRequest> requests;
+};
+
+/// Parse and validate; throws SpecError on any problem.
+DeploymentSpec parse_spec(std::string_view text);
+
+}  // namespace flecc::psf

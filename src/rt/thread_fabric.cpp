@@ -1,0 +1,265 @@
+#include "rt/thread_fabric.hpp"
+
+#include <utility>
+
+namespace flecc::rt {
+
+using Clock = std::chrono::steady_clock;
+
+// ---- Mailbox ---------------------------------------------------------------
+
+ThreadFabric::Mailbox::Mailbox(net::Endpoint& ep,
+                               std::atomic<std::int64_t>& inflight,
+                               std::condition_variable& idle_cv,
+                               std::mutex& idle_mu)
+    : ep_(ep), inflight_(inflight), idle_cv_(idle_cv), idle_mu_(idle_mu) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+ThreadFabric::Mailbox::~Mailbox() { stop(); }
+
+void ThreadFabric::Mailbox::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadFabric::Mailbox::post_message(
+    std::shared_ptr<const net::Message> msg) {
+  post([this, msg = std::move(msg)] { ep_.on_message(*msg); });
+}
+
+void ThreadFabric::Mailbox::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) {
+    if (thread_.get_id() == std::this_thread::get_id()) {
+      thread_.detach();  // endpoint tore itself down from a handler
+    } else {
+      thread_.join();
+    }
+  }
+}
+
+void ThreadFabric::Mailbox::loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // drop queued tasks on teardown
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    if (inflight_.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+// ---- ThreadFabric ------------------------------------------------------------
+
+ThreadFabric::ThreadFabric(Config cfg) : cfg_(cfg), epoch_(Clock::now()) {
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+ThreadFabric::~ThreadFabric() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    stopping_ = true;
+  }
+  sched_cv_.notify_one();
+  if (scheduler_.joinable()) scheduler_.join();
+  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  for (auto& [addr, mb] : endpoints_) {
+    (void)addr;
+    mb->stop();
+  }
+  endpoints_.clear();
+}
+
+sim::Time ThreadFabric::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
+}
+
+void ThreadFabric::bind(const net::Address& addr, net::Endpoint& ep) {
+  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  auto [it, inserted] = endpoints_.emplace(
+      addr, std::make_shared<Mailbox>(ep, inflight_, idle_cv_, idle_mu_));
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("ThreadFabric::bind: address already bound: " +
+                           addr.to_string());
+  }
+}
+
+void ThreadFabric::unbind(const net::Address& addr) {
+  std::shared_ptr<Mailbox> mb;
+  {
+    std::lock_guard<std::mutex> lock(endpoints_mu_);
+    auto it = endpoints_.find(addr);
+    if (it == endpoints_.end()) return;
+    mb = std::move(it->second);
+    endpoints_.erase(it);
+  }
+  mb->stop();
+}
+
+std::shared_ptr<ThreadFabric::Mailbox> ThreadFabric::lookup(
+    const net::Address& addr) {
+  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  auto it = endpoints_.find(addr);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+void ThreadFabric::count(const std::string& name, std::uint64_t by) {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  counters_.inc(name, by);
+}
+
+void ThreadFabric::note_idle_if_done() {
+  if (inflight_.fetch_sub(1) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadFabric::post_to(const net::Address& addr,
+                           std::function<void()> task) {
+  auto mb = lookup(addr);
+  if (!mb) {
+    count("task.dropped.unbound");
+    note_idle_if_done();
+    return;
+  }
+  mb->post(std::move(task));
+}
+
+void ThreadFabric::send(net::Address from, net::Address to, std::string type,
+                        std::any payload, std::size_t bytes) {
+  count("msg.sent." + type);
+  count("msg.sent");
+  count("bytes.sent", bytes);
+
+  auto message = std::make_shared<net::Message>();
+  message->id = next_msg_id_.fetch_add(1);
+  message->from = from;
+  message->to = to;
+  message->type = std::move(type);
+  message->payload = std::move(payload);
+  message->bytes = bytes;
+
+  sim::Duration delay = cfg_.message_delay;
+  if (cfg_.topology.has_value()) {
+    // Topology's route cache is not thread-safe; serialize lookups.
+    std::lock_guard<std::mutex> lock(topo_mu_);
+    const auto route = cfg_.topology->route(from.node, to.node);
+    if (!route.has_value()) {
+      count("msg.dropped.no_route");
+      return;
+    }
+    delay += net::Topology::transfer_delay(*route, bytes);
+  }
+
+  inflight_.fetch_add(1);
+  auto do_post = [this, message] {
+    auto mb = lookup(message->to);
+    if (!mb) {
+      count("msg.dropped.unbound");
+      note_idle_if_done();
+      return;
+    }
+    count("msg.delivered." + message->type);
+    count("msg.delivered");
+    mb->post_message(message);
+  };
+
+  if (delay <= 0) {
+    do_post();
+    return;
+  }
+  TimedTask tt;
+  tt.due = Clock::now() + std::chrono::microseconds(delay);
+  tt.id = 0;  // messages are not cancellable
+  tt.owner = to;
+  tt.fn = std::move(do_post);
+  enqueue_timed(std::move(tt));
+}
+
+net::TimerId ThreadFabric::schedule(const net::Address& owner,
+                                    sim::Duration delay,
+                                    std::function<void()> fn) {
+  TimedTask tt;
+  tt.due = Clock::now() + std::chrono::microseconds(delay);
+  tt.owner = owner;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    tt.id = next_timer_id_++;
+  }
+  const net::TimerId id = tt.id;
+  tt.fn = [this, owner, fn = std::move(fn)] {
+    inflight_.fetch_add(1);
+    post_to(owner, fn);
+  };
+  enqueue_timed(std::move(tt));
+  return id;
+}
+
+bool ThreadFabric::cancel_timer(net::TimerId id) {
+  if (id == net::kInvalidTimerId) return false;
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  for (auto it = timed_.begin(); it != timed_.end(); ++it) {
+    if (it->second.id == id) {
+      timed_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadFabric::enqueue_timed(TimedTask task) {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    const auto due = task.due;
+    timed_.emplace(due, std::move(task));
+  }
+  sched_cv_.notify_one();
+}
+
+void ThreadFabric::scheduler_loop() {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (timed_.empty()) {
+      sched_cv_.wait(lock, [this] { return stopping_ || !timed_.empty(); });
+      continue;
+    }
+    const auto due = timed_.begin()->first;
+    if (Clock::now() < due) {
+      sched_cv_.wait_until(lock, due);
+      continue;
+    }
+    TimedTask task = std::move(timed_.begin()->second);
+    timed_.erase(timed_.begin());
+    lock.unlock();
+    task.fn();
+    lock.lock();
+  }
+}
+
+void ThreadFabric::drain() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [this] { return inflight_.load() == 0; });
+}
+
+}  // namespace flecc::rt

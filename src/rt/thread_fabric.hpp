@@ -1,0 +1,163 @@
+// ThreadFabric — the Fabric contract over real threads.
+//
+// Every bound endpoint gets a mailbox drained by its own worker thread,
+// so an endpoint's handlers are serialized (the Fabric contract) while
+// different endpoints run genuinely concurrently. A dedicated scheduler
+// thread applies message delays and timer deadlines.
+//
+// The protocol classes (DirectoryManager, CacheManager, baselines) are
+// written against net::Fabric only, so the exact same code that runs
+// deterministically under SimFabric runs multi-threaded here. Latency
+// modeling is intentionally simple (one fixed per-message delay);
+// ThreadFabric exists to exercise true concurrency, not to model
+// networks — use SimFabric for figure reproduction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+
+namespace flecc::rt {
+
+class ThreadFabric : public net::Fabric {
+ public:
+  struct Config {
+    /// Fixed one-way delivery delay applied to every message.
+    sim::Duration message_delay = sim::usec(0);
+    /// Optional topology: when set, each message additionally pays its
+    /// route's propagation + transmission delay (as under SimFabric's
+    /// uncontended model), and unroutable messages are dropped.
+    std::optional<net::Topology> topology;
+  };
+
+  explicit ThreadFabric(Config cfg);
+  ThreadFabric() : ThreadFabric(Config{}) {}
+  ~ThreadFabric() override;
+
+  ThreadFabric(const ThreadFabric&) = delete;
+  ThreadFabric& operator=(const ThreadFabric&) = delete;
+
+  [[nodiscard]] sim::Time now() const override;
+  void bind(const net::Address& addr, net::Endpoint& ep) override;
+  void unbind(const net::Address& addr) override;
+  void send(net::Address from, net::Address to, std::string type,
+            std::any payload, std::size_t bytes) override;
+  net::TimerId schedule(const net::Address& owner, sim::Duration delay,
+                        std::function<void()> fn) override;
+  bool cancel_timer(net::TimerId id) override;
+
+  /// Thread-safe internally; read totals only after quiescing (e.g.
+  /// after drain()).
+  [[nodiscard]] sim::CounterSet& counters() override { return counters_; }
+  [[nodiscard]] const sim::CounterSet& counters() const override {
+    return counters_;
+  }
+
+  /// Block until no messages or due timers are in flight and every
+  /// mailbox is empty. Pending *future* timers do not count.
+  void drain();
+
+  /// Run `task` on the mailbox thread of the endpoint bound at `addr`,
+  /// serialized with its handlers. This is how application threads must
+  /// invoke endpoint APIs (e.g. CacheManager::start_use_image): protocol
+  /// objects are not internally locked — their thread-safety comes from
+  /// the per-endpoint mailbox. Dropped (with a counter) if unbound.
+  void post(const net::Address& addr, std::function<void()> task) {
+    inflight_.fetch_add(1);
+    post_to(addr, std::move(task));
+  }
+
+ private:
+  class Mailbox {
+   public:
+    Mailbox(net::Endpoint& ep, std::atomic<std::int64_t>& inflight,
+            std::condition_variable& idle_cv, std::mutex& idle_mu);
+    ~Mailbox();
+    void post(std::function<void()> task);
+    void post_message(std::shared_ptr<const net::Message> msg);
+    void stop();
+
+   private:
+    void loop();
+
+    net::Endpoint& ep_;
+    std::atomic<std::int64_t>& inflight_;
+    std::condition_variable& idle_cv_;
+    std::mutex& idle_mu_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::thread thread_;
+  };
+
+  struct TimedTask {
+    std::chrono::steady_clock::time_point due;
+    net::TimerId id;
+    net::Address owner;
+    std::function<void()> fn;
+  };
+
+  void scheduler_loop();
+  void post_to(const net::Address& addr, std::function<void()> task);
+  void enqueue_timed(TimedTask task);
+  std::shared_ptr<Mailbox> lookup(const net::Address& addr);
+  void count(const std::string& name, std::uint64_t by = 1);
+  void note_idle_if_done();
+
+  Config cfg_;
+  std::mutex topo_mu_;  // guards cfg_.topology's route cache
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex endpoints_mu_;
+  std::unordered_map<net::Address, std::shared_ptr<Mailbox>,
+                     net::AddressHash>
+      endpoints_;
+
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::multimap<std::chrono::steady_clock::time_point, TimedTask> timed_;
+  std::unordered_map<net::TimerId, bool> cancelled_;  // live timer ids
+  net::TimerId next_timer_id_ = 1;
+  bool stopping_ = false;
+  std::thread scheduler_;
+
+  // quiescence accounting: messages + due timer callbacks not yet run
+  std::atomic<std::int64_t> inflight_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+
+  mutable std::mutex counters_mu_;
+  sim::CounterSet counters_;
+  std::atomic<std::uint64_t> next_msg_id_{1};
+};
+
+/// Run an async operation and block the calling thread until its
+/// completion callback fires. For Figure-3-style linear application
+/// code over ThreadFabric (never call from a mailbox thread).
+template <typename Start>
+void wait_for(Start&& start) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  start([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+}
+
+}  // namespace flecc::rt

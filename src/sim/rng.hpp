@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// xoshiro256** seeded via SplitMix64. Every experiment takes an explicit
+// seed so runs are reproducible; nothing in the library reads entropy
+// from the environment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flecc::sim {
+
+/// SplitMix64 step — used for seeding and as a cheap standalone mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Normally distributed value (Box–Muller).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly pick one element. Precondition: !v.empty().
+  template <typename T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    return v[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace flecc::sim

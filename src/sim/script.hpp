@@ -1,0 +1,67 @@
+// Sequencing helper for event-driven workloads.
+//
+// Simulation-mode application code is callback-based (nothing may
+// block). Script chains asynchronous steps so workload definitions stay
+// linear and readable, mirroring the sequential pseudo-code of the
+// paper's Figure 3.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace flecc::sim {
+
+class Script {
+ public:
+  using Next = std::function<void()>;
+  /// A step receives a continuation it must eventually invoke exactly
+  /// once (synchronously or from a later event).
+  using Step = std::function<void(Next)>;
+
+  /// Append a step.
+  Script& then(Step step) {
+    steps_.push_back(std::move(step));
+    return *this;
+  }
+
+  /// Append `count` repetitions of a step; the step receives the
+  /// iteration index.
+  Script& repeat(std::size_t count,
+                 std::function<void(std::size_t, Next)> step) {
+    for (std::size_t i = 0; i < count; ++i) {
+      steps_.push_back(
+          [i, step](Next next) { step(i, std::move(next)); });
+    }
+    return *this;
+  }
+
+  /// Run all steps in order, then `on_complete`. The Script object may
+  /// be destroyed once run() returns; state is kept alive internally.
+  void run(std::function<void()> on_complete = {}) && {
+    auto state = std::make_shared<State>();
+    state->steps = std::move(steps_);
+    state->on_complete = std::move(on_complete);
+    advance(state, 0);
+  }
+
+ private:
+  struct State {
+    std::vector<Step> steps;
+    std::function<void()> on_complete;
+  };
+
+  static void advance(const std::shared_ptr<State>& state, std::size_t i) {
+    if (i >= state->steps.size()) {
+      if (state->on_complete) state->on_complete();
+      return;
+    }
+    state->steps[i]([state, i] { advance(state, i + 1); });
+  }
+
+  std::vector<Step> steps_;
+};
+
+}  // namespace flecc::sim

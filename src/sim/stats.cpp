@@ -1,0 +1,135 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace flecc::sim {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  const double combined = n + m;
+  m2_ = m2_ + other.m2_ + delta * delta * n * m / combined;
+  mean_ = (n * mean_ + m * other.mean_) / combined;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double SampleSet::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("SampleSet::quantile on empty set");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("SampleSet::quantile: q outside [0,1]");
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= bins_.size()) i = bins_.size() - 1;  // fp edge
+    ++bins_[i];
+  }
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string Histogram::to_string(std::size_t bar_width) const {
+  std::size_t peak = 1;
+  for (auto c : bins_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const auto bar = bins_[i] * bar_width / peak;
+    os << "[" << bin_lo(i) << ", " << bin_lo(i + 1) << ") "
+       << std::string(bar, '#') << " " << bins_[i] << "\n";
+  }
+  return os.str();
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t CounterSet::total() const {
+  std::uint64_t t = 0;
+  for (const auto& [_, v] : counters_) t += v;
+  return t;
+}
+
+std::string CounterSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << "=" << v << "\n";
+  return os.str();
+}
+
+RunningStat TimeSeries::summarize() const {
+  RunningStat s;
+  for (const auto& p : points_) s.add(p.value);
+  return s;
+}
+
+}  // namespace flecc::sim

@@ -1,0 +1,130 @@
+// Measurement plumbing shared by tests, benches, and the protocol
+// implementations: streaming moments, quantile-capable sample sets,
+// histograms, named counters, and timestamped series.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace flecc::sim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStat{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another stat into this one (parallel reduction friendly).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores every sample; supports exact quantiles. Use for small-N series.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// Exact quantile by linear interpolation, q in [0,1]. Pre: !empty().
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width linear-bin histogram over [lo, hi); out-of-range samples
+/// land in underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const {
+    return bins_.at(i);
+  }
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Left edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  /// Render a terminal-friendly bar chart.
+  [[nodiscard]] std::string to_string(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> bins_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Named monotonic counters ("messages.pull", "bytes.total", ...).
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
+    return counters_;
+  }
+  void reset() { counters_.clear(); }
+  /// "name=value" lines, sorted by name.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// A value sampled against simulated time.
+struct TimePoint {
+  Time at;
+  double value;
+};
+
+/// An append-only (time, value) series for plotting figure data.
+class TimeSeries {
+ public:
+  void add(Time at, double value) { points_.push_back({at, value}); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const TimePoint& at(std::size_t i) const {
+    return points_.at(i);
+  }
+  [[nodiscard]] const std::vector<TimePoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] RunningStat summarize() const;
+  void clear() { points_.clear(); }
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace flecc::sim

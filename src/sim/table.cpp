@@ -1,0 +1,106 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace flecc::sim {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: wrong cell count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return std::to_string(*i);
+  }
+  if (const auto* u = std::get_if<std::uint64_t>(&cell)) {
+    return std::to_string(*u);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", std::get<double>(cell));
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  widths.reserve(columns_.size());
+  for (const auto& c : columns_) widths.push_back(c.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      cells.push_back(render(row[i]));
+      widths[i] = std::max(widths[i], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) os << "  ";
+      os << cells[i];
+      if (i + 1 < cells.size()) {
+        os << std::string(widths[i] - cells[i].size(), ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  for (const auto& row : rendered) emit_row(row);
+  return os.str();
+}
+
+std::string Table::csv_escape(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) os << ",";
+    os << csv_escape(columns_[i]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ",";
+      os << csv_escape(render(row[i]));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace flecc::sim

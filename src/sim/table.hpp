@@ -1,0 +1,43 @@
+// Tabular results for benches: aligned stdout rendering plus CSV export
+// so figure data can be re-plotted without scraping logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace flecc::sim {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, std::int64_t, std::uint64_t, double>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  /// Append a row; must match the column count.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept {
+    return columns_.size();
+  }
+
+  /// Aligned fixed-width text (header + rows).
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC-4180-ish CSV (values containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write the CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  static std::string render(const Cell& cell);
+  static std::string csv_escape(const std::string& value);
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace flecc::sim

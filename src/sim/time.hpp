@@ -1,0 +1,43 @@
+// Simulated-time primitives for the Flecc discrete-event kernel.
+//
+// All simulated clocks in the project use a single integral tick type
+// (microseconds). Keeping time integral makes event ordering exact and
+// runs bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace flecc::sim {
+
+/// Absolute simulated time, in microseconds since simulation start.
+using Time = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using Duration = std::int64_t;
+
+/// The simulation epoch.
+inline constexpr Time kTimeZero = 0;
+
+/// A sentinel meaning "never" / "no deadline".
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+/// Construct a Duration from microseconds.
+constexpr Duration usec(std::int64_t n) noexcept { return n; }
+
+/// Construct a Duration from milliseconds.
+constexpr Duration msec(std::int64_t n) noexcept { return n * 1000; }
+
+/// Construct a Duration from seconds.
+constexpr Duration seconds(std::int64_t n) noexcept { return n * 1000 * 1000; }
+
+/// Convert a Time/Duration to fractional milliseconds (for reporting).
+constexpr double to_ms(Duration d) noexcept {
+  return static_cast<double>(d) / 1000.0;
+}
+
+/// Convert a Time/Duration to fractional seconds (for reporting).
+constexpr double to_sec(Duration d) noexcept {
+  return static_cast<double>(d) / 1'000'000.0;
+}
+
+}  // namespace flecc::sim

@@ -1,0 +1,11 @@
+#include "trigger/env.hpp"
+
+namespace flecc::trigger {
+
+std::optional<double> VariableStore::lookup(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace flecc::trigger

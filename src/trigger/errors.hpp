@@ -1,0 +1,29 @@
+// Error types raised by the trigger language.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace flecc::trigger {
+
+/// Raised on malformed trigger source (bad token, unbalanced parens...).
+/// Carries the byte offset of the offending position.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Raised when evaluation fails (unknown variable, division by zero).
+class EvalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace flecc::trigger

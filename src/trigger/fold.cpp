@@ -1,0 +1,91 @@
+#include <utility>
+
+#include "trigger/ast.hpp"
+#include "trigger/errors.hpp"
+#include "trigger/trigger.hpp"
+
+namespace flecc::trigger {
+
+namespace {
+
+/// An Env with no variables at all: evaluation succeeds only for
+/// variable-free subtrees.
+class EmptyEnv : public Env {
+ public:
+  [[nodiscard]] std::optional<double> lookup(
+      const std::string&) const override {
+    return std::nullopt;
+  }
+};
+
+bool is_constant(const Node& n) {
+  switch (n.kind) {
+    case Node::Kind::kNumber:
+      return true;
+    case Node::Kind::kVariable:
+      return false;
+    case Node::Kind::kUnary:
+      return is_constant(*n.lhs);
+    case Node::Kind::kBinary:
+      return is_constant(*n.lhs) && is_constant(*n.rhs);
+    case Node::Kind::kCall:
+      for (const auto& a : n.args) {
+        if (!is_constant(*a)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+NodePtr clone(const Node& n) {
+  switch (n.kind) {
+    case Node::Kind::kNumber:
+      return Node::make_number(n.number);
+    case Node::Kind::kVariable:
+      return Node::make_variable(n.name);
+    case Node::Kind::kUnary:
+      return Node::make_unary(n.uop, clone(*n.lhs));
+    case Node::Kind::kBinary:
+      return Node::make_binary(n.bop, clone(*n.lhs), clone(*n.rhs));
+    case Node::Kind::kCall: {
+      std::vector<NodePtr> args;
+      args.reserve(n.args.size());
+      for (const auto& a : n.args) args.push_back(clone(*a));
+      return Node::make_call(n.name, std::move(args));
+    }
+  }
+  throw EvalError("corrupt expression tree");
+}
+
+NodePtr fold_constants(NodePtr root) {
+  if (!root) return root;
+  // Fold children first.
+  switch (root->kind) {
+    case Node::Kind::kUnary:
+      root->lhs = fold_constants(std::move(root->lhs));
+      break;
+    case Node::Kind::kBinary:
+      root->lhs = fold_constants(std::move(root->lhs));
+      root->rhs = fold_constants(std::move(root->rhs));
+      break;
+    case Node::Kind::kCall:
+      for (auto& a : root->args) a = fold_constants(std::move(a));
+      break;
+    case Node::Kind::kNumber:
+    case Node::Kind::kVariable:
+      return root;
+  }
+  if (!is_constant(*root)) return root;
+  try {
+    const double value = eval(*root, EmptyEnv{});
+    return Node::make_number(value);
+  } catch (const EvalError&) {
+    // e.g. a constant division by zero: keep the tree so the error
+    // surfaces when (and only when) the trigger is evaluated.
+    return root;
+  }
+}
+
+}  // namespace flecc::trigger

@@ -1,0 +1,17 @@
+// Tokenizer for trigger expressions.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trigger/errors.hpp"
+#include "trigger/token.hpp"
+
+namespace flecc::trigger {
+
+/// Tokenize `source`; the result always ends with a kEnd token.
+/// Throws ParseError on unrecognized input.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace flecc::trigger

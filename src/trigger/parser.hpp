@@ -1,0 +1,26 @@
+// Recursive-descent parser for trigger expressions.
+//
+// Grammar (lowest precedence first):
+//   expr     := or
+//   or       := and ( '||' and )*
+//   and      := equality ( '&&' equality )*
+//   equality := relational ( ('=='|'!=') relational )*
+//   relational := additive ( ('<'|'<='|'>'|'>=') additive )*
+//   additive := multiplicative ( ('+'|'-') multiplicative )*
+//   multiplicative := unary ( ('*'|'/'|'%') unary )*
+//   unary    := ('!'|'-') unary | primary
+//   primary  := number | identifier | 'true' | 'false' | '(' expr ')'
+#pragma once
+
+#include <string_view>
+
+#include "trigger/ast.hpp"
+#include "trigger/errors.hpp"
+
+namespace flecc::trigger {
+
+/// Parse a full expression; throws ParseError on any malformed input
+/// (including trailing tokens).
+NodePtr parse(std::string_view source);
+
+}  // namespace flecc::trigger

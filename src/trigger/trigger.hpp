@@ -1,0 +1,73 @@
+// Compiled quality triggers (paper §4.1, Definition 4).
+//
+//   T_v(t, x1, x2, ...) : T × V_v* → {true, false}
+//
+// A Trigger wraps a parsed boolean expression. Evaluation takes an Env
+// supplying the view variables; the builtin `t` (current discrete time,
+// in simulation ticks) is layered on top by `evaluate(t, env)`.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trigger/ast.hpp"
+#include "trigger/env.hpp"
+
+namespace flecc::trigger {
+
+/// Evaluate an AST against an environment. Booleans are doubles with
+/// C semantics (0 = false). Throws EvalError on unknown variables,
+/// division/modulo by zero.
+double eval(const Node& root, const Env& env);
+
+/// A parsed, reusable trigger expression.
+class Trigger {
+ public:
+  /// Compile from source. Throws ParseError on malformed input.
+  explicit Trigger(std::string_view source);
+
+  Trigger(Trigger&&) noexcept = default;
+  Trigger& operator=(Trigger&&) noexcept = default;
+  Trigger(const Trigger& other);
+  Trigger& operator=(const Trigger& other);
+
+  /// Evaluate with explicit time `t` layered over `env`.
+  [[nodiscard]] bool evaluate(double t, const Env& env) const;
+
+  /// Evaluate against env only (env must define `t` if referenced).
+  [[nodiscard]] bool evaluate(const Env& env) const;
+
+  /// The original source text.
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+  /// Distinct variable names referenced (sorted), including `t`.
+  [[nodiscard]] const std::vector<std::string>& variables() const noexcept {
+    return variables_;
+  }
+
+  /// True if the expression references the builtin time variable `t`.
+  [[nodiscard]] bool references_time() const noexcept;
+
+ private:
+  std::string source_;
+  NodePtr root_;
+  std::vector<std::string> variables_;
+};
+
+/// A view's optional trigger bundle: push / pull / validity
+/// (paper Figure 3 passes all three to the cache manager constructor).
+struct TriggerSet {
+  std::optional<Trigger> push;
+  std::optional<Trigger> pull;
+  std::optional<Trigger> validity;
+
+  /// Build from (possibly empty) source strings; empty string → absent.
+  static TriggerSet from_sources(std::string_view push_src,
+                                 std::string_view pull_src,
+                                 std::string_view validity_src);
+};
+
+}  // namespace flecc::trigger

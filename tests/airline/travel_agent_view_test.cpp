@@ -1,0 +1,151 @@
+#include "airline/travel_agent_view.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flecc::airline {
+namespace {
+
+core::ObjectImage seat_state(FlightNumber n, std::int64_t cap,
+                             std::int64_t res) {
+  core::ObjectImage img;
+  img.set_int(key_capacity(n), cap);
+  img.set_int(key_reserved(n), res);
+  return img;
+}
+
+TEST(TravelAgentViewTest, PropertiesListServedFlights) {
+  TravelAgentView v({100, 101});
+  const auto ps = v.properties();
+  const props::Domain* d = ps.find(kFlightsProperty);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->contains(props::Value{std::int64_t{100}}));
+  EXPECT_FALSE(d->contains(props::Value{std::int64_t{102}}));
+}
+
+TEST(TravelAgentViewTest, ConfirmAgainstBelievedAvailability) {
+  TravelAgentView v({100});
+  v.merge_into_view(seat_state(100, 10, 4), v.properties());
+  EXPECT_EQ(v.available(100), 6);
+  EXPECT_EQ(v.confirm_tickets(100, 4), 4);
+  EXPECT_EQ(v.available(100), 2);       // pending counted
+  EXPECT_EQ(v.confirm_tickets(100, 4), 2);  // clamp to belief
+  EXPECT_EQ(v.confirm_tickets(100, 1), 0);
+  EXPECT_EQ(v.confirmed_total(), 6);
+  EXPECT_EQ(v.refused_total(), 3);
+  EXPECT_EQ(v.pending_total(), 6);
+}
+
+TEST(TravelAgentViewTest, UnknownFlightRefused) {
+  TravelAgentView v({100});
+  EXPECT_EQ(v.confirm_tickets(999, 2), 0);
+  EXPECT_EQ(v.refused_total(), 2);
+  EXPECT_EQ(v.available(999), 0);
+}
+
+TEST(TravelAgentViewTest, ExtractMovesPendingDeltas) {
+  TravelAgentView v({100, 101});
+  v.merge_into_view(seat_state(100, 10, 0), v.properties());
+  v.merge_into_view(seat_state(101, 10, 0), v.properties());
+  v.confirm_tickets(100, 2);
+  v.confirm_tickets(101, 1);
+  const auto img = v.extract_from_view(v.properties());
+  EXPECT_EQ(img.get_int(key_delta(100)), 2);
+  EXPECT_EQ(img.get_int(key_delta(101)), 1);
+  EXPECT_EQ(v.pending_total(), 0);  // ownership transferred
+  // A second extract is empty (no duplicated deltas).
+  EXPECT_TRUE(v.extract_from_view(v.properties()).empty());
+}
+
+TEST(TravelAgentViewTest, ExtractHonorsScope) {
+  TravelAgentView v({100, 101});
+  v.merge_into_view(seat_state(100, 10, 0), v.properties());
+  v.merge_into_view(seat_state(101, 10, 0), v.properties());
+  v.confirm_tickets(100, 2);
+  v.confirm_tickets(101, 3);
+  props::PropertySet narrow;
+  narrow.set(kFlightsProperty,
+             props::Domain::discrete({props::Value{std::int64_t{100}}}));
+  const auto img = v.extract_from_view(narrow);
+  EXPECT_TRUE(img.has(key_delta(100)));
+  EXPECT_FALSE(img.has(key_delta(101)));
+  EXPECT_EQ(v.pending_total(), 3);  // 101's delta stays pending
+}
+
+TEST(TravelAgentViewTest, MergePreservesPendingWork) {
+  TravelAgentView v({100});
+  v.merge_into_view(seat_state(100, 10, 0), v.properties());
+  v.confirm_tickets(100, 2);
+  // Fresh primary state arrives mid-flight; pending local sales survive.
+  v.merge_into_view(seat_state(100, 10, 5), v.properties());
+  EXPECT_EQ(v.base_reserved(100), 5);
+  EXPECT_EQ(v.pending_total(), 2);
+  EXPECT_EQ(v.available(100), 3);  // 10 - 5 - 2
+}
+
+TEST(TravelAgentViewTest, MergeIgnoresForeignFlights) {
+  TravelAgentView v({100});
+  v.merge_into_view(seat_state(555, 10, 5), v.properties());
+  EXPECT_EQ(v.base_reserved(555), 0);
+  EXPECT_EQ(v.available(555), 0);
+}
+
+TEST(TravelAgentViewTest, VariablesTrackSales) {
+  TravelAgentView v({100});
+  v.merge_into_view(seat_state(100, 10, 0), v.properties());
+  const trigger::Env& env = v.variables();
+  EXPECT_DOUBLE_EQ(*env.lookup("pendingSales"), 0.0);
+  v.confirm_tickets(100, 3);
+  EXPECT_DOUBLE_EQ(*env.lookup("pendingSales"), 3.0);
+  EXPECT_DOUBLE_EQ(*env.lookup("confirmedSales"), 3.0);
+  (void)v.extract_from_view(v.properties());
+  EXPECT_DOUBLE_EQ(*env.lookup("pendingSales"), 0.0);
+  EXPECT_DOUBLE_EQ(*env.lookup("confirmedSales"), 3.0);
+}
+
+TEST(TravelAgentViewTest, CancelVoidsPendingSales) {
+  TravelAgentView v({100});
+  v.merge_into_view(seat_state(100, 10, 0), v.properties());
+  v.confirm_tickets(100, 5);
+  EXPECT_EQ(v.cancel_tickets(100, 2), 2);
+  EXPECT_EQ(v.pending_total(), 3);
+  EXPECT_EQ(v.cancelled_total(), 2);
+  EXPECT_EQ(v.net_sold(), 3);
+  EXPECT_EQ(v.available(100), 7);  // two seats back on the shelf
+  // The extracted delta reflects the net sale only.
+  const auto img = v.extract_from_view(v.properties());
+  EXPECT_EQ(img.get_int(key_delta(100)), 3);
+}
+
+TEST(TravelAgentViewTest, CancelClampsToPending) {
+  TravelAgentView v({100});
+  v.merge_into_view(seat_state(100, 10, 0), v.properties());
+  v.confirm_tickets(100, 2);
+  EXPECT_EQ(v.cancel_tickets(100, 5), 2);  // only 2 were pending
+  EXPECT_EQ(v.pending_total(), 0);
+  EXPECT_TRUE(v.extract_from_view(v.properties()).empty());
+  // Nothing pending: further cancels are refused locally.
+  EXPECT_EQ(v.cancel_tickets(100, 1), 0);
+  EXPECT_EQ(v.cancel_tickets(100, -1), 0);
+  EXPECT_EQ(v.cancel_tickets(999, 1), 0);
+}
+
+TEST(TravelAgentViewTest, CancelUpdatesVariables) {
+  TravelAgentView v({100});
+  v.merge_into_view(seat_state(100, 10, 0), v.properties());
+  v.confirm_tickets(100, 4);
+  v.cancel_tickets(100, 1);
+  EXPECT_DOUBLE_EQ(*v.variables().lookup("pendingSales"), 3.0);
+  EXPECT_DOUBLE_EQ(*v.variables().lookup("cancelledSales"), 1.0);
+}
+
+TEST(TravelAgentViewTest, NonPositiveConfirmIsNoop) {
+  TravelAgentView v({100});
+  v.merge_into_view(seat_state(100, 10, 0), v.properties());
+  EXPECT_EQ(v.confirm_tickets(100, 0), 0);
+  EXPECT_EQ(v.confirm_tickets(100, -5), 0);
+  EXPECT_EQ(v.pending_total(), 0);
+  EXPECT_EQ(v.refused_total(), 0);
+}
+
+}  // namespace
+}  // namespace flecc::airline

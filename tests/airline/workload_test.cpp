@@ -1,0 +1,71 @@
+#include "airline/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "airline/travel_agent_view.hpp"
+
+namespace flecc::airline {
+namespace {
+
+TEST(WorkloadTest, PartitionsIntoGroups) {
+  const auto ga = assign_flight_groups(10, 5, 3, 100);
+  EXPECT_EQ(ga.group_count, 2u);
+  EXPECT_EQ(ga.flight_count, 6u);
+  ASSERT_EQ(ga.agent_flights.size(), 10u);
+  // Agents 0-4 share one flight list; 5-9 another.
+  EXPECT_EQ(ga.agent_flights[0], ga.agent_flights[4]);
+  EXPECT_EQ(ga.agent_flights[5], ga.agent_flights[9]);
+  EXPECT_NE(ga.agent_flights[0], ga.agent_flights[5]);
+  EXPECT_EQ(ga.agent_group[4], 0u);
+  EXPECT_EQ(ga.agent_group[5], 1u);
+}
+
+TEST(WorkloadTest, UnevenLastGroup) {
+  const auto ga = assign_flight_groups(7, 3, 2, 0);
+  EXPECT_EQ(ga.group_count, 3u);
+  EXPECT_EQ(ga.agent_group[6], 2u);
+  EXPECT_EQ(ga.agent_flights[6], (std::vector<FlightNumber>{4, 5}));
+}
+
+TEST(WorkloadTest, BadArgumentsThrow) {
+  EXPECT_THROW(assign_flight_groups(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(assign_flight_groups(10, 1, 0), std::invalid_argument);
+}
+
+TEST(WorkloadTest, ZeroAgents) {
+  const auto ga = assign_flight_groups(0, 5, 3);
+  EXPECT_TRUE(ga.agent_flights.empty());
+  EXPECT_EQ(ga.group_count, 0u);
+  EXPECT_EQ(ga.flight_count, 0u);
+}
+
+class GroupConflictTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(GroupConflictTest, SameGroupConflictsDifferentGroupsDoNot) {
+  const auto [n_agents, group_size] = GetParam();
+  const auto ga = assign_flight_groups(n_agents, group_size, 4, 100);
+  std::vector<TravelAgentView> views;
+  views.reserve(n_agents);
+  for (const auto& flights : ga.agent_flights) views.emplace_back(flights);
+
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    for (std::size_t j = i + 1; j < n_agents; ++j) {
+      const bool same_group = ga.agent_group[i] == ga.agent_group[j];
+      // dynConfl (Definition 1) must coincide with group membership.
+      EXPECT_EQ(views[i].properties().conflicts_with(views[j].properties()),
+                same_group)
+          << "agents " << i << " and " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GroupConflictTest,
+    ::testing::Values(std::make_tuple(std::size_t{10}, std::size_t{10}),
+                      std::make_tuple(std::size_t{10}, std::size_t{2}),
+                      std::make_tuple(std::size_t{12}, std::size_t{5}),
+                      std::make_tuple(std::size_t{20}, std::size_t{1})));
+
+}  // namespace
+}  // namespace flecc::airline

@@ -1,0 +1,73 @@
+// Cross-protocol scaling properties: the qualitative claims behind
+// Figure 4, asserted as invariants over a parameter sweep.
+#include <gtest/gtest.h>
+
+#include "airline/testbed.hpp"
+
+namespace flecc::airline {
+namespace {
+
+std::uint64_t op_messages(Protocol protocol, std::size_t agents,
+                          std::size_t group) {
+  TestbedOptions opts;
+  opts.n_agents = agents;
+  opts.group_size = group;
+  opts.capacity = 1 << 20;
+  CoherenceTestbed tb(protocol, opts);
+  tb.connect_all();
+  const auto before = tb.fabric().sent_count();
+  for (std::size_t i = 0; i < tb.agent_count(); ++i) {
+    const auto flight = tb.assignment().agent_flights[i][0];
+    tb.client(i).do_operation(
+        [&tb, i, flight] { tb.view(i).confirm_tickets(flight, 1); }, {});
+  }
+  tb.run();
+  return tb.fabric().sent_count() - before;
+}
+
+class ComparisonTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(ComparisonTest, FleccNeverExceedsMulticast) {
+  const auto [agents, group] = GetParam();
+  // Flecc only contacts conflicting agents; multicast contacts all —
+  // so Flecc's traffic is bounded by multicast's at every sharing level.
+  EXPECT_LE(op_messages(Protocol::kFlecc, agents, group),
+            op_messages(Protocol::kMulticast, agents, group));
+}
+
+TEST_P(ComparisonTest, TimeSharingIsFlatInGroupSize) {
+  const auto [agents, group] = GetParam();
+  const auto at_g = op_messages(Protocol::kTimeSharing, agents, group);
+  const auto at_1 = op_messages(Protocol::kTimeSharing, agents, 1);
+  EXPECT_EQ(at_g, at_1);  // token traffic ignores sharing entirely
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ComparisonTest,
+    ::testing::Values(std::make_tuple(std::size_t{12}, std::size_t{3}),
+                      std::make_tuple(std::size_t{12}, std::size_t{6}),
+                      std::make_tuple(std::size_t{12}, std::size_t{12}),
+                      std::make_tuple(std::size_t{20}, std::size_t{5})));
+
+TEST(ComparisonShapeTest, FleccGrowsWithSharingMulticastDoesNot) {
+  const auto flecc_small = op_messages(Protocol::kFlecc, 20, 2);
+  const auto flecc_large = op_messages(Protocol::kFlecc, 20, 20);
+  EXPECT_LT(flecc_small, flecc_large);
+
+  const auto mc_small = op_messages(Protocol::kMulticast, 20, 2);
+  const auto mc_large = op_messages(Protocol::kMulticast, 20, 20);
+  EXPECT_EQ(mc_small, mc_large);
+}
+
+TEST(ComparisonShapeTest, FullConflictMakesFleccAndMulticastComparable) {
+  // When everyone conflicts with everyone, application awareness buys
+  // nothing: both chase the same n-1 agents per operation.
+  const auto flecc = op_messages(Protocol::kFlecc, 10, 10);
+  const auto mc = op_messages(Protocol::kMulticast, 10, 10);
+  EXPECT_EQ(flecc, mc);
+}
+
+}  // namespace
+}  // namespace flecc::airline

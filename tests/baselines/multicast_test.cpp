@@ -1,0 +1,125 @@
+#include "baselines/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_support.hpp"
+
+namespace flecc::baselines {
+namespace {
+
+using core::testing::KvPrimary;
+using core::testing::KvView;
+
+struct McFixture : ::testing::Test {
+  explicit McFixture(std::size_t n = 4) : primary(100) {
+    std::vector<net::NodeId> hosts;
+    auto topo = net::Topology::lan(n + 1, net::LinkSpec{}, &hosts);
+    fabric = std::make_unique<net::SimFabric>(sim, std::move(topo));
+    dir_addr = net::Address{hosts[n], 1};
+    MulticastDirectory::Config cfg;
+    cfg.update_timeout = sim::msec(100);
+    dir = std::make_unique<MulticastDirectory>(*fabric, dir_addr, primary,
+                                               cfg);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of overlapping and disjoint data; multicast ignores it all.
+      const std::int64_t lo = (i % 2 == 0) ? 0 : 50;
+      views.push_back(std::make_unique<KvView>(lo, lo + 9));
+      clients.push_back(std::make_unique<MulticastClient>(
+          *fabric, net::Address{hosts[i], 1}, dir_addr, *views[i],
+          "kv.View", views[i]->properties()));
+    }
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<net::SimFabric> fabric;
+  KvPrimary primary;
+  net::Address dir_addr;
+  std::unique_ptr<MulticastDirectory> dir;
+  std::vector<std::unique_ptr<KvView>> views;
+  std::vector<std::unique_ptr<MulticastClient>> clients;
+};
+
+TEST_F(McFixture, ConnectRegistersAll) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  EXPECT_EQ(dir->registered_count(), 4u);
+  for (auto& c : clients) EXPECT_TRUE(c->connected());
+}
+
+TEST_F(McFixture, SyncAsksEveryOtherAgent) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  const auto before = fabric->counters().get("msg.sent.mc.update_req");
+  bool done = false;
+  clients[0]->do_operation([] {}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  // Application-oblivious: all 3 other agents asked, even the two whose
+  // data is completely disjoint from client 0's.
+  EXPECT_EQ(fabric->counters().get("msg.sent.mc.update_req") - before, 3u);
+}
+
+TEST_F(McFixture, DirtyUpdatesAreCollected) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  clients[0]->do_operation([this] { views[0]->increment(1, 5); }, {});
+  sim.run();
+  EXPECT_EQ(primary.cell(1), 0);  // not yet propagated (client-local)
+  // Client 2 shares cells [0,9]; its sync gathers client 0's dirty data.
+  std::int64_t seen = -1;
+  clients[2]->do_operation([this, &seen] { seen = views[2]->base(1); }, {});
+  sim.run();
+  EXPECT_EQ(seen, 5);
+  EXPECT_EQ(primary.cell(1), 5);
+}
+
+TEST_F(McFixture, CrashedAgentTimesOut) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  fabric->unbind(net::Address{3, 1});  // agent 3 crashes silently
+  bool done = false;
+  clients[0]->do_operation([] {}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_GE(dir->stats().get("op.sync.timeout"), 1u);
+}
+
+TEST_F(McFixture, LeaveSettlesPendingRounds) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  // Make agent 3 permanently busy by unbinding it, then have it "leave"
+  // via a direct message while a sync round is waiting on it.
+  bool done = false;
+  clients[0]->do_operation([] {}, [&] { done = true; });
+  clients[3]->disconnect({});
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dir->registered_count(), 3u);
+}
+
+TEST_F(McFixture, DisconnectMergesFinalState) {
+  clients[0]->connect({});
+  sim.run();
+  clients[0]->do_operation([this] { views[0]->increment(4, 2); }, {});
+  sim.run();
+  bool done = false;
+  clients[0]->disconnect([&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(primary.cell(4), 2);
+}
+
+TEST_F(McFixture, MessageCountScalesWithFleetSize) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  const auto before = fabric->sent_count();
+  bool done = false;
+  clients[0]->do_operation([] {}, [&] { done = true; });
+  sim.run();
+  ASSERT_TRUE(done);
+  // sync_req + 3*(update_req + update_reply) + sync_reply = 8.
+  EXPECT_EQ(fabric->sent_count() - before, 8u);
+}
+
+}  // namespace
+}  // namespace flecc::baselines

@@ -1,0 +1,139 @@
+#include "baselines/time_sharing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../core/test_support.hpp"
+
+namespace flecc::baselines {
+namespace {
+
+using core::testing::KvPrimary;
+using core::testing::KvView;
+
+struct TsFixture : ::testing::Test {
+  TsFixture() : primary(100) {
+    std::vector<net::NodeId> hosts;
+    auto topo = net::Topology::lan(4, net::LinkSpec{}, &hosts);
+    fabric = std::make_unique<net::SimFabric>(sim, std::move(topo));
+    coord_addr = net::Address{hosts[3], 1};
+    coord = std::make_unique<TimeSharingCoordinator>(*fabric, coord_addr,
+                                                     primary);
+    for (std::size_t i = 0; i < 3; ++i) {
+      views.push_back(std::make_unique<KvView>(0, 9));
+      clients.push_back(std::make_unique<TimeSharingClient>(
+          *fabric, net::Address{hosts[i], 1}, coord_addr, *views[i],
+          "kv.View", views[i]->properties()));
+    }
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<net::SimFabric> fabric;
+  KvPrimary primary;
+  net::Address coord_addr;
+  std::unique_ptr<TimeSharingCoordinator> coord;
+  std::vector<std::unique_ptr<KvView>> views;
+  std::vector<std::unique_ptr<TimeSharingClient>> clients;
+};
+
+TEST_F(TsFixture, ConnectRegistersAgents) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  EXPECT_EQ(coord->registered_count(), 3u);
+  for (auto& c : clients) EXPECT_TRUE(c->connected());
+}
+
+TEST_F(TsFixture, OperationsSerializeAndMerge) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  int completed = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    clients[i]->do_operation(
+        [this, i] { views[i]->increment(static_cast<std::int64_t>(i), 1); },
+        [&] { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(primary.cell(0), 1);
+  EXPECT_EQ(primary.cell(1), 1);
+  EXPECT_EQ(primary.cell(2), 1);
+  EXPECT_EQ(coord->turns_granted(), 3u);
+}
+
+TEST_F(TsFixture, LaterAgentSeesEarlierUpdates) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  clients[0]->do_operation([this] { views[0]->increment(5, 7); }, {});
+  sim.run();
+  std::int64_t seen = -1;
+  clients[1]->do_operation([this, &seen] { seen = views[1]->base(5); }, {});
+  sim.run();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST_F(TsFixture, MessageCountPerOperationIsConstant) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  const auto before = fabric->sent_count();
+  clients[0]->do_operation([] {}, {});
+  sim.run();
+  const auto per_op = fabric->sent_count() - before;
+  EXPECT_EQ(per_op, 3u);  // turn_req + grant + release
+
+  // Still 3 with more contention.
+  const auto before2 = fabric->sent_count();
+  int completed = 0;
+  for (auto& c : clients) {
+    c->do_operation([] {}, [&] { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(fabric->sent_count() - before2, 9u);
+}
+
+TEST_F(TsFixture, HolderBlocksOthersUntilRelease) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  // Client 0's work keeps the token by deferring its own completion via
+  // a simulated long think inside the turn: we model this by checking
+  // the coordinator's grant counter between the two requests.
+  bool first_done = false, second_done = false;
+  clients[0]->do_operation([] {}, [&] { first_done = true; });
+  clients[1]->do_operation([] {}, [&] { second_done = true; });
+  sim.run();
+  EXPECT_TRUE(first_done);
+  EXPECT_TRUE(second_done);
+  EXPECT_EQ(coord->turns_granted(), 2u);
+}
+
+TEST_F(TsFixture, DisconnectMergesFinalState) {
+  clients[0]->connect({});
+  sim.run();
+  views[0]->increment(2, 3);
+  bool done = false;
+  clients[0]->disconnect([&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(clients[0]->connected());
+  EXPECT_EQ(primary.cell(2), 3);
+  EXPECT_EQ(coord->registered_count(), 0u);
+}
+
+TEST_F(TsFixture, LeaveWhileQueuedIsSkipped) {
+  for (auto& c : clients) c->connect({});
+  sim.run();
+  // Enqueue ops for 0 and 1, then 1 leaves before its turn can be
+  // served in the same batch. The coordinator must skip it gracefully.
+  clients[0]->do_operation([] {}, {});
+  clients[1]->do_operation([] {}, {});
+  clients[1]->disconnect({});
+  sim.run();
+  EXPECT_EQ(coord->registered_count(), 2u);
+  // No deadlock: the remaining client can still take turns.
+  bool done = false;
+  clients[2]->do_operation([] {}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace flecc::baselines

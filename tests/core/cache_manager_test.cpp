@@ -1,0 +1,276 @@
+#include "core/cache_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace flecc::core {
+namespace {
+
+using testing::Harness;
+
+TEST(CacheManagerTest, OpsIssuedBeforeRegistrationComplete) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  bool inited = false;
+  // Enqueued while the RegisterReq is still in flight.
+  m.cm->init_image([&] { inited = true; });
+  EXPECT_FALSE(inited);
+  h.run();
+  EXPECT_TRUE(inited);
+  EXPECT_TRUE(m.cm->registered());
+  EXPECT_TRUE(m.cm->valid());
+}
+
+TEST(CacheManagerTest, OpsAreSerializedFifo) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  std::vector<int> order;
+  m.cm->init_image([&] { order.push_back(1); });
+  m.cm->pull_image([&] { order.push_back(2); });
+  m.cm->push_image([&] { order.push_back(3); });
+  h.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CacheManagerTest, StartUseFastPathSendsNoMessages) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  m.cm->init_image();
+  h.run();
+  const auto sent_before = h.fabric_->sent_count();
+  bool used = false;
+  m.cm->start_use_image([&] { used = true; });
+  EXPECT_TRUE(used);  // completes synchronously
+  EXPECT_TRUE(m.cm->in_use());
+  m.cm->end_use_image(false);
+  EXPECT_FALSE(m.cm->in_use());
+  EXPECT_EQ(h.fabric_->sent_count(), sent_before);
+  EXPECT_EQ(m.cm->stats().get("start_use.local"), 1u);
+}
+
+TEST(CacheManagerTest, StartUseRevalidatesWhenInvalid) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  // No init: the image is invalid, so startUse pulls first.
+  bool used = false;
+  m.cm->start_use_image([&] { used = true; });
+  EXPECT_FALSE(used);
+  h.run();
+  EXPECT_TRUE(used);
+  EXPECT_TRUE(m.cm->valid());
+  EXPECT_TRUE(m.cm->in_use());
+  EXPECT_EQ(m.cm->stats().get("start_use.remote"), 1u);
+  m.cm->end_use_image(false);
+}
+
+TEST(CacheManagerTest, NestedStartUseThrows) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  m.cm->init_image();
+  h.run();
+  m.cm->start_use_image();
+  EXPECT_THROW(m.cm->start_use_image(), std::logic_error);
+  m.cm->end_use_image(false);
+}
+
+TEST(CacheManagerTest, EndUseWithoutStartThrows) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  EXPECT_THROW(m.cm->end_use_image(false), std::logic_error);
+}
+
+TEST(CacheManagerTest, EndUseMarksDirty) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  m.cm->init_image();
+  h.run();
+  m.cm->start_use_image();
+  EXPECT_FALSE(m.cm->dirty());
+  m.cm->end_use_image(true);
+  EXPECT_TRUE(m.cm->dirty());
+}
+
+TEST(CacheManagerTest, ExplicitPushClearsDirty) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  m.cm->init_image();
+  h.run();
+  m.view->increment(0, 4);
+  m.cm->start_use_image();
+  m.cm->end_use_image(true);
+  m.cm->push_image();
+  h.run();
+  EXPECT_FALSE(m.cm->dirty());
+  EXPECT_EQ(h.primary_.cell(0), 4);
+}
+
+TEST(CacheManagerTest, RejectedRegistrationFlushesOps) {
+  Harness h(1, /*n_cells=*/10);
+  auto bad = h.make_member(0, 50);  // not a subset → rejected
+  bool init_done = false, pull_done = false;
+  bad.cm->init_image([&] { init_done = true; });
+  bad.cm->pull_image([&] { pull_done = true; });
+  h.run();
+  EXPECT_TRUE(bad.cm->rejected());
+  EXPECT_TRUE(init_done);
+  EXPECT_TRUE(pull_done);
+  EXPECT_FALSE(bad.cm->valid());
+  // Ops issued after rejection also complete immediately.
+  bool late = false;
+  bad.cm->pull_image([&] { late = true; });
+  EXPECT_TRUE(late);
+}
+
+TEST(CacheManagerTest, KillFlushesQueuedOps) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  m.cm->init_image();
+  bool killed = false, late_pull = false;
+  m.cm->kill_image([&] { killed = true; });
+  m.cm->pull_image([&] { late_pull = true; });
+  h.run();
+  EXPECT_TRUE(killed);
+  EXPECT_TRUE(late_pull);
+  EXPECT_FALSE(m.cm->alive());
+}
+
+TEST(CacheManagerTest, AutoPullTriggerFires) {
+  Harness h(1);
+  CacheManager::Config cfg;
+  cfg.pull_trigger = "(t > 400)";  // pull every ~400ms
+  cfg.trigger_poll = sim::msec(100);
+  auto m = h.make_member(0, 9, cfg);
+  m.cm->init_image();
+  h.run();
+  h.run_until(sim::msec(2000));
+  const auto auto_pulls = m.cm->stats().get("auto.pull");
+  EXPECT_GE(auto_pulls, 3u);
+  EXPECT_LE(auto_pulls, 5u);
+}
+
+TEST(CacheManagerTest, AutoPushTriggerRequiresDirty) {
+  Harness h(1);
+  CacheManager::Config cfg;
+  cfg.push_trigger = "(t > 300)";
+  cfg.trigger_poll = sim::msec(100);
+  auto m = h.make_member(0, 9, cfg);
+  m.cm->init_image();
+  h.run();
+  h.run_until(sim::msec(1000));
+  EXPECT_EQ(m.cm->stats().get("auto.push"), 0u);  // never dirty
+
+  m.view->increment(3, 2);
+  m.cm->start_use_image();
+  m.cm->end_use_image(true);
+  h.run_until(sim::msec(2000));
+  EXPECT_GE(m.cm->stats().get("auto.push"), 1u);
+  EXPECT_EQ(h.primary_.cell(3), 2);
+}
+
+TEST(CacheManagerTest, PushTriggerConditionsOnViewVariables) {
+  Harness h(1);
+  CacheManager::Config cfg;
+  cfg.push_trigger = "(pendingOps >= 3)";
+  cfg.trigger_poll = sim::msec(100);
+  auto m = h.make_member(0, 9, cfg);
+  m.cm->init_image();
+  h.run();
+  m.view->increment(0);
+  m.cm->start_use_image();
+  m.cm->end_use_image(true);
+  h.run_until(sim::msec(1000));
+  EXPECT_EQ(m.cm->stats().get("auto.push"), 0u);  // only 1 pending op
+  m.view->increment(1);
+  m.view->increment(2);
+  m.cm->start_use_image();
+  h.run();  // start_use may need the queue
+  m.cm->end_use_image(true);
+  h.run_until(sim::msec(2000));
+  EXPECT_GE(m.cm->stats().get("auto.push"), 1u);
+}
+
+TEST(CacheManagerTest, TriggersNeverFireDuringUseSection) {
+  Harness h(1);
+  CacheManager::Config cfg;
+  cfg.pull_trigger = "true";  // would fire at every poll
+  cfg.trigger_poll = sim::msec(50);
+  auto m = h.make_member(0, 9, cfg);
+  m.cm->init_image();
+  h.run();
+  m.cm->start_use_image();
+  const auto before = m.cm->stats().get("auto.pull");
+  h.run_until(h.sim_.now() + sim::msec(500));
+  EXPECT_EQ(m.cm->stats().get("auto.pull"), before);  // suppressed
+  m.cm->end_use_image(false);
+  h.run_until(h.sim_.now() + sim::msec(500));
+  EXPECT_GT(m.cm->stats().get("auto.pull"), before);  // resumed
+}
+
+TEST(CacheManagerTest, FetchDeferredDuringUseSection) {
+  Harness h(2);
+  auto a = h.make_member(0, 9);
+  CacheManager::Config cfg;
+  cfg.validity_trigger = "false";
+  auto b = h.make_member(0, 9, cfg);
+  a.cm->init_image();
+  b.cm->init_image();
+  h.run();
+
+  a.view->increment(2, 9);
+  a.cm->start_use_image();
+  h.run();
+
+  // b pulls while a is mid-use: the fetch must wait for a's endUse.
+  // (Bounded run_until: a full run() would eventually fire the
+  // directory's crash-protection fetch timeout and answer with stale
+  // data, which is the intended behavior for crashed views only.)
+  bool pulled = false;
+  b.cm->pull_image([&] { pulled = true; });
+  h.run_until(h.sim_.now() + sim::msec(100));
+  EXPECT_FALSE(pulled);
+  EXPECT_GE(a.cm->stats().get("fetch.deferred"), 1u);
+
+  a.cm->end_use_image(true);
+  h.run();
+  EXPECT_TRUE(pulled);
+  EXPECT_EQ(b.view->base(2), 9);
+}
+
+TEST(CacheManagerTest, ModeSwitchToStrongInvalidatesLocalCopy) {
+  Harness h(1);
+  auto m = h.make_member(0, 9);
+  m.cm->init_image();
+  h.run();
+  EXPECT_TRUE(m.cm->valid());
+  m.cm->set_mode(Mode::kStrong);
+  h.run();
+  EXPECT_EQ(m.cm->mode(), Mode::kStrong);
+  EXPECT_FALSE(m.cm->valid());
+
+  // startUse must acquire now.
+  bool used = false;
+  m.cm->start_use_image([&] { used = true; });
+  h.run();
+  EXPECT_TRUE(used);
+  EXPECT_TRUE(m.cm->exclusive());
+  m.cm->end_use_image(false);
+}
+
+TEST(CacheManagerTest, ModeSwitchBackToWeakKeepsCopyValid) {
+  Harness h(1);
+  CacheManager::Config cfg;
+  cfg.mode = Mode::kStrong;
+  auto m = h.make_member(0, 9, cfg);
+  m.cm->start_use_image();
+  h.run();
+  m.cm->end_use_image(false);
+  m.cm->set_mode(Mode::kWeak);
+  h.run();
+  EXPECT_EQ(m.cm->mode(), Mode::kWeak);
+  EXPECT_TRUE(m.cm->valid());
+  EXPECT_FALSE(m.cm->exclusive());
+}
+
+}  // namespace
+}  // namespace flecc::core

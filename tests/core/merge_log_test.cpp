@@ -1,0 +1,72 @@
+#include "core/merge_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flecc::core {
+namespace {
+
+props::PropertySet flights(std::int64_t lo, std::int64_t hi) {
+  props::PropertySet ps;
+  ps.set("Flights", props::Domain::interval(lo, hi));
+  return ps;
+}
+
+TEST(MergeLogTest, EmptyLogHasNoUnseen) {
+  MergeLog log;
+  EXPECT_EQ(log.unseen_for(flights(0, 10), 1, 0), 0u);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(MergeLogTest, CountsRemoteConflictingMerges) {
+  MergeLog log;
+  log.record({1, 2, flights(0, 10), 100});
+  log.record({2, 3, flights(5, 15), 200});
+  log.record({3, 4, flights(20, 30), 300});  // disjoint from viewer
+  // Viewer 1 over [0,10] that has seen nothing:
+  EXPECT_EQ(log.unseen_for(flights(0, 10), 1, 0), 2u);
+}
+
+TEST(MergeLogTest, ExcludesOwnMerges) {
+  MergeLog log;
+  log.record({1, 1, flights(0, 10), 0});
+  log.record({2, 2, flights(0, 10), 0});
+  EXPECT_EQ(log.unseen_for(flights(0, 10), 1, 0), 1u);
+  EXPECT_EQ(log.unseen_for(flights(0, 10), 2, 0), 1u);
+}
+
+TEST(MergeLogTest, SinceFiltersSeenVersions) {
+  MergeLog log;
+  for (Version v = 1; v <= 10; ++v) {
+    log.record({v, 99, flights(0, 10), 0});
+  }
+  EXPECT_EQ(log.unseen_for(flights(0, 10), 1, 0), 10u);
+  EXPECT_EQ(log.unseen_for(flights(0, 10), 1, 7), 3u);
+  EXPECT_EQ(log.unseen_for(flights(0, 10), 1, 10), 0u);
+  EXPECT_EQ(log.unseen_for(flights(0, 10), 1, 999), 0u);
+}
+
+TEST(MergeLogTest, PruneDropsOldRecords) {
+  MergeLog log;
+  for (Version v = 1; v <= 10; ++v) {
+    log.record({v, 99, flights(0, 10), 0});
+  }
+  EXPECT_EQ(log.prune_below(4), 4u);
+  EXPECT_EQ(log.size(), 6u);
+  // Quality for viewers synced past the floor is unaffected.
+  EXPECT_EQ(log.unseen_for(flights(0, 10), 1, 7), 3u);
+  EXPECT_EQ(log.prune_below(100), 6u);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(MergeLogTest, ConflictFilterUsesProperties) {
+  MergeLog log;
+  log.record({1, 2, flights(0, 4), 0});
+  log.record({2, 2, flights(5, 9), 0});
+  log.record({3, 2, flights(3, 6), 0});
+  EXPECT_EQ(log.unseen_for(flights(0, 2), 1, 0), 1u);   // only [0,4]
+  EXPECT_EQ(log.unseen_for(flights(4, 5), 1, 0), 3u);   // touches all
+  EXPECT_EQ(log.unseen_for(flights(100, 110), 1, 0), 0u);
+}
+
+}  // namespace
+}  // namespace flecc::core

@@ -1,0 +1,111 @@
+#include "core/object_image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flecc::core {
+namespace {
+
+TEST(ObjectImageTest, StartsEmpty) {
+  ObjectImage img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.size(), 0u);
+  EXPECT_EQ(img.version(), 0u);
+}
+
+TEST(ObjectImageTest, TypedSetAndGet) {
+  ObjectImage img;
+  img.set_int("count", 42);
+  img.set_real("ratio", 0.5);
+  img.set_str("name", "LAX");
+  EXPECT_EQ(img.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(*img.get_real("ratio"), 0.5);
+  EXPECT_EQ(img.get_str("name"), "LAX");
+  EXPECT_EQ(img.size(), 3u);
+}
+
+TEST(ObjectImageTest, GetWrongTypeReturnsNullopt) {
+  ObjectImage img;
+  img.set_str("name", "x");
+  EXPECT_FALSE(img.get_int("name").has_value());
+  EXPECT_FALSE(img.get_real("name").has_value());
+  img.set_int("n", 7);
+  EXPECT_FALSE(img.get_str("n").has_value());
+}
+
+TEST(ObjectImageTest, IntWidensToReal) {
+  ObjectImage img;
+  img.set_int("n", 7);
+  EXPECT_DOUBLE_EQ(*img.get_real("n"), 7.0);
+}
+
+TEST(ObjectImageTest, MissingKeyReturnsNullopt) {
+  ObjectImage img;
+  EXPECT_FALSE(img.has("nope"));
+  EXPECT_EQ(img.find("nope"), nullptr);
+  EXPECT_FALSE(img.get_int("nope").has_value());
+}
+
+TEST(ObjectImageTest, EraseRemoves) {
+  ObjectImage img;
+  img.set_int("a", 1);
+  EXPECT_TRUE(img.erase("a"));
+  EXPECT_FALSE(img.erase("a"));
+  EXPECT_TRUE(img.empty());
+}
+
+TEST(ObjectImageTest, OverlayOverwritesAndCreates) {
+  ObjectImage base;
+  base.set_int("a", 1);
+  base.set_int("b", 2);
+  ObjectImage delta;
+  delta.set_int("b", 20);
+  delta.set_int("c", 30);
+  EXPECT_EQ(base.overlay(delta), 2u);
+  EXPECT_EQ(base.get_int("a"), 1);
+  EXPECT_EQ(base.get_int("b"), 20);
+  EXPECT_EQ(base.get_int("c"), 30);
+}
+
+TEST(ObjectImageTest, VersionRoundTrips) {
+  ObjectImage img;
+  img.set_version(17);
+  EXPECT_EQ(img.version(), 17u);
+}
+
+TEST(ObjectImageTest, WireSizeGrowsWithContent) {
+  ObjectImage img;
+  const auto empty_size = img.wire_size();
+  img.set_int("k", 1);
+  const auto one = img.wire_size();
+  img.set_str("long_key_name", std::string(100, 'x'));
+  const auto two = img.wire_size();
+  EXPECT_LT(empty_size, one);
+  EXPECT_LT(one, two);
+  EXPECT_GE(two - one, 100u);
+}
+
+TEST(ObjectImageTest, EqualityAndToString) {
+  ObjectImage a;
+  a.set_int("x", 1);
+  ObjectImage b;
+  b.set_int("x", 1);
+  EXPECT_EQ(a, b);
+  b.set_int("x", 2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.to_string().find("x=1"), std::string::npos);
+}
+
+TEST(ObjectImageTest, IterationIsKeyOrdered) {
+  ObjectImage img;
+  img.set_int("b", 2);
+  img.set_int("a", 1);
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : img) {
+    (void)v;
+    keys.push_back(k);
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace flecc::core

@@ -1,0 +1,54 @@
+#include "core/static_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flecc::core {
+namespace {
+
+TEST(StaticMapTest, DefaultsToDynamic) {
+  StaticMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.query("a", "b"), Relation::kDynamic);
+  EXPECT_EQ(m.query("a", "a"), Relation::kDynamic);
+}
+
+TEST(StaticMapTest, StoresSymmetrically) {
+  StaticMap m;
+  m.set("viewer", "buyer", Relation::kConflict);
+  EXPECT_EQ(m.query("viewer", "buyer"), Relation::kConflict);
+  EXPECT_EQ(m.query("buyer", "viewer"), Relation::kConflict);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(StaticMapTest, OverwriteReplaces) {
+  StaticMap m;
+  m.set("a", "b", Relation::kConflict);
+  m.set("b", "a", Relation::kNoConflict);
+  EXPECT_EQ(m.query("a", "b"), Relation::kNoConflict);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(StaticMapTest, ExplicitDynamicEntry) {
+  StaticMap m;
+  m.set("a", "b", Relation::kDynamic);
+  EXPECT_EQ(m.query("a", "b"), Relation::kDynamic);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(StaticMapTest, SelfPairsAllowed) {
+  // Two views of the same component type can be told apart only
+  // dynamically, but an application may force a static answer.
+  StaticMap m;
+  m.set("air.TravelAgent", "air.TravelAgent", Relation::kConflict);
+  EXPECT_EQ(m.query("air.TravelAgent", "air.TravelAgent"),
+            Relation::kConflict);
+}
+
+TEST(StaticMapTest, ToStringNames) {
+  EXPECT_STREQ(to_string(Relation::kConflict), "conflict");
+  EXPECT_STREQ(to_string(Relation::kNoConflict), "no-conflict");
+  EXPECT_STREQ(to_string(Relation::kDynamic), "dynamic");
+}
+
+}  // namespace
+}  // namespace flecc::core

@@ -1,0 +1,126 @@
+// Randomized routing properties: Dijkstra's answers cross-checked
+// against an independent BFS reachability/Bellman-Ford-style bound.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace flecc::net {
+namespace {
+
+struct RandomGraph {
+  Topology topo;
+  std::vector<std::vector<std::pair<NodeId, sim::Duration>>> adj;
+};
+
+RandomGraph make_graph(sim::Rng& rng, std::size_t nodes, double edge_prob) {
+  RandomGraph g;
+  g.adj.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) g.topo.add_node();
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t j = i + 1; j < nodes; ++j) {
+      if (!rng.chance(edge_prob)) continue;
+      LinkSpec spec;
+      spec.latency = rng.uniform_int(1, 1000);
+      g.topo.add_link(static_cast<NodeId>(i), static_cast<NodeId>(j), spec);
+      g.adj[i].emplace_back(static_cast<NodeId>(j), spec.latency);
+      g.adj[j].emplace_back(static_cast<NodeId>(i), spec.latency);
+    }
+  }
+  return g;
+}
+
+/// Reference shortest-path (simple Bellman-Ford) for cross-checking.
+std::vector<sim::Duration> reference_distances(const RandomGraph& g,
+                                               NodeId src) {
+  const auto n = g.adj.size();
+  std::vector<sim::Duration> dist(n, sim::kTimeInfinity);
+  dist[src] = 0;
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    bool changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (dist[u] == sim::kTimeInfinity) continue;
+      for (const auto& [v, w] : g.adj[u]) {
+        if (dist[u] + w < dist[v]) {
+          dist[v] = dist[u] + w;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+class RoutingPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingPropertyTest, MatchesReferenceShortestPaths) {
+  sim::Rng rng(GetParam());
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto nodes =
+        static_cast<std::size_t>(rng.uniform_int(2, 14));
+    const auto g = make_graph(rng, nodes, 0.3);
+    for (NodeId src = 0; src < nodes; ++src) {
+      const auto ref = reference_distances(g, src);
+      for (NodeId dst = 0; dst < nodes; ++dst) {
+        const auto route = g.topo.route(src, dst);
+        if (ref[dst] == sim::kTimeInfinity) {
+          EXPECT_FALSE(route.has_value()) << src << "->" << dst;
+        } else {
+          ASSERT_TRUE(route.has_value()) << src << "->" << dst;
+          EXPECT_EQ(route->latency, ref[dst]) << src << "->" << dst;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RoutingPropertyTest, RoutesAreConsistentPaths) {
+  sim::Rng rng(GetParam() ^ 0xbeef);
+  const auto g = make_graph(rng, 12, 0.35);
+  for (NodeId src = 0; src < 12; ++src) {
+    for (NodeId dst = 0; dst < 12; ++dst) {
+      const auto route = g.topo.route(src, dst);
+      if (!route.has_value()) continue;
+      // Walk the reported links: they must chain src → dst, and their
+      // latencies must sum to the reported total.
+      NodeId at = src;
+      sim::Duration total = 0;
+      for (const LinkId link : route->links) {
+        const auto [a, b] = g.topo.link_ends(link);
+        ASSERT_TRUE(a == at || b == at)
+            << "link " << link << " does not touch node " << at;
+        at = (a == at) ? b : a;
+        total += g.topo.link(link).latency;
+      }
+      EXPECT_EQ(at, dst);
+      EXPECT_EQ(total, route->latency);
+    }
+  }
+}
+
+TEST_P(RoutingPropertyTest, TriangleInequalityHolds) {
+  sim::Rng rng(GetParam() ^ 0xcafe);
+  const auto g = make_graph(rng, 10, 0.4);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      for (NodeId c = 0; c < 10; ++c) {
+        const auto ab = g.topo.route(a, b);
+        const auto bc = g.topo.route(b, c);
+        const auto ac = g.topo.route(a, c);
+        if (ab.has_value() && bc.has_value()) {
+          ASSERT_TRUE(ac.has_value());
+          EXPECT_LE(ac->latency, ab->latency + bc->latency);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace flecc::net

@@ -1,0 +1,183 @@
+#include "props/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace flecc::props {
+namespace {
+
+TEST(IntervalTest, ContainsAndWidth) {
+  const Interval i{-2, 3};
+  EXPECT_TRUE(i.contains(-2));
+  EXPECT_TRUE(i.contains(3));
+  EXPECT_FALSE(i.contains(4));
+  EXPECT_FALSE(i.contains(-3));
+  EXPECT_EQ(i.width(), 6u);
+}
+
+TEST(DomainTest, DefaultIsEmptyDiscrete) {
+  const Domain d;
+  EXPECT_TRUE(d.is_discrete());
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DomainTest, IntervalBasics) {
+  const Domain d = Domain::interval(10, 20);
+  EXPECT_TRUE(d.is_interval());
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.size(), 11u);
+  EXPECT_TRUE(d.contains(Value{std::int64_t{10}}));
+  EXPECT_TRUE(d.contains(Value{std::int64_t{20}}));
+  EXPECT_FALSE(d.contains(Value{std::int64_t{21}}));
+  EXPECT_FALSE(d.contains(Value{std::string{"ten"}}));
+}
+
+TEST(DomainTest, IntervalLoGreaterThanHiThrows) {
+  EXPECT_THROW(Domain::interval(5, 4), std::invalid_argument);
+  EXPECT_THROW(Domain::discrete_range(5, 4), std::invalid_argument);
+}
+
+TEST(DomainTest, DiscreteBasics) {
+  const Domain d = Domain::discrete({Value{std::int64_t{1}},
+                                     Value{std::string{"LAX"}},
+                                     Value{std::int64_t{1}}});
+  EXPECT_TRUE(d.is_discrete());
+  EXPECT_EQ(d.size(), 2u);  // duplicate collapsed
+  EXPECT_TRUE(d.contains(Value{std::string{"LAX"}}));
+  EXPECT_FALSE(d.contains(Value{std::string{"JFK"}}));
+}
+
+TEST(DomainTest, DiscreteRangeMaterializes) {
+  const Domain d = Domain::discrete_range(3, 6);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_TRUE(d.contains(Value{std::int64_t{5}}));
+  EXPECT_FALSE(d.contains(Value{std::int64_t{7}}));
+}
+
+TEST(DomainTest, AsDiscreteOnIntervalThrows) {
+  const Domain d = Domain::interval(0, 1);
+  EXPECT_THROW((void)d.as_discrete(), std::logic_error);
+}
+
+TEST(DomainTest, IntervalIntervalOverlap) {
+  const Domain a = Domain::interval(0, 10);
+  const Domain b = Domain::interval(10, 20);
+  const Domain c = Domain::interval(11, 20);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(c.overlaps(a));
+}
+
+TEST(DomainTest, IntervalIntervalIntersect) {
+  const Domain a = Domain::interval(0, 10);
+  const Domain b = Domain::interval(5, 20);
+  const Domain i = a.intersect(b);
+  ASSERT_TRUE(i.is_interval());
+  EXPECT_EQ(i.as_interval(), (Interval{5, 10}));
+  EXPECT_TRUE(a.intersect(Domain::interval(11, 12)).empty());
+}
+
+TEST(DomainTest, DiscreteDiscreteIntersect) {
+  const Domain a = Domain::discrete_range(1, 5);
+  const Domain b = Domain::discrete_range(4, 8);
+  const Domain i = a.intersect(b);
+  EXPECT_TRUE(i.is_discrete());
+  EXPECT_EQ(i.size(), 2u);  // {4, 5}
+  EXPECT_TRUE(i.contains(Value{std::int64_t{4}}));
+  EXPECT_TRUE(i.contains(Value{std::int64_t{5}}));
+}
+
+TEST(DomainTest, MixedIntersectYieldsDiscrete) {
+  const Domain interval = Domain::interval(10, 12);
+  const Domain discrete = Domain::discrete(
+      {Value{std::int64_t{9}}, Value{std::int64_t{11}},
+       Value{std::int64_t{13}}});
+  for (const Domain& i :
+       {interval.intersect(discrete), discrete.intersect(interval)}) {
+    EXPECT_TRUE(i.is_discrete());
+    EXPECT_EQ(i.size(), 1u);
+    EXPECT_TRUE(i.contains(Value{std::int64_t{11}}));
+  }
+}
+
+TEST(DomainTest, StringsNeverMatchIntervals) {
+  const Domain interval = Domain::interval(0, 100);
+  const Domain strings = Domain::discrete({Value{std::string{"42"}}});
+  EXPECT_FALSE(interval.overlaps(strings));
+  EXPECT_TRUE(interval.intersect(strings).empty());
+}
+
+TEST(DomainTest, EmptyDomainIntersectsNothing) {
+  const Domain empty;
+  const Domain a = Domain::interval(0, 5);
+  EXPECT_FALSE(empty.overlaps(a));
+  EXPECT_FALSE(a.overlaps(empty));
+  EXPECT_TRUE(a.intersect(empty).empty());
+}
+
+TEST(DomainTest, ToStringRenders) {
+  EXPECT_EQ(Domain::interval(1, 3).to_string(), "[1, 3]");
+  EXPECT_EQ(
+      Domain::discrete({Value{std::int64_t{2}}, Value{std::string{"x"}}})
+          .to_string(),
+      "{2, \"x\"}");
+  EXPECT_EQ(Domain{}.to_string(), "{}");
+}
+
+// ---- property-style randomized checks -----------------------------------
+
+class DomainPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+Domain random_domain(sim::Rng& rng) {
+  if (rng.chance(0.5)) {
+    const auto lo = rng.uniform_int(-20, 20);
+    const auto hi = lo + rng.uniform_int(0, 15);
+    return Domain::interval(lo, hi);
+  }
+  std::set<Value> values;
+  const auto n = rng.uniform_int(0, 8);
+  for (std::int64_t i = 0; i < n; ++i) {
+    values.insert(Value{rng.uniform_int(-20, 20)});
+  }
+  return Domain::discrete(std::move(values));
+}
+
+TEST_P(DomainPropertyTest, IntersectionIsSymmetricAndSound) {
+  sim::Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const Domain a = random_domain(rng);
+    const Domain b = random_domain(rng);
+
+    // overlaps is symmetric and agrees with intersect emptiness.
+    EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+    EXPECT_EQ(a.overlaps(b), !a.intersect(b).empty());
+
+    // The intersection is contained in both, value by value.
+    const Domain i = a.intersect(b);
+    for (std::int64_t x = -25; x <= 40; ++x) {
+      const Value v{x};
+      const bool in_both = a.contains(v) && b.contains(v);
+      EXPECT_EQ(i.contains(v), in_both)
+          << "x=" << x << " a=" << a.to_string() << " b=" << b.to_string();
+    }
+  }
+}
+
+TEST_P(DomainPropertyTest, IntersectionIsIdempotent) {
+  sim::Rng rng(GetParam() ^ 0xabcdef);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Domain a = random_domain(rng);
+    const Domain i = a.intersect(a);
+    EXPECT_EQ(i.size(), a.size());
+    EXPECT_EQ(a.overlaps(a), !a.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomainPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace flecc::props

@@ -1,0 +1,169 @@
+#include "props/property.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace flecc::props {
+namespace {
+
+Property prop(std::string name, Domain d) {
+  return Property{std::move(name), std::move(d)};
+}
+
+TEST(PropertyTest, IntersectRequiresSameName) {
+  const auto a = prop("Flights", Domain::interval(0, 10));
+  const auto b = prop("Seats", Domain::interval(0, 10));
+  EXPECT_FALSE(a.intersect(b).has_value());  // Definition 3: names differ
+}
+
+TEST(PropertyTest, IntersectSameNameOverlapping) {
+  const auto a = prop("Flights", Domain::interval(0, 10));
+  const auto b = prop("Flights", Domain::interval(5, 20));
+  const auto i = a.intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->name, "Flights");
+  EXPECT_EQ(i->domain, Domain::interval(5, 10));
+}
+
+TEST(PropertyTest, IntersectSameNameDisjoint) {
+  const auto a = prop("Flights", Domain::interval(0, 4));
+  const auto b = prop("Flights", Domain::interval(5, 9));
+  EXPECT_FALSE(a.intersect(b).has_value());
+}
+
+TEST(PropertySetTest, UniqueNamesEnforcedByReplacement) {
+  PropertySet ps;
+  ps.set("p", Domain::interval(0, 1));
+  ps.set("p", Domain::interval(5, 6));  // replaces
+  EXPECT_EQ(ps.size(), 1u);
+  ASSERT_NE(ps.find("p"), nullptr);
+  EXPECT_EQ(*ps.find("p"), Domain::interval(5, 6));
+}
+
+TEST(PropertySetTest, FindAndHasAndErase) {
+  PropertySet ps{prop("a", Domain::interval(0, 1))};
+  EXPECT_TRUE(ps.has("a"));
+  EXPECT_FALSE(ps.has("b"));
+  EXPECT_EQ(ps.find("b"), nullptr);
+  EXPECT_TRUE(ps.erase("a"));
+  EXPECT_FALSE(ps.erase("a"));
+  EXPECT_TRUE(ps.empty());
+}
+
+TEST(PropertySetTest, IntersectPerDefinition2) {
+  // Figure 2's scenario: V1 = {x,y}, V2 = {x,z} over property P.
+  const PropertySet v1{
+      prop("P", Domain::discrete({Value{std::string{"x"}},
+                                  Value{std::string{"y"}}}))};
+  const PropertySet v2{
+      prop("P", Domain::discrete({Value{std::string{"x"}},
+                                  Value{std::string{"z"}}}))};
+  const PropertySet i = v1.intersect(v2);
+  EXPECT_EQ(i.size(), 1u);
+  ASSERT_NE(i.find("P"), nullptr);
+  EXPECT_TRUE(i.find("P")->contains(Value{std::string{"x"}}));
+  EXPECT_FALSE(i.find("P")->contains(Value{std::string{"y"}}));
+  EXPECT_TRUE(v1.conflicts_with(v2));
+}
+
+TEST(PropertySetTest, MultiplePropertiesIntersect) {
+  const PropertySet a{prop("p", Domain::interval(0, 10)),
+                      prop("q", Domain::interval(100, 110)),
+                      prop("r", Domain::interval(0, 1))};
+  const PropertySet b{prop("p", Domain::interval(20, 30)),
+                      prop("q", Domain::interval(105, 120)),
+                      prop("s", Domain::interval(0, 1))};
+  const PropertySet i = a.intersect(b);
+  EXPECT_EQ(i.size(), 1u);  // only q overlaps
+  EXPECT_TRUE(i.has("q"));
+  EXPECT_TRUE(a.conflicts_with(b));
+}
+
+TEST(PropertySetTest, DisjointSetsDoNotConflict) {
+  const PropertySet a{prop("p", Domain::interval(0, 10))};
+  const PropertySet b{prop("p", Domain::interval(11, 20))};
+  const PropertySet c{prop("other", Domain::interval(0, 10))};
+  EXPECT_FALSE(a.conflicts_with(b));
+  EXPECT_FALSE(a.conflicts_with(c));
+  EXPECT_TRUE(a.intersect(b).empty());
+  EXPECT_TRUE(a.intersect(c).empty());
+}
+
+TEST(PropertySetTest, EmptySetNeverConflicts) {
+  const PropertySet empty;
+  const PropertySet a{prop("p", Domain::interval(0, 10))};
+  EXPECT_FALSE(empty.conflicts_with(a));
+  EXPECT_FALSE(a.conflicts_with(empty));
+  EXPECT_FALSE(empty.conflicts_with(empty));
+}
+
+TEST(PropertySetTest, SubsetOfBasics) {
+  const PropertySet small{prop("p", Domain::interval(2, 4))};
+  const PropertySet big{prop("p", Domain::interval(0, 10)),
+                        prop("q", Domain::interval(0, 1))};
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));  // q missing from small
+  const PropertySet overhang{prop("p", Domain::interval(8, 12))};
+  EXPECT_FALSE(overhang.subset_of(big));  // 11,12 not covered
+  EXPECT_TRUE(PropertySet{}.subset_of(big));
+}
+
+TEST(PropertySetTest, SubsetOfMixedDomains) {
+  const PropertySet discrete{prop(
+      "p", Domain::discrete({Value{std::int64_t{3}}, Value{std::int64_t{7}}}))};
+  const PropertySet interval{prop("p", Domain::interval(0, 10))};
+  EXPECT_TRUE(discrete.subset_of(interval));
+  EXPECT_FALSE(interval.subset_of(discrete));
+}
+
+TEST(PropertySetTest, ToStringRenders) {
+  const PropertySet ps{prop("b", Domain::interval(1, 2)),
+                       prop("a", Domain::interval(0, 0))};
+  EXPECT_EQ(ps.to_string(), "{a=[0, 0], b=[1, 2]}");
+}
+
+// ---- randomized consistency between conflicts_with and intersect --------
+
+class PropertySetPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+PropertySet random_set(sim::Rng& rng) {
+  static const char* kNames[] = {"p", "q", "r"};
+  PropertySet ps;
+  for (const char* name : kNames) {
+    if (!rng.chance(0.7)) continue;
+    const auto lo = rng.uniform_int(0, 30);
+    ps.set(name, Domain::interval(lo, lo + rng.uniform_int(0, 10)));
+  }
+  return ps;
+}
+
+TEST_P(PropertySetPropertyTest, ConflictsIffIntersectionNonEmpty) {
+  sim::Rng rng(GetParam());
+  for (int iter = 0; iter < 300; ++iter) {
+    const PropertySet a = random_set(rng);
+    const PropertySet b = random_set(rng);
+    EXPECT_EQ(a.conflicts_with(b), !a.intersect(b).empty());
+    EXPECT_EQ(a.conflicts_with(b), b.conflicts_with(a));  // symmetry
+  }
+}
+
+TEST_P(PropertySetPropertyTest, SubsetImpliesConflictOrEmpty) {
+  sim::Rng rng(GetParam() ^ 0x5555);
+  for (int iter = 0; iter < 300; ++iter) {
+    const PropertySet a = random_set(rng);
+    const PropertySet b = random_set(rng);
+    if (a.subset_of(b) && !a.empty()) {
+      EXPECT_TRUE(a.conflicts_with(b));
+      // And the intersection must equal a.
+      EXPECT_EQ(a.intersect(b), a);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySetPropertyTest,
+                         ::testing::Values(10u, 20u, 30u));
+
+}  // namespace
+}  // namespace flecc::props

@@ -1,0 +1,117 @@
+#include "psf/component.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flecc::psf {
+namespace {
+
+ComponentType airline_component() {
+  ComponentType c;
+  c.name = "air.ReservationSystem";
+  c.implements.push_back(
+      InterfaceDesc{"AirlineReservationInterface", props::PropertySet{}});
+  c.requires_ifaces.push_back("DatabaseInterface");
+  c.methods = {"browse", "confirmTickets", "cancelTickets"};
+  c.data.set("Flights", props::Domain::interval(100, 199));
+  return c;
+}
+
+TEST(ComponentTypeTest, InterfaceAndMethodLookups) {
+  const auto c = airline_component();
+  EXPECT_TRUE(c.implements_interface("AirlineReservationInterface"));
+  EXPECT_FALSE(c.implements_interface("Other"));
+  EXPECT_TRUE(c.has_method("browse"));
+  EXPECT_FALSE(c.has_method("refund"));
+}
+
+TEST(IsViewOfTest, SharedMethodsQualify) {
+  const auto c = airline_component();
+  ViewSpec v;
+  v.name = "air.Browser";
+  v.of_component = c.name;
+  v.methods = {"browse"};
+  EXPECT_TRUE(is_view_of(v, c));  // F_v ∩ F_c ≠ ∅
+}
+
+TEST(IsViewOfTest, SharedDataQualifies) {
+  const auto c = airline_component();
+  ViewSpec v;
+  v.name = "air.DataMirror";
+  v.of_component = c.name;
+  v.data.set("Flights", props::Domain::interval(150, 160));
+  EXPECT_TRUE(is_view_of(v, c));  // V_v ∩ V_c ≠ ∅
+}
+
+TEST(IsViewOfTest, NothingSharedDisqualifies) {
+  const auto c = airline_component();
+  ViewSpec v;
+  v.name = "air.Unrelated";
+  v.of_component = c.name;
+  v.methods = {"somethingElse"};
+  v.data.set("Hotels", props::Domain::interval(0, 10));
+  EXPECT_FALSE(is_view_of(v, c));
+}
+
+TEST(IsViewOfTest, WrongComponentDisqualifies) {
+  const auto c = airline_component();
+  ViewSpec v;
+  v.name = "air.Browser";
+  v.of_component = "some.OtherComponent";
+  v.methods = {"browse"};
+  EXPECT_FALSE(is_view_of(v, c));
+}
+
+TEST(IsDeployableViewTest, AcceptsWellFormedView) {
+  const auto c = airline_component();
+  ViewSpec v;
+  v.name = "air.TravelAgent";
+  v.of_component = c.name;
+  v.methods = {"browse", "confirmTickets"};
+  v.data.set("Flights", props::Domain::interval(100, 120));
+  std::string reason;
+  EXPECT_TRUE(is_deployable_view(v, c, &reason)) << reason;
+}
+
+TEST(IsDeployableViewTest, RejectsUnknownMethod) {
+  const auto c = airline_component();
+  ViewSpec v;
+  v.name = "air.Bad";
+  v.of_component = c.name;
+  v.methods = {"browse", "teleport"};
+  std::string reason;
+  EXPECT_FALSE(is_deployable_view(v, c, &reason));
+  EXPECT_NE(reason.find("teleport"), std::string::npos);
+}
+
+TEST(IsDeployableViewTest, RejectsDataOverhang) {
+  const auto c = airline_component();
+  ViewSpec v;
+  v.name = "air.Bad";
+  v.of_component = c.name;
+  v.methods = {"browse"};
+  v.data.set("Flights", props::Domain::interval(150, 250));  // 200+ missing
+  std::string reason;
+  EXPECT_FALSE(is_deployable_view(v, c, &reason));
+  EXPECT_NE(reason.find("subset"), std::string::npos);
+}
+
+TEST(IsDeployableViewTest, RejectsWrongComponent) {
+  const auto c = airline_component();
+  ViewSpec v;
+  v.of_component = "other";
+  std::string reason;
+  EXPECT_FALSE(is_deployable_view(v, c, &reason));
+}
+
+TEST(IsDeployableViewTest, RejectsNothingShared) {
+  const auto c = airline_component();
+  ViewSpec v;
+  v.name = "air.Empty";
+  v.of_component = c.name;
+  std::string reason;
+  EXPECT_FALSE(is_deployable_view(v, c, &reason));
+  EXPECT_NE(reason.find("neither"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flecc::psf

@@ -1,0 +1,90 @@
+#include "psf/deployer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flecc::psf {
+namespace {
+
+class TracingInstance : public ComponentInstance {
+ public:
+  TracingInstance(std::string type, net::NodeId node,
+                  std::vector<std::string>& log)
+      : ComponentInstance(std::move(type), node), log_(log) {}
+
+ protected:
+  void on_start() override { log_.push_back("start:" + type()); }
+  void on_stop() override { log_.push_back("stop:" + type()); }
+
+ private:
+  std::vector<std::string>& log_;
+};
+
+DeploymentPlan plan_with(std::vector<Placement> placements) {
+  DeploymentPlan plan;
+  plan.placements = std::move(placements);
+  return plan;
+}
+
+TEST(DeployerTest, BuiltinEncryptorFactoriesExist) {
+  Deployer d;
+  EXPECT_TRUE(d.has_factory(kEncryptorComponent));
+  EXPECT_TRUE(d.has_factory(kDecryptorComponent));
+  EXPECT_FALSE(d.has_factory("air.TravelAgent"));
+}
+
+TEST(DeployerTest, DeploysAndStartsInstances) {
+  Deployer d;
+  auto deployment = d.deploy(plan_with({{kEncryptorComponent, 1},
+                                        {kDecryptorComponent, 2}}));
+  ASSERT_EQ(deployment.size(), 2u);
+  EXPECT_TRUE(deployment.instance(0).started());
+  EXPECT_EQ(deployment.instance(0).type(), kEncryptorComponent);
+  EXPECT_EQ(deployment.instance(0).node(), 1u);
+  EXPECT_EQ(deployment.instances_of(kDecryptorComponent).size(), 1u);
+}
+
+TEST(DeployerTest, UnknownTypeThrows) {
+  Deployer d;
+  EXPECT_THROW((void)d.deploy(plan_with({{"no.SuchComponent", 0}})),
+               std::runtime_error);
+}
+
+TEST(DeployerTest, CustomFactoriesUsedAndStoppedInReverseOrder) {
+  Deployer d;
+  std::vector<std::string> log;
+  d.register_factory("a", [&](net::NodeId n) {
+    return std::make_unique<TracingInstance>("a", n, log);
+  });
+  d.register_factory("b", [&](net::NodeId n) {
+    return std::make_unique<TracingInstance>("b", n, log);
+  });
+  {
+    auto deployment = d.deploy(plan_with({{"a", 0}, {"b", 1}}));
+    EXPECT_EQ(log, (std::vector<std::string>{"start:a", "start:b"}));
+  }
+  EXPECT_EQ(log, (std::vector<std::string>{"start:a", "start:b", "stop:b",
+                                           "stop:a"}));
+}
+
+TEST(DeployerTest, StartStopIdempotent) {
+  std::vector<std::string> log;
+  TracingInstance inst("x", 0, log);
+  inst.start();
+  inst.start();
+  inst.stop();
+  inst.stop();
+  EXPECT_EQ(log, (std::vector<std::string>{"start:x", "stop:x"}));
+}
+
+TEST(DeployerTest, FactoryReplacementWins) {
+  Deployer d;
+  std::vector<std::string> log;
+  d.register_factory(kEncryptorComponent, [&](net::NodeId n) {
+    return std::make_unique<TracingInstance>("custom-enc", n, log);
+  });
+  auto deployment = d.deploy(plan_with({{kEncryptorComponent, 0}}));
+  EXPECT_EQ(deployment.instance(0).type(), "custom-enc");
+}
+
+}  // namespace
+}  // namespace flecc::psf

@@ -1,0 +1,79 @@
+#include "psf/environment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flecc::psf {
+namespace {
+
+TEST(EnvironmentTest, BuildsTopologyWithAttrs) {
+  Environment env;
+  const auto a = env.add_node("gateway", {{"domain", "A"}});
+  const auto b = env.add_node("server", {{"domain", "B"}});
+  env.connect(a, b);
+  EXPECT_EQ(env.node_count(), 2u);
+  EXPECT_EQ(env.node_attr(a, "domain"), "A");
+  EXPECT_EQ(env.node_attr(a, "missing"), "");
+  EXPECT_TRUE(env.topology().route(a, b).has_value());
+}
+
+TEST(EnvironmentTest, NotifiesOnStructuralChanges) {
+  Environment env;
+  std::vector<Environment::ChangeKind> kinds;
+  env.subscribe([&](const Environment::Change& c) { kinds.push_back(c.kind); });
+  const auto a = env.add_node("a");
+  const auto b = env.add_node("b");
+  const auto l = env.connect(a, b);
+  env.set_link_up(l, false);
+  env.set_link_up(l, true);
+  env.set_link_secure(l, false);
+  env.set_link_latency(l, 123);
+  EXPECT_EQ(kinds,
+            (std::vector<Environment::ChangeKind>{
+                Environment::ChangeKind::kNodeAdded,
+                Environment::ChangeKind::kNodeAdded,
+                Environment::ChangeKind::kLinkAdded,
+                Environment::ChangeKind::kLinkDown,
+                Environment::ChangeKind::kLinkUp,
+                Environment::ChangeKind::kLinkUnsecured,
+                Environment::ChangeKind::kLinkLatency}));
+}
+
+TEST(EnvironmentTest, NoNotificationForNoopChanges) {
+  Environment env;
+  const auto a = env.add_node("a");
+  const auto b = env.add_node("b");
+  const auto l = env.connect(a, b);
+  int fired = 0;
+  env.subscribe([&](const Environment::Change&) { ++fired; });
+  env.set_link_up(l, true);      // already up
+  env.set_link_secure(l, true);  // already secure
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EnvironmentTest, UnsubscribeStopsDelivery) {
+  Environment env;
+  int fired = 0;
+  const auto id = env.subscribe([&](const Environment::Change&) { ++fired; });
+  env.add_node("a");
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(env.unsubscribe(id));
+  EXPECT_FALSE(env.unsubscribe(id));
+  env.add_node("b");
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EnvironmentTest, ListenerMayUnsubscribeDuringCallback) {
+  Environment env;
+  Environment::SubscriptionId id = 0;
+  int fired = 0;
+  id = env.subscribe([&](const Environment::Change&) {
+    ++fired;
+    env.unsubscribe(id);
+  });
+  env.add_node("a");
+  env.add_node("b");
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace flecc::psf

@@ -1,0 +1,139 @@
+#include "psf/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psf/planner.hpp"
+
+namespace flecc::psf {
+namespace {
+
+struct MonitorFixture : ::testing::Test {
+  MonitorFixture() : monitor(env) {
+    client = env.add_node("client");
+    server = env.add_node("server");
+    net::LinkSpec spec;
+    spec.latency = sim::msec(1);
+    spec.secure = true;
+    link = env.connect(client, server, spec);
+  }
+
+  DeploymentPlan make_plan(bool privacy = false,
+                           sim::Duration budget = sim::kTimeInfinity) {
+    ServiceRequest req;
+    req.client = client;
+    req.origin = server;
+    req.privacy_required = privacy;
+    req.max_latency = budget;
+    auto plan = Planner(env).plan(req);
+    EXPECT_TRUE(plan.has_value());
+    return *plan;
+  }
+
+  Environment env;
+  Monitor monitor;
+  net::NodeId client = 0, server = 0;
+  net::LinkId link = 0;
+};
+
+TEST_F(MonitorFixture, ValidPlanStaysQuiet) {
+  int violations = 0;
+  monitor.watch(make_plan(),
+                [&](const DeploymentPlan&, const std::string&) {
+                  ++violations;
+                });
+  env.set_link_latency(link, sim::msec(2));  // harmless: no budget
+  EXPECT_EQ(violations, 0);
+  EXPECT_EQ(monitor.watched_count(), 1u);
+}
+
+TEST_F(MonitorFixture, LinkDownTriggersViolation) {
+  std::string why;
+  monitor.watch(make_plan(), [&](const DeploymentPlan&,
+                                 const std::string& reason) { why = reason; });
+  env.set_link_up(link, false);
+  EXPECT_NE(why.find("down"), std::string::npos);
+  EXPECT_EQ(monitor.watched_count(), 0u);  // fired watches are dropped
+  EXPECT_EQ(monitor.violations_detected(), 1u);
+}
+
+TEST_F(MonitorFixture, SecurityDowngradeTriggersViolationForPrivacyPlans) {
+  std::string why;
+  monitor.watch(make_plan(/*privacy=*/true),
+                [&](const DeploymentPlan&, const std::string& reason) {
+                  why = reason;
+                });
+  env.set_link_secure(link, false);
+  EXPECT_NE(why.find("insecure"), std::string::npos);
+}
+
+TEST_F(MonitorFixture, SecurityDowngradeIgnoredWithoutPrivacy) {
+  int violations = 0;
+  monitor.watch(make_plan(/*privacy=*/false),
+                [&](const DeploymentPlan&, const std::string&) {
+                  ++violations;
+                });
+  env.set_link_secure(link, false);
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_F(MonitorFixture, LatencyBudgetOverrunTriggersViolation) {
+  std::string why;
+  monitor.watch(make_plan(false, sim::msec(5)),
+                [&](const DeploymentPlan&, const std::string& reason) {
+                  why = reason;
+                });
+  env.set_link_latency(link, sim::msec(50));
+  EXPECT_NE(why.find("latency"), std::string::npos);
+}
+
+TEST_F(MonitorFixture, LocalViewPlansSurviveNetworkTrouble) {
+  // Add a view component so the planner can satisfy a tiny budget.
+  ServiceRequest req;
+  req.client = client;
+  req.origin = server;
+  req.max_latency = sim::usec(1);
+  req.view_component = "air.TravelAgent";
+  const auto plan = Planner(env).plan(req);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_TRUE(plan->uses_local_view);
+  int violations = 0;
+  monitor.watch(*plan, [&](const DeploymentPlan&, const std::string&) {
+    ++violations;
+  });
+  env.set_link_up(link, false);  // the view keeps serving locally
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_F(MonitorFixture, CallbackMayRewatchReplannedDeployment) {
+  // Adaptation loop: on violation, re-plan and watch the new plan.
+  int replans = 0;
+  Monitor::ViolationCallback on_violation =
+      [&](const DeploymentPlan& broken, const std::string&) {
+        ++replans;
+        ServiceRequest req = broken.request;
+        req.max_latency = sim::kTimeInfinity;  // relax and re-deploy
+        const auto fresh = Planner(env).plan(req);
+        ASSERT_TRUE(fresh.has_value());
+        monitor.watch(*fresh,
+                      [](const DeploymentPlan&, const std::string&) {});
+      };
+  monitor.watch(make_plan(false, sim::msec(5)), on_violation);
+  env.set_link_latency(link, sim::msec(50));
+  EXPECT_EQ(replans, 1);
+  EXPECT_EQ(monitor.watched_count(), 1u);  // the replacement
+}
+
+TEST_F(MonitorFixture, UnwatchStopsTracking) {
+  int violations = 0;
+  const auto id = monitor.watch(
+      make_plan(), [&](const DeploymentPlan&, const std::string&) {
+        ++violations;
+      });
+  EXPECT_TRUE(monitor.unwatch(id));
+  EXPECT_FALSE(monitor.unwatch(id));
+  env.set_link_up(link, false);
+  EXPECT_EQ(violations, 0);
+}
+
+}  // namespace
+}  // namespace flecc::psf

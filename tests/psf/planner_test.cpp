@@ -1,0 +1,134 @@
+#include "psf/planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flecc::psf {
+namespace {
+
+/// A three-node chain: client -- gateway -- server, with configurable
+/// security/latency on each hop (echoes the paper's Figure 1 domains).
+struct ChainFixture : ::testing::Test {
+  ChainFixture() {
+    client = env.add_node("client", {{"domain", "A"}});
+    gateway = env.add_node("gateway");
+    server = env.add_node("server", {{"domain", "B"}});
+    net::LinkSpec lan;
+    lan.latency = sim::usec(100);
+    lan.secure = true;
+    l1 = env.connect(client, gateway, lan);
+    net::LinkSpec wan;
+    wan.latency = sim::msec(40);
+    wan.secure = false;  // the Internet hop
+    l2 = env.connect(gateway, server, wan);
+  }
+
+  Environment env;
+  net::NodeId client = 0, gateway = 0, server = 0;
+  net::LinkId l1 = 0, l2 = 0;
+};
+
+TEST_F(ChainFixture, DirectPlanWhenQoSAllows) {
+  ServiceRequest req;
+  req.client = client;
+  req.origin = server;
+  req.interface_name = "AirlineReservationInterface";
+  const auto plan = Planner(env).plan(req);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->placements.empty());
+  EXPECT_FALSE(plan->uses_local_view);
+  EXPECT_EQ(plan->path.size(), 2u);
+  EXPECT_EQ(plan->expected_latency, sim::usec(100) + sim::msec(40));
+}
+
+TEST_F(ChainFixture, PrivacyWrapsInsecureLinksOnly) {
+  ServiceRequest req;
+  req.client = client;
+  req.origin = server;
+  req.privacy_required = true;
+  const auto plan = Planner(env).plan(req);
+  ASSERT_TRUE(plan.has_value());
+  // Only the insecure WAN hop gets an encryptor/decryptor pair.
+  ASSERT_EQ(plan->placements.size(), 2u);
+  EXPECT_EQ(plan->placements[0].component, kEncryptorComponent);
+  EXPECT_EQ(plan->placements[1].component, kDecryptorComponent);
+  const auto [a, b] = env.topology().link_ends(l2);
+  EXPECT_EQ(plan->placements[0].node, a);
+  EXPECT_EQ(plan->placements[1].node, b);
+}
+
+TEST_F(ChainFixture, NoWrappingWhenEverythingSecure) {
+  env.set_link_secure(l2, true);
+  ServiceRequest req;
+  req.client = client;
+  req.origin = server;
+  req.privacy_required = true;
+  const auto plan = Planner(env).plan(req);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->placements.empty());
+}
+
+TEST_F(ChainFixture, LatencyBudgetDeploysLocalView) {
+  ServiceRequest req;
+  req.client = client;
+  req.origin = server;
+  req.max_latency = sim::msec(1);  // the 40ms WAN hop busts this
+  req.view_component = "air.TravelAgent";
+  const auto plan = Planner(env).plan(req);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->uses_local_view);
+  EXPECT_EQ(plan->expected_latency, 0);
+  ASSERT_EQ(plan->placements.size(), 1u);
+  EXPECT_EQ(plan->placements[0].component, "air.TravelAgent");
+  EXPECT_EQ(plan->placements[0].node, client);
+}
+
+TEST_F(ChainFixture, LatencyAndPrivacyCompose) {
+  ServiceRequest req;
+  req.client = client;
+  req.origin = server;
+  req.max_latency = sim::msec(1);
+  req.privacy_required = true;
+  req.view_component = "air.TravelAgent";
+  const auto plan = Planner(env).plan(req);
+  ASSERT_TRUE(plan.has_value());
+  // Encryptor pair (for the view's synchronization traffic) + view.
+  EXPECT_EQ(plan->placements.size(), 3u);
+  EXPECT_TRUE(plan->uses_local_view);
+}
+
+TEST_F(ChainFixture, UnsatisfiableWhenViewsDisallowed) {
+  ServiceRequest req;
+  req.client = client;
+  req.origin = server;
+  req.max_latency = sim::msec(1);
+  req.allow_local_view = false;
+  EXPECT_FALSE(Planner(env).plan(req).has_value());
+  // ... or when no view component is named.
+  req.allow_local_view = true;
+  req.view_component.clear();
+  EXPECT_FALSE(Planner(env).plan(req).has_value());
+}
+
+TEST_F(ChainFixture, DisconnectedIsUnsatisfiable) {
+  env.set_link_up(l1, false);
+  ServiceRequest req;
+  req.client = client;
+  req.origin = server;
+  EXPECT_FALSE(Planner(env).plan(req).has_value());
+}
+
+TEST_F(ChainFixture, PlanRendersReadably) {
+  ServiceRequest req;
+  req.client = client;
+  req.origin = server;
+  req.privacy_required = true;
+  const auto plan = Planner(env).plan(req);
+  ASSERT_TRUE(plan.has_value());
+  const std::string text = plan->to_string(env);
+  EXPECT_NE(text.find("client"), std::string::npos);
+  EXPECT_NE(text.find(kEncryptorComponent), std::string::npos);
+  EXPECT_NE(text.find("insecure"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flecc::psf

@@ -1,0 +1,183 @@
+#include "psf/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flecc::psf {
+namespace {
+
+constexpr const char* kGoodSpec = R"spec(
+# application
+component air.ReservationSystem
+  implements AirlineReservationInterface
+  requires DatabaseInterface
+  method browse
+  method confirmTickets
+  data Flights interval 100 199
+end
+
+view air.TravelAgent of air.ReservationSystem
+  method browse
+  method confirmTickets
+  data Flights interval 100 149
+end
+
+# environment (three domains around the Internet)
+node client domain=2
+node internet
+node server domain=1 trusted=yes
+link client internet latency=35ms insecure
+link internet server latency=200us bandwidth=500.5
+
+# requests
+request client server interface=AirlineReservationInterface privacy max_latency=5ms view=air.TravelAgent
+)spec";
+
+TEST(SpecParserTest, ParsesApplication) {
+  const auto spec = parse_spec(kGoodSpec);
+  ASSERT_EQ(spec.app.components.size(), 1u);
+  const ComponentType& c = spec.app.components[0];
+  EXPECT_EQ(c.name, "air.ReservationSystem");
+  EXPECT_TRUE(c.implements_interface("AirlineReservationInterface"));
+  EXPECT_EQ(c.requires_ifaces,
+            (std::vector<std::string>{"DatabaseInterface"}));
+  EXPECT_TRUE(c.has_method("browse"));
+  EXPECT_TRUE(c.has_method("confirmTickets"));
+  ASSERT_NE(c.data.find("Flights"), nullptr);
+  EXPECT_EQ(*c.data.find("Flights"), props::Domain::interval(100, 199));
+
+  ASSERT_EQ(spec.app.views.size(), 1u);
+  const ViewSpec& v = spec.app.views[0];
+  EXPECT_EQ(v.name, "air.TravelAgent");
+  EXPECT_EQ(v.of_component, c.name);
+  EXPECT_TRUE(is_deployable_view(v, c));
+}
+
+TEST(SpecParserTest, ParsesEnvironment) {
+  const auto spec = parse_spec(kGoodSpec);
+  EXPECT_EQ(spec.environment.node_count(), 3u);
+  ASSERT_EQ(spec.node_ids.count("client"), 1u);
+  const auto client = spec.node_ids.at("client");
+  const auto server = spec.node_ids.at("server");
+  EXPECT_EQ(spec.environment.node_attr(client, "domain"), "2");
+  EXPECT_EQ(spec.environment.node_attr(server, "trusted"), "yes");
+  const auto route = spec.environment.topology().route(client, server);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->latency, sim::msec(35) + sim::usec(200));
+  EXPECT_FALSE(route->all_secure);
+  EXPECT_DOUBLE_EQ(route->min_bandwidth, 500.5);
+}
+
+TEST(SpecParserTest, ParsesRequests) {
+  const auto spec = parse_spec(kGoodSpec);
+  ASSERT_EQ(spec.requests.size(), 1u);
+  const ServiceRequest& req = spec.requests[0];
+  EXPECT_EQ(req.client, spec.node_ids.at("client"));
+  EXPECT_EQ(req.origin, spec.node_ids.at("server"));
+  EXPECT_EQ(req.interface_name, "AirlineReservationInterface");
+  EXPECT_TRUE(req.privacy_required);
+  EXPECT_EQ(req.max_latency, sim::msec(5));
+  EXPECT_EQ(req.view_component, "air.TravelAgent");
+}
+
+TEST(SpecParserTest, ParsedSpecFeedsThePlanner) {
+  auto spec = parse_spec(kGoodSpec);
+  const Planner planner(spec.environment);
+  const auto plan = planner.plan(spec.requests[0]);
+  ASSERT_TRUE(plan.has_value());
+  // The 35ms hop busts the 5ms budget: a local view is deployed; the
+  // insecure hop is wrapped for the privacy requirement.
+  EXPECT_TRUE(plan->uses_local_view);
+  EXPECT_EQ(plan->placements.size(), 3u);  // enc + dec + view
+}
+
+TEST(SpecParserTest, DiscreteValueDomains) {
+  const auto spec = parse_spec(R"(
+component c
+  method m
+  data Region values east west 7
+end
+)");
+  const auto* d = spec.app.components[0].data.find("Region");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->size(), 3u);
+  EXPECT_TRUE(d->contains(props::Value{std::string{"east"}}));
+  EXPECT_TRUE(d->contains(props::Value{std::int64_t{7}}));
+}
+
+TEST(SpecParserTest, CommentsAndBlankLinesIgnored) {
+  const auto spec = parse_spec("# nothing but comments\n\n  \n# more\n");
+  EXPECT_TRUE(spec.app.components.empty());
+  EXPECT_EQ(spec.environment.node_count(), 0u);
+}
+
+TEST(SpecParserTest, RejectsInvalidView) {
+  EXPECT_THROW(parse_spec(R"(
+component c
+  method m
+  data P interval 0 9
+end
+view v of c
+  method otherMethod
+end
+)"),
+               SpecError);
+}
+
+TEST(SpecParserTest, RejectsUnknownComponentReference) {
+  try {
+    parse_spec("view v of ghost\n  method m\nend\n");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.line(), 3u);  // reported at the closing 'end'
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+  }
+}
+
+TEST(SpecParserTest, RejectsUnknownNodes) {
+  EXPECT_THROW(parse_spec("link a b\n"), SpecError);
+  EXPECT_THROW(parse_spec("node a\nrequest a ghost\n"), SpecError);
+}
+
+TEST(SpecParserTest, RejectsDuplicates) {
+  EXPECT_THROW(parse_spec("node a\nnode a\n"), SpecError);
+  EXPECT_THROW(parse_spec(
+                   "component c\n method m\nend\ncomponent c\n method m\nend\n"),
+               SpecError);
+}
+
+TEST(SpecParserTest, RejectsMalformedDirectives) {
+  EXPECT_THROW(parse_spec("frobnicate\n"), SpecError);
+  EXPECT_THROW(parse_spec("end\n"), SpecError);
+  EXPECT_THROW(parse_spec("component c\n method m\n"), SpecError);  // no end
+  EXPECT_THROW(parse_spec("component c\n implements\nend\n"), SpecError);
+  EXPECT_THROW(parse_spec("component c\n data P interval 5 1\nend\n"),
+               SpecError);
+  EXPECT_THROW(parse_spec("node a flag\n"), SpecError);
+}
+
+TEST(SpecParserTest, RejectsBadDurationsAndNumbers) {
+  EXPECT_THROW(parse_spec("node a\nnode b\nlink a b latency=fast\n"),
+               SpecError);
+  EXPECT_THROW(parse_spec("node a\nnode b\nlink a b latency=5h\n"),
+               SpecError);
+  EXPECT_THROW(parse_spec("node a\nnode b\nlink a b bandwidth=wide\n"),
+               SpecError);
+}
+
+TEST(SpecParserTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_spec("node a\nnode b\nbogus here\n");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(SpecParserTest, RequestUnknownViewRejected) {
+  EXPECT_THROW(parse_spec("node a\nnode b\nrequest a b view=ghost\n"),
+               SpecError);
+}
+
+}  // namespace
+}  // namespace flecc::psf

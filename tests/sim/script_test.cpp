@@ -1,0 +1,106 @@
+#include "sim/script.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace flecc::sim {
+namespace {
+
+TEST(ScriptTest, RunsStepsInOrder) {
+  std::vector<int> order;
+  Script s;
+  s.then([&](Script::Next next) {
+    order.push_back(1);
+    next();
+  });
+  s.then([&](Script::Next next) {
+    order.push_back(2);
+    next();
+  });
+  bool complete = false;
+  std::move(s).run([&] { complete = true; });
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ScriptTest, EmptyScriptCompletesImmediately) {
+  bool complete = false;
+  Script s;
+  std::move(s).run([&] { complete = true; });
+  EXPECT_TRUE(complete);
+}
+
+TEST(ScriptTest, RepeatPassesIndices) {
+  std::vector<std::size_t> indices;
+  Script s;
+  s.repeat(4, [&](std::size_t i, Script::Next next) {
+    indices.push_back(i);
+    next();
+  });
+  std::move(s).run();
+  EXPECT_EQ(indices, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ScriptTest, AsyncStepsAcrossSimulatorEvents) {
+  Simulator sim;
+  std::vector<Time> times;
+  Script s;
+  s.then([&](Script::Next next) {
+    sim.schedule_after(100, [&times, &sim, next = std::move(next)] {
+      times.push_back(sim.now());
+      next();
+    });
+  });
+  s.then([&](Script::Next next) {
+    sim.schedule_after(50, [&times, &sim, next = std::move(next)] {
+      times.push_back(sim.now());
+      next();
+    });
+  });
+  bool complete = false;
+  std::move(s).run([&] { complete = true; });
+  EXPECT_FALSE(complete);  // first step is waiting on the simulator
+  sim.run();
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(times, (std::vector<Time>{100, 150}));
+}
+
+TEST(ScriptTest, StateOutlivesScriptObject) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Script s;
+    s.then([&](Script::Next next) {
+      sim.schedule_after(10, [&fired, next = std::move(next)] {
+        ++fired;
+        next();
+      });
+    });
+    std::move(s).run();
+  }  // Script destroyed; the chain must still complete
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ScriptTest, MixedThenAndRepeat) {
+  std::vector<std::string> log;
+  Script s;
+  s.then([&](Script::Next next) {
+    log.push_back("start");
+    next();
+  });
+  s.repeat(2, [&](std::size_t i, Script::Next next) {
+    log.push_back("iter" + std::to_string(i));
+    next();
+  });
+  s.then([&](Script::Next next) {
+    log.push_back("end");
+    next();
+  });
+  std::move(s).run();
+  EXPECT_EQ(log, (std::vector<std::string>{"start", "iter0", "iter1", "end"}));
+}
+
+}  // namespace
+}  // namespace flecc::sim

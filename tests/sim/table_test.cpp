@@ -1,0 +1,75 @@
+#include "sim/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace flecc::sim {
+namespace {
+
+TEST(TableTest, RequiresColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), std::invalid_argument);
+  t.add_row({std::int64_t{1}, std::string{"x"}});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(TableTest, RendersAligned) {
+  Table t({"name", "count"});
+  t.add_row({std::string{"short"}, std::uint64_t{7}});
+  t.add_row({std::string{"a-much-longer-name"}, std::uint64_t{12345}});
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  // The short name is padded to the widest cell in its column.
+  EXPECT_NE(text.find("short             "), std::string::npos);
+}
+
+TEST(TableTest, RendersDoublesWithFixedPrecision) {
+  Table t({"x"});
+  t.add_row({2.5});
+  EXPECT_NE(t.to_string().find("2.500"), std::string::npos);
+}
+
+TEST(TableTest, CsvBasics) {
+  Table t({"group", "flecc", "multicast"});
+  t.add_row({std::int64_t{10}, std::uint64_t{2600}, std::uint64_t{20400}});
+  t.add_row({std::int64_t{20}, std::uint64_t{4600}, std::uint64_t{20400}});
+  EXPECT_EQ(t.to_csv(),
+            "group,flecc,multicast\n10,2600,20400\n20,4600,20400\n");
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"note"});
+  t.add_row({std::string{"plain"}});
+  t.add_row({std::string{"has,comma"}});
+  t.add_row({std::string{"has\"quote"}});
+  EXPECT_EQ(t.to_csv(),
+            "note\nplain\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TableTest, WriteCsvRoundTrips) {
+  Table t({"k", "v"});
+  t.add_row({std::string{"alpha"}, std::int64_t{-3}});
+  const std::string path = ::testing::TempDir() + "flecc_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k,v\nalpha,-3\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvFailsOnBadPath) {
+  Table t({"x"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir/impossible.csv"));
+}
+
+}  // namespace
+}  // namespace flecc::sim

@@ -1,0 +1,168 @@
+#include "trigger/trigger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trigger/errors.hpp"
+#include "trigger/parser.hpp"
+
+namespace flecc::trigger {
+namespace {
+
+double eval_src(std::string_view src, const Env& env) {
+  return eval(*parse(src), env);
+}
+
+double eval_src(std::string_view src) {
+  return eval_src(src, VariableStore{});
+}
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(eval_src("1 + 2 * 3"), 7.0);
+  EXPECT_DOUBLE_EQ(eval_src("(1 + 2) * 3"), 9.0);
+  EXPECT_DOUBLE_EQ(eval_src("10 / 4"), 2.5);
+  EXPECT_DOUBLE_EQ(eval_src("7 % 3"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_src("-5 + 2"), -3.0);
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_DOUBLE_EQ(eval_src("1 < 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 < 1"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 <= 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_src("3 > 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 >= 3"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 == 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 != 2"), 0.0);
+}
+
+TEST(EvalTest, Logic) {
+  EXPECT_DOUBLE_EQ(eval_src("true && false"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_src("true || false"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_src("!0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_src("!3"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 && 3"), 1.0);  // truthiness normalizes
+}
+
+TEST(EvalTest, VariablesResolve) {
+  VariableStore env{{"x", 4.0}, {"y", 2.5}};
+  EXPECT_DOUBLE_EQ(eval_src("x * y", env), 10.0);
+  EXPECT_DOUBLE_EQ(eval_src("x > y", env), 1.0);
+}
+
+TEST(EvalTest, UnknownVariableThrows) {
+  EXPECT_THROW(eval_src("missing + 1"), EvalError);
+}
+
+TEST(EvalTest, DivisionByZeroThrows) {
+  EXPECT_THROW(eval_src("1 / 0"), EvalError);
+  EXPECT_THROW(eval_src("1 % 0"), EvalError);
+}
+
+TEST(EvalTest, ShortCircuitSkipsRhs) {
+  // The RHS references an undefined variable; short-circuiting must
+  // prevent its evaluation.
+  EXPECT_DOUBLE_EQ(eval_src("false && boom"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_src("true || boom"), 1.0);
+  EXPECT_THROW(eval_src("true && boom"), EvalError);
+  EXPECT_THROW(eval_src("false || boom"), EvalError);
+}
+
+TEST(TriggerTest, PaperTimeTrigger) {
+  const Trigger t("(t > 1500)");
+  VariableStore env;
+  EXPECT_FALSE(t.evaluate(1000.0, env));
+  EXPECT_FALSE(t.evaluate(1500.0, env));
+  EXPECT_TRUE(t.evaluate(1501.0, env));
+}
+
+TEST(TriggerTest, TimeOverridesEnv) {
+  const Trigger t("t == 7");
+  VariableStore env{{"t", 3.0}};
+  EXPECT_TRUE(t.evaluate(7.0, env));  // explicit t wins over env's t=3
+  EXPECT_FALSE(t.evaluate(8.0, env));
+  EXPECT_FALSE(t.evaluate(env));  // env-only sees t=3
+}
+
+TEST(TriggerTest, MixedTimeAndVariables) {
+  const Trigger t("(t > 1000) && (pendingSales >= 3)");
+  VariableStore env{{"pendingSales", 5.0}};
+  EXPECT_TRUE(t.evaluate(2000.0, env));
+  env.set("pendingSales", 2.0);
+  EXPECT_FALSE(t.evaluate(2000.0, env));
+}
+
+TEST(TriggerTest, VariablesListed) {
+  const Trigger t("(t > 10) && x + y > 0");
+  EXPECT_EQ(t.variables(), (std::vector<std::string>{"t", "x", "y"}));
+  EXPECT_TRUE(t.references_time());
+  const Trigger u("x > 0");
+  EXPECT_FALSE(u.references_time());
+}
+
+TEST(TriggerTest, CopySemantics) {
+  const Trigger t("x > 1");
+  const Trigger copy = t;  // NOLINT(performance-unnecessary-copy-initialization)
+  VariableStore env{{"x", 2.0}};
+  EXPECT_TRUE(copy.evaluate(0.0, env));
+  EXPECT_EQ(copy.source(), t.source());
+}
+
+TEST(TriggerTest, BadSourceThrowsParseError) {
+  EXPECT_THROW(Trigger("1 +"), ParseError);
+}
+
+TEST(TriggerSetTest, FromSourcesEmptyMeansAbsent) {
+  const auto ts = TriggerSet::from_sources("", "(t > 100)", "");
+  EXPECT_FALSE(ts.push.has_value());
+  ASSERT_TRUE(ts.pull.has_value());
+  EXPECT_FALSE(ts.validity.has_value());
+  EXPECT_EQ(ts.pull->source(), "(t > 100)");
+}
+
+TEST(LayeredEnvTest, FrontShadowsBack) {
+  VariableStore front{{"x", 1.0}};
+  VariableStore back{{"x", 2.0}, {"y", 3.0}};
+  LayeredEnv env(front, back);
+  EXPECT_DOUBLE_EQ(*env.lookup("x"), 1.0);
+  EXPECT_DOUBLE_EQ(*env.lookup("y"), 3.0);
+  EXPECT_FALSE(env.lookup("z").has_value());
+}
+
+TEST(FnEnvTest, DelegatesToLambda) {
+  FnEnv env([](const std::string& name) -> std::optional<double> {
+    if (name == "answer") return 42.0;
+    return std::nullopt;
+  });
+  EXPECT_DOUBLE_EQ(*env.lookup("answer"), 42.0);
+  EXPECT_FALSE(env.lookup("question").has_value());
+}
+
+// ---- table-driven evaluation sweep --------------------------------------
+
+struct EvalCase {
+  const char* src;
+  double x;
+  double expected;
+};
+
+class EvalSweepTest : public ::testing::TestWithParam<EvalCase> {};
+
+TEST_P(EvalSweepTest, Evaluates) {
+  const auto& c = GetParam();
+  VariableStore env{{"x", c.x}};
+  EXPECT_DOUBLE_EQ(eval_src(c.src, env), c.expected) << c.src;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EvalSweepTest,
+    ::testing::Values(
+        EvalCase{"x * x", 3.0, 9.0}, EvalCase{"x * x", -3.0, 9.0},
+        EvalCase{"x > 0 && x < 10", 5.0, 1.0},
+        EvalCase{"x > 0 && x < 10", 15.0, 0.0},
+        EvalCase{"x > 0 || x < -10", -20.0, 1.0},
+        EvalCase{"!(x == 0)", 0.0, 0.0}, EvalCase{"!(x == 0)", 1.0, 1.0},
+        EvalCase{"x % 4", 11.0, 3.0},
+        EvalCase{"-x + 1", 4.0, -3.0},
+        EvalCase{"(x + 1) * (x - 1)", 5.0, 24.0}));
+
+}  // namespace
+}  // namespace flecc::trigger
