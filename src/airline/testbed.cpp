@@ -1,5 +1,6 @@
 #include "airline/testbed.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "baselines/flecc_client.hpp"
@@ -43,7 +44,8 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
                                        opts_.flights_per_group)) {
   std::vector<net::NodeId> hosts;
   auto topo = make_lan(opts_.n_agents, opts_.lan_latency, hosts);
-  fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo));
+  fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo),
+                                             opts_.fabric_cfg);
 
   db_ = make_db(assignment_, opts_.capacity);
   adapter_ = std::make_unique<FlightDatabaseAdapter>(db_);
@@ -62,10 +64,14 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
     cfg.validity_trigger = opts_.validity_trigger;
     cfg.think_time = opts_.think_time;
     cfg.trigger_poll = opts_.trigger_poll;
+    cfg.retry = opts_.retry;
+    cfg.heartbeat_interval = opts_.heartbeat_interval;
+    cfg.heartbeat_miss_limit = opts_.heartbeat_miss_limit;
     const net::Address addr{hosts[i], kServicePort};
     agents_.push_back(
         std::make_unique<TravelAgent>(*fabric_, addr, dir_addr, std::move(cfg)));
   }
+  crashed_.assign(agents_.size(), false);
 }
 
 FleccTestbed::~FleccTestbed() = default;
@@ -73,6 +79,33 @@ FleccTestbed::~FleccTestbed() = default;
 void FleccTestbed::init_all_agents() {
   for (auto& agent : agents_) agent->init();
   sim_.run();
+}
+
+void FleccTestbed::crash_agent(std::size_t i) {
+  if (crashed_.at(i)) return;
+  crashed_[i] = true;
+  // Silent crash: the endpoint disappears mid-protocol and all local
+  // activity (timers, retransmissions, heartbeats) stops. The directory
+  // learns about it only through liveness eviction or round timeouts.
+  agents_[i]->cache().halt();
+}
+
+void FleccTestbed::partition_agents(
+    const std::vector<std::size_t>& agent_indices) {
+  std::vector<net::Address> cut;
+  cut.reserve(agent_indices.size());
+  for (const std::size_t i : agent_indices) {
+    cut.push_back(agents_.at(i)->cache().address());
+  }
+  std::vector<net::Address> rest;
+  rest.push_back(directory_->address());
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (std::find(agent_indices.begin(), agent_indices.end(), i) ==
+        agent_indices.end()) {
+      rest.push_back(agents_[i]->cache().address());
+    }
+  }
+  fabric_->partition(cut, rest);
 }
 
 // ---- CoherenceTestbed --------------------------------------------------------
@@ -84,7 +117,8 @@ CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
                                        opts_.flights_per_group)) {
   std::vector<net::NodeId> hosts;
   auto topo = make_lan(opts_.n_agents, opts_.lan_latency, hosts);
-  fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo));
+  fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo),
+                                             opts_.fabric_cfg);
 
   db_ = make_db(assignment_, opts_.capacity);
   adapter_ = std::make_unique<FlightDatabaseAdapter>(db_);
@@ -119,6 +153,9 @@ CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
         cfg.pull_trigger = opts_.pull_trigger;
         cfg.validity_trigger = opts_.validity_trigger;
         cfg.trigger_poll = opts_.trigger_poll;
+        cfg.retry = opts_.retry;
+        cfg.heartbeat_interval = opts_.heartbeat_interval;
+        cfg.heartbeat_miss_limit = opts_.heartbeat_miss_limit;
         clients_.push_back(std::make_unique<baselines::FleccClient>(
             *fabric_, addr, coord_addr, *view, std::move(cfg)));
         break;

@@ -39,6 +39,12 @@ struct TestbedOptions {
   sim::Duration trigger_poll = sim::msec(100);
   sim::Duration lan_latency = sim::usec(200);
   core::DirectoryManager::Config dir_cfg{};
+  /// Fabric knobs (loss injection, seed) for chaos experiments.
+  net::SimFabric::Config fabric_cfg{};
+  /// Cache-manager reliability knobs.
+  core::RetryPolicy retry{};
+  sim::Duration heartbeat_interval = 0;
+  std::size_t heartbeat_miss_limit = 3;
 };
 
 /// Full-featured Flecc deployment with TravelAgent drivers (Figures 5-6).
@@ -71,6 +77,21 @@ class FleccTestbed {
   /// Initialize every agent (registration + initImage) and run to idle.
   void init_all_agents();
 
+  // ---- chaos hooks ------------------------------------------------------
+
+  /// Silently crash agent `i`: its endpoint is unbound (messages to it
+  /// vanish) and no kill/teardown protocol runs. The TravelAgent object
+  /// stays alive for post-mortem inspection but must not be driven.
+  void crash_agent(std::size_t i);
+  [[nodiscard]] bool crashed(std::size_t i) const {
+    return crashed_.at(i);
+  }
+
+  /// Cut the given agents off from everyone else (including the
+  /// directory) until heal_partition().
+  void partition_agents(const std::vector<std::size_t>& agent_indices);
+  void heal_partition() { fabric_->heal(); }
+
  private:
   TestbedOptions opts_;
   GroupAssignment assignment_;
@@ -80,6 +101,7 @@ class FleccTestbed {
   std::unique_ptr<FlightDatabaseAdapter> adapter_;
   std::unique_ptr<core::DirectoryManager> directory_;
   std::vector<std::unique_ptr<TravelAgent>> agents_;
+  std::vector<bool> crashed_;
 };
 
 /// Protocol-parametric deployment behind the CoherenceClient interface

@@ -17,6 +17,9 @@ core::CacheManager::Config make_cm_config(const TravelAgent::Config& cfg,
   out.pull_trigger = cfg.pull_trigger;
   out.validity_trigger = cfg.validity_trigger;
   out.trigger_poll = cfg.trigger_poll;
+  out.retry = cfg.retry;
+  out.heartbeat_interval = cfg.heartbeat_interval;
+  out.heartbeat_miss_limit = cfg.heartbeat_miss_limit;
   return out;
 }
 }  // namespace

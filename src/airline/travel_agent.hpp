@@ -33,6 +33,10 @@ class TravelAgent {
     sim::Duration think_time = 0;
     sim::Duration trigger_poll = sim::msec(100);
     std::string name = "air.TravelAgent";
+    /// Reliability knobs, forwarded to the cache manager.
+    core::RetryPolicy retry{};
+    sim::Duration heartbeat_interval = 0;
+    std::size_t heartbeat_miss_limit = 3;
   };
 
   using Done = std::function<void()>;

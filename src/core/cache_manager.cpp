@@ -1,9 +1,26 @@
 #include "core/cache_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace flecc::core {
+
+namespace {
+
+/// Per-manager jitter stream: mix the policy seed with the endpoint
+/// address so colocated managers draw independent deterministic streams.
+std::uint64_t mix_seed(std::uint64_t seed, net::Address addr) {
+  std::uint64_t s = seed ^ ((static_cast<std::uint64_t>(addr.node) << 32) |
+                            static_cast<std::uint64_t>(addr.port));
+  return sim::splitmix64(s);
+}
+
+constexpr std::size_t kServedFetchWindow = 8;
+constexpr std::size_t kUnconfirmedEchoWindow = 32;
+constexpr std::size_t kServedInvalidateWindow = 4;
+
+}  // namespace
 
 CacheManager::CacheManager(net::Fabric& fabric, net::Address self,
                            net::Address directory, ViewAdapter& view,
@@ -13,26 +30,25 @@ CacheManager::CacheManager(net::Fabric& fabric, net::Address self,
       directory_(directory),
       view_(view),
       cfg_(std::move(cfg)),
-      mode_(cfg_.mode) {
+      mode_(cfg_.mode),
+      retry_rng_(mix_seed(cfg_.retry.seed, self)) {
   if (!cfg_.push_trigger.empty()) push_trigger_.emplace(cfg_.push_trigger);
   if (!cfg_.pull_trigger.empty()) pull_trigger_.emplace(cfg_.pull_trigger);
   fabric_.bind(self_, *this);
-
-  msg::RegisterReq req;
-  req.view_name = cfg_.view_name;
-  req.properties = cfg_.properties;
-  req.mode = cfg_.mode;
-  req.push_trigger = cfg_.push_trigger;
-  req.pull_trigger = cfg_.pull_trigger;
-  req.validity_trigger = cfg_.validity_trigger;
-  const auto bytes = msg::wire_size(req);
-  fabric_.send(self_, directory_, msg::kRegisterReq, std::move(req), bytes);
+  register_req_ = next_req_++;
+  send_register();
 }
 
 CacheManager::~CacheManager() {
   if (trigger_timer_ != net::kInvalidTimerId) {
     fabric_.cancel_timer(trigger_timer_);
   }
+  cancel_op_timer();
+  if (register_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(register_timer_);
+    register_timer_ = net::kInvalidTimerId;
+  }
+  stop_heartbeats();
   fabric_.unbind(self_);
 }
 
@@ -51,6 +67,7 @@ void CacheManager::push_image(Done done) {
 }
 
 void CacheManager::start_use_image(Done done) {
+  if (halted_) return;
   if (in_use_) {
     throw std::logic_error("CacheManager: startUseImage while already in use");
   }
@@ -73,6 +90,7 @@ void CacheManager::start_use_image(Done done) {
 }
 
 void CacheManager::end_use_image(bool modified) {
+  if (halted_) return;
   if (!in_use_) {
     throw std::logic_error("CacheManager: endUseImage without startUseImage");
   }
@@ -100,11 +118,23 @@ void CacheManager::kill_image(Done done) {
 }
 
 void CacheManager::reconnect(Done done) {
+  if (halted_) return;
   if (!alive_) {
     if (done) done();
     return;
   }
-  // Forget the old incarnation: its replies will never arrive.
+  cancel_op_timer();
+  if (register_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(register_timer_);
+    register_timer_ = net::kInvalidTimerId;
+  }
+  stop_heartbeats();
+
+  // The in-flight op (if any) is re-issued under the new incarnation
+  // with its request id and extracted image intact: if the directory
+  // already executed it, the dedup window replays the original reply
+  // rather than re-executing, and the op's Done still fires.
+  std::optional<Op> abandoned = std::move(current_);
   current_.reset();
   registered_ = false;
   rejected_ = false;
@@ -114,11 +144,19 @@ void CacheManager::reconnect(Done done) {
   exclusive_ = false;
   deferred_invalidate_epoch_.reset();
   deferred_fetch_tokens_.clear();
+  served_fetches_.clear();
+  served_invalidates_.clear();
   stats_.inc("reconnect");
 
+  if (abandoned.has_value()) {
+    abandoned->attempts = 0;  // fresh retry budget for the new incarnation
+    stats_.inc("op.reissued");
+    queue_.push_front(std::move(*abandoned));
+  }
   // Recovery ops run before anything previously queued: refresh the
-  // base image, then surrender locally pending updates.
-  const bool need_push = dirty_;
+  // base image, then surrender locally pending updates (including any
+  // reply echoes the old incarnation never got confirmed).
+  const bool need_push = dirty_ || !unconfirmed_echoes_.empty();
   if (need_push) {
     queue_.push_front(Op{OpKind::kPush, {}, std::move(done)});
     queue_.push_front(Op{OpKind::kInit, {}, {}});
@@ -126,6 +164,15 @@ void CacheManager::reconnect(Done done) {
     queue_.push_front(Op{OpKind::kInit, {}, std::move(done)});
   }
 
+  register_req_ = next_req_++;
+  register_attempts_ = 0;
+  send_register();
+}
+
+// ---- registration -----------------------------------------------------------
+
+void CacheManager::send_register() {
+  ++register_attempts_;
   msg::RegisterReq req;
   req.view_name = cfg_.view_name;
   req.properties = cfg_.properties;
@@ -133,13 +180,55 @@ void CacheManager::reconnect(Done done) {
   req.push_trigger = cfg_.push_trigger;
   req.pull_trigger = cfg_.pull_trigger;
   req.validity_trigger = cfg_.validity_trigger;
+  req.req = register_req_;
   const auto bytes = msg::wire_size(req);
   fabric_.send(self_, directory_, msg::kRegisterReq, std::move(req), bytes);
+  if (!cfg_.retry.enabled()) return;
+  if (register_attempts_ < cfg_.retry.max_attempts) {
+    register_timer_ = fabric_.schedule(
+        self_, cfg_.retry.timeout_for(register_attempts_, retry_rng_),
+        [this] { on_register_timeout(); });
+  } else {
+    // Attempt cap reached: keep trying, but on a daemon timer at the
+    // backoff ceiling so an unreachable directory never wedges a
+    // run-to-quiescence simulation — recovery stays self-driving once
+    // connectivity returns.
+    register_timer_ = fabric_.schedule_daemon(
+        self_, cfg_.retry.max_timeout, [this] { on_register_timeout(); });
+  }
+}
+
+void CacheManager::on_register_timeout() {
+  register_timer_ = net::kInvalidTimerId;
+  if (!alive_ || registered_ || rejected_) return;
+  stats_.inc("register.retry");
+  send_register();
+}
+
+// ---- crash simulation -------------------------------------------------------
+
+void CacheManager::halt() {
+  if (halted_) return;
+  halted_ = true;
+  cancel_op_timer();
+  if (register_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(register_timer_);
+    register_timer_ = net::kInvalidTimerId;
+  }
+  stop_heartbeats();
+  if (trigger_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(trigger_timer_);
+    trigger_timer_ = net::kInvalidTimerId;
+  }
+  current_.reset();  // completions are deliberately NOT invoked
+  queue_.clear();
+  fabric_.unbind(self_);
 }
 
 // ---- op queue ---------------------------------------------------------------
 
 void CacheManager::enqueue(Op op) {
+  if (halted_) return;  // crashed: nothing runs, nothing completes
   if (!alive_ || rejected_) {
     // Registration failed or the manager is dead: complete immediately;
     // callers observe the failure through rejected()/alive().
@@ -158,54 +247,117 @@ void CacheManager::pump() {
 }
 
 void CacheManager::issue(Op& op) {
+  ++op.attempts;
+  if (op.req == 0) op.req = next_req_++;
   switch (op.kind) {
     case OpKind::kInit: {
-      msg::InitReq req{id_};
+      msg::InitReq req{id_, op.req};
       fabric_.send(self_, directory_, msg::kInitReq, req, msg::wire_size(req));
       break;
     }
     case OpKind::kPull: {
-      msg::PullReq req{id_, intent_};
+      msg::PullReq req{id_, intent_, op.req};
       fabric_.send(self_, directory_, msg::kPullReq, req, msg::wire_size(req));
       break;
     }
     case OpKind::kPush: {
+      // Extraction moves the view's pending deltas, so it happens once;
+      // retransmissions resend the cached image under the same req id.
+      // Unconfirmed reply echoes are snapshotted alongside it: the
+      // PushAck for this req confirms exactly this set.
+      if (!op.image.has_value()) {
+        op.image = extract_dirty();
+        op.echoes.assign(unconfirmed_echoes_.begin(),
+                         unconfirmed_echoes_.end());
+      }
       msg::PushUpdate req;
       req.view = id_;
-      req.image = extract_dirty();
+      req.image = *op.image;
+      req.req = op.req;
+      req.echoes = op.echoes;
       const auto bytes = msg::wire_size(req);
       fabric_.send(self_, directory_, msg::kPushUpdate, std::move(req), bytes);
       break;
     }
     case OpKind::kAcquire: {
-      msg::AcquireReq req{id_, intent_};
+      msg::AcquireReq req{id_, intent_, op.req};
       fabric_.send(self_, directory_, msg::kAcquireReq, req,
                    msg::wire_size(req));
       break;
     }
     case OpKind::kModeChange: {
-      msg::ModeChangeReq req{id_, op.new_mode};
+      msg::ModeChangeReq req{id_, op.new_mode, op.req};
       fabric_.send(self_, directory_, msg::kModeChangeReq, req,
                    msg::wire_size(req));
       break;
     }
     case OpKind::kKill: {
+      // op.image doubles as the dirty marker: set at first issue only.
+      if (op.attempts == 1) {
+        if (dirty_) op.image = extract_dirty();
+        op.echoes.assign(unconfirmed_echoes_.begin(),
+                         unconfirmed_echoes_.end());
+      }
       msg::KillReq req;
       req.view = id_;
-      req.dirty = dirty_;
-      if (dirty_) req.final_image = extract_dirty();
+      req.dirty = op.image.has_value();
+      if (op.image.has_value()) req.final_image = *op.image;
+      req.req = op.req;
+      req.echoes = op.echoes;
       const auto bytes = msg::wire_size(req);
       fabric_.send(self_, directory_, msg::kKillReq, std::move(req), bytes);
       break;
     }
   }
+  cancel_op_timer();
+  if (cfg_.retry.enabled()) {
+    op_timer_ = fabric_.schedule(
+        self_, cfg_.retry.timeout_for(op.attempts, retry_rng_),
+        [this] { on_op_timeout(); });
+  }
+}
+
+void CacheManager::on_op_timeout() {
+  op_timer_ = net::kInvalidTimerId;
+  if (!alive_ || !current_.has_value()) return;
+  if (current_->attempts >= cfg_.retry.max_attempts) {
+    // Retry budget exhausted: assume the registration (or the
+    // directory) is gone and fail over instead of wedging the queue.
+    stats_.inc("op.failover");
+    reconnect();
+    return;
+  }
+  stats_.inc("op.retry");
+  issue(*current_);
+}
+
+bool CacheManager::accept_reply(OpKind kind, std::uint64_t req) {
+  if (!current_.has_value()) {
+    // A late duplicate of an already-completed exchange (req != 0), or a
+    // genuinely unexpected message (req == 0: unframed/forged).
+    stats_.inc(req != 0 ? "msg.duplicate.dropped" : "msg.unexpected");
+    return false;
+  }
+  if (current_->kind != kind || (req != 0 && req != current_->req)) {
+    stats_.inc(req != 0 ? "msg.stale.dropped" : "msg.unexpected");
+    return false;
+  }
+  return true;
 }
 
 void CacheManager::complete_current() {
+  cancel_op_timer();
   Done done = std::move(current_->done);
   current_.reset();
   if (done) done();
   pump();
+}
+
+void CacheManager::cancel_op_timer() {
+  if (op_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(op_timer_);
+    op_timer_ = net::kInvalidTimerId;
+  }
 }
 
 ObjectImage CacheManager::extract_dirty() {
@@ -213,15 +365,65 @@ ObjectImage CacheManager::extract_dirty() {
   return image;
 }
 
+// ---- heartbeats -------------------------------------------------------------
+
+void CacheManager::start_heartbeats() {
+  if (cfg_.heartbeat_interval <= 0) return;
+  if (heartbeat_timer_ != net::kInvalidTimerId) return;
+  heartbeat_unacked_ = 0;
+  heartbeat_timer_ = fabric_.schedule_daemon(
+      self_, cfg_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void CacheManager::stop_heartbeats() {
+  if (heartbeat_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(heartbeat_timer_);
+    heartbeat_timer_ = net::kInvalidTimerId;
+  }
+  heartbeat_unacked_ = 0;
+}
+
+void CacheManager::heartbeat_tick() {
+  heartbeat_timer_ = net::kInvalidTimerId;
+  if (!alive_ || !registered_) return;
+  if (heartbeat_unacked_ >= cfg_.heartbeat_miss_limit) {
+    // The directory stopped answering: assume our registration is gone
+    // (it evicts silent views symmetrically) and re-establish it.
+    stats_.inc("heartbeat.failover");
+    reconnect();
+    return;
+  }
+  msg::Heartbeat hb{id_, ++heartbeat_seq_};
+  ++heartbeat_unacked_;
+  stats_.inc("heartbeat.sent");
+  fabric_.send(self_, directory_, msg::kHeartbeat, hb, msg::wire_size(hb));
+  heartbeat_timer_ = fabric_.schedule_daemon(
+      self_, cfg_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
 // ---- message handling -------------------------------------------------------
 
 void CacheManager::on_message(const net::Message& m) {
+  if (halted_) return;
   if (m.type == msg::kRegisterAck) {
     const auto& ack = net::payload_as<msg::RegisterAck>(m);
+    if (ack.req != 0 && ack.req != register_req_) {
+      stats_.inc("msg.stale.dropped");  // ack for a previous incarnation
+      return;
+    }
+    if (registered_ || rejected_) {
+      stats_.inc("msg.duplicate.dropped");
+      return;
+    }
+    if (register_timer_ != net::kInvalidTimerId) {
+      fabric_.cancel_timer(register_timer_);
+      register_timer_ = net::kInvalidTimerId;
+    }
     if (ack.accepted) {
       registered_ = true;
       id_ = ack.view;
       arm_trigger_timer();
+      start_heartbeats();
       pump();
     } else {
       rejected_ = true;
@@ -236,11 +438,41 @@ void CacheManager::on_message(const net::Message& m) {
     return;
   }
 
+  if (m.type == msg::kHeartbeatAck) {
+    const auto& ack = net::payload_as<msg::HeartbeatAck>(m);
+    if (!alive_ || !registered_ || ack.view != id_) return;
+    if (!ack.known) {
+      // The directory does not know us (restart or liveness eviction):
+      // our copy can no longer be trusted to be coherent.
+      stats_.inc("heartbeat.lost_registration");
+      reconnect();
+      return;
+    }
+    heartbeat_unacked_ = 0;
+    return;
+  }
+
+  if (m.type == msg::kOpNack) {
+    const auto& nack = net::payload_as<msg::OpNack>(m);
+    if (current_.has_value() &&
+        (nack.req == 0 || nack.req == current_->req)) {
+      stats_.inc("op.nack");
+      reconnect();  // re-registers, then re-issues the nacked op
+    } else {
+      stats_.inc("msg.duplicate.dropped");
+    }
+    return;
+  }
+
   if (m.type == msg::kInvalidateReq) {
     const auto& req = net::payload_as<msg::InvalidateReq>(m);
     if (in_use_) {
-      deferred_invalidate_epoch_ = req.epoch;  // ack after endUseImage
-      stats_.inc("invalidate.deferred");
+      if (deferred_invalidate_epoch_ == req.epoch) {
+        stats_.inc("msg.duplicate.dropped");  // retransmitted command
+      } else {
+        deferred_invalidate_epoch_ = req.epoch;  // ack after endUseImage
+        stats_.inc("invalidate.deferred");
+      }
     } else {
       serve_invalidate(req.epoch);
     }
@@ -250,8 +482,16 @@ void CacheManager::on_message(const net::Message& m) {
   if (m.type == msg::kFetchReq) {
     const auto& req = net::payload_as<msg::FetchReq>(m);
     if (in_use_) {
-      deferred_fetch_tokens_.push_back(req.token);
-      stats_.inc("fetch.deferred");
+      const bool deferred =
+          std::find(deferred_fetch_tokens_.begin(),
+                    deferred_fetch_tokens_.end(),
+                    req.token) != deferred_fetch_tokens_.end();
+      if (deferred) {
+        stats_.inc("msg.duplicate.dropped");  // retransmitted command
+      } else {
+        deferred_fetch_tokens_.push_back(req.token);
+        stats_.inc("fetch.deferred");
+      }
     } else {
       serve_fetch(req.token);
     }
@@ -265,13 +505,9 @@ void CacheManager::on_message(const net::Message& m) {
   }
 
   // Replies to the in-flight operation.
-  if (!current_.has_value()) {
-    stats_.inc("msg.unexpected");
-    return;
-  }
-
-  if (m.type == msg::kInitReply && current_->kind == OpKind::kInit) {
+  if (m.type == msg::kInitReply) {
     const auto& reply = net::payload_as<msg::InitReply>(m);
+    if (!accept_reply(OpKind::kInit, reply.req)) return;
     view_.merge_into_view(reply.image, cfg_.properties);
     valid_ = true;
     dirty_ = false;
@@ -280,8 +516,9 @@ void CacheManager::on_message(const net::Message& m) {
     complete_current();
     return;
   }
-  if (m.type == msg::kPullReply && current_->kind == OpKind::kPull) {
+  if (m.type == msg::kPullReply) {
     const auto& reply = net::payload_as<msg::PullReply>(m);
+    if (!accept_reply(OpKind::kPull, reply.req)) return;
     view_.merge_into_view(reply.image, cfg_.properties);
     valid_ = true;
     last_version_ = reply.image.version();
@@ -290,16 +527,19 @@ void CacheManager::on_message(const net::Message& m) {
     complete_current();
     return;
   }
-  if (m.type == msg::kPushAck && current_->kind == OpKind::kPush) {
+  if (m.type == msg::kPushAck) {
     const auto& ack = net::payload_as<msg::PushAck>(m);
+    if (!accept_reply(OpKind::kPush, ack.req)) return;
     last_version_ = ack.version;
     dirty_ = false;
     last_push_at_ = fabric_.now();
+    confirm_echoes(current_->echoes);
     complete_current();
     return;
   }
-  if (m.type == msg::kAcquireGrant && current_->kind == OpKind::kAcquire) {
+  if (m.type == msg::kAcquireGrant) {
     const auto& grant = net::payload_as<msg::AcquireGrant>(m);
+    if (!accept_reply(OpKind::kAcquire, grant.req)) return;
     view_.merge_into_view(grant.image, cfg_.properties);
     valid_ = true;
     exclusive_ = true;
@@ -311,9 +551,9 @@ void CacheManager::on_message(const net::Message& m) {
     complete_current();
     return;
   }
-  if (m.type == msg::kModeChangeAck &&
-      current_->kind == OpKind::kModeChange) {
+  if (m.type == msg::kModeChangeAck) {
     const auto& ack = net::payload_as<msg::ModeChangeAck>(m);
+    if (!accept_reply(OpKind::kModeChange, ack.req)) return;
     mode_ = ack.mode;
     if (mode_ == Mode::kStrong) {
       // Must re-acquire before the next use section.
@@ -325,16 +565,21 @@ void CacheManager::on_message(const net::Message& m) {
     complete_current();
     return;
   }
-  if (m.type == msg::kKillAck && current_->kind == OpKind::kKill) {
+  if (m.type == msg::kKillAck) {
+    const auto& ack = net::payload_as<msg::KillAck>(m);
+    if (!accept_reply(OpKind::kKill, ack.req)) return;
     alive_ = false;
     registered_ = false;
     valid_ = false;
     exclusive_ = false;
     dirty_ = false;
+    confirm_echoes(current_->echoes);
+    unconfirmed_echoes_.clear();  // nothing after the kill will carry them
     if (trigger_timer_ != net::kInvalidTimerId) {
       fabric_.cancel_timer(trigger_timer_);
       trigger_timer_ = net::kInvalidTimerId;
     }
+    stop_heartbeats();
     // Any ops queued behind kill can never complete remotely.
     std::deque<Op> q = std::move(queue_);
     queue_.clear();
@@ -347,22 +592,73 @@ void CacheManager::on_message(const net::Message& m) {
   stats_.inc("msg.unexpected");
 }
 
+void CacheManager::queue_echo(msg::DeltaEcho e) {
+  unconfirmed_echoes_.push_back(std::move(e));
+  stats_.inc("echo.queued");
+  if (unconfirmed_echoes_.size() > kUnconfirmedEchoWindow) {
+    // Backstop against a directory that stays unreachable forever;
+    // dropping the oldest can lose its deltas, so count it.
+    unconfirmed_echoes_.pop_front();
+    stats_.inc("echo.dropped");
+  }
+}
+
+void CacheManager::confirm_echoes(
+    const std::vector<msg::DeltaEcho>& confirmed) {
+  if (confirmed.empty() || unconfirmed_echoes_.empty()) return;
+  for (const auto& c : confirmed) {
+    for (auto it = unconfirmed_echoes_.begin();
+         it != unconfirmed_echoes_.end(); ++it) {
+      if (it->round == c.round && it->invalidate == c.invalidate) {
+        unconfirmed_echoes_.erase(it);
+        stats_.inc("echo.confirmed");
+        break;
+      }
+    }
+  }
+}
+
 void CacheManager::serve_invalidate(std::uint64_t epoch) {
+  // Retransmitted command: re-send the original ack (extraction already
+  // moved the deltas; re-extracting would lose them).
+  for (const auto& [e, ack] : served_invalidates_) {
+    if (e == epoch) {
+      stats_.inc("msg.duplicate.replayed");
+      fabric_.send(self_, directory_, msg::kInvalidateAck, ack,
+                   msg::wire_size(ack));
+      return;
+    }
+  }
   ++invalidations_served_;
   stats_.inc("invalidate.served");
   msg::InvalidateAck ack;
   ack.view = id_;
   ack.epoch = epoch;
   ack.dirty = dirty_ && valid_;
-  if (ack.dirty) ack.image = extract_dirty();
+  if (ack.dirty) {
+    ack.image = extract_dirty();
+    queue_echo(msg::DeltaEcho{epoch, /*invalidate=*/true, id_, ack.image});
+  }
   valid_ = false;
   exclusive_ = false;
   dirty_ = false;
+  served_invalidates_.emplace_back(epoch, ack);
+  if (served_invalidates_.size() > kServedInvalidateWindow) {
+    served_invalidates_.pop_front();
+  }
   const auto bytes = msg::wire_size(ack);
   fabric_.send(self_, directory_, msg::kInvalidateAck, std::move(ack), bytes);
 }
 
 void CacheManager::serve_fetch(std::uint64_t token) {
+  for (const auto& [t, reply] : served_fetches_) {
+    if (t == token) {
+      stats_.inc("msg.duplicate.replayed");
+      fabric_.send(self_, directory_, msg::kFetchReply, reply,
+                   msg::wire_size(reply));
+      return;
+    }
+  }
   stats_.inc("fetch.served");
   msg::FetchReply reply;
   reply.view = id_;
@@ -371,7 +667,10 @@ void CacheManager::serve_fetch(std::uint64_t token) {
   if (reply.dirty) {
     reply.image = extract_dirty();
     dirty_ = false;  // our updates are now at the primary
+    queue_echo(msg::DeltaEcho{token, /*invalidate=*/false, id_, reply.image});
   }
+  served_fetches_.emplace_back(token, reply);
+  if (served_fetches_.size() > kServedFetchWindow) served_fetches_.pop_front();
   const auto bytes = msg::wire_size(reply);
   fabric_.send(self_, directory_, msg::kFetchReply, std::move(reply), bytes);
 }
@@ -394,7 +693,7 @@ void CacheManager::poll_triggers() {
   // section or preempt an in-flight operation.
   const bool can_fire =
       !in_use_ && !current_.has_value() && queue_.empty();
-  if (can_fire) {
+  if (can_fire && registered_) {
     const trigger::Env& vars = view_.variables();
     if (pull_trigger_.has_value()) {
       const double t_ms = sim::to_ms(fabric_.now() - last_pull_at_);

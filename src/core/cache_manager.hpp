@@ -11,6 +11,14 @@
 // fires when the protocol exchange finishes. Operations are serialized
 // FIFO per cache manager (views are sequential programs, Figure 3).
 //
+// Reliability layer (PROTOCOL.md, "Fault model & reliability layer"):
+// every request carries a monotonic request id; a per-request timeout
+// retransmits with exponential backoff + deterministic jitter up to
+// RetryPolicy::max_attempts, after which the op fails over to
+// reconnect(). Optional liveness heartbeats detect a dead or restarted
+// directory and trigger reconnect() automatically. On the lossless path
+// none of this machinery sends a single extra message.
+//
 // Trigger time semantics: within a push (resp. pull) trigger, the
 // builtin `t` is the number of milliseconds since this view's last push
 // (resp. pull), so "(t > 1500)" reads "synchronize every 1.5 s".
@@ -20,12 +28,15 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/adapters.hpp"
 #include "core/messages.hpp"
+#include "core/reliability.hpp"
 #include "core/types.hpp"
 #include "net/fabric.hpp"
+#include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "trigger/trigger.hpp"
 
@@ -47,6 +58,12 @@ class CacheManager : public net::Endpoint {
     std::string validity_trigger;
     /// How often push/pull triggers are (re)evaluated.
     sim::Duration trigger_poll = sim::msec(100);
+    /// Request retransmission policy (reliable delivery).
+    RetryPolicy retry;
+    /// Liveness heartbeat cadence; 0 disables heartbeats.
+    sim::Duration heartbeat_interval = 0;
+    /// Consecutive unacked heartbeats tolerated before reconnect().
+    std::size_t heartbeat_miss_limit = 3;
   };
 
   using Done = std::function<void()>;
@@ -84,14 +101,26 @@ class CacheManager : public net::Endpoint {
   /// Fail-safe recovery (§4.1 notes the centralized protocol assumes a
   /// live original component and that "fail-safe mechanisms can be
   /// implemented"): reconnect to a (re)started directory manager.
-  /// Abandons the reply of any in-flight operation, re-registers with
-  /// the original configuration, re-initializes the image, and re-pushes
-  /// dirty local state; previously queued operations then continue.
+  /// Re-registers with the original configuration, re-initializes the
+  /// image, re-pushes dirty local state, and re-issues the abandoned
+  /// in-flight operation (its request id is preserved, so a directory
+  /// that already executed it replays the cached reply instead of
+  /// re-executing); previously queued operations then continue.
+  /// Invoked automatically when a request exhausts its retry budget or
+  /// heartbeats report the registration lost.
   void reconnect(Done done = {});
 
   /// Read/write-semantics extension (§6): annotate subsequent
   /// pulls/acquires with an access intent.
   void set_intent(AccessIntent intent) noexcept { intent_ = intent; }
+
+  /// Simulate a silent process crash (chaos testing): unbind from the
+  /// fabric, cancel every timer, drop all queued and in-flight work
+  /// without invoking completions, and ignore all future API calls and
+  /// messages. No teardown protocol runs — the directory discovers the
+  /// death only via liveness eviction or round timeouts.
+  void halt();
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
 
   // ---- introspection ----------------------------------------------------
 
@@ -109,6 +138,14 @@ class CacheManager : public net::Endpoint {
   [[nodiscard]] bool dirty() const noexcept { return dirty_; }
   [[nodiscard]] bool alive() const noexcept { return alive_; }
   [[nodiscard]] Version last_version() const noexcept { return last_version_; }
+  /// Queued (not yet issued) operations — wedge diagnostics.
+  [[nodiscard]] std::size_t queued_ops() const noexcept {
+    return queue_.size();
+  }
+  /// True while an operation awaits its reply (or a retransmission).
+  [[nodiscard]] bool op_in_flight() const noexcept {
+    return current_.has_value();
+  }
   /// Quality reported by the most recent pull (remote unseen updates).
   [[nodiscard]] std::uint64_t last_pull_unseen() const noexcept {
     return last_pull_unseen_;
@@ -129,17 +166,44 @@ class CacheManager : public net::Endpoint {
   enum class OpKind { kInit, kPull, kPush, kAcquire, kModeChange, kKill };
 
   struct Op {
+    Op(OpKind k, Mode m, Done d)
+        : kind(k), new_mode(m), done(std::move(d)) {}
     OpKind kind;
     Mode new_mode = Mode::kWeak;  // for kModeChange
     Done done;
+    /// Request id; assigned at first issue, preserved across
+    /// retransmissions AND across reconnect() re-issues (the directory
+    /// dedup window is keyed by (address, req)).
+    std::uint64_t req = 0;
+    /// Sends so far (first transmission included).
+    std::size_t attempts = 0;
+    /// Push/kill extract the view's pending deltas exactly once; the
+    /// image is cached here so retransmissions resend the same deltas
+    /// (ViewAdapter::extract_from_view moves them out of the view).
+    std::optional<ObjectImage> image;
+    /// Push/kill: the unconfirmed reply echoes snapshotted at first
+    /// issue; the op's ack confirms exactly these.
+    std::vector<msg::DeltaEcho> echoes;
   };
 
   void enqueue(Op op);
   void pump();
   void issue(Op& op);
+  bool accept_reply(OpKind kind, std::uint64_t req);
   void complete_current();
+  void cancel_op_timer();
+  void on_op_timeout();
+  void send_register();
+  void on_register_timeout();
+  void start_heartbeats();
+  void stop_heartbeats();
+  void heartbeat_tick();
   void serve_invalidate(std::uint64_t epoch);
   void serve_fetch(std::uint64_t token);
+  /// Track a dirty reply image until the directory confirms it.
+  void queue_echo(msg::DeltaEcho e);
+  /// An acked push/kill confirms the echoes it carried.
+  void confirm_echoes(const std::vector<msg::DeltaEcho>& confirmed);
   void arm_trigger_timer();
   void poll_triggers();
   ObjectImage extract_dirty();
@@ -160,6 +224,7 @@ class CacheManager : public net::Endpoint {
   bool rejected_ = false;
   std::string reject_reason_;
   bool alive_ = true;
+  bool halted_ = false;
   bool valid_ = false;
   bool exclusive_ = false;
   bool in_use_ = false;
@@ -177,6 +242,35 @@ class CacheManager : public net::Endpoint {
 
   std::optional<std::uint64_t> deferred_invalidate_epoch_;
   std::vector<std::uint64_t> deferred_fetch_tokens_;
+
+  // ---- reliability state ------------------------------------------------
+  sim::Rng retry_rng_;
+  std::uint64_t next_req_ = 1;
+  net::TimerId op_timer_ = net::kInvalidTimerId;
+  /// In-flight registration (the register exchange is not an Op: it
+  /// gates the op queue). After max_attempts the retry cadence drops to
+  /// a daemon timer at max_timeout, so an unreachable directory never
+  /// wedges a run-to-quiescence simulation yet recovery stays
+  /// self-driving once connectivity returns.
+  std::uint64_t register_req_ = 0;
+  std::size_t register_attempts_ = 0;
+  net::TimerId register_timer_ = net::kInvalidTimerId;
+  net::TimerId heartbeat_timer_ = net::kInvalidTimerId;
+  std::uint64_t heartbeat_seq_ = 0;
+  std::size_t heartbeat_unacked_ = 0;
+  /// Replayed command replies: a retransmitted FetchReq/InvalidateReq
+  /// must re-send the original reply, not re-extract (extraction moves
+  /// deltas out of the view).
+  std::deque<std::pair<std::uint64_t, msg::FetchReply>> served_fetches_;
+  std::deque<std::pair<std::uint64_t, msg::InvalidateAck>>
+      served_invalidates_;
+  /// Dirty images extracted for FetchReply/InvalidateAck that the
+  /// directory has not yet confirmed. Those replies are fire-and-forget,
+  /// so each image also rides the next push/kill (msg::DeltaEcho) until
+  /// that op is acked; otherwise a lost reply would silently drop the
+  /// deltas (extraction moves them out of the view). Survives
+  /// reconnect(): echoes are keyed by round id, not by incarnation.
+  std::deque<msg::DeltaEcho> unconfirmed_echoes_;
 
   net::TimerId trigger_timer_ = net::kInvalidTimerId;
   sim::CounterSet stats_;

@@ -7,15 +7,69 @@
 
 namespace flecc::core {
 
+namespace {
+
+/// Settled fetch/invalidate rounds remembered for straggler replies and
+/// push-borne echoes. Sized so a round is still in the window when the
+/// echo of its lost reply arrives on the sender's next push (typically
+/// within a handful of rounds).
+constexpr std::size_t kSettledRoundWindow = 256;
+
+/// Request id of a framed cache-manager request; 0 for unframed
+/// messages and for non-request types (commands, acks, heartbeats).
+std::uint64_t request_id_of(const net::Message& m) {
+  if (m.type == msg::kRegisterReq) {
+    return net::payload_as<msg::RegisterReq>(m).req;
+  }
+  if (m.type == msg::kInitReq) return net::payload_as<msg::InitReq>(m).req;
+  if (m.type == msg::kPullReq) return net::payload_as<msg::PullReq>(m).req;
+  if (m.type == msg::kPushUpdate) {
+    return net::payload_as<msg::PushUpdate>(m).req;
+  }
+  if (m.type == msg::kAcquireReq) {
+    return net::payload_as<msg::AcquireReq>(m).req;
+  }
+  if (m.type == msg::kModeChangeReq) {
+    return net::payload_as<msg::ModeChangeReq>(m).req;
+  }
+  if (m.type == msg::kKillReq) return net::payload_as<msg::KillReq>(m).req;
+  return 0;
+}
+
+}  // namespace
+
 DirectoryManager::DirectoryManager(net::Fabric& fabric, net::Address self,
                                    PrimaryAdapter& primary, Config cfg)
     : fabric_(fabric), self_(self), primary_(primary), cfg_(cfg) {
   fabric_.bind(self_, *this);
+  arm_liveness_timer();
 }
 
-DirectoryManager::~DirectoryManager() { fabric_.unbind(self_); }
+DirectoryManager::~DirectoryManager() {
+  if (liveness_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(liveness_timer_);
+  }
+  fabric_.unbind(self_);
+}
 
 void DirectoryManager::on_message(const net::Message& m) {
+  if (m.type == msg::kHeartbeat) return handle_heartbeat(m);
+
+  // Idempotent replay: a framed request we have already seen is either
+  // answered from the cached reply (completed) or dropped (a round for
+  // it is still in flight; the eventual reply will reach the sender).
+  if (const std::uint64_t rid = request_id_of(m); rid != 0) {
+    if (DedupEntry* e = find_dedup(m.from, rid); e != nullptr) {
+      if (e->completed) {
+        stats_.inc("msg.duplicate.replayed");
+        fabric_.send(self_, m.from, e->type, e->payload, e->bytes);
+      } else {
+        stats_.inc("msg.duplicate.dropped");
+      }
+      return;
+    }
+  }
+
   if (m.type == msg::kRegisterReq) return handle_register(m);
   if (m.type == msg::kInitReq) return handle_init(m);
   if (m.type == msg::kPullReq) return handle_pull(m);
@@ -99,17 +153,114 @@ void DirectoryManager::send_to_view(const ViewRecord& rec, const char* type,
   fabric_.send(self_, rec.cache_addr, type, std::move(payload), bytes);
 }
 
+// ---- reliability helpers --------------------------------------------------
+
+DirectoryManager::DedupEntry* DirectoryManager::find_dedup(
+    const net::Address& from, std::uint64_t req) {
+  if (req == 0 || cfg_.dedup_window == 0) return nullptr;
+  auto it = dedup_.find(from);
+  if (it == dedup_.end()) return nullptr;
+  for (auto& e : it->second) {
+    if (e.req == req) return &e;
+  }
+  return nullptr;
+}
+
+void DirectoryManager::note_in_progress(const net::Address& from,
+                                        std::uint64_t req) {
+  if (req == 0 || cfg_.dedup_window == 0) return;
+  auto& win = dedup_[from];
+  win.push_back(DedupEntry{req, false, {}, {}, 0});
+  while (win.size() > cfg_.dedup_window) win.pop_front();
+}
+
+void DirectoryManager::reply(const net::Address& to, std::uint64_t req,
+                             const char* type, std::any payload,
+                             std::size_t bytes) {
+  if (req != 0 && cfg_.dedup_window != 0) {
+    DedupEntry* e = find_dedup(to, req);
+    if (e == nullptr) {
+      note_in_progress(to, req);
+      e = find_dedup(to, req);
+    }
+    if (e != nullptr) {
+      e->completed = true;
+      e->type = type;
+      e->payload = payload;
+      e->bytes = bytes;
+    }
+  }
+  fabric_.send(self_, to, type, std::move(payload), bytes);
+}
+
+void DirectoryManager::send_nack(const net::Address& to, ViewId view,
+                                 std::uint64_t req) {
+  stats_.inc("op.nack.sent");
+  msg::OpNack nack{view, "unknown view (stale registration)", req};
+  const auto bytes = msg::wire_size(nack);
+  fabric_.send(self_, to, msg::kOpNack, std::move(nack), bytes);
+}
+
+void DirectoryManager::arm_liveness_timer() {
+  if (cfg_.liveness_timeout <= 0) return;
+  // Daemon: liveness sweeps must not keep run-to-quiescence alive.
+  liveness_timer_ = fabric_.schedule_daemon(
+      self_, std::max<sim::Duration>(1, cfg_.liveness_timeout / 2),
+      [this] { liveness_sweep(); });
+}
+
+void DirectoryManager::liveness_sweep() {
+  liveness_timer_ = net::kInvalidTimerId;
+  const sim::Time now = fabric_.now();
+  std::vector<ViewId> dead;
+  for (const auto& [id, rec] : views_) {
+    if (now - rec.last_seen_at > cfg_.liveness_timeout) dead.push_back(id);
+  }
+  for (const ViewId id : dead) {
+    stats_.inc("view.evicted.liveness");
+    views_.erase(id);
+    complete_fetch_or_acquire_for_dead_view(id);
+  }
+  arm_liveness_timer();
+}
+
+void DirectoryManager::handle_heartbeat(const net::Message& m) {
+  const auto& hb = net::payload_as<msg::Heartbeat>(m);
+  auto* rec = find(hb.view);
+  const bool known = rec != nullptr && rec->cache_addr == m.from;
+  if (known) {
+    touch(*rec);
+    stats_.inc("heartbeat.received");
+  } else {
+    stats_.inc("heartbeat.unknown");
+  }
+  msg::HeartbeatAck ack{hb.view, hb.seq, known};
+  fabric_.send(self_, m.from, msg::kHeartbeatAck, ack, msg::wire_size(ack));
+}
+
 // ---- registration -------------------------------------------------------
 
 void DirectoryManager::handle_register(const net::Message& m) {
   const auto& req = net::payload_as<msg::RegisterReq>(m);
   stats_.inc("op.register");
 
+  // A (re)registration obsoletes any request still in progress from the
+  // same address: its requester has moved on. Completed entries stay so
+  // a reconnecting manager re-issuing its abandoned op (same request id)
+  // still gets the original reply replayed instead of re-execution.
+  if (auto it = dedup_.find(m.from); it != dedup_.end()) {
+    auto& win = it->second;
+    win.erase(std::remove_if(win.begin(), win.end(),
+                             [](const DedupEntry& e) { return !e.completed; }),
+              win.end());
+  }
+  note_in_progress(m.from, req.req);
+
   auto reject = [&](const std::string& why) {
     stats_.inc("op.register.rejected");
-    msg::RegisterAck ack{kInvalidViewId, false, why};
+    msg::RegisterAck ack{kInvalidViewId, false, why, req.req};
     const auto bytes = msg::wire_size(ack);
-    fabric_.send(self_, m.from, msg::kRegisterAck, ack, bytes);
+    reply(m.from, req.req, msg::kRegisterAck, ack, bytes);
   };
 
   if (req.view_name.empty()) {
@@ -151,12 +302,13 @@ void DirectoryManager::handle_register(const net::Message& m) {
   rec.properties = req.properties;
   rec.mode = req.mode;
   rec.validity = std::move(validity);
+  rec.last_seen_at = fabric_.now();
   const ViewId id = rec.id;
   views_.emplace(id, std::move(rec));
 
-  msg::RegisterAck ack{id, true, {}};
+  msg::RegisterAck ack{id, true, {}, req.req};
   const auto bytes = msg::wire_size(ack);
-  fabric_.send(self_, m.from, msg::kRegisterAck, ack, bytes);
+  reply(m.from, req.req, msg::kRegisterAck, ack, bytes);
 }
 
 // ---- init ---------------------------------------------------------------
@@ -165,15 +317,21 @@ void DirectoryManager::handle_init(const net::Message& m) {
   const auto& req = net::payload_as<msg::InitReq>(m);
   stats_.inc("op.init");
   auto* rec = find(req.view);
-  if (rec == nullptr) return;
-  msg::InitReply reply;
-  reply.image = primary_.extract_from_object(rec->properties);
-  reply.image.set_version(version_);
+  if (rec == nullptr) {
+    if (req.req != 0) send_nack(m.from, req.view, req.req);
+    return;
+  }
+  touch(*rec);
+  note_in_progress(m.from, req.req);
+  msg::InitReply out;
+  out.image = primary_.extract_from_object(rec->properties);
+  out.image.set_version(version_);
+  out.req = req.req;
   rec->active = true;
   rec->last_sync = version_;
   rec->last_sync_at = fabric_.now();
-  const auto bytes = msg::wire_size(reply);
-  send_to_view(*rec, msg::kInitReply, std::move(reply), bytes);
+  const auto bytes = msg::wire_size(out);
+  reply(rec->cache_addr, req.req, msg::kInitReply, std::move(out), bytes);
 }
 
 // ---- weak-mode pull (with validity-triggered demand fetch) ---------------
@@ -182,7 +340,12 @@ void DirectoryManager::handle_pull(const net::Message& m) {
   const auto& req = net::payload_as<msg::PullReq>(m);
   stats_.inc("op.pull");
   auto* rec = find(req.view);
-  if (rec == nullptr) return;
+  if (rec == nullptr) {
+    if (req.req != 0) send_nack(m.from, req.view, req.req);
+    return;
+  }
+  touch(*rec);
+  note_in_progress(m.from, req.req);
 
   const std::uint64_t unseen = quality(req.view);
 
@@ -224,6 +387,7 @@ void DirectoryManager::handle_pull(const net::Message& m) {
     PendingPull pp;
     pp.requester = req.view;
     pp.unseen_before = unseen;
+    pp.req = req.req;
     finish_pull(pp);
     return;
   }
@@ -233,7 +397,12 @@ void DirectoryManager::handle_pull(const net::Message& m) {
   pp.token = next_token_++;
   pp.requester = req.view;
   pp.outstanding = candidates;
+  for (const ViewId id : candidates) {
+    pp.target_props.emplace(id, views_.at(id).properties);
+  }
   pp.unseen_before = unseen;
+  pp.req = req.req;
+  pp.resends_left = cfg_.command_retries;
   const std::uint64_t token = pp.token;
   for (const ViewId id : candidates) {
     stats_.inc("op.fetch.sent");
@@ -246,43 +415,212 @@ void DirectoryManager::handle_pull(const net::Message& m) {
     stats_.inc("op.fetch.timeout");
     PendingPull pp2 = std::move(it->second);
     pending_pulls_.erase(it);
+    settle_pull_round(pp2);
     finish_pull(pp2);
   });
   pending_pulls_.emplace(token, std::move(pp));
+  arm_pull_resend(token);
+}
+
+void DirectoryManager::arm_pull_resend(std::uint64_t token) {
+  auto it = pending_pulls_.find(token);
+  if (it == pending_pulls_.end() || it->second.resends_left == 0) return;
+  const sim::Duration interval = std::max<sim::Duration>(
+      1, cfg_.fetch_timeout /
+             static_cast<sim::Duration>(cfg_.command_retries + 1));
+  it->second.resend_timer = fabric_.schedule(self_, interval, [this, token] {
+    auto it2 = pending_pulls_.find(token);
+    if (it2 == pending_pulls_.end()) return;
+    it2->second.resend_timer = net::kInvalidTimerId;
+    if (it2->second.resends_left == 0) return;
+    --it2->second.resends_left;
+    for (const ViewId id : it2->second.outstanding) {
+      const auto* rec = find(id);
+      if (rec == nullptr) continue;
+      stats_.inc("op.fetch.retry");
+      msg::FetchReq freq{token};
+      send_to_view(*rec, msg::kFetchReq, freq, msg::wire_size(freq));
+    }
+    arm_pull_resend(token);
+  });
 }
 
 void DirectoryManager::finish_pull(PendingPull& pp) {
   if (pp.timeout != net::kInvalidTimerId) fabric_.cancel_timer(pp.timeout);
+  if (pp.resend_timer != net::kInvalidTimerId) {
+    fabric_.cancel_timer(pp.resend_timer);
+  }
   auto* rec = find(pp.requester);
   if (rec == nullptr) return;  // requester died while we fetched
-  msg::PullReply reply;
-  reply.image = primary_.extract_from_object(rec->properties);
-  reply.image.set_version(version_);
-  reply.unseen_before = pp.unseen_before;
+  msg::PullReply out;
+  out.image = primary_.extract_from_object(rec->properties);
+  out.image.set_version(version_);
+  out.unseen_before = pp.unseen_before;
+  out.req = pp.req;
   rec->active = true;
   rec->last_sync = version_;
   rec->last_sync_at = fabric_.now();
-  const auto bytes = msg::wire_size(reply);
-  send_to_view(*rec, msg::kPullReply, std::move(reply), bytes);
+  const auto bytes = msg::wire_size(out);
+  reply(rec->cache_addr, pp.req, msg::kPullReply, std::move(out), bytes);
+}
+
+void DirectoryManager::settle_pull_round(PendingPull& pp) {
+  if (pp.token == 0) return;  // fast-path pull, no fetch round existed
+  settled_pulls_.emplace(
+      pp.token,
+      SettledRound{std::move(pp.merged), std::move(pp.target_props)});
+  settled_pull_order_.push_back(pp.token);
+  if (settled_pull_order_.size() > kSettledRoundWindow) {
+    settled_pulls_.erase(settled_pull_order_.front());
+    settled_pull_order_.pop_front();
+  }
+}
+
+void DirectoryManager::settle_acquire_round(PendingAcquire& pa) {
+  settled_acquires_.emplace(
+      pa.epoch,
+      SettledRound{std::move(pa.merged), std::move(pa.target_props)});
+  settled_acquire_order_.push_back(pa.epoch);
+  if (settled_acquire_order_.size() > kSettledRoundWindow) {
+    settled_acquires_.erase(settled_acquire_order_.front());
+    settled_acquire_order_.pop_front();
+  }
+}
+
+const props::PropertySet* DirectoryManager::round_props(
+    ViewId v, const std::map<ViewId, props::PropertySet>& snap) const {
+  if (const auto* rec = find(v); rec != nullptr) return &rec->properties;
+  auto it = snap.find(v);
+  return it == snap.end() ? nullptr : &it->second;
+}
+
+void DirectoryManager::process_echoes(
+    const std::vector<msg::DeltaEcho>& echoes) {
+  for (const auto& e : echoes) {
+    if (!e.invalidate) {
+      if (auto it = pending_pulls_.find(e.round);
+          it != pending_pulls_.end()) {
+        // The echo beat (or replaced) the FetchReply for a live round.
+        auto& pp = it->second;
+        if (pp.merged.count(e.view) != 0) {
+          stats_.inc("echo.duplicate");
+          continue;
+        }
+        if (const auto* ps = round_props(e.view, pp.target_props)) {
+          merge_update(e.image, e.view, *ps);
+          pp.merged.insert(e.view);
+          stats_.inc("echo.merged");
+        }
+        if (pp.outstanding.erase(e.view) != 0 && pp.outstanding.empty()) {
+          PendingPull done = std::move(pp);
+          pending_pulls_.erase(it);
+          settle_pull_round(done);
+          finish_pull(done);
+        }
+        continue;
+      }
+      if (auto sit = settled_pulls_.find(e.round);
+          sit != settled_pulls_.end()) {
+        if (sit->second.merged.count(e.view) != 0) {
+          stats_.inc("echo.duplicate");
+          continue;
+        }
+        if (const auto* ps = round_props(e.view, sit->second.target_props)) {
+          merge_update(e.image, e.view, *ps);
+          sit->second.merged.insert(e.view);
+          stats_.inc("echo.merged");
+        }
+        continue;
+      }
+      // Round evicted from the window: the reply must have been merged
+      // long ago — treat as confirmed.
+      stats_.inc("echo.unknown");
+      continue;
+    }
+
+    // Invalidate-epoch namespace.
+    if (acquire_inflight_.has_value() && acquire_inflight_->epoch == e.round) {
+      auto& pa = *acquire_inflight_;
+      if (pa.merged.count(e.view) != 0) {
+        stats_.inc("echo.duplicate");
+        continue;
+      }
+      if (const auto* ps = round_props(e.view, pa.target_props)) {
+        merge_update(e.image, e.view, *ps);
+        pa.merged.insert(e.view);
+        stats_.inc("echo.merged");
+      }
+      if (auto* rec = find(e.view); rec != nullptr) {
+        rec->active = false;  // the echoed extraction invalidated the copy
+        rec->exclusive = false;
+      }
+      if (pa.awaiting.erase(e.view) != 0 && pa.awaiting.empty()) {
+        PendingAcquire done = std::move(pa);
+        acquire_inflight_.reset();
+        settle_acquire_round(done);
+        finish_acquire(done);
+        if (!acquire_inflight_.has_value()) start_next_acquire();
+      }
+      continue;
+    }
+    if (auto sit = settled_acquires_.find(e.round);
+        sit != settled_acquires_.end()) {
+      if (sit->second.merged.count(e.view) != 0) {
+        stats_.inc("echo.duplicate");
+        continue;
+      }
+      if (const auto* ps = round_props(e.view, sit->second.target_props)) {
+        merge_update(e.image, e.view, *ps);
+        sit->second.merged.insert(e.view);
+        stats_.inc("echo.merged");
+      }
+      continue;
+    }
+    stats_.inc("echo.unknown");
+  }
 }
 
 void DirectoryManager::handle_fetch_reply(const net::Message& m) {
   const auto& rep = net::payload_as<msg::FetchReply>(m);
+  if (auto* src = find(rep.view); src != nullptr) touch(*src);
   auto it = pending_pulls_.find(rep.token);
   if (it == pending_pulls_.end()) {
+    // The round already settled (timeout, or everyone else answered).
+    // If this straggler carries deltas the round never merged, they
+    // exist nowhere else — merge them from the settled-round archive.
     stats_.inc("op.fetch.late");
+    if (auto sit = settled_pulls_.find(rep.token);
+        sit != settled_pulls_.end() && rep.dirty &&
+        sit->second.merged.count(rep.view) == 0) {
+      if (const auto* ps = round_props(rep.view, sit->second.target_props)) {
+        merge_update(rep.image, rep.view, *ps);
+        sit->second.merged.insert(rep.view);
+        stats_.inc("op.fetch.late.merged");
+      }
+    }
     return;
   }
-  if (rep.dirty) {
-    const auto* src = find(rep.view);
-    if (src != nullptr) {
-      merge_update(rep.image, rep.view, src->properties);
+  if (it->second.outstanding.count(rep.view) == 0) {
+    // Duplicate delivery (command retransmit + original both answered):
+    // the first copy was already merged; merging again would
+    // double-count the deltas.
+    stats_.inc("msg.duplicate.dropped");
+    return;
+  }
+  if (rep.dirty && it->second.merged.count(rep.view) == 0) {
+    // Merge from the live record when possible; fall back to the
+    // properties snapshotted at round start so a reply from a view
+    // liveness-evicted mid-flight still lands.
+    if (const auto* ps = round_props(rep.view, it->second.target_props)) {
+      merge_update(rep.image, rep.view, *ps);
+      it->second.merged.insert(rep.view);
     }
   }
   it->second.outstanding.erase(rep.view);
   if (it->second.outstanding.empty()) {
     PendingPull pp = std::move(it->second);
     pending_pulls_.erase(it);
+    settle_pull_round(pp);
     finish_pull(pp);
   }
 }
@@ -293,11 +631,17 @@ void DirectoryManager::handle_push(const net::Message& m) {
   const auto& req = net::payload_as<msg::PushUpdate>(m);
   stats_.inc("op.push");
   auto* rec = find(req.view);
-  if (rec == nullptr) return;
+  if (rec == nullptr) {
+    if (req.req != 0) send_nack(m.from, req.view, req.req);
+    return;
+  }
+  touch(*rec);
+  note_in_progress(m.from, req.req);
+  process_echoes(req.echoes);
   merge_update(req.image, req.view, rec->properties);
   rec->active = true;
-  msg::PushAck ack{version_};
-  send_to_view(*rec, msg::kPushAck, ack, msg::wire_size(ack));
+  msg::PushAck ack{version_, req.req};
+  reply(rec->cache_addr, req.req, msg::kPushAck, ack, msg::wire_size(ack));
 }
 
 void DirectoryManager::merge_update(const ObjectImage& image, ViewId source,
@@ -335,7 +679,13 @@ void DirectoryManager::maybe_prune_log() {
 void DirectoryManager::handle_acquire(const net::Message& m) {
   const auto& req = net::payload_as<msg::AcquireReq>(m);
   stats_.inc("op.acquire");
-  if (find(req.view) == nullptr) return;
+  auto* rec = find(req.view);
+  if (rec == nullptr) {
+    if (req.req != 0) send_nack(m.from, req.view, req.req);
+    return;
+  }
+  touch(*rec);
+  note_in_progress(m.from, req.req);
   acquire_queue_.push_back(req);
   if (!acquire_inflight_.has_value()) start_next_acquire();
 }
@@ -350,6 +700,7 @@ void DirectoryManager::start_next_acquire() {
     PendingAcquire pa;
     pa.requester = req.view;
     pa.epoch = next_epoch_++;
+    pa.req = req.req;
 
     // Read-only acquires under the read/write-semantics extension can
     // share: they do not invalidate other read-only holders. A plain
@@ -362,6 +713,7 @@ void DirectoryManager::start_next_acquire() {
       if (!conflicts(req.view, id)) continue;
       if (ro_share && !other.exclusive) continue;  // RO can coexist
       pa.awaiting.insert(id);
+      pa.target_props.emplace(id, other.properties);
     }
 
     if (pa.awaiting.empty()) {
@@ -376,6 +728,7 @@ void DirectoryManager::start_next_acquire() {
                    msg::wire_size(inv));
     }
     const std::uint64_t epoch = pa.epoch;
+    pa.resends_left = cfg_.command_retries;
     // Straggler protection: if an invalidated view never acks (crash),
     // proceed after the timeout.
     pa.timeout = fabric_.schedule(self_, cfg_.fetch_timeout, [this, epoch] {
@@ -386,16 +739,49 @@ void DirectoryManager::start_next_acquire() {
       stats_.inc("op.acquire.timeout");
       PendingAcquire pa2 = std::move(*acquire_inflight_);
       acquire_inflight_.reset();
+      settle_acquire_round(pa2);
       finish_acquire(pa2);
       if (!acquire_inflight_.has_value()) start_next_acquire();
     });
     acquire_inflight_ = std::move(pa);
+    arm_acquire_resend(epoch);
     return;
   }
 }
 
+void DirectoryManager::arm_acquire_resend(std::uint64_t epoch) {
+  if (!acquire_inflight_.has_value() || acquire_inflight_->epoch != epoch ||
+      acquire_inflight_->resends_left == 0) {
+    return;
+  }
+  const sim::Duration interval = std::max<sim::Duration>(
+      1, cfg_.fetch_timeout /
+             static_cast<sim::Duration>(cfg_.command_retries + 1));
+  acquire_inflight_->resend_timer =
+      fabric_.schedule(self_, interval, [this, epoch] {
+        if (!acquire_inflight_.has_value() ||
+            acquire_inflight_->epoch != epoch) {
+          return;
+        }
+        acquire_inflight_->resend_timer = net::kInvalidTimerId;
+        if (acquire_inflight_->resends_left == 0) return;
+        --acquire_inflight_->resends_left;
+        for (const ViewId id : acquire_inflight_->awaiting) {
+          const auto* rec = find(id);
+          if (rec == nullptr) continue;
+          stats_.inc("op.invalidate.retry");
+          msg::InvalidateReq inv{epoch};
+          send_to_view(*rec, msg::kInvalidateReq, inv, msg::wire_size(inv));
+        }
+        arm_acquire_resend(epoch);
+      });
+}
+
 void DirectoryManager::finish_acquire(PendingAcquire& pa) {
   if (pa.timeout != net::kInvalidTimerId) fabric_.cancel_timer(pa.timeout);
+  if (pa.resend_timer != net::kInvalidTimerId) {
+    fabric_.cancel_timer(pa.resend_timer);
+  }
   auto* rec = find(pa.requester);
   if (rec == nullptr) return;
   rec->active = true;
@@ -405,20 +791,43 @@ void DirectoryManager::finish_acquire(PendingAcquire& pa) {
   msg::AcquireGrant grant;
   grant.image = primary_.extract_from_object(rec->properties);
   grant.image.set_version(version_);
+  grant.req = pa.req;
   const auto bytes = msg::wire_size(grant);
-  send_to_view(*rec, msg::kAcquireGrant, std::move(grant), bytes);
+  reply(rec->cache_addr, pa.req, msg::kAcquireGrant, std::move(grant), bytes);
 }
 
 void DirectoryManager::handle_invalidate_ack(const net::Message& m) {
   const auto& ack = net::payload_as<msg::InvalidateAck>(m);
+  if (auto* src = find(ack.view); src != nullptr) touch(*src);
   if (!acquire_inflight_.has_value() ||
       acquire_inflight_->epoch != ack.epoch) {
+    // The round already settled. A dirty straggler still carries the
+    // only copy of its extraction — merge it via the archive, once.
     stats_.inc("op.invalidate.stale_ack");
+    if (auto sit = settled_acquires_.find(ack.epoch);
+        sit != settled_acquires_.end() && ack.dirty &&
+        sit->second.merged.count(ack.view) == 0) {
+      if (const auto* ps = round_props(ack.view, sit->second.target_props)) {
+        merge_update(ack.image, ack.view, *ps);
+        sit->second.merged.insert(ack.view);
+        stats_.inc("op.invalidate.late.merged");
+      }
+    }
     return;
   }
-  if (ack.dirty) {
-    const auto* src = find(ack.view);
-    if (src != nullptr) merge_update(ack.image, ack.view, src->properties);
+  if (acquire_inflight_->awaiting.count(ack.view) == 0) {
+    // Duplicate delivery: this ack's image was already merged.
+    stats_.inc("msg.duplicate.dropped");
+    return;
+  }
+  if (ack.dirty && acquire_inflight_->merged.count(ack.view) == 0) {
+    // As in handle_fetch_reply: merge evicted-mid-flight acks from the
+    // round's property snapshot rather than dropping their deltas.
+    if (const auto* ps =
+            round_props(ack.view, acquire_inflight_->target_props)) {
+      merge_update(ack.image, ack.view, *ps);
+      acquire_inflight_->merged.insert(ack.view);
+    }
   }
   if (auto* rec = find(ack.view); rec != nullptr) {
     rec->active = false;
@@ -428,6 +837,7 @@ void DirectoryManager::handle_invalidate_ack(const net::Message& m) {
   if (acquire_inflight_->awaiting.empty()) {
     PendingAcquire pa = std::move(*acquire_inflight_);
     acquire_inflight_.reset();
+    settle_acquire_round(pa);
     finish_acquire(pa);
     if (!acquire_inflight_.has_value()) start_next_acquire();
   }
@@ -439,7 +849,12 @@ void DirectoryManager::handle_mode_change(const net::Message& m) {
   const auto& req = net::payload_as<msg::ModeChangeReq>(m);
   stats_.inc("op.mode_change");
   auto* rec = find(req.view);
-  if (rec == nullptr) return;
+  if (rec == nullptr) {
+    if (req.req != 0) send_nack(m.from, req.view, req.req);
+    return;
+  }
+  touch(*rec);
+  note_in_progress(m.from, req.req);
   rec->mode = req.mode;
   if (req.mode == Mode::kWeak) {
     // Leaving strong: surrender exclusivity; the copy stays valid.
@@ -449,8 +864,9 @@ void DirectoryManager::handle_mode_change(const net::Message& m) {
     rec->active = false;
     rec->exclusive = false;
   }
-  msg::ModeChangeAck ack{req.mode};
-  send_to_view(*rec, msg::kModeChangeAck, ack, msg::wire_size(ack));
+  msg::ModeChangeAck ack{req.mode, req.req};
+  reply(rec->cache_addr, req.req, msg::kModeChangeAck, ack,
+        msg::wire_size(ack));
 }
 
 // ---- kill -----------------------------------------------------------------
@@ -458,16 +874,30 @@ void DirectoryManager::handle_mode_change(const net::Message& m) {
 void DirectoryManager::handle_kill(const net::Message& m) {
   const auto& req = net::payload_as<msg::KillReq>(m);
   stats_.inc("op.kill");
+  // Even a kill for an already-gone view can carry valid echoes.
+  process_echoes(req.echoes);
   auto* rec = find(req.view);
-  if (rec == nullptr) return;
+  if (rec == nullptr) {
+    // Framed kill for a view that is already gone: acking is the
+    // idempotent answer (deregistration is what the sender wants), and
+    // it covers a replay whose window entry has been evicted. Unframed
+    // kills keep the seed's silent-drop behavior.
+    if (req.req != 0) {
+      msg::KillAck ack{req.req};
+      reply(m.from, req.req, msg::kKillAck, ack, msg::wire_size(ack));
+    }
+    return;
+  }
+  touch(*rec);
+  note_in_progress(m.from, req.req);
   if (req.dirty) {
     merge_update(req.final_image, req.view, rec->properties);
   }
   const net::Address addr = rec->cache_addr;
   views_.erase(req.view);
   complete_fetch_or_acquire_for_dead_view(req.view);
-  msg::KillAck ack;
-  fabric_.send(self_, addr, msg::kKillAck, ack, msg::wire_size(ack));
+  msg::KillAck ack{req.req};
+  reply(addr, req.req, msg::kKillAck, ack, msg::wire_size(ack));
 }
 
 void DirectoryManager::complete_fetch_or_acquire_for_dead_view(ViewId v) {
@@ -482,6 +912,7 @@ void DirectoryManager::complete_fetch_or_acquire_for_dead_view(ViewId v) {
     auto it = pending_pulls_.find(token);
     PendingPull pp = std::move(it->second);
     pending_pulls_.erase(it);
+    settle_pull_round(pp);
     finish_pull(pp);
   }
 
@@ -490,13 +921,21 @@ void DirectoryManager::complete_fetch_or_acquire_for_dead_view(ViewId v) {
       if (acquire_inflight_->timeout != net::kInvalidTimerId) {
         fabric_.cancel_timer(acquire_inflight_->timeout);
       }
+      if (acquire_inflight_->resend_timer != net::kInvalidTimerId) {
+        fabric_.cancel_timer(acquire_inflight_->resend_timer);
+      }
+      // The requester died but invalidated views may already have
+      // extracted; archive the round so their echoes still merge.
+      PendingAcquire dead = std::move(*acquire_inflight_);
       acquire_inflight_.reset();
+      settle_acquire_round(dead);
       start_next_acquire();
     } else {
       acquire_inflight_->awaiting.erase(v);
       if (acquire_inflight_->awaiting.empty()) {
         PendingAcquire pa = std::move(*acquire_inflight_);
         acquire_inflight_.reset();
+        settle_acquire_round(pa);
         finish_acquire(pa);
         if (!acquire_inflight_.has_value()) start_next_acquire();
       }

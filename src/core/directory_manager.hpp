@@ -7,14 +7,28 @@
 // (honoring validity triggers with demand fetches from conflicting
 // active views), merges pushed updates into the primary copy, and keeps
 // the merge log from which the data-quality metric is computed.
+//
+// Reliability layer (PROTOCOL.md, "Fault model & reliability layer"):
+// the directory is idempotent under request replay. Every framed request
+// (req != 0) is tracked in a bounded per-sender dedup window keyed by
+// (cache address, request id); a retransmission of a completed request
+// re-sends the cached reply instead of re-executing (no double merge, no
+// double-queued acquire), and one still in progress is dropped.
+// Directory-originated commands (InvalidateReq, FetchReq) are
+// retransmitted a bounded number of times within the round timeout.
+// Optional liveness tracking evicts views whose cache manager has gone
+// silent, settling any round waiting on them.
 #pragma once
 
+#include <any>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/adapters.hpp"
@@ -41,6 +55,17 @@ class DirectoryManager : public net::Endpoint {
     bool use_rw_semantics = false;
     /// Prune the merge log when it exceeds this many records.
     std::size_t merge_log_cap = 1 << 16;
+    /// Replies cached per sender for idempotent replay of retransmitted
+    /// requests. 0 disables the dedup window.
+    std::size_t dedup_window = 8;
+    /// Extra transmissions of InvalidateReq/FetchReq spread across
+    /// fetch_timeout before the round timeout settles it. 0 = single
+    /// shot (the seed behavior).
+    std::size_t command_retries = 2;
+    /// Evict views silent for longer than this (missed heartbeats);
+    /// 0 disables liveness tracking. Should be several cache-manager
+    /// heartbeat intervals.
+    sim::Duration liveness_timeout = 0;
   };
 
   DirectoryManager(net::Fabric& fabric, net::Address self,
@@ -100,21 +125,57 @@ class DirectoryManager : public net::Endpoint {
     bool exclusive = false;  // strong-mode ownership
     Version last_sync = 0;
     sim::Time last_sync_at = 0;
+    sim::Time last_seen_at = 0;  // liveness: last message from this view
   };
 
   struct PendingPull {
     std::uint64_t token = 0;
     ViewId requester = kInvalidViewId;
     std::set<ViewId> outstanding;
+    /// Property snapshot per fetch target: a solicited reply must merge
+    /// even if the source was liveness-evicted while it was in flight
+    /// (its extracted deltas exist nowhere else).
+    std::map<ViewId, props::PropertySet> target_props;
+    /// Targets whose dirty image has been merged (reply or echo); the
+    /// guard against double-merging the same extraction.
+    std::set<ViewId> merged;
     net::TimerId timeout = net::kInvalidTimerId;
     std::uint64_t unseen_before = 0;
+    std::uint64_t req = 0;  // request id to echo in the PullReply
+    net::TimerId resend_timer = net::kInvalidTimerId;
+    std::size_t resends_left = 0;
   };
 
   struct PendingAcquire {
     ViewId requester = kInvalidViewId;
     std::uint64_t epoch = 0;
     std::set<ViewId> awaiting;
+    /// Property snapshots mirroring PendingPull::target_props.
+    std::map<ViewId, props::PropertySet> target_props;
+    /// Mirrors PendingPull::merged.
+    std::set<ViewId> merged;
     net::TimerId timeout = net::kInvalidTimerId;
+    std::uint64_t req = 0;  // request id to echo in the AcquireGrant
+    net::TimerId resend_timer = net::kInvalidTimerId;
+    std::size_t resends_left = 0;
+  };
+
+  /// What a finished fetch/invalidate round leaves behind, kept in a
+  /// bounded window so a straggler reply or push-borne echo
+  /// (msg::DeltaEcho) of an extraction that never arrived in time can
+  /// still be merged exactly once.
+  struct SettledRound {
+    std::set<ViewId> merged;
+    std::map<ViewId, props::PropertySet> target_props;
+  };
+
+  /// One slot of the per-sender idempotent-replay window.
+  struct DedupEntry {
+    std::uint64_t req = 0;
+    bool completed = false;  // false: still executing (round in flight)
+    std::string type;        // cached reply (valid once completed)
+    std::any payload;
+    std::size_t bytes = 0;
   };
 
   // message handlers
@@ -127,19 +188,44 @@ class DirectoryManager : public net::Endpoint {
   void handle_fetch_reply(const net::Message& m);
   void handle_mode_change(const net::Message& m);
   void handle_kill(const net::Message& m);
+  void handle_heartbeat(const net::Message& m);
 
   // helpers
   ViewRecord* find(ViewId v);
   const ViewRecord* find(ViewId v) const;
+  void touch(ViewRecord& rec) { rec.last_seen_at = fabric_.now(); }
   void merge_update(const ObjectImage& image, ViewId source,
                     const props::PropertySet& touched);
   void finish_pull(PendingPull& pp);
   void start_next_acquire();
   void finish_acquire(PendingAcquire& pa);
+  /// Archive a round that just left pending state (see SettledRound).
+  void settle_pull_round(PendingPull& pp);
+  void settle_acquire_round(PendingAcquire& pa);
+  /// Merge push/kill-borne reply echoes, each at most once.
+  void process_echoes(const std::vector<msg::DeltaEcho>& echoes);
+  /// Properties to merge `v` with: the live record if any, else the
+  /// round's snapshot, else nullptr (round evicted from the window).
+  const props::PropertySet* round_props(
+      ViewId v, const std::map<ViewId, props::PropertySet>& snap) const;
   void complete_fetch_or_acquire_for_dead_view(ViewId v);
   void maybe_prune_log();
   void send_to_view(const ViewRecord& rec, const char* type, std::any payload,
                     std::size_t bytes);
+
+  // reliability helpers
+  DedupEntry* find_dedup(const net::Address& from, std::uint64_t req);
+  void note_in_progress(const net::Address& from, std::uint64_t req);
+  /// Send a reply and cache it in the sender's dedup window.
+  void reply(const net::Address& to, std::uint64_t req, const char* type,
+             std::any payload, std::size_t bytes);
+  /// Unknown-view request: tell the sender its registration is stale.
+  /// Never cached — re-execution after reconnect is the intended path.
+  void send_nack(const net::Address& to, ViewId view, std::uint64_t req);
+  void arm_pull_resend(std::uint64_t token);
+  void arm_acquire_resend(std::uint64_t epoch);
+  void arm_liveness_timer();
+  void liveness_sweep();
 
   net::Fabric& fabric_;
   net::Address self_;
@@ -155,11 +241,21 @@ class DirectoryManager : public net::Endpoint {
 
   std::map<std::uint64_t, PendingPull> pending_pulls_;
   std::uint64_t next_token_ = 1;
+  std::map<std::uint64_t, SettledRound> settled_pulls_;
+  std::deque<std::uint64_t> settled_pull_order_;
+  std::map<std::uint64_t, SettledRound> settled_acquires_;
+  std::deque<std::uint64_t> settled_acquire_order_;
 
   // Strong-mode acquires are processed strictly FIFO, one at a time.
   std::vector<msg::AcquireReq> acquire_queue_;
   std::optional<PendingAcquire> acquire_inflight_;
   std::uint64_t next_epoch_ = 1;
+
+  /// Idempotent-replay windows, keyed by cache-manager address (stable
+  /// across reconnects, unlike view ids).
+  std::unordered_map<net::Address, std::deque<DedupEntry>, net::AddressHash>
+      dedup_;
+  net::TimerId liveness_timer_ = net::kInvalidTimerId;
 
   sim::CounterSet stats_;
 };

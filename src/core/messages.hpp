@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/object_image.hpp"
 #include "core/types.hpp"
@@ -34,6 +35,21 @@ inline constexpr const char* kModeChangeAck = "flecc.mode_change_ack";
 inline constexpr const char* kKillReq = "flecc.kill_req";
 inline constexpr const char* kKillAck = "flecc.kill_ack";
 inline constexpr const char* kUpdateNotify = "flecc.update_notify";
+inline constexpr const char* kHeartbeat = "flecc.heartbeat";
+inline constexpr const char* kHeartbeatAck = "flecc.heartbeat_ack";
+inline constexpr const char* kOpNack = "flecc.op_nack";
+
+// ---- request-id framing ------------------------------------------------
+//
+// Every cache-manager request carries a per-manager monotonically
+// increasing request id `req`, echoed verbatim in the reply. The id is
+// the idempotency key of the reliability layer (PROTOCOL.md, "Fault
+// model"): the cache manager retransmits a timed-out request with the
+// same id, and the directory's per-address dedup window replays the
+// original reply instead of re-executing. `req == 0` means "unframed"
+// (legacy senders / hand-forged test messages) and bypasses both the
+// dedup window and reply matching. The id travels inside the 32-byte
+// message header (kHeaderBytes), so framing adds no wire bytes.
 
 // ---- payloads ---------------------------------------------------------
 
@@ -47,20 +63,24 @@ struct RegisterReq {
   std::string push_trigger;
   std::string pull_trigger;
   std::string validity_trigger;
+  std::uint64_t req = 0;
 };
 
 struct RegisterAck {
   ViewId view = kInvalidViewId;
   bool accepted = false;
   std::string reason;  // on rejection: why
+  std::uint64_t req = 0;
 };
 
 /// Initial data request (Figure 2, steps 3-5).
 struct InitReq {
   ViewId view = kInvalidViewId;
+  std::uint64_t req = 0;
 };
 struct InitReply {
   ObjectImage image;
+  std::uint64_t req = 0;
 };
 
 /// Weak-mode refresh. `intent` supports the read/write-semantics
@@ -68,29 +88,50 @@ struct InitReply {
 struct PullReq {
   ViewId view = kInvalidViewId;
   AccessIntent intent = AccessIntent::kReadWrite;
+  std::uint64_t req = 0;
 };
 struct PullReply {
   ObjectImage image;
   /// Remote updates the view had not seen before this pull (quality).
   std::uint64_t unseen_before = 0;
+  std::uint64_t req = 0;
+};
+
+/// A dirty image extracted for a FetchReply or InvalidateAck whose
+/// delivery was never confirmed (those replies are fire-and-forget).
+/// The cache manager echoes it on its next reliable message
+/// (PushUpdate/KillReq) until acked; the directory merges each echo at
+/// most once, keyed by the originating round.
+struct DeltaEcho {
+  std::uint64_t round = 0;   // fetch token or invalidate epoch
+  bool invalidate = false;   // selects the round-id namespace
+  ViewId view = kInvalidViewId;
+  ObjectImage image;
 };
 
 /// Update propagation view → primary.
 struct PushUpdate {
   ViewId view = kInvalidViewId;
   ObjectImage image;
+  std::uint64_t req = 0;
+  /// Unconfirmed fetch/invalidate images riding along (empty when the
+  /// network has been lossless).
+  std::vector<DeltaEcho> echoes;
 };
 struct PushAck {
   Version version = 0;
+  std::uint64_t req = 0;
 };
 
 /// Strong-mode activation (the directory serializes conflicting views).
 struct AcquireReq {
   ViewId view = kInvalidViewId;
   AccessIntent intent = AccessIntent::kReadWrite;
+  std::uint64_t req = 0;
 };
 struct AcquireGrant {
   ObjectImage image;
+  std::uint64_t req = 0;
 };
 
 /// Directory → cache: stop working, surrender updates (Fig. 2 step 12).
@@ -120,9 +161,11 @@ struct FetchReply {
 struct ModeChangeReq {
   ViewId view = kInvalidViewId;
   Mode mode = Mode::kWeak;
+  std::uint64_t req = 0;
 };
 struct ModeChangeAck {
   Mode mode = Mode::kWeak;
+  std::uint64_t req = 0;
 };
 
 /// Teardown (Figure 2, steps 20-21). Carries the final update image so
@@ -131,13 +174,40 @@ struct KillReq {
   ViewId view = kInvalidViewId;
   ObjectImage final_image;
   bool dirty = false;
+  std::uint64_t req = 0;
+  /// As in PushUpdate: last chance to land unconfirmed reply images.
+  std::vector<DeltaEcho> echoes;
 };
-struct KillAck {};
+struct KillAck {
+  std::uint64_t req = 0;
+};
 
 /// Optional notification to conflicting views that the primary advanced
 /// (off by default; enabled for the notification ablation).
 struct UpdateNotify {
   Version version = 0;
+};
+
+/// Liveness ping, cache manager -> directory, on a daemon timer.
+struct Heartbeat {
+  ViewId view = kInvalidViewId;
+  std::uint64_t seq = 0;
+};
+/// `known == false` tells the sender its registration is gone (evicted
+/// or the directory restarted): reconnect immediately.
+struct HeartbeatAck {
+  ViewId view = kInvalidViewId;
+  std::uint64_t seq = 0;
+  bool known = true;
+};
+
+/// Directory -> cache: the request referenced an unknown view (stale
+/// registration). Never cached in the dedup window - re-executing after
+/// the cache manager reconnects is the intended recovery.
+struct OpNack {
+  ViewId view = kInvalidViewId;
+  std::string reason;
+  std::uint64_t req = 0;
 };
 
 // ---- wire-size estimation ---------------------------------------------
@@ -163,8 +233,16 @@ inline std::size_t wire_size(const PullReq&) { return kHeaderBytes; }
 inline std::size_t wire_size(const PullReply& m) {
   return kHeaderBytes + m.image.wire_size();
 }
+inline std::size_t wire_size(const DeltaEcho& e) {
+  return 16 + e.image.wire_size();  // round id + flags + view id
+}
+inline std::size_t echoes_wire_size(const std::vector<DeltaEcho>& es) {
+  std::size_t total = 0;
+  for (const auto& e : es) total += wire_size(e);
+  return total;
+}
 inline std::size_t wire_size(const PushUpdate& m) {
-  return kHeaderBytes + m.image.wire_size();
+  return kHeaderBytes + m.image.wire_size() + echoes_wire_size(m.echoes);
 }
 inline std::size_t wire_size(const PushAck&) { return kHeaderBytes; }
 inline std::size_t wire_size(const AcquireReq&) { return kHeaderBytes; }
@@ -182,9 +260,15 @@ inline std::size_t wire_size(const FetchReply& m) {
 inline std::size_t wire_size(const ModeChangeReq&) { return kHeaderBytes; }
 inline std::size_t wire_size(const ModeChangeAck&) { return kHeaderBytes; }
 inline std::size_t wire_size(const KillReq& m) {
-  return kHeaderBytes + m.final_image.wire_size();
+  return kHeaderBytes + m.final_image.wire_size() +
+         echoes_wire_size(m.echoes);
 }
 inline std::size_t wire_size(const KillAck&) { return kHeaderBytes; }
 inline std::size_t wire_size(const UpdateNotify&) { return kHeaderBytes; }
+inline std::size_t wire_size(const Heartbeat&) { return kHeaderBytes; }
+inline std::size_t wire_size(const HeartbeatAck&) { return kHeaderBytes; }
+inline std::size_t wire_size(const OpNack& m) {
+  return kHeaderBytes + m.reason.size();
+}
 
 }  // namespace flecc::core::msg

@@ -1,0 +1,51 @@
+// Reliable-delivery policy for the request/reply layer (PROTOCOL.md,
+// "Fault model & reliability layer").
+//
+// The paper (§4.1) assumes lossless RMI and a live original component;
+// this policy parameterizes the machinery we add underneath the
+// protocol so neither assumption is needed: per-request timeouts with
+// exponential backoff + deterministic jitter, an attempt cap after
+// which the cache manager fails over to reconnect(), and the liveness
+// heartbeat cadence. All randomness flows through sim::Rng so runs are
+// bit-for-bit reproducible for a given seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace flecc::core {
+
+struct RetryPolicy {
+  /// Timeout armed for the first attempt of every request.
+  sim::Duration base_timeout = sim::seconds(1);
+  /// Multiplier applied per retransmission (exponential backoff).
+  double backoff = 2.0;
+  /// Ceiling for any single attempt's timeout.
+  sim::Duration max_timeout = sim::seconds(8);
+  /// Uniform jitter: each timeout is scaled by [1-jitter, 1+jitter].
+  double jitter = 0.2;
+  /// Total sends per request (first transmission included). The op
+  /// fails over to reconnect() once they are exhausted. <= 1 disables
+  /// retransmission entirely (the seed's fire-and-forget behavior).
+  std::size_t max_attempts = 6;
+  /// Seed for the jitter process; mixed with the endpoint address so
+  /// every cache manager draws an independent deterministic stream.
+  std::uint64_t seed = 0x8e11ab1eULL;
+
+  [[nodiscard]] bool enabled() const noexcept { return max_attempts > 1; }
+
+  /// Timeout for attempt number `attempt` (1-based), jittered.
+  [[nodiscard]] sim::Duration timeout_for(std::size_t attempt,
+                                          sim::Rng& rng) const noexcept {
+    double t = static_cast<double>(base_timeout);
+    for (std::size_t i = 1; i < attempt; ++i) t *= backoff;
+    t = std::min(t, static_cast<double>(max_timeout));
+    if (jitter > 0.0) t *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+    return std::max<sim::Duration>(1, static_cast<sim::Duration>(t));
+  }
+};
+
+}  // namespace flecc::core

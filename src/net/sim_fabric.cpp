@@ -30,6 +30,10 @@ void SimFabric::send(Address from, Address to, std::string type,
   counters_.inc("msg.sent");
   counters_.inc("bytes.sent", bytes);
 
+  if (partition_blocks(from.node, to.node)) {
+    counters_.inc("msg.dropped.partition");
+    return;
+  }
   if (cfg_.loss_probability > 0.0 && loss_rng_.chance(cfg_.loss_probability)) {
     counters_.inc("msg.dropped.loss");
     return;
@@ -84,6 +88,28 @@ sim::Duration SimFabric::contended_delay(const Route& route,
     at = start + tx + spec.latency;  // then the bits propagate
   }
   return at - sim_.now();
+}
+
+void SimFabric::partition(const std::vector<Address>& group_a,
+                          const std::vector<Address>& group_b) {
+  partition_a_.clear();
+  partition_b_.clear();
+  for (const Address& a : group_a) partition_a_.insert(a.node);
+  for (const Address& b : group_b) partition_b_.insert(b.node);
+}
+
+void SimFabric::heal() {
+  partition_a_.clear();
+  partition_b_.clear();
+}
+
+bool SimFabric::partition_blocks(NodeId from, NodeId to) const {
+  if (partition_a_.empty() || partition_b_.empty()) return false;
+  const bool a_to_b =
+      partition_a_.count(from) != 0 && partition_b_.count(to) != 0;
+  const bool b_to_a =
+      partition_b_.count(from) != 0 && partition_a_.count(to) != 0;
+  return a_to_b || b_to_a;
 }
 
 TimerId SimFabric::schedule(const Address& owner, sim::Duration delay,

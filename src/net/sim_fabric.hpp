@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -68,6 +69,20 @@ class SimFabric : public Fabric {
   /// Loss injection control.
   void set_loss_probability(double p) { cfg_.loss_probability = p; }
 
+  /// Cut every link between the two address groups: messages whose
+  /// endpoints fall on opposite sides are dropped
+  /// (counter `msg.dropped.partition`) until heal() is called. Grouping
+  /// is by node — ports on one node are never split. Calling partition()
+  /// again replaces the previous partition.
+  void partition(const std::vector<Address>& group_a,
+                 const std::vector<Address>& group_b);
+  /// Restore connectivity cut by partition().
+  void heal();
+  /// True while a partition() cut is in effect.
+  [[nodiscard]] bool partitioned() const noexcept {
+    return !partition_a_.empty() && !partition_b_.empty();
+  }
+
   /// Total protocol messages successfully delivered so far.
   [[nodiscard]] std::uint64_t delivered_count() const noexcept {
     return delivered_;
@@ -81,10 +96,14 @@ class SimFabric : public Fabric {
   /// busy times advance as a side effect.
   sim::Duration contended_delay(const Route& route, std::size_t bytes);
 
+  [[nodiscard]] bool partition_blocks(NodeId from, NodeId to) const;
+
   sim::Simulator& sim_;
   Topology topology_;
   Config cfg_;
   sim::Rng loss_rng_;
+  std::set<NodeId> partition_a_;
+  std::set<NodeId> partition_b_;
   std::unordered_map<LinkId, sim::Time> link_free_at_;
   std::unordered_map<Address, Endpoint*, AddressHash> endpoints_;
   sim::CounterSet counters_;

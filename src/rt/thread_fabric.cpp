@@ -67,7 +67,8 @@ void ThreadFabric::Mailbox::loop() {
 
 // ---- ThreadFabric ------------------------------------------------------------
 
-ThreadFabric::ThreadFabric(Config cfg) : cfg_(cfg), epoch_(Clock::now()) {
+ThreadFabric::ThreadFabric(Config cfg)
+    : cfg_(cfg), loss_rng_(cfg.loss_seed), epoch_(Clock::now()) {
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -150,6 +151,18 @@ void ThreadFabric::send(net::Address from, net::Address to, std::string type,
   count("msg.sent." + type);
   count("msg.sent");
   count("bytes.sent", bytes);
+
+  if (cfg_.loss_probability > 0.0) {
+    bool drop;
+    {
+      std::lock_guard<std::mutex> lock(loss_mu_);
+      drop = loss_rng_.chance(cfg_.loss_probability);
+    }
+    if (drop) {
+      count("msg.dropped.loss");
+      return;
+    }
+  }
 
   auto message = std::make_shared<net::Message>();
   message->id = next_msg_id_.fetch_add(1);

@@ -27,6 +27,7 @@
 
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
+#include "sim/rng.hpp"
 
 namespace flecc::rt {
 
@@ -39,6 +40,14 @@ class ThreadFabric : public net::Fabric {
     /// route's propagation + transmission delay (as under SimFabric's
     /// uncontended model), and unroutable messages are dropped.
     std::optional<net::Topology> topology;
+    /// Probability that any message is silently dropped (fault
+    /// injection; exercises the reliability layer under real threads).
+    double loss_probability = 0.0;
+    /// Seed for the loss process. Note drop *decisions* are
+    /// deterministic per draw, but thread interleaving makes the draw
+    /// order — hence the run — nondeterministic; use SimFabric for
+    /// bit-reproducible loss experiments.
+    std::uint64_t loss_seed = 1;
   };
 
   explicit ThreadFabric(Config cfg);
@@ -118,6 +127,8 @@ class ThreadFabric : public net::Fabric {
 
   Config cfg_;
   std::mutex topo_mu_;  // guards cfg_.topology's route cache
+  std::mutex loss_mu_;  // guards loss_rng_
+  sim::Rng loss_rng_;
   std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex endpoints_mu_;

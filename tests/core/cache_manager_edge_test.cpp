@@ -48,22 +48,23 @@ TEST(CacheManagerEdgeTest, ReconnectRepushesDirtyState) {
   EXPECT_EQ(h.primary_.cell(4), 6);
 }
 
-TEST(CacheManagerEdgeTest, ReconnectAbandonsInFlightOperation) {
+TEST(CacheManagerEdgeTest, ReconnectReissuesInFlightOperation) {
   Harness h(1);
   auto m = h.make_member(0, 9);
   m.cm->init_image();
   h.run();
-  // Issue a pull whose reply will race the reconnect. Reconnect drops
-  // the in-flight op; the system must not wedge or misattribute the
-  // stale reply.
-  bool stale_pull_done = false;
-  m.cm->pull_image([&] { stale_pull_done = true; });
+  // Issue a pull whose reply will race the reconnect. The in-flight op
+  // is re-issued under the new incarnation instead of being silently
+  // abandoned: its completion still fires, exactly once.
+  bool pull_done = false;
+  m.cm->pull_image([&] { pull_done = true; });
   m.cm->reconnect();
   h.run();
   EXPECT_TRUE(m.cm->registered());
   EXPECT_TRUE(m.cm->valid());
-  EXPECT_FALSE(stale_pull_done);  // its completion was abandoned
+  EXPECT_TRUE(pull_done);
   EXPECT_GE(m.cm->stats().get("reconnect"), 1u);
+  EXPECT_GE(m.cm->stats().get("op.reissued"), 1u);
 
   // Later ops still work.
   bool fresh = false;

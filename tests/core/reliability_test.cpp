@@ -1,0 +1,397 @@
+// Reliability-layer tests: retransmission with backoff, idempotent
+// replay at the directory, liveness heartbeats with eviction, and the
+// fail-safe reconnect paths (nack, failover, abandoned-op re-issue).
+#include <gtest/gtest.h>
+
+#include "core/reliability.hpp"
+#include "test_support.hpp"
+
+namespace flecc::core {
+namespace {
+
+using testing::Harness;
+using testing::KvView;
+using testing::cells;
+using testing::inc_key;
+
+/// Fast retry policy so failure paths settle in simulated milliseconds.
+RetryPolicy fast_retry() {
+  RetryPolicy p;
+  p.base_timeout = sim::msec(50);
+  p.max_timeout = sim::msec(200);
+  p.max_attempts = 4;
+  return p;
+}
+
+// ---- RetryPolicy math -----------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffDoublesAndClamps) {
+  RetryPolicy p;
+  p.base_timeout = sim::msec(100);
+  p.backoff = 2.0;
+  p.max_timeout = sim::msec(500);
+  p.jitter = 0.0;
+  sim::Rng rng(7);
+  EXPECT_EQ(p.timeout_for(1, rng), sim::msec(100));
+  EXPECT_EQ(p.timeout_for(2, rng), sim::msec(200));
+  EXPECT_EQ(p.timeout_for(3, rng), sim::msec(400));
+  EXPECT_EQ(p.timeout_for(4, rng), sim::msec(500));  // clamped
+  EXPECT_EQ(p.timeout_for(9, rng), sim::msec(500));
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeed) {
+  RetryPolicy p;  // default 20% jitter
+  sim::Rng r1(42), r2(42);
+  for (std::size_t a = 1; a <= 5; ++a) {
+    const auto t1 = p.timeout_for(a, r1);
+    EXPECT_EQ(t1, p.timeout_for(a, r2));  // same seed, same schedule
+    EXPECT_GT(t1, 0);
+  }
+}
+
+TEST(RetryPolicyTest, SingleAttemptDisablesTheLayer) {
+  RetryPolicy p;
+  p.max_attempts = 1;
+  EXPECT_FALSE(p.enabled());
+  p.max_attempts = 2;
+  EXPECT_TRUE(p.enabled());
+}
+
+// ---- retransmission under loss -------------------------------------------
+
+TEST(ReliabilityTest, LossyRunCompletesEveryOpWithExactState) {
+  net::SimFabric::Config fab = Harness::default_fabric_config();
+  fab.loss_probability = 0.3;
+  fab.seed = 99;
+  Harness h(1, 100, {}, fab);
+  auto m = h.make_member(0, 9);
+
+  bool inited = false, killed = false;
+  std::size_t pushes = 0, pulls = 0;
+  m.cm->init_image([&] { inited = true; });
+  for (int i = 0; i < 5; ++i) {
+    m.view->increment(i, 1);
+    m.cm->push_image([&] { ++pushes; });
+    m.cm->pull_image([&] { ++pulls; });
+  }
+  m.cm->kill_image([&] { killed = true; });
+  h.run();
+
+  EXPECT_TRUE(inited);
+  EXPECT_EQ(pushes, 5u);
+  EXPECT_EQ(pulls, 5u);
+  EXPECT_TRUE(killed);
+  // Exactly one unit per cell: retransmitted pushes must not
+  // double-merge (dedup window replays the cached ack).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(h.primary_.cell(i), 1) << "cell " << i;
+  }
+  EXPECT_GE(m.cm->stats().get("op.retry"), 1u);
+  EXPECT_GE(h.fabric_->counters().get("msg.dropped.loss"), 1u);
+  EXPECT_EQ(m.cm->queued_ops(), 0u);
+  EXPECT_FALSE(m.cm->op_in_flight());
+}
+
+// ---- idempotent replay at the directory -----------------------------------
+
+struct Stub : net::Endpoint {
+  std::vector<msg::RegisterAck> register_acks;
+  std::vector<msg::PushAck> push_acks;
+  void on_message(const net::Message& m) override {
+    if (m.type == msg::kRegisterAck) {
+      register_acks.push_back(net::payload_as<msg::RegisterAck>(m));
+    } else if (m.type == msg::kPushAck) {
+      push_acks.push_back(net::payload_as<msg::PushAck>(m));
+    }
+  }
+};
+
+TEST(ReliabilityTest, DuplicatePushReplaysCachedAckWithoutRemerge) {
+  Harness h(1);
+  Stub stub;
+  const net::Address sa{h.hosts_[0], 1};
+  h.fabric_->bind(sa, stub);
+
+  msg::RegisterReq rr;
+  rr.view_name = "kv.View";
+  rr.properties = cells(0, 9);
+  rr.req = 1;
+  h.fabric_->send(sa, h.dir_addr_, msg::kRegisterReq, rr, 64);
+  h.run();
+  ASSERT_EQ(stub.register_acks.size(), 1u);
+  ASSERT_TRUE(stub.register_acks[0].accepted);
+  const ViewId view = stub.register_acks[0].view;
+
+  msg::PushUpdate pu;
+  pu.view = view;
+  pu.image.set_int(inc_key(3), 5);
+  pu.req = 2;
+  // The retransmit carries the identical request id and image.
+  h.fabric_->send(sa, h.dir_addr_, msg::kPushUpdate, pu, 64);
+  h.fabric_->send(sa, h.dir_addr_, msg::kPushUpdate, pu, 64);
+  h.run();
+
+  EXPECT_EQ(h.primary_.cell(3), 5);     // merged once, not twice
+  EXPECT_EQ(h.primary_.merges(), 1u);
+  ASSERT_EQ(stub.push_acks.size(), 2u);  // both sends were answered
+  EXPECT_EQ(stub.push_acks[0].version, stub.push_acks[1].version);
+  EXPECT_EQ(stub.push_acks[0].req, 2u);
+  EXPECT_EQ(stub.push_acks[1].req, 2u);
+  EXPECT_EQ(h.directory_->stats().get("msg.duplicate.replayed"), 1u);
+}
+
+TEST(ReliabilityTest, DuplicateRegisterReplaysTheSameViewId) {
+  Harness h(1);
+  Stub stub;
+  const net::Address sa{h.hosts_[0], 1};
+  h.fabric_->bind(sa, stub);
+
+  msg::RegisterReq rr;
+  rr.view_name = "kv.View";
+  rr.properties = cells(0, 9);
+  rr.req = 1;
+  h.fabric_->send(sa, h.dir_addr_, msg::kRegisterReq, rr, 64);
+  h.run();
+  h.fabric_->send(sa, h.dir_addr_, msg::kRegisterReq, rr, 64);
+  h.run();
+
+  ASSERT_EQ(stub.register_acks.size(), 2u);
+  EXPECT_EQ(stub.register_acks[0].view, stub.register_acks[1].view);
+  EXPECT_EQ(h.directory_->registered_count(), 1u);
+  // A replay is NOT a supersede: the original registration stands.
+  EXPECT_EQ(h.directory_->stats().get("op.register.superseded"), 0u);
+  EXPECT_EQ(h.directory_->stats().get("msg.duplicate.replayed"), 1u);
+}
+
+TEST(ReliabilityTest, RetransmitDuringFetchRoundIsDroppedInProgress) {
+  DirectoryManager::Config dcfg;
+  dcfg.fetch_timeout = sim::msec(500);
+  dcfg.command_retries = 2;
+  Harness h(2, 100, dcfg);
+
+  CacheManager::Config fast;
+  fast.retry = fast_retry();  // 50 ms base << 500 ms round
+  fast.validity_trigger = "false";  // every pull demand-fetches
+  auto a = h.make_member(0, 9, fast);
+  auto b = h.make_member(0, 9);
+  a.cm->init_image();
+  b.cm->init_image();
+  h.run();
+
+  // B crashes silently: the fetch round can only settle by timeout,
+  // during which A retransmits its pull (same request id).
+  b.cm->halt();
+  bool pulled = false;
+  a.cm->pull_image([&] { pulled = true; });
+  h.run();
+
+  EXPECT_TRUE(pulled);
+  EXPECT_GE(a.cm->stats().get("op.retry"), 1u);
+  EXPECT_GE(h.directory_->stats().get("msg.duplicate.dropped"), 1u);
+  EXPECT_EQ(h.directory_->stats().get("op.fetch.timeout"), 1u);
+  // The directory also re-sent the fetch command into the void.
+  EXPECT_GE(h.directory_->stats().get("op.fetch.retry"), 1u);
+}
+
+TEST(ReliabilityTest, DuplicateFetchCommandsAreDroppedWhileDeferred) {
+  DirectoryManager::Config dcfg;
+  dcfg.fetch_timeout = sim::msec(500);
+  dcfg.command_retries = 2;
+  Harness h(2, 100, dcfg);
+
+  CacheManager::Config vcfg;
+  vcfg.validity_trigger = "false";
+  auto a = h.make_member(0, 9, vcfg);
+  auto b = h.make_member(0, 9);
+  a.cm->init_image();
+  b.cm->init_image();
+  h.run();
+
+  // B is inside its use section: the fetch is deferred. The directory's
+  // command retries (paced at fetch_timeout/3) land while deferred and
+  // must not queue a second serve.
+  b.cm->start_use_image();
+  bool pulled = false;
+  a.cm->pull_image([&] { pulled = true; });
+  h.run_until(h.sim_.now() + sim::msec(400));
+  EXPECT_FALSE(pulled);  // round waiting on B
+  EXPECT_GE(b.cm->stats().get("msg.duplicate.dropped"), 1u);
+  b.cm->end_use_image(false);
+  h.run();
+  EXPECT_TRUE(pulled);
+  EXPECT_EQ(b.cm->stats().get("fetch.served"), 1u);
+  EXPECT_EQ(h.directory_->stats().get("op.fetch.timeout"), 0u);
+}
+
+// ---- liveness heartbeats --------------------------------------------------
+
+TEST(ReliabilityTest, LivenessSweepEvictsSilentlyCrashedView) {
+  DirectoryManager::Config dcfg;
+  dcfg.liveness_timeout = sim::seconds(1);
+  Harness h(2, 100, dcfg);
+
+  CacheManager::Config hb;
+  hb.heartbeat_interval = sim::msec(200);
+  auto a = h.make_member(0, 9, hb);
+  auto b = h.make_member(10, 19, hb);
+  a.cm->init_image();
+  b.cm->init_image();
+  h.run();
+  ASSERT_EQ(h.directory_->registered_count(), 2u);
+
+  b.cm->halt();  // silent crash: heartbeats stop, no kill handshake
+  h.run_until(h.sim_.now() + sim::seconds(3));
+
+  EXPECT_EQ(h.directory_->registered_count(), 1u);
+  EXPECT_EQ(h.directory_->stats().get("view.evicted.liveness"), 1u);
+  EXPECT_TRUE(a.cm->registered());  // heartbeats kept A alive
+  EXPECT_GE(h.directory_->stats().get("heartbeat.received"), 2u);
+}
+
+TEST(ReliabilityTest, HeartbeatAgainstRestartedDirectoryReconnects) {
+  Harness h(1);
+  CacheManager::Config hb;
+  hb.heartbeat_interval = sim::msec(200);
+  hb.retry = fast_retry();
+  auto a = h.make_member(0, 9, hb);
+  a.cm->init_image();
+  h.run();
+
+  // The directory restarts with an empty registry; the next heartbeat
+  // is answered with known=false and the cache manager re-registers on
+  // its own.
+  h.directory_.reset();  // unbind the old incarnation first
+  h.directory_ = std::make_unique<DirectoryManager>(*h.fabric_, h.dir_addr_,
+                                                    h.primary_);
+  h.run_until(h.sim_.now() + sim::seconds(2));
+  h.run();
+
+  EXPECT_GE(a.cm->stats().get("heartbeat.lost_registration"), 1u);
+  EXPECT_GE(a.cm->stats().get("reconnect"), 1u);
+  EXPECT_TRUE(a.cm->registered());
+  EXPECT_TRUE(a.cm->valid());
+  EXPECT_EQ(h.directory_->registered_count(), 1u);
+}
+
+TEST(ReliabilityTest, MissedHeartbeatAcksTriggerFailoverReconnect) {
+  Harness h(1);
+  CacheManager::Config hb;
+  hb.heartbeat_interval = sim::msec(100);
+  hb.heartbeat_miss_limit = 2;
+  hb.retry = fast_retry();
+  auto a = h.make_member(0, 9, hb);
+  a.cm->init_image();
+  h.run();
+
+  // The directory endpoint goes dark (process hang): acks stop.
+  h.fabric_->unbind(h.dir_addr_);
+  h.run_until(h.sim_.now() + sim::seconds(1));
+  EXPECT_GE(a.cm->stats().get("heartbeat.failover"), 1u);
+  EXPECT_FALSE(a.cm->registered());  // reconnect in progress, no answer
+
+  // It comes back; the daemon-paced register retry finds it.
+  h.fabric_->bind(h.dir_addr_, *h.directory_);
+  h.run_until(h.sim_.now() + sim::seconds(1));
+  h.run();
+  EXPECT_TRUE(a.cm->registered());
+  EXPECT_TRUE(a.cm->valid());
+  EXPECT_GE(h.directory_->stats().get("op.register.superseded"), 1u);
+}
+
+// ---- fail-safe reconnect --------------------------------------------------
+
+TEST(ReliabilityTest, NackedInFlightOpReconnectsAndStillCompletes) {
+  Harness h(1);
+  CacheManager::Config cfg;
+  cfg.retry = fast_retry();
+  auto a = h.make_member(0, 9, cfg);
+  a.cm->init_image();
+  h.run();
+
+  // Restart the directory; A's next pull hits an unknown-view nack and
+  // must recover without burning its whole retry budget.
+  h.directory_.reset();  // unbind the old incarnation first
+  h.directory_ = std::make_unique<DirectoryManager>(*h.fabric_, h.dir_addr_,
+                                                    h.primary_);
+  bool pulled = false;
+  a.cm->pull_image([&] { pulled = true; });
+  h.run();
+
+  EXPECT_TRUE(pulled);
+  EXPECT_GE(a.cm->stats().get("op.nack"), 1u);
+  EXPECT_GE(a.cm->stats().get("op.reissued"), 1u);
+  EXPECT_TRUE(a.cm->registered());
+  EXPECT_EQ(h.directory_->registered_count(), 1u);
+  EXPECT_EQ(h.directory_->stats().get("op.nack.sent"), 1u);
+}
+
+TEST(ReliabilityTest, ManualReconnectReissuesAbandonedInFlightOp) {
+  Harness h(1);
+  auto a = h.make_member(0, 9);
+  a.cm->init_image();
+  h.run();
+
+  bool pulled = false, reconnected = false;
+  a.cm->pull_image([&] { pulled = true; });  // in flight immediately
+  ASSERT_TRUE(a.cm->op_in_flight());
+  a.cm->reconnect([&] { reconnected = true; });
+  h.run();
+
+  // The abandoned pull was re-issued, not silently dropped: both
+  // completions fire.
+  EXPECT_TRUE(reconnected);
+  EXPECT_TRUE(pulled);
+  EXPECT_EQ(a.cm->stats().get("op.reissued"), 1u);
+  EXPECT_EQ(a.cm->queued_ops(), 0u);
+  EXPECT_FALSE(a.cm->op_in_flight());
+}
+
+TEST(ReliabilityTest, RetryExhaustionFailsOverAndRecoversAfterHeal) {
+  Harness h(1);
+  CacheManager::Config cfg;
+  cfg.retry = fast_retry();  // 4 attempts, 50..200 ms
+  auto a = h.make_member(0, 9, cfg);
+  a.cm->init_image();
+  h.run();
+
+  h.fabric_->partition({a.cm->address()}, {h.dir_addr_});
+  bool pulled = false;
+  a.cm->pull_image([&] { pulled = true; });
+  h.run_until(h.sim_.now() + sim::seconds(2));
+  EXPECT_FALSE(pulled);
+  EXPECT_GE(a.cm->stats().get("op.failover"), 1u);  // budget exhausted
+
+  h.fabric_->heal();
+  h.run_until(h.sim_.now() + sim::seconds(2));
+  h.run();
+  EXPECT_TRUE(pulled);  // re-issued through the reconnect
+  EXPECT_GE(a.cm->stats().get("op.reissued"), 1u);
+  EXPECT_TRUE(a.cm->registered());
+  EXPECT_EQ(a.cm->queued_ops(), 0u);
+  EXPECT_FALSE(a.cm->op_in_flight());
+}
+
+TEST(ReliabilityTest, HaltedManagerIsInertAndCompletionsNeverFire) {
+  Harness h(1);
+  auto a = h.make_member(0, 9);
+  a.cm->init_image();
+  h.run();
+
+  bool fired = false;
+  a.cm->pull_image([&] { fired = true; });
+  a.cm->halt();
+  h.run();
+  EXPECT_TRUE(a.cm->halted());
+  EXPECT_FALSE(fired);  // silent crash: no completion, no error path
+  EXPECT_EQ(a.cm->queued_ops(), 0u);
+  EXPECT_FALSE(a.cm->op_in_flight());
+
+  // Every later API call is ignored.
+  a.cm->pull_image([&] { fired = true; });
+  a.cm->reconnect([&] { fired = true; });
+  h.run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace flecc::core

@@ -161,16 +161,21 @@ class KvView : public ViewAdapter {
 /// LAN harness: directory on the last host, views on the others.
 class Harness {
  public:
+  static net::SimFabric::Config default_fabric_config() {
+    net::SimFabric::Config cfg;
+    cfg.per_message_overhead = sim::usec(10);
+    return cfg;
+  }
+
   explicit Harness(std::size_t max_views, std::int64_t n_cells = 100,
-                   DirectoryManager::Config dir_cfg = {})
+                   DirectoryManager::Config dir_cfg = {},
+                   net::SimFabric::Config fab_cfg = default_fabric_config())
       : primary_(n_cells) {
     std::vector<net::NodeId> hosts;
     net::LinkSpec link;
     link.latency = sim::usec(200);
     auto topo = net::Topology::lan(max_views + 1, link, &hosts);
-    net::SimFabric::Config cfg;
-    cfg.per_message_overhead = sim::usec(10);
-    fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo), cfg);
+    fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo), fab_cfg);
     dir_addr_ = net::Address{hosts.back(), 1};
     hosts_ = hosts;
     directory_ = std::make_unique<DirectoryManager>(*fabric_, dir_addr_,

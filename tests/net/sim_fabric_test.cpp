@@ -183,5 +183,62 @@ TEST_F(Fixture, TraceRecorderCapturesDeliveries) {
   EXPECT_NE(trace.to_string().find("t.traced"), std::string::npos);
 }
 
+TEST_F(Fixture, PartitionBlocksCrossTrafficBothWays) {
+  Recorder ra, rb;
+  fabric->bind(a, ra);
+  fabric->bind(b, rb);
+  fabric->partition({a}, {b});
+  EXPECT_TRUE(fabric->partitioned());
+
+  fabric->send(a, b, "t.ab", 0, 8);
+  fabric->send(b, a, "t.ba", 0, 8);
+  sim.run();
+  EXPECT_TRUE(ra.received.empty());
+  EXPECT_TRUE(rb.received.empty());
+  EXPECT_EQ(fabric->counters().get("msg.dropped.partition"), 2u);
+}
+
+TEST_F(Fixture, PartitionAllowsSameSideTraffic) {
+  // Two endpoints on node a's host are on the same side of the cut.
+  Recorder ra2;
+  const Address a2{a.node, 2};
+  fabric->bind(a2, ra2);
+  fabric->partition({a}, {b});
+
+  fabric->send(a, a2, "t.same_side", 0, 8);
+  sim.run();
+  EXPECT_EQ(ra2.received.size(), 1u);
+  EXPECT_EQ(fabric->counters().get("msg.dropped.partition"), 0u);
+}
+
+TEST_F(Fixture, HealRestoresDelivery) {
+  Recorder rb;
+  fabric->bind(b, rb);
+  fabric->partition({a}, {b});
+  fabric->send(a, b, "t.lost", 0, 8);
+  sim.run();
+  EXPECT_TRUE(rb.received.empty());
+
+  fabric->heal();
+  EXPECT_FALSE(fabric->partitioned());
+  fabric->send(a, b, "t.after_heal", 0, 8);
+  sim.run();
+  ASSERT_EQ(rb.received.size(), 1u);
+  EXPECT_EQ(rb.received[0].type, "t.after_heal");
+}
+
+TEST_F(Fixture, RepartitionReplacesPreviousCut) {
+  Recorder ra, rb;
+  fabric->bind(a, ra);
+  fabric->bind(b, rb);
+  fabric->partition({a}, {b});
+  // A second call replaces the cut (it does not accumulate).
+  fabric->partition({b}, {a});
+  fabric->send(a, b, "t.still_cut", 0, 8);
+  sim.run();
+  EXPECT_TRUE(rb.received.empty());
+  EXPECT_EQ(fabric->counters().get("msg.dropped.partition"), 1u);
+}
+
 }  // namespace
 }  // namespace flecc::net
