@@ -17,13 +17,18 @@
 //     (bounded below by the former, above by the sum),
 //   * two runs with the same seed produce bit-identical output.
 //
-// Emits the aggregated reliability counters as chaos_soak.csv.
+// Emits the aggregated reliability counters as chaos_soak.csv. With
+// `--trace out.jsonl` the first run also records an obs protocol trace
+// (readable with tools/flecc_trace); the recorder is attached to the
+// first run only so the two-run determinism check stays meaningful.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 
 #include "airline/testbed.hpp"
+#include "obs/trace_io.hpp"
 
 using namespace flecc;
 using airline::FleccTestbed;
@@ -52,8 +57,9 @@ bool is_crashed(std::size_t i) {
 
 /// One full soak; returns the printable result (counters + summary) so
 /// the driver can compare two same-seed runs bit for bit.
-std::string run_soak(std::uint64_t seed) {
+std::string run_soak(std::uint64_t seed, obs::TraceRecorder* trace = nullptr) {
   TestbedOptions opts;
+  opts.trace = trace;
   opts.n_agents = kAgents;
   opts.group_size = 10;
   opts.flights_per_group = 5;
@@ -172,16 +178,48 @@ std::string run_soak(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace out.jsonl]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("# Chaos soak — %zu agents, 10%% loss, partition of agents "
               "[%zu,%zu], crashes {%zu,%zu}\n",
               kAgents, kPartitionLo, kPartitionHi, kCrashed[0], kCrashed[1]);
 
   const std::uint64_t seed = 0xc0a5;
-  const std::string first = run_soak(seed);
+  obs::TraceRecorder recorder;
+  const bool tracing = trace_path != nullptr;
+  // The recorder rides along on the first run only; the second stays
+  // bare so the bit-identical comparison proves tracing never perturbs
+  // the protocol.
+  const std::string first = run_soak(seed, tracing ? &recorder : nullptr);
   const std::string second = run_soak(seed);
   SOAK_CHECK(first == second,
              "two same-seed runs diverged: the soak is not deterministic");
+
+  if (tracing) {
+    const auto events = recorder.snapshot();
+    if (!obs::write_jsonl(events, trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path);
+      return 1;
+    }
+    std::printf("# trace: %zu events (%llu recorded, %llu lost to ring "
+                "wraparound) -> %s\n",
+                events.size(),
+                static_cast<unsigned long long>(recorder.total_emitted()),
+                static_cast<unsigned long long>(recorder.total_dropped()),
+                trace_path);
+    if (!obs::kTraceEnabled) {
+      std::printf("# (built with FLECC_TRACE=OFF: the trace is empty)\n");
+    }
+  }
 
   std::printf("%s", first.c_str());
   if (std::FILE* f = std::fopen("chaos_soak.csv", "w")) {

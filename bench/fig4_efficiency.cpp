@@ -15,9 +15,17 @@
 // Expected shape (paper): time-sharing flat and lowest; multicast flat
 // and highest; Flecc grows with the group size and meets multicast when
 // every agent conflicts with every other (group = 100).
+//
+// With `--trace` every Flecc run is executed twice — once bare, once
+// recording an obs trace — and the bench aborts if the two message
+// counts differ: recording must never perturb the protocol. The
+// group=100 trace is written to fig4_trace.jsonl.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "airline/testbed.hpp"
+#include "obs/trace_io.hpp"
 #include "sim/table.hpp"
 
 using namespace flecc;
@@ -31,13 +39,15 @@ constexpr std::size_t kAgents = 100;
 constexpr int kOpsPerAgent = 1;
 
 /// Full lifecycle message count for one protocol at one group size.
-std::uint64_t run_lifecycle(Protocol protocol, std::size_t group_size) {
+std::uint64_t run_lifecycle(Protocol protocol, std::size_t group_size,
+                            obs::TraceRecorder* trace = nullptr) {
   TestbedOptions opts;
   opts.n_agents = kAgents;
   opts.group_size = group_size;
   opts.flights_per_group = 5;
   opts.capacity = 1 << 20;
   opts.mode = core::Mode::kWeak;
+  opts.trace = trace;
   CoherenceTestbed tb(protocol, opts);
 
   tb.connect_all();
@@ -58,7 +68,17 @@ std::uint64_t run_lifecycle(Protocol protocol, std::size_t group_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool tracing = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      tracing = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("# Figure 4 — messages between cache managers and the "
               "directory manager\n");
   std::printf("# %zu agents, %d reserve op(s) each, full lifecycle "
@@ -66,15 +86,41 @@ int main() {
               kAgents, kOpsPerAgent);
 
   sim::Table table({"group_size", "flecc", "time-sharing", "multicast"});
+  obs::TraceRecorder last_trace;
   for (std::size_t g = 10; g <= 100; g += 10) {
-    table.add_row({static_cast<std::int64_t>(g),
-                   run_lifecycle(Protocol::kFlecc, g),
+    const std::uint64_t flecc_msgs = run_lifecycle(Protocol::kFlecc, g);
+    if (tracing) {
+      // Re-run with a recorder attached; the deterministic simulator
+      // must send exactly the same messages with tracing on.
+      obs::TraceRecorder rec;
+      const std::uint64_t traced = run_lifecycle(Protocol::kFlecc, g, &rec);
+      if (traced != flecc_msgs) {
+        std::fprintf(stderr,
+                     "FAIL: tracing perturbed the run at group=%zu: "
+                     "%llu msgs traced vs %llu bare\n",
+                     g, static_cast<unsigned long long>(traced),
+                     static_cast<unsigned long long>(flecc_msgs));
+        return 1;
+      }
+      if (g == 100) last_trace = std::move(rec);
+    }
+    table.add_row({static_cast<std::int64_t>(g), flecc_msgs,
                    run_lifecycle(Protocol::kTimeSharing, g),
                    run_lifecycle(Protocol::kMulticast, g)});
   }
   std::printf("%s", table.to_string().c_str());
   if (table.write_csv("fig4_efficiency.csv")) {
     std::printf("\n# data also written to fig4_efficiency.csv\n");
+  }
+  if (tracing) {
+    std::printf("\n# tracing check passed: message counts identical with "
+                "recording on\n");
+    const auto events = last_trace.snapshot();
+    if (obs::write_jsonl(events, "fig4_trace.jsonl")) {
+      std::printf("# group=100 trace (%zu events) written to "
+                  "fig4_trace.jsonl\n",
+                  events.size());
+    }
   }
 
   std::printf("\n# shape check (paper): time-sharing flat & lowest; "

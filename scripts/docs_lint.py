@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Documentation lint, run as the CI `docs` job.
+
+Checks that the prose reference docs cannot silently drift from the
+headers they document:
+
+1. Every public struct/class in src/core/messages.hpp and src/obs/*.hpp
+   carries a Doxygen-style doc comment (`///` or `/** ... */`).
+2. Every message struct defined in src/core/messages.hpp is mentioned
+   in PROTOCOL.md (the "Message reference" table).
+3. Every EventKind wire name and every exported `trace.*` metric prefix
+   appears in OBSERVABILITY.md.
+
+Exit status 0 = clean, 1 = violations (each printed as file:line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_COMMENT_FILES = [
+    "src/core/messages.hpp",
+    *sorted(str(p.relative_to(REPO)) for p in (REPO / "src/obs").glob("*.hpp")),
+]
+
+# `struct Name {` / `class Name final {` at any nesting; not forward
+# declarations (`struct Name;`) and not `enum class`.
+DECL_RE = re.compile(r"^\s*(?:struct|class)\s+([A-Za-z_]\w*)\b(?!.*;\s*$)")
+
+errors: list[str] = []
+
+
+def check_doc_comments(rel: str) -> list[str]:
+    """Return the undocumented struct/class names declared in `rel`."""
+    lines = (REPO / rel).read_text().splitlines()
+    missing = []
+    for i, line in enumerate(lines):
+        if re.match(r"^\s*enum\b", line):
+            continue
+        m = DECL_RE.match(line)
+        if not m:
+            continue
+        # Walk back over template<>/attribute lines to the nearest
+        # non-blank line; it must close or be a doc comment.
+        j = i - 1
+        while j >= 0 and re.match(r"^\s*(template\s*<|\[\[)", lines[j]):
+            j -= 1
+        prev = lines[j].strip() if j >= 0 else ""
+        if not (prev.startswith("///") or prev.endswith("*/")):
+            missing.append(f"{rel}:{i + 1}: undocumented '{m.group(1)}' "
+                           "(add a /// doc comment)")
+    return missing
+
+
+def struct_names(rel: str) -> list[tuple[str, int]]:
+    names = []
+    for i, line in enumerate((REPO / rel).read_text().splitlines()):
+        if re.match(r"^\s*enum\b", line):
+            continue
+        m = DECL_RE.match(line)
+        if m:
+            names.append((m.group(1), i + 1))
+    return names
+
+
+def main() -> int:
+    for rel in DOC_COMMENT_FILES:
+        errors.extend(check_doc_comments(rel))
+
+    protocol = (REPO / "PROTOCOL.md").read_text()
+    for name, lineno in struct_names("src/core/messages.hpp"):
+        if name not in protocol:
+            errors.append(f"src/core/messages.hpp:{lineno}: struct '{name}' "
+                          "is not mentioned in PROTOCOL.md")
+
+    observability = (REPO / "OBSERVABILITY.md").read_text()
+    trace_hpp = (REPO / "src/obs/trace.hpp").read_text()
+    kind_block = re.search(
+        r"to_string\(EventKind.*?\n\}", trace_hpp, re.DOTALL)
+    if not kind_block:
+        errors.append("src/obs/trace.hpp: cannot find to_string(EventKind)")
+    else:
+        for wire in re.findall(r'return "([a-z_]+)";', kind_block.group(0)):
+            if wire == "unknown":
+                continue
+            if f"`{wire}`" not in observability:
+                errors.append(f"src/obs/trace.hpp: event kind '{wire}' is "
+                              "not documented in OBSERVABILITY.md")
+
+    analysis_cpp = (REPO / "src/obs/analysis.cpp").read_text()
+    for metric in sorted(set(re.findall(r'"(trace\.[a-z_.]+)"', analysis_cpp))):
+        if metric.rstrip(".") not in observability:
+            errors.append(f"src/obs/analysis.cpp: metric '{metric}' is not "
+                          "documented in OBSERVABILITY.md")
+
+    if errors:
+        print(f"docs lint: {len(errors)} problem(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print("docs lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

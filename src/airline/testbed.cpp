@@ -1,6 +1,7 @@
 #include "airline/testbed.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "baselines/flecc_client.hpp"
@@ -19,6 +20,12 @@ const char* to_string(Protocol p) noexcept {
 namespace {
 
 constexpr net::PortId kServicePort = 1;
+
+// Role buffer sizing: the directory and the fabric see every agent's
+// traffic, so they get much deeper rings than the per-agent default
+// (4096). At 100 agents the whole recorder stays around 30 MB.
+constexpr std::size_t kDirTraceCapacity = std::size_t{1} << 17;
+constexpr std::size_t kFabricTraceCapacity = std::size_t{1} << 15;
 
 net::Topology make_lan(std::size_t n_agents, sim::Duration latency,
                        std::vector<net::NodeId>& hosts) {
@@ -50,6 +57,12 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
   db_ = make_db(assignment_, opts_.capacity);
   adapter_ = std::make_unique<FlightDatabaseAdapter>(db_);
 
+  if (opts_.trace != nullptr) {
+    fabric_->set_trace_buffer(
+        opts_.trace->make_buffer("fabric", kFabricTraceCapacity));
+    opts_.dir_cfg.trace = opts_.trace->make_buffer("dm", kDirTraceCapacity);
+  }
+
   const net::Address dir_addr{hosts.back(), kServicePort};
   directory_ = std::make_unique<core::DirectoryManager>(*fabric_, dir_addr,
                                                         *adapter_,
@@ -57,6 +70,9 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
 
   for (std::size_t i = 0; i < opts_.n_agents; ++i) {
     TravelAgent::Config cfg;
+    if (opts_.trace != nullptr) {
+      cfg.trace = opts_.trace->make_buffer("cm." + std::to_string(i));
+    }
     cfg.flights = assignment_.agent_flights[i];
     cfg.mode = opts_.mode;
     cfg.push_trigger = opts_.push_trigger;
@@ -123,6 +139,12 @@ CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
   db_ = make_db(assignment_, opts_.capacity);
   adapter_ = std::make_unique<FlightDatabaseAdapter>(db_);
 
+  if (opts_.trace != nullptr) {
+    fabric_->set_trace_buffer(
+        opts_.trace->make_buffer("fabric", kFabricTraceCapacity));
+    opts_.dir_cfg.trace = opts_.trace->make_buffer("dm", kDirTraceCapacity);
+  }
+
   const net::Address coord_addr{hosts.back(), kServicePort};
   switch (protocol_) {
     case Protocol::kFlecc:
@@ -156,6 +178,9 @@ CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
         cfg.retry = opts_.retry;
         cfg.heartbeat_interval = opts_.heartbeat_interval;
         cfg.heartbeat_miss_limit = opts_.heartbeat_miss_limit;
+        if (opts_.trace != nullptr) {
+          cfg.trace = opts_.trace->make_buffer("cm." + std::to_string(i));
+        }
         clients_.push_back(std::make_unique<baselines::FleccClient>(
             *fabric_, addr, coord_addr, *view, std::move(cfg)));
         break;

@@ -17,6 +17,7 @@
 #include "baselines/time_sharing.hpp"
 #include "core/directory_manager.hpp"
 #include "net/sim_fabric.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace flecc::airline {
@@ -45,6 +46,11 @@ struct TestbedOptions {
   core::RetryPolicy retry{};
   sim::Duration heartbeat_interval = 0;
   std::size_t heartbeat_miss_limit = 3;
+  /// Protocol-event recorder (obs layer, not owned; nullptr disables).
+  /// The testbed creates one buffer per role: "dm" (directory), "fabric"
+  /// (drop events), and "cm.<i>" per agent, so each writer stays
+  /// single-threaded and the merged snapshot is time-ordered.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Full-featured Flecc deployment with TravelAgent drivers (Figures 5-6).

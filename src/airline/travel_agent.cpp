@@ -20,6 +20,7 @@ core::CacheManager::Config make_cm_config(const TravelAgent::Config& cfg,
   out.retry = cfg.retry;
   out.heartbeat_interval = cfg.heartbeat_interval;
   out.heartbeat_miss_limit = cfg.heartbeat_miss_limit;
+  out.trace = cfg.trace;
   return out;
 }
 }  // namespace

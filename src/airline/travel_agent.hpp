@@ -37,6 +37,9 @@ class TravelAgent {
     core::RetryPolicy retry{};
     sim::Duration heartbeat_interval = 0;
     std::size_t heartbeat_miss_limit = 3;
+    /// Protocol-event sink, forwarded to the cache manager (obs layer,
+    /// not owned; nullptr disables).
+    obs::TraceBuffer* trace = nullptr;
   };
 
   using Done = std::function<void()>;

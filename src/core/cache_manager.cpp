@@ -182,6 +182,13 @@ void CacheManager::send_register() {
   req.validity_trigger = cfg_.validity_trigger;
   req.req = register_req_;
   const auto bytes = msg::wire_size(req);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                    register_attempts_ == 1
+                        ? obs::EventKind::kMsgSent
+                        : obs::EventKind::kMsgRetransmitted,
+                    obs::Role::kCacheManager, obs::agent_key(self_),
+                    obs::span_id(self_, register_req_), msg::kRegisterReq,
+                    register_attempts_);
   fabric_.send(self_, directory_, msg::kRegisterReq, std::move(req), bytes);
   if (!cfg_.retry.enabled()) return;
   if (register_attempts_ < cfg_.retry.max_attempts) {
@@ -235,6 +242,9 @@ void CacheManager::enqueue(Op op) {
     if (op.done) op.done();
     return;
   }
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kOpEnqueued,
+                    obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                    op_label(op.kind), queue_.size());
   queue_.push_back(std::move(op));
   pump();
 }
@@ -249,6 +259,11 @@ void CacheManager::pump() {
 void CacheManager::issue(Op& op) {
   ++op.attempts;
   if (op.req == 0) op.req = next_req_++;
+  if (op.attempts == 1) {
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kOpStarted,
+                      obs::Role::kCacheManager, obs::agent_key(self_),
+                      obs::span_id(self_, op.req), op_label(op.kind));
+  }
   switch (op.kind) {
     case OpKind::kInit: {
       msg::InitReq req{id_, op.req};
@@ -309,6 +324,12 @@ void CacheManager::issue(Op& op) {
       break;
     }
   }
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                    op.attempts == 1 ? obs::EventKind::kMsgSent
+                                     : obs::EventKind::kMsgRetransmitted,
+                    obs::Role::kCacheManager, obs::agent_key(self_),
+                    obs::span_id(self_, op.req), op_msg_type(op.kind),
+                    op.attempts);
   cancel_op_timer();
   if (cfg_.retry.enabled()) {
     op_timer_ = fabric_.schedule(
@@ -336,17 +357,34 @@ bool CacheManager::accept_reply(OpKind kind, std::uint64_t req) {
     // A late duplicate of an already-completed exchange (req != 0), or a
     // genuinely unexpected message (req == 0: unframed/forged).
     stats_.inc(req != 0 ? "msg.duplicate.dropped" : "msg.unexpected");
+    if (req != 0) {
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kDedupHit,
+                        obs::Role::kCacheManager, obs::agent_key(self_),
+                        obs::span_id(self_, req), op_reply_type(kind));
+    }
     return false;
   }
   if (current_->kind != kind || (req != 0 && req != current_->req)) {
     stats_.inc(req != 0 ? "msg.stale.dropped" : "msg.unexpected");
+    if (req != 0) {
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kDedupHit,
+                        obs::Role::kCacheManager, obs::agent_key(self_),
+                        obs::span_id(self_, req), op_reply_type(kind));
+    }
     return false;
   }
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                    obs::Role::kCacheManager, obs::agent_key(self_),
+                    obs::span_id(self_, current_->req), op_reply_type(kind));
   return true;
 }
 
 void CacheManager::complete_current() {
   cancel_op_timer();
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kOpCompleted,
+                    obs::Role::kCacheManager, obs::agent_key(self_),
+                    obs::span_id(self_, current_->req),
+                    op_label(current_->kind), current_->attempts);
   Done done = std::move(current_->done);
   current_.reset();
   if (done) done();
@@ -386,6 +424,12 @@ void CacheManager::stop_heartbeats() {
 void CacheManager::heartbeat_tick() {
   heartbeat_timer_ = net::kInvalidTimerId;
   if (!alive_ || !registered_) return;
+  if (heartbeat_unacked_ > 0) {
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                      obs::EventKind::kHeartbeatMiss,
+                      obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                      msg::kHeartbeat, heartbeat_unacked_);
+  }
   if (heartbeat_unacked_ >= cfg_.heartbeat_miss_limit) {
     // The directory stopped answering: assume our registration is gone
     // (it evicts silent views symmetrically) and re-establish it.
@@ -419,6 +463,10 @@ void CacheManager::on_message(const net::Message& m) {
       fabric_.cancel_timer(register_timer_);
       register_timer_ = net::kInvalidTimerId;
     }
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                      obs::Role::kCacheManager, obs::agent_key(self_),
+                      obs::span_id(self_, register_req_), msg::kRegisterAck,
+                      ack.accepted ? 1 : 0);
     if (ack.accepted) {
       registered_ = true;
       id_ = ack.view;
@@ -466,6 +514,9 @@ void CacheManager::on_message(const net::Message& m) {
 
   if (m.type == msg::kInvalidateReq) {
     const auto& req = net::payload_as<msg::InvalidateReq>(m);
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                      obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                      msg::kInvalidateReq, req.epoch);
     if (in_use_) {
       if (deferred_invalidate_epoch_ == req.epoch) {
         stats_.inc("msg.duplicate.dropped");  // retransmitted command
@@ -481,6 +532,9 @@ void CacheManager::on_message(const net::Message& m) {
 
   if (m.type == msg::kFetchReq) {
     const auto& req = net::payload_as<msg::FetchReq>(m);
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                      obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                      msg::kFetchReq, req.token);
     if (in_use_) {
       const bool deferred =
           std::find(deferred_fetch_tokens_.begin(),
@@ -555,6 +609,11 @@ void CacheManager::on_message(const net::Message& m) {
     const auto& ack = net::payload_as<msg::ModeChangeAck>(m);
     if (!accept_reply(OpKind::kModeChange, ack.req)) return;
     mode_ = ack.mode;
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kModeSwitch,
+                      obs::Role::kCacheManager, obs::agent_key(self_),
+                      obs::span_id(self_, ack.req),
+                      mode_ == Mode::kStrong ? "strong" : "weak",
+                      static_cast<std::uint64_t>(mode_));
     if (mode_ == Mode::kStrong) {
       // Must re-acquire before the next use section.
       valid_ = false;
@@ -624,6 +683,9 @@ void CacheManager::serve_invalidate(std::uint64_t epoch) {
   for (const auto& [e, ack] : served_invalidates_) {
     if (e == epoch) {
       stats_.inc("msg.duplicate.replayed");
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kDedupHit,
+                        obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                        msg::kInvalidateReq, epoch, /*replayed=*/1);
       fabric_.send(self_, directory_, msg::kInvalidateAck, ack,
                    msg::wire_size(ack));
       return;
@@ -647,6 +709,9 @@ void CacheManager::serve_invalidate(std::uint64_t epoch) {
     served_invalidates_.pop_front();
   }
   const auto bytes = msg::wire_size(ack);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                    obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                    msg::kInvalidateAck, epoch);
   fabric_.send(self_, directory_, msg::kInvalidateAck, std::move(ack), bytes);
 }
 
@@ -654,6 +719,9 @@ void CacheManager::serve_fetch(std::uint64_t token) {
   for (const auto& [t, reply] : served_fetches_) {
     if (t == token) {
       stats_.inc("msg.duplicate.replayed");
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kDedupHit,
+                        obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                        msg::kFetchReq, token, /*replayed=*/1);
       fabric_.send(self_, directory_, msg::kFetchReply, reply,
                    msg::wire_size(reply));
       return;
@@ -672,6 +740,9 @@ void CacheManager::serve_fetch(std::uint64_t token) {
   served_fetches_.emplace_back(token, reply);
   if (served_fetches_.size() > kServedFetchWindow) served_fetches_.pop_front();
   const auto bytes = msg::wire_size(reply);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                    obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                    msg::kFetchReply, token);
   fabric_.send(self_, directory_, msg::kFetchReply, std::move(reply), bytes);
 }
 
@@ -699,6 +770,10 @@ void CacheManager::poll_triggers() {
       const double t_ms = sim::to_ms(fabric_.now() - last_pull_at_);
       if (pull_trigger_->evaluate(t_ms, vars)) {
         stats_.inc("auto.pull");
+        FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                          obs::EventKind::kTriggerFired,
+                          obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                          "pull", static_cast<std::uint64_t>(t_ms));
         pull_image();
       }
     }
@@ -706,6 +781,10 @@ void CacheManager::poll_triggers() {
       const double t_ms = sim::to_ms(fabric_.now() - last_push_at_);
       if (push_trigger_->evaluate(t_ms, vars)) {
         stats_.inc("auto.push");
+        FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                          obs::EventKind::kTriggerFired,
+                          obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                          "push", static_cast<std::uint64_t>(t_ms));
         push_image();
       }
     }

@@ -36,6 +36,7 @@
 #include "core/reliability.hpp"
 #include "core/types.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "trigger/trigger.hpp"
@@ -64,6 +65,9 @@ class CacheManager : public net::Endpoint {
     sim::Duration heartbeat_interval = 0;
     /// Consecutive unacked heartbeats tolerated before reconnect().
     std::size_t heartbeat_miss_limit = 3;
+    /// Optional protocol trace sink (not owned); nullptr = no tracing.
+    /// See OBSERVABILITY.md for the events this manager emits.
+    obs::TraceBuffer* trace = nullptr;
   };
 
   using Done = std::function<void()>;
@@ -164,6 +168,43 @@ class CacheManager : public net::Endpoint {
 
  private:
   enum class OpKind { kInit, kPull, kPush, kAcquire, kModeChange, kKill };
+
+  /// Trace labels for op lifecycle events ("pull", "acquire", ...).
+  static constexpr const char* op_label(OpKind k) noexcept {
+    switch (k) {
+      case OpKind::kInit: return "init";
+      case OpKind::kPull: return "pull";
+      case OpKind::kPush: return "push";
+      case OpKind::kAcquire: return "acquire";
+      case OpKind::kModeChange: return "mode_change";
+      case OpKind::kKill: return "kill";
+    }
+    return "?";
+  }
+  /// Wire type an op kind sends (trace labels for msg_sent events).
+  static constexpr const char* op_msg_type(OpKind k) noexcept {
+    switch (k) {
+      case OpKind::kInit: return msg::kInitReq;
+      case OpKind::kPull: return msg::kPullReq;
+      case OpKind::kPush: return msg::kPushUpdate;
+      case OpKind::kAcquire: return msg::kAcquireReq;
+      case OpKind::kModeChange: return msg::kModeChangeReq;
+      case OpKind::kKill: return msg::kKillReq;
+    }
+    return "?";
+  }
+  /// Wire type of the reply an op kind awaits (msg_received labels).
+  static constexpr const char* op_reply_type(OpKind k) noexcept {
+    switch (k) {
+      case OpKind::kInit: return msg::kInitReply;
+      case OpKind::kPull: return msg::kPullReply;
+      case OpKind::kPush: return msg::kPushAck;
+      case OpKind::kAcquire: return msg::kAcquireGrant;
+      case OpKind::kModeChange: return msg::kModeChangeAck;
+      case OpKind::kKill: return msg::kKillAck;
+    }
+    return "?";
+  }
 
   struct Op {
     Op(OpKind k, Mode m, Done d)

@@ -60,6 +60,10 @@ void DirectoryManager::on_message(const net::Message& m) {
   // it is still in flight; the eventual reply will reach the sender).
   if (const std::uint64_t rid = request_id_of(m); rid != 0) {
     if (DedupEntry* e = find_dedup(m.from, rid); e != nullptr) {
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kDedupHit,
+                        obs::Role::kDirectory, obs::agent_key(self_),
+                        obs::span_id(m.from, rid), m.type.c_str(),
+                        e->completed ? 1 : 0);
       if (e->completed) {
         stats_.inc("msg.duplicate.replayed");
         fabric_.send(self_, m.from, e->type, e->payload, e->bytes);
@@ -68,6 +72,9 @@ void DirectoryManager::on_message(const net::Message& m) {
       }
       return;
     }
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                      obs::Role::kDirectory, obs::agent_key(self_),
+                      obs::span_id(m.from, rid), m.type.c_str());
   }
 
   if (m.type == msg::kRegisterReq) return handle_register(m);
@@ -190,6 +197,9 @@ void DirectoryManager::reply(const net::Address& to, std::uint64_t req,
       e->bytes = bytes;
     }
   }
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                    obs::Role::kDirectory, obs::agent_key(self_),
+                    obs::span_id(to, req), type);
   fabric_.send(self_, to, type, std::move(payload), bytes);
 }
 
@@ -198,6 +208,9 @@ void DirectoryManager::send_nack(const net::Address& to, ViewId view,
   stats_.inc("op.nack.sent");
   msg::OpNack nack{view, "unknown view (stale registration)", req};
   const auto bytes = msg::wire_size(nack);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                    obs::Role::kDirectory, obs::agent_key(self_),
+                    obs::span_id(to, req), msg::kOpNack, view);
   fabric_.send(self_, to, msg::kOpNack, std::move(nack), bytes);
 }
 
@@ -218,6 +231,11 @@ void DirectoryManager::liveness_sweep() {
   }
   for (const ViewId id : dead) {
     stats_.inc("view.evicted.liveness");
+    FLECC_TRACE_EVENT(cfg_.trace, now, obs::EventKind::kViewEvicted,
+                      obs::Role::kDirectory, obs::agent_key(self_), 0,
+                      views_.at(id).name.c_str(), id,
+                      static_cast<std::uint64_t>(now -
+                                                 views_.at(id).last_seen_at));
     views_.erase(id);
     complete_fetch_or_acquire_for_dead_view(id);
   }
@@ -367,6 +385,12 @@ void DirectoryManager::handle_pull(const net::Message& m) {
       good = rec->validity->evaluate(meta);
     }
     need_fetch = !good;
+    if (need_fetch) {
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                        obs::EventKind::kTriggerFired, obs::Role::kDirectory,
+                        obs::agent_key(self_), obs::span_id(m.from, req.req),
+                        "validity", unseen, req.view);
+    }
   }
   if (cfg_.use_rw_semantics && req.intent == AccessIntent::kReadOnly) {
     // Extension 1 (§6): read-only executions tolerate the primary's
@@ -403,10 +427,14 @@ void DirectoryManager::handle_pull(const net::Message& m) {
   pp.unseen_before = unseen;
   pp.req = req.req;
   pp.resends_left = cfg_.command_retries;
+  FLECC_TRACE_ONLY(pp.span = obs::span_id(m.from, req.req);)
   const std::uint64_t token = pp.token;
   for (const ViewId id : candidates) {
     stats_.inc("op.fetch.sent");
     msg::FetchReq freq{token};
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                      obs::Role::kDirectory, obs::agent_key(self_), pp.span,
+                      msg::kFetchReq, token, id);
     send_to_view(views_.at(id), msg::kFetchReq, freq, msg::wire_size(freq));
   }
   pp.timeout = fabric_.schedule(self_, cfg_.fetch_timeout, [this, token] {
@@ -439,6 +467,10 @@ void DirectoryManager::arm_pull_resend(std::uint64_t token) {
       if (rec == nullptr) continue;
       stats_.inc("op.fetch.retry");
       msg::FetchReq freq{token};
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                        obs::EventKind::kMsgRetransmitted,
+                        obs::Role::kDirectory, obs::agent_key(self_),
+                        it2->second.span, msg::kFetchReq, token, id);
       send_to_view(*rec, msg::kFetchReq, freq, msg::wire_size(freq));
     }
     arm_pull_resend(token);
@@ -584,6 +616,10 @@ void DirectoryManager::handle_fetch_reply(const net::Message& m) {
   const auto& rep = net::payload_as<msg::FetchReply>(m);
   if (auto* src = find(rep.view); src != nullptr) touch(*src);
   auto it = pending_pulls_.find(rep.token);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                    obs::Role::kDirectory, obs::agent_key(self_),
+                    it != pending_pulls_.end() ? it->second.span : 0,
+                    msg::kFetchReply, rep.token, rep.view);
   if (it == pending_pulls_.end()) {
     // The round already settled (timeout, or everyone else answered).
     // If this straggler carries deltas the round never merged, they
@@ -651,6 +687,9 @@ void DirectoryManager::merge_update(const ObjectImage& image, ViewId source,
   last_merge_at_ = fabric_.now();
   log_.record(MergeRecord{version_, source, touched, fabric_.now()});
   stats_.inc("merge.count");
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMergeApplied,
+                    obs::Role::kDirectory, obs::agent_key(self_), 0, "",
+                    version_, source);
   maybe_prune_log();
 
   if (cfg_.notify_on_update) {
@@ -658,6 +697,9 @@ void DirectoryManager::merge_update(const ObjectImage& image, ViewId source,
       if (id == source || !other.active) continue;
       if (!conflicts(source, id)) continue;
       msg::UpdateNotify note{version_};
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                        obs::Role::kDirectory, obs::agent_key(self_), 0,
+                        msg::kUpdateNotify, version_, id);
       send_to_view(other, msg::kUpdateNotify, note, msg::wire_size(note));
       stats_.inc("op.notify.sent");
     }
@@ -701,6 +743,7 @@ void DirectoryManager::start_next_acquire() {
     pa.requester = req.view;
     pa.epoch = next_epoch_++;
     pa.req = req.req;
+    FLECC_TRACE_ONLY(pa.span = obs::span_id(rec->cache_addr, req.req);)
 
     // Read-only acquires under the read/write-semantics extension can
     // share: they do not invalidate other read-only holders. A plain
@@ -724,6 +767,9 @@ void DirectoryManager::start_next_acquire() {
     for (const ViewId id : pa.awaiting) {
       stats_.inc("op.acquire.invalidations");
       msg::InvalidateReq inv{pa.epoch};
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                        obs::Role::kDirectory, obs::agent_key(self_), pa.span,
+                        msg::kInvalidateReq, pa.epoch, id);
       send_to_view(views_.at(id), msg::kInvalidateReq, inv,
                    msg::wire_size(inv));
     }
@@ -771,6 +817,11 @@ void DirectoryManager::arm_acquire_resend(std::uint64_t epoch) {
           if (rec == nullptr) continue;
           stats_.inc("op.invalidate.retry");
           msg::InvalidateReq inv{epoch};
+          FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                            obs::EventKind::kMsgRetransmitted,
+                            obs::Role::kDirectory, obs::agent_key(self_),
+                            acquire_inflight_->span, msg::kInvalidateReq,
+                            epoch, id);
           send_to_view(*rec, msg::kInvalidateReq, inv, msg::wire_size(inv));
         }
         arm_acquire_resend(epoch);
@@ -799,6 +850,13 @@ void DirectoryManager::finish_acquire(PendingAcquire& pa) {
 void DirectoryManager::handle_invalidate_ack(const net::Message& m) {
   const auto& ack = net::payload_as<msg::InvalidateAck>(m);
   if (auto* src = find(ack.view); src != nullptr) touch(*src);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                    obs::Role::kDirectory, obs::agent_key(self_),
+                    acquire_inflight_.has_value() &&
+                            acquire_inflight_->epoch == ack.epoch
+                        ? acquire_inflight_->span
+                        : 0,
+                    msg::kInvalidateAck, ack.epoch, ack.view);
   if (!acquire_inflight_.has_value() ||
       acquire_inflight_->epoch != ack.epoch) {
     // The round already settled. A dirty straggler still carries the
@@ -856,6 +914,11 @@ void DirectoryManager::handle_mode_change(const net::Message& m) {
   touch(*rec);
   note_in_progress(m.from, req.req);
   rec->mode = req.mode;
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kModeSwitch,
+                    obs::Role::kDirectory, obs::agent_key(self_),
+                    obs::span_id(m.from, req.req),
+                    req.mode == Mode::kStrong ? "strong" : "weak",
+                    static_cast<std::uint64_t>(req.mode), req.view);
   if (req.mode == Mode::kWeak) {
     // Leaving strong: surrender exclusivity; the copy stays valid.
     rec->exclusive = false;

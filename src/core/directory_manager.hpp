@@ -37,6 +37,7 @@
 #include "core/static_map.hpp"
 #include "core/types.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "trigger/trigger.hpp"
 
@@ -66,6 +67,9 @@ class DirectoryManager : public net::Endpoint {
     /// 0 disables liveness tracking. Should be several cache-manager
     /// heartbeat intervals.
     sim::Duration liveness_timeout = 0;
+    /// Optional protocol trace sink (not owned); nullptr = no tracing.
+    /// See OBSERVABILITY.md for the events the directory emits.
+    obs::TraceBuffer* trace = nullptr;
   };
 
   DirectoryManager(net::Fabric& fabric, net::Address self,
@@ -144,6 +148,9 @@ class DirectoryManager : public net::Endpoint {
     std::uint64_t req = 0;  // request id to echo in the PullReply
     net::TimerId resend_timer = net::kInvalidTimerId;
     std::size_t resends_left = 0;
+    /// Trace span of the originating pull (obs::span_id of the
+    /// requester's address and req); 0 when tracing is off.
+    std::uint64_t span = 0;
   };
 
   struct PendingAcquire {
@@ -158,6 +165,8 @@ class DirectoryManager : public net::Endpoint {
     std::uint64_t req = 0;  // request id to echo in the AcquireGrant
     net::TimerId resend_timer = net::kInvalidTimerId;
     std::size_t resends_left = 0;
+    /// Trace span of the originating acquire; mirrors PendingPull::span.
+    std::uint64_t span = 0;
   };
 
   /// What a finished fetch/invalidate round leaves behind, kept in a

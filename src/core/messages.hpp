@@ -66,6 +66,7 @@ struct RegisterReq {
   std::uint64_t req = 0;
 };
 
+/// Registration outcome: the assigned view id, or a rejection reason.
 struct RegisterAck {
   ViewId view = kInvalidViewId;
   bool accepted = false;
@@ -78,6 +79,7 @@ struct InitReq {
   ViewId view = kInvalidViewId;
   std::uint64_t req = 0;
 };
+/// The view's first image, scoped to its registered properties.
 struct InitReply {
   ObjectImage image;
   std::uint64_t req = 0;
@@ -90,6 +92,7 @@ struct PullReq {
   AccessIntent intent = AccessIntent::kReadWrite;
   std::uint64_t req = 0;
 };
+/// Fresh image for a pull, after any validity-triggered demand fetches.
 struct PullReply {
   ObjectImage image;
   /// Remote updates the view had not seen before this pull (quality).
@@ -118,6 +121,7 @@ struct PushUpdate {
   /// network has been lossless).
   std::vector<DeltaEcho> echoes;
 };
+/// Confirms a PushUpdate (and its echoes) merged at the primary.
 struct PushAck {
   Version version = 0;
   std::uint64_t req = 0;
@@ -129,6 +133,8 @@ struct AcquireReq {
   AccessIntent intent = AccessIntent::kReadWrite;
   std::uint64_t req = 0;
 };
+/// Grants strong-mode use: conflicting views have been invalidated and
+/// their dirty state merged into the carried image.
 struct AcquireGrant {
   ObjectImage image;
   std::uint64_t req = 0;
@@ -138,6 +144,8 @@ struct AcquireGrant {
 struct InvalidateReq {
   std::uint64_t epoch = 0;
 };
+/// Surrender for an InvalidateReq: the view's final state for this
+/// epoch (fire-and-forget; recovered via DeltaEcho if lost).
 struct InvalidateAck {
   ViewId view = kInvalidViewId;
   std::uint64_t epoch = 0;
@@ -149,6 +157,8 @@ struct InvalidateAck {
 struct FetchReq {
   std::uint64_t token = 0;
 };
+/// Extraction for a FetchReq round (fire-and-forget; recovered via
+/// DeltaEcho if lost).
 struct FetchReply {
   ViewId view = kInvalidViewId;
   std::uint64_t token = 0;
@@ -163,6 +173,7 @@ struct ModeChangeReq {
   Mode mode = Mode::kWeak;
   std::uint64_t req = 0;
 };
+/// Confirms the directory now treats the view under the new mode.
 struct ModeChangeAck {
   Mode mode = Mode::kWeak;
   std::uint64_t req = 0;
@@ -178,6 +189,7 @@ struct KillReq {
   /// As in PushUpdate: last chance to land unconfirmed reply images.
   std::vector<DeltaEcho> echoes;
 };
+/// Confirms teardown: the view is deregistered and its image merged.
 struct KillAck {
   std::uint64_t req = 0;
 };

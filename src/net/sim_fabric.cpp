@@ -32,15 +32,24 @@ void SimFabric::send(Address from, Address to, std::string type,
 
   if (partition_blocks(from.node, to.node)) {
     counters_.inc("msg.dropped.partition");
+    FLECC_TRACE_EVENT(obs_trace_, sim_.now(), obs::EventKind::kMsgDropped,
+                      obs::Role::kFabric, obs::agent_key(from), 0,
+                      type.c_str(), obs::kDropPartition, obs::agent_key(to));
     return;
   }
   if (cfg_.loss_probability > 0.0 && loss_rng_.chance(cfg_.loss_probability)) {
     counters_.inc("msg.dropped.loss");
+    FLECC_TRACE_EVENT(obs_trace_, sim_.now(), obs::EventKind::kMsgDropped,
+                      obs::Role::kFabric, obs::agent_key(from), 0,
+                      type.c_str(), obs::kDropLoss, obs::agent_key(to));
     return;
   }
   const auto route = topology_.route(from.node, to.node);
   if (!route) {
     counters_.inc("msg.dropped.no_route");
+    FLECC_TRACE_EVENT(obs_trace_, sim_.now(), obs::EventKind::kMsgDropped,
+                      obs::Role::kFabric, obs::agent_key(from), 0,
+                      type.c_str(), obs::kDropNoRoute, obs::agent_key(to));
     return;
   }
   const sim::Duration delay =
@@ -61,6 +70,10 @@ void SimFabric::send(Address from, Address to, std::string type,
     auto it = endpoints_.find(msg.to);
     if (it == endpoints_.end()) {
       counters_.inc("msg.dropped.unbound");
+      FLECC_TRACE_EVENT(obs_trace_, sim_.now(), obs::EventKind::kMsgDropped,
+                        obs::Role::kFabric, obs::agent_key(msg.from), 0,
+                        msg.type.c_str(), obs::kDropUnbound,
+                        obs::agent_key(msg.to));
       return;
     }
     ++delivered_;

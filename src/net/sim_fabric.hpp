@@ -14,6 +14,7 @@
 
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -66,6 +67,11 @@ class SimFabric : public Fabric {
   /// Observe every delivered message (nullptr to disable).
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
 
+  /// Protocol-event sink (obs layer, not owned; nullptr disables). The
+  /// fabric contributes msg_dropped events with the drop reason — the
+  /// one protocol fact endpoints cannot see themselves.
+  void set_trace_buffer(obs::TraceBuffer* buffer) { obs_trace_ = buffer; }
+
   /// Loss injection control.
   void set_loss_probability(double p) { cfg_.loss_probability = p; }
 
@@ -108,6 +114,7 @@ class SimFabric : public Fabric {
   std::unordered_map<Address, Endpoint*, AddressHash> endpoints_;
   sim::CounterSet counters_;
   TraceHook trace_;
+  obs::TraceBuffer* obs_trace_ = nullptr;
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;

@@ -1,0 +1,231 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+namespace flecc::obs {
+
+const char* drop_reason_name(std::uint64_t code) {
+  switch (code) {
+    case kDropLoss: return "loss";
+    case kDropPartition: return "partition";
+    case kDropNoRoute: return "no_route";
+    case kDropUnbound: return "unbound";
+    default: return "other";
+  }
+}
+
+TraceSummary summarize(const std::vector<TraceEvent>& events) {
+  TraceSummary s;
+  s.total_events = events.size();
+  // span → (label, started-at) for latency pairing.
+  std::unordered_map<std::uint64_t, std::pair<std::string, sim::Time>> open;
+
+  bool first = true;
+  for (const auto& e : events) {
+    if (first || e.at < s.first_at) s.first_at = e.at;
+    if (first || e.at > s.last_at) s.last_at = e.at;
+    first = false;
+
+    switch (e.kind) {
+      case EventKind::kOpEnqueued:
+        ++s.ops_enqueued;
+        break;
+      case EventKind::kOpStarted:
+        ++s.ops_started;
+        if (e.span != 0) open[e.span] = {e.label, e.at};
+        break;
+      case EventKind::kOpCompleted: {
+        ++s.ops_completed;
+        auto it = open.find(e.span);
+        if (it != open.end()) {
+          s.op_latency_us[it->second.first].add(
+              static_cast<double>(e.at - it->second.second));
+          open.erase(it);
+        }
+        break;
+      }
+      case EventKind::kMsgSent:
+        ++s.msgs_sent;
+        break;
+      case EventKind::kMsgReceived:
+        ++s.msgs_received;
+        break;
+      case EventKind::kMsgDropped:
+        ++s.drops;
+        ++s.drops_by_reason[drop_reason_name(e.a)];
+        break;
+      case EventKind::kMsgRetransmitted:
+        ++s.retransmits;
+        break;
+      case EventKind::kDedupHit:
+        ++s.dedup_hits;
+        break;
+      case EventKind::kHeartbeatMiss:
+        ++s.heartbeat_misses;
+        break;
+      case EventKind::kViewEvicted:
+        ++s.evictions;
+        break;
+      case EventKind::kTriggerFired:
+        ++s.trigger_fires[e.label];
+        break;
+      case EventKind::kMergeApplied:
+        ++s.merges;
+        break;
+      case EventKind::kModeSwitch:
+        ++s.mode_switches;
+        break;
+    }
+  }
+  s.ops_unfinished = open.size();
+  return s;
+}
+
+void export_metrics(const TraceSummary& s, MetricsRegistry& reg) {
+  reg.inc("trace.events", s.total_events);
+  reg.inc("trace.ops.enqueued", s.ops_enqueued);
+  reg.inc("trace.ops.started", s.ops_started);
+  reg.inc("trace.ops.completed", s.ops_completed);
+  reg.inc("trace.ops.unfinished", s.ops_unfinished);
+  reg.inc("trace.msgs.sent", s.msgs_sent);
+  reg.inc("trace.msgs.received", s.msgs_received);
+  reg.inc("trace.msgs.retransmitted", s.retransmits);
+  reg.inc("trace.dedup.hits", s.dedup_hits);
+  reg.inc("trace.msgs.dropped", s.drops);
+  for (const auto& [reason, n] : s.drops_by_reason) {
+    reg.inc("trace.msgs.dropped." + reason, n);
+  }
+  reg.inc("trace.heartbeat.misses", s.heartbeat_misses);
+  reg.inc("trace.views.evicted", s.evictions);
+  reg.inc("trace.merges", s.merges);
+  for (const auto& [label, n] : s.trigger_fires) {
+    reg.inc("trace.trigger.fired." + label, n);
+  }
+  reg.inc("trace.mode.switches", s.mode_switches);
+  for (const auto& [label, lat] : s.op_latency_us) {
+    auto& ss = reg.samples("op." + label + ".latency_us");
+    for (double v : lat.samples()) ss.add(v);
+  }
+}
+
+namespace {
+
+std::string fmt_us(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_report(const TraceSummary& s) {
+  std::ostringstream out;
+  out << "trace: " << s.total_events << " events, "
+      << (s.last_at - s.first_at) << " us span\n\n";
+
+  out << "per-op latency (us):\n";
+  char head[128];
+  std::snprintf(head, sizeof(head), "  %-12s %8s %10s %10s %10s %10s\n",
+                "op", "count", "mean", "p50", "p99", "max");
+  out << head;
+  if (s.op_latency_us.empty()) {
+    out << "  (no completed ops in trace)\n";
+  }
+  for (const auto& [label, lat] : s.op_latency_us) {
+    char row[160];
+    std::snprintf(row, sizeof(row), "  %-12s %8zu %10s %10s %10s %10s\n",
+                  label.c_str(), lat.count(), fmt_us(lat.mean()).c_str(),
+                  fmt_us(lat.quantile(0.5)).c_str(),
+                  fmt_us(lat.quantile(0.99)).c_str(),
+                  fmt_us(lat.quantile(1.0)).c_str());
+    out << row;
+  }
+  if (s.ops_unfinished != 0) {
+    out << "  unfinished ops: " << s.ops_unfinished
+        << " (crashed views or truncated trace)\n";
+  }
+
+  out << "\nops: enqueued=" << s.ops_enqueued << " started=" << s.ops_started
+      << " completed=" << s.ops_completed << "\n";
+  out << "messages: sent=" << s.msgs_sent << " received=" << s.msgs_received
+      << " retransmitted=" << s.retransmits << "\n";
+  out << "dedup hits: " << s.dedup_hits << "\n";
+  out << "drops: " << s.drops;
+  if (!s.drops_by_reason.empty()) {
+    out << " (";
+    bool first = true;
+    for (const auto& [reason, n] : s.drops_by_reason) {
+      if (!first) out << ", ";
+      out << reason << "=" << n;
+      first = false;
+    }
+    out << ")";
+  }
+  out << "\n";
+  out << "heartbeat misses: " << s.heartbeat_misses
+      << "  evictions: " << s.evictions << "  merges: " << s.merges
+      << "  mode switches: " << s.mode_switches << "\n";
+  if (!s.trigger_fires.empty()) {
+    out << "trigger fires:";
+    for (const auto& [label, n] : s.trigger_fires) {
+      out << " " << label << "=" << n;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<SpanInfo> list_spans(const std::vector<TraceEvent>& events) {
+  std::unordered_map<std::uint64_t, SpanInfo> by_span;
+  for (const auto& e : events) {
+    if (e.span == 0) continue;
+    auto& info = by_span[e.span];
+    info.span = e.span;
+    ++info.events;
+    if (e.kind == EventKind::kOpStarted) info.label = e.label;
+  }
+  std::vector<SpanInfo> out;
+  out.reserve(by_span.size());
+  for (auto& [span, info] : by_span) out.push_back(std::move(info));
+  std::sort(out.begin(), out.end(), [](const SpanInfo& x, const SpanInfo& y) {
+    if (x.events != y.events) return x.events > y.events;
+    return x.span < y.span;
+  });
+  return out;
+}
+
+std::string render_sequence(const std::vector<TraceEvent>& events,
+                            std::uint64_t span) {
+  std::vector<TraceEvent> seq;
+  for (const auto& e : events) {
+    if (e.span == span) seq.push_back(e);
+  }
+  std::stable_sort(seq.begin(), seq.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.at < y.at;
+                   });
+  std::ostringstream out;
+  out << "span " << span << ": " << seq.size() << " events\n";
+  if (seq.empty()) {
+    out << "  (span not present in trace)\n";
+    return out.str();
+  }
+  const sim::Time t0 = seq.front().at;
+  for (const auto& e : seq) {
+    const net::Address agent = agent_addr(e.agent);
+    char row[192];
+    std::snprintf(row, sizeof(row),
+                  "  +%8lld us  %-6s %4u:%-4u  %-18s %-22s a=%llu b=%llu\n",
+                  static_cast<long long>(e.at - t0), to_string(e.role),
+                  agent.node, agent.port, to_string(e.kind), e.label,
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out << row;
+  }
+  return out.str();
+}
+
+}  // namespace flecc::obs

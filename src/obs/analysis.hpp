@@ -1,0 +1,76 @@
+// Offline trace analysis: turns a (time-sorted) obs::TraceEvent stream
+// into per-op latency distributions, retransmit/duplicate/drop tallies,
+// and a textual message-sequence view for one span. Used by
+// tools/flecc_trace and by the benches' --trace summaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace flecc::obs {
+
+/// Aggregate view of one trace (see summarize()).
+struct TraceSummary {
+  /// op_started → op_completed latency in microseconds, keyed by op
+  /// label ("pull", "push", "acquire", ...).
+  std::map<std::string, sim::SampleSet> op_latency_us;
+  /// Ops started but never completed (crashed views, truncated trace).
+  std::uint64_t ops_unfinished = 0;
+
+  std::uint64_t ops_enqueued = 0;
+  std::uint64_t ops_started = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t drops = 0;
+  /// Drops by reason name ("loss", "partition", "no_route", "unbound").
+  std::map<std::string, std::uint64_t> drops_by_reason;
+  std::uint64_t heartbeat_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t merges = 0;
+  /// Trigger firings by label ("push", "pull", "validity").
+  std::map<std::string, std::uint64_t> trigger_fires;
+  std::uint64_t mode_switches = 0;
+
+  sim::Time first_at = 0;
+  sim::Time last_at = 0;
+  std::uint64_t total_events = 0;
+};
+
+/// Name for a DropReason code (TraceEvent::a of kMsgDropped).
+[[nodiscard]] const char* drop_reason_name(std::uint64_t code);
+
+/// One pass over the events (any order; latency pairing is by span).
+[[nodiscard]] TraceSummary summarize(const std::vector<TraceEvent>& events);
+
+/// Fold a summary into a MetricsRegistry ("trace." counters plus
+/// "op.<label>.latency_us" distributions).
+void export_metrics(const TraceSummary& s, MetricsRegistry& reg);
+
+/// Render the per-op latency table (count/mean/p50/p99/max, µs) plus
+/// the reliability tallies — flecc_trace's default report.
+[[nodiscard]] std::string render_report(const TraceSummary& s);
+
+/// Spans that appear in the trace, most events first — helps pick a
+/// span for render_sequence(). Each entry: (span, op label, events).
+struct SpanInfo {
+  std::uint64_t span = 0;
+  std::string label;
+  std::size_t events = 0;
+};
+[[nodiscard]] std::vector<SpanInfo> list_spans(
+    const std::vector<TraceEvent>& events);
+
+/// Textual message-sequence view of one operation: every event carrying
+/// `span`, time-ordered, one line per event with role/agent/kind/label.
+[[nodiscard]] std::string render_sequence(const std::vector<TraceEvent>& events,
+                                          std::uint64_t span);
+
+}  // namespace flecc::obs

@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace flecc::obs {
+
+void MetricsRegistry::absorb(const sim::CounterSet& src,
+                             const std::string& prefix) {
+  for (const auto& [name, value] : src.all()) {
+    counters_.inc(prefix + name, value);
+  }
+}
+
+sim::Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                           double hi, std::size_t bins) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(name, sim::Histogram(lo, hi, bins)).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  stats_[name].add(value);
+  samples_[name].add(value);
+  auto it = hists_.find(name);
+  if (it != hists_.end()) it->second.add(value);
+}
+
+const sim::Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_csv() const {
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  for (const auto& [name, value] : counters_.all()) {
+    out << "counter," << name << ",value," << value << "\n";
+  }
+  for (const auto& [name, st] : stats_) {
+    out << "stat," << name << ",count," << st.count() << "\n";
+    out << "stat," << name << ",mean," << fmt(st.mean()) << "\n";
+    out << "stat," << name << ",stddev," << fmt(st.stddev()) << "\n";
+    out << "stat," << name << ",min," << fmt(st.min()) << "\n";
+    out << "stat," << name << ",max," << fmt(st.max()) << "\n";
+  }
+  for (const auto& [name, ss] : samples_) {
+    if (ss.empty()) continue;
+    out << "quantile," << name << ",p50," << fmt(ss.quantile(0.5)) << "\n";
+    out << "quantile," << name << ",p90," << fmt(ss.quantile(0.9)) << "\n";
+    out << "quantile," << name << ",p99," << fmt(ss.quantile(0.99)) << "\n";
+  }
+  return out.str();
+}
+
+bool MetricsRegistry::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::ostringstream out;
+  if (!counters_.all().empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : counters_.all()) {
+      out << "  " << name << " = " << value << "\n";
+    }
+  }
+  for (const auto& [name, ss] : samples_) {
+    if (ss.empty()) continue;
+    out << name << ": n=" << ss.count() << " mean=" << fmt(ss.mean())
+        << " p50=" << fmt(ss.quantile(0.5)) << " p99=" << fmt(ss.quantile(0.99))
+        << " max=" << fmt(ss.quantile(1.0)) << "\n";
+  }
+  for (const auto& [name, h] : hists_) {
+    if (h.total() == 0) continue;
+    out << name << " histogram:\n" << h.to_string() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace flecc::obs

@@ -1,0 +1,76 @@
+// MetricsRegistry: a named bag of counters, streaming stats, exact
+// sample sets and latency histograms, built on sim/stats.hpp. The
+// protocol FSMs keep their lightweight per-instance sim::CounterSet;
+// this registry is the aggregation point where a bench or the trace
+// analyzer rolls per-agent numbers (and trace-derived latencies) into
+// one exportable table. Metric names are dotted paths
+// ("op.pull.latency_us", "net.dropped.loss"); OBSERVABILITY.md lists
+// the canonical names.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/stats.hpp"
+
+namespace flecc::obs {
+
+/// Named counters + distributions with CSV/plaintext export. Not
+/// thread-safe; aggregate after the run.
+class MetricsRegistry {
+ public:
+  // ---- counters -------------------------------------------------------
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counters_.inc(name, by);
+  }
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    return counters_.get(name);
+  }
+  [[nodiscard]] const sim::CounterSet& counters() const noexcept {
+    return counters_;
+  }
+  /// Fold a protocol agent's counter set in, optionally prefixed
+  /// ("cm.7." + name).
+  void absorb(const sim::CounterSet& src, const std::string& prefix = "");
+
+  // ---- distributions --------------------------------------------------
+  /// Streaming moments for `name` (created on first use).
+  sim::RunningStat& stat(const std::string& name) { return stats_[name]; }
+  /// Exact-quantile samples for `name` (created on first use).
+  sim::SampleSet& samples(const std::string& name) { return samples_[name]; }
+  /// Histogram for `name`; [lo, hi) with `bins` linear bins on first
+  /// call, later calls return the existing histogram unchanged.
+  sim::Histogram& histogram(const std::string& name, double lo, double hi,
+                            std::size_t bins);
+  /// Record one observation into stat, samples, and (if it exists)
+  /// histogram of the same name.
+  void observe(const std::string& name, double value);
+
+  [[nodiscard]] const std::map<std::string, sim::RunningStat>& stats()
+      const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const std::map<std::string, sim::SampleSet>& sample_sets()
+      const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const sim::Histogram* find_histogram(
+      const std::string& name) const;
+
+  // ---- export ---------------------------------------------------------
+  /// CSV rows: `kind,name,field,value` (kind in counter|stat|quantile).
+  [[nodiscard]] std::string to_csv() const;
+  bool write_csv(const std::string& path) const;
+  /// Human-readable summary (counters, then distributions with
+  /// count/mean/p50/p99/max).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  sim::CounterSet counters_;
+  std::map<std::string, sim::RunningStat> stats_;
+  std::map<std::string, sim::SampleSet> samples_;
+  std::map<std::string, sim::Histogram> hists_;
+};
+
+}  // namespace flecc::obs

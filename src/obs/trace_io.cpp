@@ -1,0 +1,228 @@
+#include "obs/trace_io.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace flecc::obs {
+
+namespace {
+
+/// Labels are short protocol tags ([a-z._0-9:] in practice), but escape
+/// defensively so arbitrary bytes cannot break the JSONL framing.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+}
+
+/// Minimal scanner for the flat one-line objects this module writes.
+/// Finds `"key":` and returns the raw value token after it (quoted
+/// string contents unescaped for the simple escapes we emit).
+std::optional<std::string> find_field(const std::string& line,
+                                      const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t i = pos + needle.size();
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] == '"') {
+    std::string out;
+    for (++i; i < line.size() && line[i] != '"'; ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        // Decode the escapes append_escaped() emits: \" \\ and \u00XX
+        // (control characters; labels are plain ASCII tags).
+        if (line[i] == 'u' && i + 4 < line.size()) {
+          unsigned code = 0;
+          const auto* first = line.data() + i + 1;
+          const auto [p, ec] = std::from_chars(first, first + 4, code, 16);
+          if (ec != std::errc{} || p != first + 4) return std::nullopt;
+          out += static_cast<char>(code & 0xff);
+          i += 4;
+        } else {
+          out += line[i];
+        }
+      } else {
+        out += line[i];
+      }
+    }
+    if (i >= line.size()) return std::nullopt;  // unterminated string
+    return out;
+  }
+  std::string out;
+  while (i < line.size() && line[i] != ',' && line[i] != '}') {
+    out += line[i++];
+  }
+  while (!out.empty() &&
+         std::isspace(static_cast<unsigned char>(out.back()))) {
+    out.pop_back();
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+template <typename T>
+std::optional<T> parse_uint(const std::string& s) {
+  T v{};
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [p, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || p != last) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<EventKind> parse_kind(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kModeSwitch); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<Role> parse_role(const std::string& name) {
+  for (int r = 0; r <= static_cast<int>(Role::kOther); ++r) {
+    const auto role = static_cast<Role>(r);
+    if (name == to_string(role)) return role;
+  }
+  return std::nullopt;
+}
+
+std::string to_jsonl(const TraceEvent& e) {
+  const net::Address agent = agent_addr(e.agent);
+  std::string out;
+  out.reserve(160);
+  out += "{\"t\":";
+  out += std::to_string(e.at);
+  out += ",\"kind\":\"";
+  out += to_string(e.kind);
+  out += "\",\"role\":\"";
+  out += to_string(e.role);
+  out += "\",\"agent\":\"";
+  out += std::to_string(agent.node);
+  out += ':';
+  out += std::to_string(agent.port);
+  out += "\",\"span\":\"";
+  out += std::to_string(e.span);
+  out += "\",\"label\":\"";
+  append_escaped(out, e.label);
+  out += "\",\"a\":";
+  out += std::to_string(e.a);
+  out += ",\"b\":";
+  out += std::to_string(e.b);
+  out += "}";
+  return out;
+}
+
+std::optional<TraceEvent> from_jsonl(const std::string& line) {
+  const auto t = find_field(line, "t");
+  const auto kind_s = find_field(line, "kind");
+  const auto role_s = find_field(line, "role");
+  const auto agent_s = find_field(line, "agent");
+  const auto span_s = find_field(line, "span");
+  if (!t || !kind_s || !role_s || !agent_s || !span_s) return std::nullopt;
+
+  const auto kind = parse_kind(*kind_s);
+  const auto role = parse_role(*role_s);
+  const auto at = parse_uint<std::uint64_t>(*t);
+  const auto span = parse_uint<std::uint64_t>(*span_s);
+  if (!kind || !role || !at || !span) return std::nullopt;
+
+  const auto colon = agent_s->find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const auto node = parse_uint<std::uint32_t>(agent_s->substr(0, colon));
+  const auto port = parse_uint<std::uint32_t>(agent_s->substr(colon + 1));
+  if (!node || !port) return std::nullopt;
+
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  if (const auto f = find_field(line, "a")) {
+    const auto v = parse_uint<std::uint64_t>(*f);
+    if (!v) return std::nullopt;
+    a = *v;
+  }
+  if (const auto f = find_field(line, "b")) {
+    const auto v = parse_uint<std::uint64_t>(*f);
+    if (!v) return std::nullopt;
+    b = *v;
+  }
+  const auto label = find_field(line, "label");
+
+  return make_event(static_cast<sim::Time>(*at), *kind, *role,
+                    agent_key(net::Address{*node, *port}), *span,
+                    label ? label->c_str() : "", a, b);
+}
+
+bool write_jsonl(const std::vector<TraceEvent>& events,
+                 const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  for (const auto& e : events) f << to_jsonl(e) << "\n";
+  return static_cast<bool>(f);
+}
+
+std::vector<TraceEvent> read_jsonl(std::istream& in, std::size_t* bad_lines) {
+  std::vector<TraceEvent> out;
+  std::size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto e = from_jsonl(line)) {
+      out.push_back(*e);
+    } else {
+      ++bad;
+    }
+  }
+  if (bad_lines != nullptr) *bad_lines = bad;
+  return out;
+}
+
+std::vector<TraceEvent> read_jsonl_file(const std::string& path,
+                                        std::size_t* bad_lines) {
+  std::ifstream f(path);
+  if (!f) {
+    if (bad_lines != nullptr) *bad_lines = 0;
+    return {};
+  }
+  return read_jsonl(f, bad_lines);
+}
+
+std::string to_csv(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "t,kind,role,agent,span,label,a,b\n";
+  for (const auto& e : events) {
+    const net::Address agent = agent_addr(e.agent);
+    out << e.at << ',' << to_string(e.kind) << ',' << to_string(e.role) << ','
+        << agent.node << ':' << agent.port << ',' << e.span << ',' << e.label
+        << ',' << e.a << ',' << e.b << "\n";
+  }
+  return out.str();
+}
+
+bool write_csv(const std::vector<TraceEvent>& events,
+               const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv(events);
+  return static_cast<bool>(f);
+}
+
+}  // namespace flecc::obs

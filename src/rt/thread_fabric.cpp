@@ -128,6 +128,23 @@ void ThreadFabric::count(const std::string& name, std::uint64_t by) {
   counters_.inc(name, by);
 }
 
+void ThreadFabric::trace_drop(const net::Address& from, const net::Address& to,
+                              const std::string& type, std::uint64_t reason) {
+#if FLECC_TRACE_ENABLED
+  if (cfg_.trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  cfg_.trace->emit(obs::make_event(now(), obs::EventKind::kMsgDropped,
+                                   obs::Role::kFabric, obs::agent_key(from),
+                                   0, type.c_str(), reason,
+                                   obs::agent_key(to)));
+#else
+  (void)from;
+  (void)to;
+  (void)type;
+  (void)reason;
+#endif
+}
+
 void ThreadFabric::note_idle_if_done() {
   if (inflight_.fetch_sub(1) == 1) {
     std::lock_guard<std::mutex> lock(idle_mu_);
@@ -160,6 +177,7 @@ void ThreadFabric::send(net::Address from, net::Address to, std::string type,
     }
     if (drop) {
       count("msg.dropped.loss");
+      trace_drop(from, to, type, obs::kDropLoss);
       return;
     }
   }
@@ -179,6 +197,7 @@ void ThreadFabric::send(net::Address from, net::Address to, std::string type,
     const auto route = cfg_.topology->route(from.node, to.node);
     if (!route.has_value()) {
       count("msg.dropped.no_route");
+      trace_drop(from, to, message->type, obs::kDropNoRoute);
       return;
     }
     delay += net::Topology::transfer_delay(*route, bytes);
@@ -189,6 +208,8 @@ void ThreadFabric::send(net::Address from, net::Address to, std::string type,
     auto mb = lookup(message->to);
     if (!mb) {
       count("msg.dropped.unbound");
+      trace_drop(message->from, message->to, message->type,
+                 obs::kDropUnbound);
       note_idle_if_done();
       return;
     }

@@ -27,6 +27,7 @@
 
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 
 namespace flecc::rt {
@@ -48,6 +49,10 @@ class ThreadFabric : public net::Fabric {
     /// order — hence the run — nondeterministic; use SimFabric for
     /// bit-reproducible loss experiments.
     std::uint64_t loss_seed = 1;
+    /// Protocol-event sink (obs layer, not owned; nullptr disables).
+    /// The fabric contributes msg_dropped events; emission is
+    /// serialized internally (sends happen on many threads).
+    obs::TraceBuffer* trace = nullptr;
   };
 
   explicit ThreadFabric(Config cfg);
@@ -123,6 +128,10 @@ class ThreadFabric : public net::Fabric {
   void enqueue_timed(TimedTask task);
   std::shared_ptr<Mailbox> lookup(const net::Address& addr);
   void count(const std::string& name, std::uint64_t by = 1);
+  /// Emit a msg_dropped trace event; serialized under counters_mu_
+  /// because the obs ring is single-writer and sends run on any thread.
+  void trace_drop(const net::Address& from, const net::Address& to,
+                  const std::string& type, std::uint64_t reason);
   void note_idle_if_done();
 
   Config cfg_;

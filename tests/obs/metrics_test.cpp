@@ -1,0 +1,85 @@
+// MetricsRegistry tests: counters, absorb(), distributions, histogram
+// lifecycles, and the CSV/plaintext exports.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace flecc::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry reg;
+  reg.inc("msg.sent");
+  reg.inc("msg.sent", 4);
+  reg.inc("msg.dropped");
+  EXPECT_EQ(reg.counter("msg.sent"), 5u);
+  EXPECT_EQ(reg.counter("msg.dropped"), 1u);
+  EXPECT_EQ(reg.counter("never.touched"), 0u);
+}
+
+TEST(MetricsRegistryTest, AbsorbPrefixesAgentCounters) {
+  sim::CounterSet agent;
+  agent.inc("op.retry", 3);
+  agent.inc("heartbeat.sent", 7);
+  MetricsRegistry reg;
+  reg.absorb(agent, "cm.7.");
+  reg.absorb(agent);  // unprefixed fold-in on top
+  EXPECT_EQ(reg.counter("cm.7.op.retry"), 3u);
+  EXPECT_EQ(reg.counter("cm.7.heartbeat.sent"), 7u);
+  EXPECT_EQ(reg.counter("op.retry"), 3u);
+}
+
+TEST(MetricsRegistryTest, ObserveFeedsStatAndSamples) {
+  MetricsRegistry reg;
+  reg.observe("latency", 10.0);
+  reg.observe("latency", 20.0);
+  reg.observe("latency", 30.0);
+  EXPECT_EQ(reg.stat("latency").count(), 3u);
+  EXPECT_DOUBLE_EQ(reg.stat("latency").mean(), 20.0);
+  EXPECT_DOUBLE_EQ(reg.samples("latency").median(), 20.0);
+}
+
+TEST(MetricsRegistryTest, HistogramCreatedOnceThenReused) {
+  MetricsRegistry reg;
+  sim::Histogram& h = reg.histogram("lat", 0.0, 100.0, 10);
+  EXPECT_EQ(&reg.histogram("lat", 0.0, 999.0, 3), &h);  // params ignored
+  EXPECT_EQ(h.bins(), 10u);
+  EXPECT_EQ(reg.find_histogram("lat"), &h);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+
+  // observe() routes into an existing histogram of the same name.
+  reg.observe("lat", 5.0);
+  reg.observe("lat", 95.0);
+  reg.observe("lat", 400.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(MetricsRegistryTest, CsvHasCounterStatAndQuantileRows) {
+  MetricsRegistry reg;
+  reg.inc("msg.sent", 9);
+  reg.observe("latency", 1.0);
+  reg.observe("latency", 3.0);
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("counter,msg.sent,value,9"), std::string::npos);
+  EXPECT_NE(csv.find("stat,latency,count,2"), std::string::npos);
+  EXPECT_NE(csv.find("quantile,latency,p50,"), std::string::npos);
+  EXPECT_NE(csv.find("quantile,latency,p99,"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ToStringSummarizesBoth) {
+  MetricsRegistry reg;
+  reg.inc("evictions", 2);
+  reg.observe("lat", 4.0);
+  const std::string text = reg.to_string();
+  EXPECT_NE(text.find("evictions"), std::string::npos);
+  EXPECT_NE(text.find("lat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flecc::obs

@@ -1,0 +1,116 @@
+// flecc_trace — offline analyzer for obs JSONL traces.
+//
+// Usage:
+//   flecc_trace <trace.jsonl>                 default report: per-op latency
+//                                             breakdown + reliability tallies
+//   flecc_trace <trace.jsonl> --spans [N]     list the top-N spans (default 20)
+//   flecc_trace <trace.jsonl> --span <id>     message-sequence view of one op
+//   flecc_trace <trace.jsonl> --csv <out>     re-export the events as CSV
+//   flecc_trace <trace.jsonl> --metrics <out> write the summary as a
+//                                             MetricsRegistry CSV
+//
+// Traces come from the benches' --trace flag (chaos_soak, fig4_efficiency)
+// or from any code that writes obs::write_jsonl. See OBSERVABILITY.md for
+// the event vocabulary.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_io.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.jsonl> [--spans [N] | --span <id> | "
+               "--csv <out.csv> | --metrics <out.csv>]\n",
+               argv0);
+  return 2;
+}
+
+int cmd_spans(const std::vector<flecc::obs::TraceEvent>& events,
+              std::size_t limit) {
+  const auto spans = flecc::obs::list_spans(events);
+  std::printf("%-20s %-14s %s\n", "span", "op", "events");
+  std::size_t shown = 0;
+  for (const auto& s : spans) {
+    if (shown++ == limit) break;
+    std::printf("%-20llu %-14s %zu\n",
+                static_cast<unsigned long long>(s.span), s.label.c_str(),
+                s.events);
+  }
+  if (spans.size() > limit) {
+    std::printf("... %zu more (raise the limit: --spans N)\n",
+                spans.size() - limit);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string path = argv[1];
+
+  std::size_t bad_lines = 0;
+  const auto events = flecc::obs::read_jsonl_file(path, &bad_lines);
+  if (events.empty() && bad_lines == 0) {
+    std::fprintf(stderr, "%s: empty or unreadable trace: %s\n", argv[0],
+                 path.c_str());
+    return 1;
+  }
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed line(s)\n",
+                 bad_lines);
+  }
+
+  if (argc == 2) {
+    const auto summary = flecc::obs::summarize(events);
+    std::fputs(flecc::obs::render_report(summary).c_str(), stdout);
+    return 0;
+  }
+
+  const std::string mode = argv[2];
+  if (mode == "--spans") {
+    std::size_t limit = 20;
+    if (argc > 3) limit = static_cast<std::size_t>(std::strtoull(argv[3],
+                                                                 nullptr, 10));
+    return cmd_spans(events, limit);
+  }
+  if (mode == "--span" && argc > 3) {
+    const std::uint64_t span = std::strtoull(argv[3], nullptr, 10);
+    const std::string seq = flecc::obs::render_sequence(events, span);
+    if (seq.empty()) {
+      std::fprintf(stderr, "no events carry span %llu (try --spans)\n",
+                   static_cast<unsigned long long>(span));
+      return 1;
+    }
+    std::fputs(seq.c_str(), stdout);
+    return 0;
+  }
+  if (mode == "--csv" && argc > 3) {
+    if (!flecc::obs::write_csv(events, argv[3])) {
+      std::fprintf(stderr, "cannot write %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("wrote %zu events to %s\n", events.size(), argv[3]);
+    return 0;
+  }
+  if (mode == "--metrics" && argc > 3) {
+    const auto summary = flecc::obs::summarize(events);
+    flecc::obs::MetricsRegistry reg;
+    flecc::obs::export_metrics(summary, reg);
+    if (!reg.write_csv(argv[3])) {
+      std::fprintf(stderr, "cannot write %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", argv[3]);
+    return 0;
+  }
+  return usage(argv[0]);
+}
