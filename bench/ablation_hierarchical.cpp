@@ -60,8 +60,13 @@ struct Net {
       net::LinkSpec lan;
       lan.latency = sim::usec(100);
       for (std::size_t h = 0; h <= kViewsPerDomain; ++h) {
-        const auto n = topo.add_node("d" + std::to_string(d) + "h" +
-                                     std::to_string(h));
+        // Built via append (not operator+ chaining) to dodge the GCC 12
+        // -Wrestrict false positive on rvalue-string concatenation.
+        std::string name = "d";
+        name += std::to_string(d);
+        name += 'h';
+        name += std::to_string(h);
+        const auto n = topo.add_node(name);
         topo.add_link(n, router, lan);
         hosts.push_back(n);
       }

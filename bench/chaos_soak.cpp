@@ -28,6 +28,7 @@
 #include <string>
 
 #include "airline/testbed.hpp"
+#include "obs/monitor/invariant_monitor.hpp"
 #include "obs/trace_io.hpp"
 
 using namespace flecc;
@@ -180,11 +181,15 @@ std::string run_soak(std::uint64_t seed, obs::TraceRecorder* trace = nullptr) {
 
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
+  bool monitor = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--monitor") == 0) {
+      monitor = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace out.jsonl]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace out.jsonl] [--monitor]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -195,16 +200,34 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = 0xc0a5;
   obs::TraceRecorder recorder;
-  const bool tracing = trace_path != nullptr;
+  const bool tracing = trace_path != nullptr || monitor;
+  // The online conformance monitor consumes events inline as they are
+  // emitted; attach it before the run so no buffer exists without the
+  // sink (see TraceRecorder::attach_sink for the ordering contract).
+  obs::monitor::InvariantMonitor checker;
+  if (monitor) recorder.attach_sink(&checker);
   // The recorder rides along on the first run only; the second stays
-  // bare so the bit-identical comparison proves tracing never perturbs
-  // the protocol.
+  // bare so the bit-identical comparison proves tracing (and the
+  // monitor) never perturbs the protocol.
   const std::string first = run_soak(seed, tracing ? &recorder : nullptr);
   const std::string second = run_soak(seed);
   SOAK_CHECK(first == second,
              "two same-seed runs diverged: the soak is not deterministic");
 
-  if (tracing) {
+  if (monitor) {
+    checker.finalize();
+    std::fputs(checker.health_report().c_str(), stdout);
+    obs::MetricsRegistry reg;
+    checker.export_metrics(reg);
+    if (reg.write_prometheus("flecc_metrics.prom")) {
+      std::printf("# monitor metrics -> flecc_metrics.prom\n");
+    }
+    SOAK_CHECK(checker.violations().empty(),
+               "online monitor reported %zu invariant violation(s)",
+               checker.violations().size());
+  }
+
+  if (trace_path != nullptr) {
     const auto events = recorder.snapshot();
     if (!obs::write_jsonl(events, trace_path)) {
       std::fprintf(stderr, "cannot write %s\n", trace_path);

@@ -25,6 +25,7 @@
 #include <cstring>
 
 #include "airline/testbed.hpp"
+#include "obs/monitor/invariant_monitor.hpp"
 #include "obs/trace_io.hpp"
 #include "sim/table.hpp"
 
@@ -70,11 +71,15 @@ std::uint64_t run_lifecycle(Protocol protocol, std::size_t group_size,
 
 int main(int argc, char** argv) {
   bool tracing = false;
+  bool monitor = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       tracing = true;
+    } else if (std::strcmp(argv[i], "--monitor") == 0) {
+      // The monitor rides on the traced re-runs, so it implies --trace.
+      monitor = tracing = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace] [--monitor]\n", argv[0]);
       return 2;
     }
   }
@@ -91,8 +96,12 @@ int main(int argc, char** argv) {
     const std::uint64_t flecc_msgs = run_lifecycle(Protocol::kFlecc, g);
     if (tracing) {
       // Re-run with a recorder attached; the deterministic simulator
-      // must send exactly the same messages with tracing on.
+      // must send exactly the same messages with tracing on. Each group
+      // size is an independent run (fresh addresses and spans), so the
+      // conformance monitor is fresh per group too.
       obs::TraceRecorder rec;
+      obs::monitor::InvariantMonitor checker;
+      if (monitor) rec.attach_sink(&checker);
       const std::uint64_t traced = run_lifecycle(Protocol::kFlecc, g, &rec);
       if (traced != flecc_msgs) {
         std::fprintf(stderr,
@@ -102,6 +111,17 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(flecc_msgs));
         return 1;
       }
+      if (monitor) {
+        checker.finalize();
+        if (!checker.violations().empty()) {
+          std::fprintf(stderr, "FAIL: invariant violations at group=%zu:\n%s",
+                       g, checker.health_report().c_str());
+          return 1;
+        }
+      }
+      // The checker dies with this iteration; drop its registration
+      // before the recorder can outlive it.
+      rec.attach_sink(nullptr);
       if (g == 100) last_trace = std::move(rec);
     }
     table.add_row({static_cast<std::int64_t>(g), flecc_msgs,
@@ -111,6 +131,10 @@ int main(int argc, char** argv) {
   std::printf("%s", table.to_string().c_str());
   if (table.write_csv("fig4_efficiency.csv")) {
     std::printf("\n# data also written to fig4_efficiency.csv\n");
+  }
+  if (monitor) {
+    std::printf("\n# monitor check passed: zero invariant violations at "
+                "every group size\n");
   }
   if (tracing) {
     std::printf("\n# tracing check passed: message counts identical with "

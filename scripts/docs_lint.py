@@ -25,6 +25,8 @@ REPO = Path(__file__).resolve().parent.parent
 DOC_COMMENT_FILES = [
     "src/core/messages.hpp",
     *sorted(str(p.relative_to(REPO)) for p in (REPO / "src/obs").glob("*.hpp")),
+    *sorted(str(p.relative_to(REPO))
+            for p in (REPO / "src/obs/monitor").glob("*.hpp")),
 ]
 
 # `struct Name {` / `class Name final {` at any nesting; not forward
@@ -96,6 +98,14 @@ def main() -> int:
         if metric.rstrip(".") not in observability:
             errors.append(f"src/obs/analysis.cpp: metric '{metric}' is not "
                           "documented in OBSERVABILITY.md")
+
+    monitor_cpp = (REPO / "src/obs/monitor/invariant_monitor.cpp").read_text()
+    for metric in sorted(
+            set(re.findall(r'"(monitor\.[a-z_.0-9]+)"', monitor_cpp))):
+        if metric.rstrip(".") not in observability:
+            errors.append(
+                f"src/obs/monitor/invariant_monitor.cpp: metric '{metric}' "
+                "is not documented in OBSERVABILITY.md")
 
     if errors:
         print(f"docs lint: {len(errors)} problem(s)")

@@ -35,6 +35,8 @@ CacheManager::CacheManager(net::Fabric& fabric, net::Address self,
   if (!cfg_.push_trigger.empty()) push_trigger_.emplace(cfg_.push_trigger);
   if (!cfg_.pull_trigger.empty()) pull_trigger_.emplace(cfg_.pull_trigger);
   fabric_.bind(self_, *this);
+  fabric_.set_clock(self_, &clock_);
+  if (cfg_.trace != nullptr) cfg_.trace->set_clock(&clock_);
   register_req_ = next_req_++;
   send_register();
 }
@@ -49,6 +51,7 @@ CacheManager::~CacheManager() {
     register_timer_ = net::kInvalidTimerId;
   }
   stop_heartbeats();
+  fabric_.set_clock(self_, nullptr);
   fabric_.unbind(self_);
 }
 
@@ -229,6 +232,7 @@ void CacheManager::halt() {
   }
   current_.reset();  // completions are deliberately NOT invoked
   queue_.clear();
+  fabric_.set_clock(self_, nullptr);
   fabric_.unbind(self_);
 }
 
@@ -260,9 +264,10 @@ void CacheManager::issue(Op& op) {
   ++op.attempts;
   if (op.req == 0) op.req = next_req_++;
   if (op.attempts == 1) {
+    // a = our view id: the monitor's agent -> view mapping.
     FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kOpStarted,
                       obs::Role::kCacheManager, obs::agent_key(self_),
-                      obs::span_id(self_, op.req), op_label(op.kind));
+                      obs::span_id(self_, op.req), op_label(op.kind), id_);
   }
   switch (op.kind) {
     case OpKind::kInit: {
@@ -324,12 +329,14 @@ void CacheManager::issue(Op& op) {
       break;
     }
   }
+  // b = 1 when this op carries an extracted dirty image (push always,
+  // kill when dirty): the monitor's exactly-once-merge bookkeeping.
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
                     op.attempts == 1 ? obs::EventKind::kMsgSent
                                      : obs::EventKind::kMsgRetransmitted,
                     obs::Role::kCacheManager, obs::agent_key(self_),
                     obs::span_id(self_, op.req), op_msg_type(op.kind),
-                    op.attempts);
+                    op.attempts, op.image.has_value() ? 1 : 0);
   cancel_op_timer();
   if (cfg_.retry.enabled()) {
     op_timer_ = fabric_.schedule(
@@ -652,6 +659,12 @@ void CacheManager::on_message(const net::Message& m) {
 }
 
 void CacheManager::queue_echo(msg::DeltaEcho e) {
+  if (cfg_.chaos_drop_echoes) {
+    // Mutation-test fault: pretend the echo was queued but lose it, so
+    // the extraction has no second chance if its reply is dropped.
+    stats_.inc("echo.chaos_dropped");
+    return;
+  }
   unconfirmed_echoes_.push_back(std::move(e));
   stats_.inc("echo.queued");
   if (unconfirmed_echoes_.size() > kUnconfirmedEchoWindow) {
@@ -709,9 +722,10 @@ void CacheManager::serve_invalidate(std::uint64_t epoch) {
     served_invalidates_.pop_front();
   }
   const auto bytes = msg::wire_size(ack);
+  // b = dirty: marks an extraction the directory must merge exactly once.
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                     obs::Role::kCacheManager, obs::agent_key(self_), 0,
-                    msg::kInvalidateAck, epoch);
+                    msg::kInvalidateAck, epoch, ack.dirty ? 1 : 0);
   fabric_.send(self_, directory_, msg::kInvalidateAck, std::move(ack), bytes);
 }
 
@@ -740,9 +754,10 @@ void CacheManager::serve_fetch(std::uint64_t token) {
   served_fetches_.emplace_back(token, reply);
   if (served_fetches_.size() > kServedFetchWindow) served_fetches_.pop_front();
   const auto bytes = msg::wire_size(reply);
+  // b = dirty: marks an extraction the directory must merge exactly once.
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                     obs::Role::kCacheManager, obs::agent_key(self_), 0,
-                    msg::kFetchReply, token);
+                    msg::kFetchReply, token, reply.dirty ? 1 : 0);
   fabric_.send(self_, directory_, msg::kFetchReply, std::move(reply), bytes);
 }
 

@@ -68,6 +68,11 @@ class CacheManager : public net::Endpoint {
     /// Optional protocol trace sink (not owned); nullptr = no tracing.
     /// See OBSERVABILITY.md for the events this manager emits.
     obs::TraceBuffer* trace = nullptr;
+    /// Fault-injection knob (monitor mutation tests ONLY): silently
+    /// discard reply echoes instead of queueing them, so a lost
+    /// FetchReply/InvalidateAck loses its extracted deltas for good —
+    /// the exact bug the monitor's I3 (no-lost-update) check catches.
+    bool chaos_drop_echoes = false;
   };
 
   using Done = std::function<void()>;
@@ -315,6 +320,11 @@ class CacheManager : public net::Endpoint {
 
   net::TimerId trigger_timer_ = net::kInvalidTimerId;
   sim::CounterSet stats_;
+  /// Lamport clock for causal trace stamping; registered with the
+  /// fabric (sends tick it, deliveries observe the sender's stamp) and
+  /// with cfg_.trace (events carry its value). No-op when tracing is
+  /// compiled out.
+  obs::CausalClock clock_;
 };
 
 }  // namespace flecc::core

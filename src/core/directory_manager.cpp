@@ -42,6 +42,8 @@ DirectoryManager::DirectoryManager(net::Fabric& fabric, net::Address self,
                                    PrimaryAdapter& primary, Config cfg)
     : fabric_(fabric), self_(self), primary_(primary), cfg_(cfg) {
   fabric_.bind(self_, *this);
+  fabric_.set_clock(self_, &clock_);
+  if (cfg_.trace != nullptr) cfg_.trace->set_clock(&clock_);
   arm_liveness_timer();
 }
 
@@ -49,6 +51,7 @@ DirectoryManager::~DirectoryManager() {
   if (liveness_timer_ != net::kInvalidTimerId) {
     fabric_.cancel_timer(liveness_timer_);
   }
+  fabric_.set_clock(self_, nullptr);
   fabric_.unbind(self_);
 }
 
@@ -539,7 +542,7 @@ void DirectoryManager::process_echoes(
           continue;
         }
         if (const auto* ps = round_props(e.view, pp.target_props)) {
-          merge_update(e.image, e.view, *ps);
+          merge_update(e.image, e.view, *ps, "echo.fetch", e.round, pp.span);
           pp.merged.insert(e.view);
           stats_.inc("echo.merged");
         }
@@ -558,7 +561,7 @@ void DirectoryManager::process_echoes(
           continue;
         }
         if (const auto* ps = round_props(e.view, sit->second.target_props)) {
-          merge_update(e.image, e.view, *ps);
+          merge_update(e.image, e.view, *ps, "echo.fetch", e.round, 0);
           sit->second.merged.insert(e.view);
           stats_.inc("echo.merged");
         }
@@ -578,7 +581,8 @@ void DirectoryManager::process_echoes(
         continue;
       }
       if (const auto* ps = round_props(e.view, pa.target_props)) {
-        merge_update(e.image, e.view, *ps);
+        merge_update(e.image, e.view, *ps, "echo.invalidate", e.round,
+                     pa.span);
         pa.merged.insert(e.view);
         stats_.inc("echo.merged");
       }
@@ -602,7 +606,7 @@ void DirectoryManager::process_echoes(
         continue;
       }
       if (const auto* ps = round_props(e.view, sit->second.target_props)) {
-        merge_update(e.image, e.view, *ps);
+        merge_update(e.image, e.view, *ps, "echo.invalidate", e.round, 0);
         sit->second.merged.insert(e.view);
         stats_.inc("echo.merged");
       }
@@ -629,7 +633,7 @@ void DirectoryManager::handle_fetch_reply(const net::Message& m) {
         sit != settled_pulls_.end() && rep.dirty &&
         sit->second.merged.count(rep.view) == 0) {
       if (const auto* ps = round_props(rep.view, sit->second.target_props)) {
-        merge_update(rep.image, rep.view, *ps);
+        merge_update(rep.image, rep.view, *ps, "late_fetch", rep.token, 0);
         sit->second.merged.insert(rep.view);
         stats_.inc("op.fetch.late.merged");
       }
@@ -648,7 +652,8 @@ void DirectoryManager::handle_fetch_reply(const net::Message& m) {
     // properties snapshotted at round start so a reply from a view
     // liveness-evicted mid-flight still lands.
     if (const auto* ps = round_props(rep.view, it->second.target_props)) {
-      merge_update(rep.image, rep.view, *ps);
+      merge_update(rep.image, rep.view, *ps, "fetch", rep.token,
+                   it->second.span);
       it->second.merged.insert(rep.view);
     }
   }
@@ -674,22 +679,28 @@ void DirectoryManager::handle_push(const net::Message& m) {
   touch(*rec);
   note_in_progress(m.from, req.req);
   process_echoes(req.echoes);
-  merge_update(req.image, req.view, rec->properties);
+  merge_update(req.image, req.view, rec->properties, "push", 0,
+               obs::span_id(m.from, req.req));
   rec->active = true;
   msg::PushAck ack{version_, req.req};
   reply(rec->cache_addr, req.req, msg::kPushAck, ack, msg::wire_size(ack));
 }
 
 void DirectoryManager::merge_update(const ObjectImage& image, ViewId source,
-                                    const props::PropertySet& touched) {
+                                    const props::PropertySet& touched,
+                                    [[maybe_unused]] const char* path,
+                                    [[maybe_unused]] std::uint64_t round,
+                                    [[maybe_unused]] std::uint64_t span) {
   primary_.merge_into_object(image, touched);
   ++version_;
   last_merge_at_ = fabric_.now();
   log_.record(MergeRecord{version_, source, touched, fabric_.now()});
   stats_.inc("merge.count");
+  // label = delivery path, a = fetch token / invalidate epoch (0 for
+  // push/kill), b = source view: the monitor's exactly-once-merge key.
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMergeApplied,
-                    obs::Role::kDirectory, obs::agent_key(self_), 0, "",
-                    version_, source);
+                    obs::Role::kDirectory, obs::agent_key(self_), span, path,
+                    round, source);
   maybe_prune_log();
 
   if (cfg_.notify_on_update) {
@@ -751,12 +762,14 @@ void DirectoryManager::start_next_acquire() {
     // Fig. 2, steps 12-14).
     const bool ro_share =
         cfg_.use_rw_semantics && req.intent == AccessIntent::kReadOnly;
-    for (const auto& [id, other] : views_) {
-      if (id == req.view || !other.active) continue;
-      if (!conflicts(req.view, id)) continue;
-      if (ro_share && !other.exclusive) continue;  // RO can coexist
-      pa.awaiting.insert(id);
-      pa.target_props.emplace(id, other.properties);
+    if (!cfg_.chaos_ignore_conflicts) {
+      for (const auto& [id, other] : views_) {
+        if (id == req.view || !other.active) continue;
+        if (!conflicts(req.view, id)) continue;
+        if (ro_share && !other.exclusive) continue;  // RO can coexist
+        pa.awaiting.insert(id);
+        pa.target_props.emplace(id, other.properties);
+      }
     }
 
     if (pa.awaiting.empty()) {
@@ -866,7 +879,8 @@ void DirectoryManager::handle_invalidate_ack(const net::Message& m) {
         sit != settled_acquires_.end() && ack.dirty &&
         sit->second.merged.count(ack.view) == 0) {
       if (const auto* ps = round_props(ack.view, sit->second.target_props)) {
-        merge_update(ack.image, ack.view, *ps);
+        merge_update(ack.image, ack.view, *ps, "late_invalidate", ack.epoch,
+                     0);
         sit->second.merged.insert(ack.view);
         stats_.inc("op.invalidate.late.merged");
       }
@@ -883,7 +897,8 @@ void DirectoryManager::handle_invalidate_ack(const net::Message& m) {
     // round's property snapshot rather than dropping their deltas.
     if (const auto* ps =
             round_props(ack.view, acquire_inflight_->target_props)) {
-      merge_update(ack.image, ack.view, *ps);
+      merge_update(ack.image, ack.view, *ps, "invalidate", ack.epoch,
+                   acquire_inflight_->span);
       acquire_inflight_->merged.insert(ack.view);
     }
   }
@@ -954,7 +969,8 @@ void DirectoryManager::handle_kill(const net::Message& m) {
   touch(*rec);
   note_in_progress(m.from, req.req);
   if (req.dirty) {
-    merge_update(req.final_image, req.view, rec->properties);
+    merge_update(req.final_image, req.view, rec->properties, "kill", 0,
+                 obs::span_id(m.from, req.req));
   }
   const net::Address addr = rec->cache_addr;
   views_.erase(req.view);

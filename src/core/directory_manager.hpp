@@ -70,6 +70,12 @@ class DirectoryManager : public net::Endpoint {
     /// Optional protocol trace sink (not owned); nullptr = no tracing.
     /// See OBSERVABILITY.md for the events the directory emits.
     obs::TraceBuffer* trace = nullptr;
+    /// Fault-injection knob (monitor mutation tests ONLY): treat every
+    /// pair of views as non-conflicting when arbitrating strong-mode
+    /// acquires, so grants go out without invalidating the previous
+    /// holder — the exact bug the monitor's I1 (STRONG exclusivity)
+    /// check catches.
+    bool chaos_ignore_conflicts = false;
   };
 
   DirectoryManager(net::Fabric& fabric, net::Address self,
@@ -203,8 +209,14 @@ class DirectoryManager : public net::Endpoint {
   ViewRecord* find(ViewId v);
   const ViewRecord* find(ViewId v) const;
   void touch(ViewRecord& rec) { rec.last_seen_at = fabric_.now(); }
+  /// Merge a dirty image into the primary. `path` labels the protocol
+  /// path that delivered the extraction ("push", "kill", "fetch",
+  /// "invalidate", the late_/echo. variants); `round` is the fetch
+  /// token or invalidate epoch (0 for push/kill); `span` the
+  /// originating op's span. All three are trace/monitor metadata only.
   void merge_update(const ObjectImage& image, ViewId source,
-                    const props::PropertySet& touched);
+                    const props::PropertySet& touched, const char* path,
+                    std::uint64_t round, std::uint64_t span);
   void finish_pull(PendingPull& pp);
   void start_next_acquire();
   void finish_acquire(PendingAcquire& pa);
@@ -267,6 +279,9 @@ class DirectoryManager : public net::Endpoint {
   net::TimerId liveness_timer_ = net::kInvalidTimerId;
 
   sim::CounterSet stats_;
+  /// Lamport clock for causal trace stamping; mirrors
+  /// CacheManager::clock_ (see there).
+  obs::CausalClock clock_;
 };
 
 }  // namespace flecc::core

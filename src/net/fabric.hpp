@@ -21,6 +21,10 @@
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
+namespace flecc::obs {
+class CausalClock;
+}  // namespace flecc::obs
+
 namespace flecc::net {
 
 /// A message handler attached to an address.
@@ -66,6 +70,16 @@ class Fabric {
 
   /// Cancel a pending timer; returns true if it had not fired yet.
   virtual bool cancel_timer(TimerId id) = 0;
+
+  /// Register the Lamport clock of the endpoint at `addr` (obs causal
+  /// tracing): sends from `addr` tick it into Message::clock, and
+  /// deliveries to `addr` observe the sender's stamp. nullptr
+  /// unregisters (call before unbind — the fabric does not own the
+  /// clock). Default: fabric does not propagate clocks.
+  virtual void set_clock(const Address& addr, obs::CausalClock* clock) {
+    (void)addr;
+    (void)clock;
+  }
 
   /// Traffic counters: msg.sent.<type>, msg.delivered.<type>,
   /// bytes.sent.<type>, msg.dropped.*.

@@ -21,6 +21,10 @@ struct Message {
   std::string type;
   std::any payload;
   std::size_t bytes = 0;
+  /// Sender's Lamport clock at send time (obs causal tracing); 0 when
+  /// the sender has no clock registered or tracing is compiled out.
+  /// Metadata only — protocol FSMs never read it.
+  std::uint64_t clock = 0;
 };
 
 /// Cast a message payload to its concrete protocol struct.

@@ -23,6 +23,14 @@ void SimFabric::bind(const Address& addr, Endpoint& ep) {
 
 void SimFabric::unbind(const Address& addr) { endpoints_.erase(addr); }
 
+void SimFabric::set_clock(const Address& addr, obs::CausalClock* clock) {
+  if (clock == nullptr) {
+    clocks_.erase(addr);
+  } else {
+    clocks_[addr] = clock;
+  }
+}
+
 void SimFabric::send(Address from, Address to, std::string type,
                      std::any payload, std::size_t bytes) {
   ++sent_;
@@ -64,6 +72,9 @@ void SimFabric::send(Address from, Address to, std::string type,
   msg.type = std::move(type);
   msg.payload = std::move(payload);
   msg.bytes = bytes;
+  if (auto cit = clocks_.find(from); cit != clocks_.end()) {
+    msg.clock = cit->second->tick();
+  }
 
   const sim::Time sent_at = sim_.now();
   sim_.schedule_after(delay, [this, msg = std::move(msg), sent_at]() mutable {
@@ -82,6 +93,9 @@ void SimFabric::send(Address from, Address to, std::string type,
     if (trace_) {
       trace_(TraceEntry{msg.id, msg.from, msg.to, msg.type, msg.bytes,
                         sent_at, sim_.now()});
+    }
+    if (auto cit = clocks_.find(msg.to); cit != clocks_.end()) {
+      cit->second->observe(msg.clock);
     }
     it->second->on_message(msg);
   });

@@ -51,6 +51,7 @@ class SimFabric : public Fabric {
   TimerId schedule_daemon(const Address& owner, sim::Duration delay,
                           std::function<void()> fn) override;
   bool cancel_timer(TimerId id) override;
+  void set_clock(const Address& addr, obs::CausalClock* clock) override;
   [[nodiscard]] sim::CounterSet& counters() override { return counters_; }
   [[nodiscard]] const sim::CounterSet& counters() const override {
     return counters_;
@@ -112,6 +113,7 @@ class SimFabric : public Fabric {
   std::set<NodeId> partition_b_;
   std::unordered_map<LinkId, sim::Time> link_free_at_;
   std::unordered_map<Address, Endpoint*, AddressHash> endpoints_;
+  std::unordered_map<Address, obs::CausalClock*, AddressHash> clocks_;
   sim::CounterSet counters_;
   TraceHook trace_;
   obs::TraceBuffer* obs_trace_ = nullptr;

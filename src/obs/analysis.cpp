@@ -78,6 +78,12 @@ TraceSummary summarize(const std::vector<TraceEvent>& events) {
       case EventKind::kModeSwitch:
         ++s.mode_switches;
         break;
+      case EventKind::kInvariantViolation:
+        ++s.invariant_violations;
+        break;
+      case EventKind::kMonitorWarning:
+        ++s.monitor_warnings;
+        break;
     }
   }
   s.ops_unfinished = open.size();
@@ -105,6 +111,8 @@ void export_metrics(const TraceSummary& s, MetricsRegistry& reg) {
     reg.inc("trace.trigger.fired." + label, n);
   }
   reg.inc("trace.mode.switches", s.mode_switches);
+  reg.inc("trace.invariant.violations", s.invariant_violations);
+  reg.inc("trace.monitor.warnings", s.monitor_warnings);
   for (const auto& [label, lat] : s.op_latency_us) {
     auto& ss = reg.samples("op." + label + ".latency_us");
     for (double v : lat.samples()) ss.add(v);
@@ -127,25 +135,43 @@ std::string render_report(const TraceSummary& s) {
       << (s.last_at - s.first_at) << " us span\n\n";
 
   out << "per-op latency (us):\n";
-  char head[128];
-  std::snprintf(head, sizeof(head), "  %-12s %8s %10s %10s %10s %10s\n",
-                "op", "count", "mean", "p50", "p99", "max");
+  char head[160];
+  std::snprintf(head, sizeof(head), "  %-12s %8s %10s %10s %10s %10s %10s\n",
+                "op", "count", "mean", "p50", "p99", "p99.9", "max");
   out << head;
   if (s.op_latency_us.empty()) {
     out << "  (no completed ops in trace)\n";
   }
   for (const auto& [label, lat] : s.op_latency_us) {
-    char row[160];
-    std::snprintf(row, sizeof(row), "  %-12s %8zu %10s %10s %10s %10s\n",
-                  label.c_str(), lat.count(), fmt_us(lat.mean()).c_str(),
+    char row[192];
+    std::snprintf(row, sizeof(row),
+                  "  %-12s %8zu %10s %10s %10s %10s %10s\n", label.c_str(),
+                  lat.count(), fmt_us(lat.mean()).c_str(),
                   fmt_us(lat.quantile(0.5)).c_str(),
                   fmt_us(lat.quantile(0.99)).c_str(),
+                  fmt_us(lat.quantile(0.999)).c_str(),
                   fmt_us(lat.quantile(1.0)).c_str());
     out << row;
   }
   if (s.ops_unfinished != 0) {
     out << "  unfinished ops: " << s.ops_unfinished
         << " (crashed views or truncated trace)\n";
+  }
+
+  if (!s.op_latency_us.empty()) {
+    out << "\nlatency histogram (log2 buckets, us):\n";
+    for (const auto& [label, lat] : s.op_latency_us) {
+      sim::RunningStat st;
+      for (double v : lat.samples()) st.add(v);
+      out << "  " << label << ":";
+      for (std::size_t i = 0; i < sim::RunningStat::kBuckets; ++i) {
+        if (st.bucket(i) == 0) continue;
+        out << " [" << fmt_us(sim::RunningStat::bucket_lo(i)) << ","
+            << fmt_us(sim::RunningStat::bucket_lo(i + 1)) << ")="
+            << st.bucket(i);
+      }
+      out << "\n";
+    }
   }
 
   out << "\nops: enqueued=" << s.ops_enqueued << " started=" << s.ops_started
@@ -174,6 +200,10 @@ std::string render_report(const TraceSummary& s) {
       out << " " << label << "=" << n;
     }
     out << "\n";
+  }
+  if (s.invariant_violations != 0 || s.monitor_warnings != 0) {
+    out << "monitor findings: violations=" << s.invariant_violations
+        << " warnings=" << s.monitor_warnings << "\n";
   }
   return out.str();
 }

@@ -38,6 +38,10 @@ struct TraceSummary {
   /// Trigger firings by label ("push", "pull", "validity").
   std::map<std::string, std::uint64_t> trigger_fires;
   std::uint64_t mode_switches = 0;
+  /// Monitor findings embedded in the trace (kInvariantViolation /
+  /// kMonitorWarning events emitted by obs::monitor::InvariantMonitor).
+  std::uint64_t invariant_violations = 0;
+  std::uint64_t monitor_warnings = 0;
 
   sim::Time first_at = 0;
   sim::Time last_at = 0;

@@ -63,6 +63,7 @@ std::string MetricsRegistry::to_csv() const {
     out << "quantile," << name << ",p50," << fmt(ss.quantile(0.5)) << "\n";
     out << "quantile," << name << ",p90," << fmt(ss.quantile(0.9)) << "\n";
     out << "quantile," << name << ",p99," << fmt(ss.quantile(0.99)) << "\n";
+    out << "quantile," << name << ",p999," << fmt(ss.quantile(0.999)) << "\n";
   }
   return out.str();
 }
@@ -71,6 +72,69 @@ bool MetricsRegistry::write_csv(const std::string& path) const {
   std::ofstream f(path);
   if (!f) return false;
   f << to_csv();
+  return static_cast<bool>(f);
+}
+
+namespace {
+
+/// "op.pull.latency_us" -> "flecc_op_pull_latency_us"; anything
+/// outside [a-zA-Z0-9_] becomes '_' so exporters never see an
+/// invalid metric name.
+std::string prom_name(const std::string& name) {
+  std::string out = "flecc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_.all()) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, ss] : samples_) {
+    if (ss.empty()) continue;
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " summary\n";
+    out << p << "{quantile=\"0.5\"} " << fmt(ss.quantile(0.5)) << "\n";
+    out << p << "{quantile=\"0.9\"} " << fmt(ss.quantile(0.9)) << "\n";
+    out << p << "{quantile=\"0.99\"} " << fmt(ss.quantile(0.99)) << "\n";
+    out << p << "{quantile=\"0.999\"} " << fmt(ss.quantile(0.999)) << "\n";
+    out << p << "_sum " << fmt(ss.mean() * static_cast<double>(ss.count()))
+        << "\n";
+    out << p << "_count " << ss.count() << "\n";
+  }
+  for (const auto& [name, st] : stats_) {
+    if (samples_.count(name) != 0) continue;  // already a summary
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << fmt(st.mean()) << "\n";
+  }
+  for (const auto& [name, h] : hists_) {
+    if (h.total() == 0) continue;
+    const std::string p = prom_name(name) + "_hist";
+    out << "# TYPE " << p << " histogram\n";
+    std::size_t cum = h.underflow();
+    for (std::size_t i = 0; i < h.bins(); ++i) {
+      cum += h.bin_count(i);
+      out << p << "_bucket{le=\"" << fmt(h.bin_lo(i + 1)) << "\"} " << cum
+          << "\n";
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << h.total() << "\n";
+    out << p << "_count " << h.total() << "\n";
+  }
+  return out.str();
+}
+
+bool MetricsRegistry::write_prometheus(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_prometheus();
   return static_cast<bool>(f);
 }
 

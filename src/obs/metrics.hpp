@@ -60,11 +60,21 @@ class MetricsRegistry {
 
   // ---- export ---------------------------------------------------------
   /// CSV rows: `kind,name,field,value` (kind in counter|stat|quantile).
+  /// Quantile rows are p50/p90/p99/p999 (rows are append-only: new
+  /// quantiles go after the existing ones).
   [[nodiscard]] std::string to_csv() const;
   bool write_csv(const std::string& path) const;
   /// Human-readable summary (counters, then distributions with
   /// count/mean/p50/p99/max).
   [[nodiscard]] std::string to_string() const;
+  /// Prometheus text exposition format (text/plain; version 0.0.4).
+  /// Names get a "flecc_" prefix with dots mapped to underscores;
+  /// counters export as `counter`, sample sets as `summary`
+  /// (p50/p90/p99/p99.9 quantiles plus _sum/_count), stats without a
+  /// sample set as `gauge` (mean), linear histograms as cumulative
+  /// `histogram` buckets. See OBSERVABILITY.md.
+  [[nodiscard]] std::string to_prometheus() const;
+  bool write_prometheus(const std::string& path) const;
 
  private:
   sim::CounterSet counters_;

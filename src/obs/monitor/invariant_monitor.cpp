@@ -1,0 +1,558 @@
+#include "obs/monitor/invariant_monitor.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace flecc::obs::monitor {
+
+namespace {
+
+// Wire-type labels carried by msg_sent/msg_received events. Literal
+// mirrors of core/messages.hpp — the monitor stays below the core
+// layer on purpose (flecc_check links only flecc_obs), and the strings
+// are part of the stable trace format; monitor_protocol_test pins them
+// against the real protocol.
+constexpr const char* kPushUpdate = "flecc.push_update";
+constexpr const char* kKillReq = "flecc.kill_req";
+constexpr const char* kRegisterReq = "flecc.register_req";
+constexpr const char* kInvalidateAck = "flecc.invalidate_ack";
+constexpr const char* kFetchReply = "flecc.fetch_reply";
+constexpr const char* kInvalidateReq = "flecc.invalidate_req";
+constexpr const char* kAcquireGrant = "flecc.acquire_grant";
+
+bool is(const char* label, const char* name) {
+  return std::strcmp(label, name) == 0;
+}
+
+/// How often the op-age watchdog sweeps the pending-op table; a sweep
+/// is O(pending), so amortize it instead of paying it per event.
+constexpr std::uint64_t kAgeSweepPeriod = 1024;
+
+constexpr std::size_t idx(Invariant inv) noexcept {
+  return static_cast<std::size_t>(inv);
+}
+
+const char* metric_slug(Invariant inv) noexcept {
+  switch (inv) {
+    case Invariant::kExclusivity: return "i1";
+    case Invariant::kExactlyOnceMerge: return "i2";
+    case Invariant::kNoLostUpdate: return "i3";
+    case Invariant::kModeQuiescence: return "i4";
+    case Invariant::kCausality: return "causality";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const char* to_string(Invariant inv) noexcept {
+  switch (inv) {
+    case Invariant::kExclusivity: return "I1.exclusivity";
+    case Invariant::kExactlyOnceMerge: return "I2.exactly_once_merge";
+    case Invariant::kNoLostUpdate: return "I3.no_lost_update";
+    case Invariant::kModeQuiescence: return "I4.mode_quiescence";
+    case Invariant::kCausality: return "causality";
+  }
+  return "unknown";
+}
+
+InvariantMonitor::InvariantMonitor(Config cfg) : cfg_(cfg) {}
+
+void InvariantMonitor::on_event(const TraceEvent& e) {
+  // Feedback prevention: the monitor's own findings (possibly emitted
+  // into a buffer this monitor is attached to) are not protocol facts.
+  // Checked before the lock so a same-thread feedback emit cannot
+  // deadlock either.
+  if (e.kind == EventKind::kInvariantViolation ||
+      e.kind == EventKind::kMonitorWarning) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  process(e);
+}
+
+void InvariantMonitor::run(const std::vector<TraceEvent>& events) {
+  for (const auto& e : events) on_event(e);
+  finalize();
+}
+
+void InvariantMonitor::process(const TraceEvent& e) {
+  ++events_seen_;
+  if (e.at > last_at_) last_at_ = e.at;
+
+  // Causality: a Lamport stamp never moves backwards within one agent
+  // (each agent is the single writer of its buffer, so its events
+  // reach the sink in emission order). Stamp 0 means "no clock"
+  // (fabric drop events, FLECC_TRACE=OFF senders, old traces) — skip.
+  if (e.clock != 0) {
+    AgentState& st = agent(e.agent);
+    ++checks_[idx(Invariant::kCausality)];
+    if (e.clock < st.last_clock) {
+      std::ostringstream d;
+      d << "Lamport clock regressed at agent " << e.agent << ": "
+        << e.clock << " after " << st.last_clock;
+      violation(Invariant::kCausality, e, e.span, d.str());
+    } else {
+      st.last_clock = e.clock;
+    }
+  }
+
+  switch (e.role) {
+    case Role::kCacheManager:
+      on_cm_event(e);
+      break;
+    case Role::kDirectory:
+      on_dm_event(e);
+      break;
+    case Role::kFabric:
+    case Role::kOther:
+      break;
+  }
+
+  // Liveness watchdog: ops pending too long (amortized sweep).
+  if (cfg_.max_op_age > 0 && (events_seen_ % kAgeSweepPeriod) == 0) {
+    for (auto& [span, op] : pending_) {
+      if (!op.age_warned && last_at_ - op.started_at > cfg_.max_op_age) {
+        op.age_warned = true;
+        std::ostringstream d;
+        d << "op '" << op.label << "' pending for "
+          << (last_at_ - op.started_at) << " us";
+        Finding f{Invariant::kCausality, last_at_, op.agent, span, d.str()};
+        warnings_.push_back(f);
+        emit_finding(EventKind::kMonitorWarning, f);
+      }
+    }
+  }
+}
+
+void InvariantMonitor::on_cm_event(const TraceEvent& e) {
+  AgentState& st = agent(e.agent);
+  switch (e.kind) {
+    case EventKind::kOpEnqueued: {
+      // A pull requested while the view is still (observably) weak may
+      // legitimately drain after the strong switch ack — FIFO order.
+      if (is(e.label, "pull") && !st.strong) ++st.weak_pull_credits;
+      break;
+    }
+
+    case EventKind::kOpStarted: {
+      if (e.a != 0) {
+        st.view = e.a;
+        view_agent_[e.a] = e.agent;
+      }
+      PendingOp& op = pending_[e.span];
+      op.label = e.label;
+      op.started_at = e.at;
+      op.agent = e.agent;
+      break;
+    }
+
+    case EventKind::kMsgSent:
+    case EventKind::kMsgRetransmitted: {
+      if (e.span != 0) {
+        auto it = pending_.find(e.span);
+        if (it != pending_.end() && it->second.first_send_clock == 0 &&
+            e.clock != 0) {
+          it->second.first_send_clock = e.clock;
+        }
+      }
+      if ((is(e.label, kPushUpdate) || is(e.label, kKillReq)) && e.b == 1 &&
+          e.span != 0) {
+        // b=1: the op carries an extracted dirty image, keyed by span.
+        record_extraction(kNsSpan, 0, e.span, e);
+      } else if (is(e.label, kInvalidateAck)) {
+        // Acking an invalidation surrenders the copy — the view is no
+        // longer an exclusive holder whatever the ack carries.
+        if (st.view != 0) holders_.erase(st.view);
+        if (e.b == 1 && st.view != 0) {
+          record_extraction(kNsInvalidate, e.a, st.view, e);
+        }
+      } else if (is(e.label, kFetchReply) && e.b == 1 && st.view != 0) {
+        record_extraction(kNsFetch, e.a, st.view, e);
+      } else if (is(e.label, kRegisterReq)) {
+        // (Re)registration invalidates the previous incarnation's copy.
+        if (st.view != 0) holders_.erase(st.view);
+      }
+      break;
+    }
+
+    case EventKind::kOpCompleted: {
+      auto it = pending_.find(e.span);
+      const bool known = it != pending_.end();
+      if (known) {
+        op_latency_us_[it->second.label].add(
+            static_cast<double>(e.at - it->second.started_at));
+        // Causality: the completion observes the directory's reply, so
+        // its stamp must be past the directory's first span event.
+        if (e.clock != 0 && it->second.first_dm_clock != 0) {
+          ++checks_[idx(Invariant::kCausality)];
+          if (e.clock <= it->second.first_dm_clock) {
+            std::ostringstream d;
+            d << "op '" << it->second.label << "' completed at clock "
+              << e.clock << ", not after the directory's span clock "
+              << it->second.first_dm_clock;
+            violation(Invariant::kCausality, e, e.span, d.str());
+          }
+        }
+      }
+      const char* label = known ? it->second.label.c_str() : e.label;
+
+      // I4: a completed pull is a weak-mode grant; it must not be
+      // REQUESTED while the view is in STRONG mode (reads there
+      // require an acquire — a pull delivers data without
+      // exclusivity). Pulls already queued when the switch ack landed
+      // drain legitimately (weak_pull_credits); a pull with no
+      // weak-mode enqueue on record was issued after the switch.
+      if (is(label, "pull")) {
+        ++checks_[idx(Invariant::kModeQuiescence)];
+        if (st.weak_pull_credits > 0) {
+          --st.weak_pull_credits;
+        } else if (st.strong) {
+          std::ostringstream d;
+          d << "weak-mode pull for view " << st.view
+            << " issued while in STRONG mode (causally after the switch ack)";
+          violation(Invariant::kModeQuiescence, e, e.span, d.str());
+        }
+      }
+
+      // I3: a completed push/kill confirmed the unconfirmed-echo
+      // snapshot taken when the op was issued — every dirty extraction
+      // this agent made before that point must have merged by now.
+      if ((is(label, "push") || is(label, "kill")) && known) {
+        const sim::Time issued = it->second.started_at;
+        for (auto& [key, ex] : extractions_) {
+          if (ex.agent != e.agent || ex.merges != 0 || ex.reported) continue;
+          if (ex.at >= issued) continue;  // made after the echo snapshot
+          ex.reported = true;
+          std::ostringstream d;
+          d << "dirty extraction from view " << ex.view << " ("
+            << (std::get<0>(key) == kNsFetch
+                    ? "fetch round "
+                    : std::get<0>(key) == kNsInvalidate ? "invalidate epoch "
+                                                        : "op span ")
+            << (std::get<0>(key) == kNsSpan ? std::get<2>(key)
+                                            : std::get<1>(key))
+            << ") never merged, though a later " << label
+            << " completed and should have carried its echo";
+          if (evicted_views_.count(ex.view) != 0) {
+            warning(e, e.span, d.str() + " (view evicted — discarded)");
+          } else {
+            violation(Invariant::kNoLostUpdate, e, e.span, d.str());
+          }
+        }
+      }
+
+      if (is(label, "init") || is(label, "pull") || is(label, "acquire") ||
+          is(label, "push")) {
+        st.last_sync_at = e.at;
+      }
+      if (known) pending_.erase(it);
+      break;
+    }
+
+    case EventKind::kModeSwitch: {
+      // Entering strong invalidates the copy; leaving strong
+      // surrenders exclusivity. Either way the view stops holding.
+      st.strong = is(e.label, "strong");
+      if (st.view != 0) holders_.erase(st.view);
+      break;
+    }
+
+    case EventKind::kHeartbeatMiss: {
+      const std::uint64_t streak = e.a;
+      if (cfg_.heartbeat_warn_streak != 0 &&
+          streak >= cfg_.heartbeat_warn_streak &&
+          st.hb_streak < cfg_.heartbeat_warn_streak) {
+        std::ostringstream d;
+        d << "view " << st.view << ": " << streak
+          << " consecutive unacked heartbeats";
+        warning(e, 0, d.str());
+      }
+      st.hb_streak = streak;
+      break;
+    }
+
+    default:
+      break;
+  }
+}
+
+void InvariantMonitor::on_dm_event(const TraceEvent& e) {
+  if (e.span != 0) check_span_causality(e);
+
+  switch (e.kind) {
+    case EventKind::kMsgSent:
+    case EventKind::kMsgRetransmitted: {
+      if (is(e.label, kInvalidateReq)) {
+        // b = target view: the directory is doing its invalidation
+        // duty for this holder before the next grant.
+        auto it = holders_.find(e.b);
+        if (it != holders_.end()) it->second.invalidated_since_grant = true;
+      } else if (is(e.label, kAcquireGrant)) {
+        auto pit = pending_.find(e.span);
+        const std::uint64_t requester =
+            pit != pending_.end() ? agent(pit->second.agent).view : 0;
+        if (requester != 0) {
+          ++checks_[idx(Invariant::kExclusivity)];
+          if (cfg_.assume_conflicting) {
+            for (const auto& [view, holder] : holders_) {
+              if (view == requester || holder.invalidated_since_grant) {
+                continue;
+              }
+              std::ostringstream d;
+              d << "grant to view " << requester << " while view " << view
+                << " (granted at " << holder.granted_at
+                << " us) still holds a copy the directory never asked to"
+                << " invalidate";
+              violation(Invariant::kExclusivity, e, e.span, d.str());
+            }
+          }
+          // The grant settles the round: previous holders either acked,
+          // were evicted, or timed out (presumed crashed).
+          holders_.clear();
+          holders_[requester] = Holder{false, e.at};
+        }
+      }
+      break;
+    }
+
+    case EventKind::kMergeApplied: {
+      ++checks_[idx(Invariant::kExactlyOnceMerge)];
+      ExtractKey key{};
+      bool keyed = true;
+      if (is(e.label, "push") || is(e.label, "kill")) {
+        if (e.span == 0) keyed = false;  // unframed op: no identity
+        key = {kNsSpan, 0, e.span};
+      } else if (is(e.label, "fetch") || is(e.label, "late_fetch") ||
+                 is(e.label, "echo.fetch")) {
+        key = {kNsFetch, e.a, e.b};
+      } else if (is(e.label, "invalidate") || is(e.label, "late_invalidate") ||
+                 is(e.label, "echo.invalidate")) {
+        key = {kNsInvalidate, e.a, e.b};
+      } else {
+        keyed = false;  // pre-monitor trace without merge-path labels
+      }
+      if (!keyed) break;
+
+      auto [it, inserted] = extractions_.try_emplace(key);
+      Extraction& ex = it->second;
+      if (inserted) {
+        // Merge whose extraction event we never saw (ring-truncated or
+        // partial trace): track it so a second merge still trips I2,
+        // but it cannot support an I3/causality verdict.
+        ex.at = e.at;
+        ex.view = e.b;
+        ex.reported = true;
+        ex.merges = 1;
+        break;
+      }
+      if (ex.merges >= 1) {
+        std::ostringstream d;
+        d << "extraction from view " << ex.view << " (path '" << e.label
+          << "', round " << e.a << ", span " << e.span << ") merged "
+          << (ex.merges + 1) << " times";
+        violation(Invariant::kExactlyOnceMerge, e, e.span, d.str());
+      } else if (ex.clock != 0 && e.clock != 0) {
+        ++checks_[idx(Invariant::kCausality)];
+        if (e.clock <= ex.clock) {
+          std::ostringstream d;
+          d << "merge (path '" << e.label << "') at clock " << e.clock
+            << " not causally after its extraction at clock " << ex.clock;
+          violation(Invariant::kCausality, e, e.span, d.str());
+        }
+      }
+      ++ex.merges;
+      break;
+    }
+
+    case EventKind::kViewEvicted: {
+      evicted_views_.insert(e.a);
+      holders_.erase(e.a);
+      break;
+    }
+
+    case EventKind::kModeSwitch: {
+      // b = view. Leaving strong surrenders exclusivity directory-side.
+      if (is(e.label, "weak")) holders_.erase(e.b);
+      break;
+    }
+
+    default:
+      break;
+  }
+}
+
+void InvariantMonitor::record_extraction(std::uint8_t ns, std::uint64_t round,
+                                         std::uint64_t id,
+                                         const TraceEvent& e) {
+  auto [it, inserted] =
+      extractions_.try_emplace(ExtractKey{ns, round, id});
+  if (!inserted) return;  // retransmission re-sends the same extraction
+  ++checks_[idx(Invariant::kNoLostUpdate)];
+  Extraction& ex = it->second;
+  ex.at = e.at;
+  ex.agent = e.agent;
+  ex.view = agent(e.agent).view;
+  ex.clock = e.clock;
+}
+
+void InvariantMonitor::check_span_causality(const TraceEvent& e) {
+  auto it = pending_.find(e.span);
+  if (it == pending_.end()) return;
+  PendingOp& op = it->second;
+  if (e.clock == 0) return;
+  if (op.first_dm_clock == 0) op.first_dm_clock = e.clock;
+  if (op.first_send_clock != 0) {
+    ++checks_[idx(Invariant::kCausality)];
+    if (e.clock <= op.first_send_clock) {
+      std::ostringstream d;
+      d << "directory event for span " << e.span << " at clock " << e.clock
+        << " not causally after the requester's first send at clock "
+        << op.first_send_clock;
+      violation(Invariant::kCausality, e, e.span, d.str());
+    }
+  }
+}
+
+void InvariantMonitor::violation(Invariant inv, const TraceEvent& e,
+                                 std::uint64_t span, std::string detail) {
+  ++fails_[idx(inv)];
+  Finding f{inv, e.at, e.agent, span, std::move(detail)};
+  violations_.push_back(f);
+  emit_finding(EventKind::kInvariantViolation, f);
+}
+
+void InvariantMonitor::warning(const TraceEvent& e, std::uint64_t span,
+                               std::string detail) {
+  Finding f{Invariant::kCausality, e.at, e.agent, span, std::move(detail)};
+  warnings_.push_back(f);
+  emit_finding(EventKind::kMonitorWarning, f);
+}
+
+void InvariantMonitor::emit_finding(EventKind kind, const Finding& f) {
+  if (cfg_.out == nullptr) return;
+  cfg_.out->emit(make_event(f.at, kind, Role::kOther, f.agent, f.span,
+                            kind == EventKind::kInvariantViolation
+                                ? to_string(f.invariant)
+                                : "monitor",
+                            static_cast<std::uint64_t>(f.invariant)));
+}
+
+void InvariantMonitor::finalize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;
+  finalized_ = true;
+
+  for (auto& [key, ex] : extractions_) {
+    if (ex.merges != 0 || ex.reported) continue;
+    ex.reported = true;
+    std::ostringstream d;
+    d << "dirty extraction from view " << ex.view
+      << " unmerged at end of trace";
+    if (evicted_views_.count(ex.view) != 0) d << " (view evicted)";
+    Finding f{Invariant::kNoLostUpdate, last_at_, ex.agent, 0, d.str()};
+    warnings_.push_back(f);
+    emit_finding(EventKind::kMonitorWarning, f);
+  }
+
+  if (cfg_.max_op_age > 0) {
+    for (auto& [span, op] : pending_) {
+      if (op.age_warned || last_at_ - op.started_at <= cfg_.max_op_age) {
+        continue;
+      }
+      op.age_warned = true;
+      std::ostringstream d;
+      d << "op '" << op.label << "' still pending after "
+        << (last_at_ - op.started_at) << " us at end of trace";
+      Finding f{Invariant::kCausality, last_at_, op.agent, span, d.str()};
+      warnings_.push_back(f);
+      emit_finding(EventKind::kMonitorWarning, f);
+    }
+  }
+}
+
+std::uint64_t InvariantMonitor::violation_count(Invariant inv) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fails_[idx(inv)];
+}
+
+std::uint64_t InvariantMonitor::check_count(Invariant inv) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checks_[idx(inv)];
+}
+
+std::string InvariantMonitor::health_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "invariant monitor: " << events_seen_ << " events, "
+      << agents_.size() << " agents\n";
+  constexpr Invariant kAll[] = {
+      Invariant::kExclusivity, Invariant::kExactlyOnceMerge,
+      Invariant::kNoLostUpdate, Invariant::kModeQuiescence,
+      Invariant::kCausality};
+  for (const Invariant inv : kAll) {
+    char row[96];
+    std::snprintf(row, sizeof(row), "  %-24s checks=%-8llu violations=%llu\n",
+                  to_string(inv),
+                  static_cast<unsigned long long>(checks_[idx(inv)]),
+                  static_cast<unsigned long long>(fails_[idx(inv)]));
+    out << row;
+  }
+  out << "  warnings: " << warnings_.size() << "\n";
+  const std::size_t kShow = 5;
+  for (std::size_t i = 0; i < violations_.size() && i < kShow; ++i) {
+    const Finding& f = violations_[i];
+    out << "  VIOLATION [" << to_string(f.invariant) << "] t=" << f.at
+        << " span=" << f.span << ": " << f.detail << "\n";
+  }
+  if (violations_.size() > kShow) {
+    out << "  ... " << (violations_.size() - kShow) << " more\n";
+  }
+  for (std::size_t i = 0; i < warnings_.size() && i < 3; ++i) {
+    const Finding& f = warnings_[i];
+    out << "  warning t=" << f.at << ": " << f.detail << "\n";
+  }
+  if (warnings_.size() > 3) {
+    out << "  ... " << (warnings_.size() - 3) << " more warnings\n";
+  }
+  out << (violations_.empty()
+              ? "monitor: PASS"
+              : "monitor: " + std::to_string(violations_.size()) +
+                    " violation(s)")
+      << "\n";
+  return out.str();
+}
+
+void InvariantMonitor::export_metrics(MetricsRegistry& reg) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  reg.inc("monitor.events", events_seen_);
+  reg.inc("monitor.agents", agents_.size());
+  constexpr Invariant kAll[] = {
+      Invariant::kExclusivity, Invariant::kExactlyOnceMerge,
+      Invariant::kNoLostUpdate, Invariant::kModeQuiescence,
+      Invariant::kCausality};
+  for (const Invariant inv : kAll) {
+    const std::string base = std::string("monitor.") + metric_slug(inv);
+    reg.inc(base + ".checks", checks_[idx(inv)]);
+    reg.inc(base + ".violations", fails_[idx(inv)]);
+  }
+  reg.inc("monitor.violations", violations_.size());
+  reg.inc("monitor.warnings", warnings_.size());
+  for (const auto& [label, lat] : op_latency_us_) {
+    for (const double v : lat.samples()) {
+      reg.observe("monitor.op.latency_us." + label, v);
+    }
+  }
+  // Per-view staleness gauge: time since the view's copy last synced
+  // with the primary (init/pull/acquire completion or acked push),
+  // measured against the newest event in the trace.
+  for (const auto& [key, st] : agents_) {
+    if (st.last_sync_at == 0) continue;
+    reg.observe("monitor.view.staleness_us",
+                static_cast<double>(last_at_ - st.last_sync_at));
+  }
+  reg.inc("monitor.views.tracked", view_agent_.size());
+}
+
+}  // namespace flecc::obs::monitor

@@ -16,8 +16,9 @@
 //     is a single branch on a nullable TraceBuffer*.
 //   * Lock-free recording. Each protocol agent (one cache manager, the
 //     directory, one fabric) owns a private TraceBuffer and is its only
-//     writer, so emission is one relaxed load, one 72-byte store and
-//     one release store — no CAS, no mutex, no allocation. Buffers are
+//     writer, so emission is one relaxed load, one 80-byte store and
+//     one release store — no CAS, no mutex, no allocation (plus one
+//     virtual call when a TraceSink is attached). Buffers are
 //     bounded rings: when full the oldest events are overwritten and a
 //     drop counter advances (observability must never OOM the system
 //     it observes).
@@ -65,8 +66,10 @@ enum class EventKind : std::uint8_t {
   kHeartbeatMiss,     ///< heartbeat tick found the previous one unacked
   kViewEvicted,       ///< directory evicted a silent view (liveness)
   kTriggerFired,      ///< quality trigger demanded work (push/pull/validity)
-  kMergeApplied,      ///< directory merged a dirty image into the primary
-  kModeSwitch,        ///< consistency mode changed (weak <-> strong)
+  kMergeApplied,        ///< directory merged a dirty image into the primary
+  kModeSwitch,          ///< consistency mode changed (weak <-> strong)
+  kInvariantViolation,  ///< conformance monitor: protocol invariant broken
+  kMonitorWarning,      ///< conformance monitor: liveness/health warning
 };
 
 /// Which protocol role emitted an event.
@@ -93,6 +96,8 @@ enum class Role : std::uint8_t {
     case EventKind::kTriggerFired: return "trigger_fired";
     case EventKind::kMergeApplied: return "merge_applied";
     case EventKind::kModeSwitch: return "mode_switch";
+    case EventKind::kInvariantViolation: return "invariant_violation";
+    case EventKind::kMonitorWarning: return "monitor_warning";
   }
   return "unknown";
 }
@@ -153,12 +158,16 @@ struct TraceEvent {
   std::uint64_t a = 0;       ///< kind-specific detail (OBSERVABILITY.md)
   std::uint64_t b = 0;       ///< kind-specific detail (OBSERVABILITY.md)
   std::uint64_t agent = 0;   ///< emitting endpoint, agent_key() packed
+  /// Lamport clock of the emitting agent at emission time; 0 when the
+  /// emitter carries no clock (fabric drop events, old traces). Gives
+  /// cross-node events a causal order independent of wall-clock ties.
+  std::uint64_t clock = 0;
   EventKind kind = EventKind::kOpEnqueued;
   Role role = Role::kOther;
   char label[kLabelCap] = {};
 };
 static_assert(std::is_trivially_copyable_v<TraceEvent>);
-static_assert(sizeof(TraceEvent) <= 72, "keep events one cache line-ish");
+static_assert(sizeof(TraceEvent) <= 80, "keep events small; rings are flat");
 
 /// Builds an event, truncating `label` to TraceEvent::kLabelCap-1.
 [[nodiscard]] inline TraceEvent make_event(sim::Time at, EventKind kind,
@@ -182,7 +191,48 @@ static_assert(sizeof(TraceEvent) <= 72, "keep events one cache line-ish");
   return e;
 }
 
+/// Push-style consumer of trace events, attached to buffers via
+/// TraceRecorder::attach_sink (or TraceBuffer::set_sink). on_event runs
+/// inline on the emitting agent's thread, synchronously after the ring
+/// store — implementations must be cheap and must never call back into
+/// the protocol (observers may not perturb the observed system).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& e) = 0;
+};
+
 #if FLECC_TRACE_ENABLED
+
+/// Per-agent Lamport clock. The owning endpoint registers it with its
+/// fabric (net::Fabric::set_clock) so sends tick it and deliveries
+/// observe the sender's stamp, and with its TraceBuffer so every
+/// emitted event carries the current value. Atomic because ThreadFabric
+/// ticks from sender threads while the owner emits from its mailbox.
+class CausalClock {
+ public:
+  /// Local/send step: advance and return the new value.
+  std::uint64_t tick() noexcept {
+    return v_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Delivery step: advance past the received stamp (max(local, other)+1).
+  std::uint64_t observe(std::uint64_t other) noexcept {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    std::uint64_t next = 0;
+    do {
+      next = (cur > other ? cur : other) + 1;
+    } while (!v_.compare_exchange_weak(cur, next, std::memory_order_relaxed));
+    return next;
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
 
 /// Bounded single-writer ring of trace events.
 ///
@@ -205,12 +255,25 @@ class TraceBuffer {
   TraceBuffer(const TraceBuffer&) = delete;
   TraceBuffer& operator=(const TraceBuffer&) = delete;
 
+  /// Stamp every emitted event with this agent's Lamport clock
+  /// (nullptr disables stamping; events then carry clock 0). Set by the
+  /// owning endpoint before it starts emitting.
+  void set_clock(const CausalClock* clock) noexcept { clock_ = clock; }
+
+  /// Forward every emitted event to `sink` (after the ring store);
+  /// nullptr detaches. Must be set before the writer emits concurrently
+  /// — see TraceRecorder::attach_sink for the ordering contract.
+  void set_sink(TraceSink* sink) noexcept { sink_ = sink; }
+
   /// Append one event (single writer). When the ring is full the
   /// oldest retained event is overwritten; dropped() advances.
   void emit(const TraceEvent& e) noexcept {
+    TraceEvent stamped = e;
+    if (clock_ != nullptr) stamped.clock = clock_->value();
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    ring_[static_cast<std::size_t>(h) & mask_] = e;
+    ring_[static_cast<std::size_t>(h) & mask_] = stamped;
     head_.store(h + 1, std::memory_order_release);
+    if (sink_ != nullptr) sink_->on_event(stamped);
   }
 
   /// Total events ever emitted (including overwritten ones).
@@ -242,6 +305,8 @@ class TraceBuffer {
   std::vector<TraceEvent> ring_;
   std::size_t mask_ = 0;
   std::atomic<std::uint64_t> head_{0};
+  const CausalClock* clock_ = nullptr;
+  TraceSink* sink_ = nullptr;
 };
 
 /// Owns one TraceBuffer per protocol agent and merges them into a
@@ -257,14 +322,31 @@ class TraceRecorder {
       : default_capacity_(default_capacity) {}
 
   /// Creates (or returns the existing) buffer named `name`. The pointer
-  /// stays valid for the recorder's lifetime.
+  /// stays valid for the recorder's lifetime. A sink attached via
+  /// attach_sink() is propagated to buffers created later, so attaching
+  /// before agents are wired up covers the whole run.
   TraceBuffer* make_buffer(const std::string& name, std::size_t capacity = 0) {
     for (auto& [n, b] : buffers_) {
       if (n == name) return b.get();
     }
     buffers_.emplace_back(name, std::make_unique<TraceBuffer>(
                                     capacity ? capacity : default_capacity_));
-    return buffers_.back().second.get();
+    TraceBuffer* buf = buffers_.back().second.get();
+    if (sink_ != nullptr) buf->set_sink(sink_);
+    return buf;
+  }
+
+  /// Attach `sink` to every buffer this recorder owns — existing ones
+  /// now, future make_buffer() calls as they happen (benches typically
+  /// attach the monitor before the testbed creates per-agent buffers).
+  /// Ordering contract: attach before any buffer's writer emits from
+  /// another thread; set_sink is a plain store, not synchronized with
+  /// emit(). All SimFabric-driven runs are single-threaded, and
+  /// ThreadFabric benches attach before starting the fabric.
+  /// nullptr detaches everywhere.
+  void attach_sink(TraceSink* sink) noexcept {
+    sink_ = sink;
+    for (auto& [name, b] : buffers_) b->set_sink(sink);
   }
 
   [[nodiscard]] std::size_t buffer_count() const noexcept {
@@ -301,9 +383,21 @@ class TraceRecorder {
  private:
   std::size_t default_capacity_;
   std::vector<std::pair<std::string, std::unique_ptr<TraceBuffer>>> buffers_;
+  TraceSink* sink_ = nullptr;
 };
 
 #else  // FLECC_TRACE_ENABLED == 0: recording compiles away entirely.
+
+/// No-op shell (FLECC_TRACE=OFF); see the enabled variant above. Keeps
+/// the tick/observe surface so fabric and FSM code compiles unchanged;
+/// stamps are never produced, so Message::clock and TraceEvent::clock
+/// stay 0 in this configuration.
+class CausalClock {
+ public:
+  std::uint64_t tick() noexcept { return 0; }
+  std::uint64_t observe(std::uint64_t) noexcept { return 0; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+};
 
 /// No-op shell (FLECC_TRACE=OFF). Same surface as the recording
 /// version so instrumented code and tests compile unchanged.
@@ -312,6 +406,8 @@ class TraceBuffer {
   explicit TraceBuffer(std::size_t = 0) noexcept {}
   TraceBuffer(const TraceBuffer&) = delete;
   TraceBuffer& operator=(const TraceBuffer&) = delete;
+  void set_clock(const CausalClock*) noexcept {}
+  void set_sink(TraceSink*) noexcept {}
   void emit(const TraceEvent&) noexcept {}
   [[nodiscard]] std::uint64_t emitted() const noexcept { return 0; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return 0; }
@@ -330,6 +426,7 @@ class TraceRecorder {
     buffers_.emplace_back(name, std::make_unique<TraceBuffer>());
     return buffers_.back().second.get();
   }
+  void attach_sink(TraceSink*) noexcept {}
   [[nodiscard]] std::size_t buffer_count() const noexcept {
     return buffers_.size();
   }
@@ -363,8 +460,9 @@ class TraceRecorder {
   } while (0)
 #define FLECC_TRACE_ONLY(...) __VA_ARGS__
 #else
-#define FLECC_TRACE_EVENT(sink, ...) \
-  do {                               \
+#define FLECC_TRACE_EVENT(sink, ...)        \
+  do {                                      \
+    (void)sizeof(sink); /* unevaluated */   \
   } while (0)
 #define FLECC_TRACE_ONLY(...)
 #endif

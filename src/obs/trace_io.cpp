@@ -91,7 +91,7 @@ std::optional<T> parse_uint(const std::string& s) {
 }  // namespace
 
 std::optional<EventKind> parse_kind(const std::string& name) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kModeSwitch); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kMonitorWarning); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == to_string(kind)) return kind;
   }
@@ -128,6 +128,8 @@ std::string to_jsonl(const TraceEvent& e) {
   out += std::to_string(e.a);
   out += ",\"b\":";
   out += std::to_string(e.b);
+  out += ",\"clock\":";
+  out += std::to_string(e.clock);
   out += "}";
   return out;
 }
@@ -166,9 +168,16 @@ std::optional<TraceEvent> from_jsonl(const std::string& line) {
   }
   const auto label = find_field(line, "label");
 
-  return make_event(static_cast<sim::Time>(*at), *kind, *role,
-                    agent_key(net::Address{*node, *port}), *span,
-                    label ? label->c_str() : "", a, b);
+  TraceEvent e = make_event(static_cast<sim::Time>(*at), *kind, *role,
+                            agent_key(net::Address{*node, *port}), *span,
+                            label ? label->c_str() : "", a, b);
+  // Optional (absent in pre-clock traces; readers default it to 0).
+  if (const auto f = find_field(line, "clock")) {
+    const auto v = parse_uint<std::uint64_t>(*f);
+    if (!v) return std::nullopt;
+    e.clock = *v;
+  }
+  return e;
 }
 
 bool write_jsonl(const std::vector<TraceEvent>& events,
@@ -207,12 +216,14 @@ std::vector<TraceEvent> read_jsonl_file(const std::string& path,
 
 std::string to_csv(const std::vector<TraceEvent>& events) {
   std::ostringstream out;
-  out << "t,kind,role,agent,span,label,a,b\n";
+  // Schema is append-only: new columns go at the end so existing
+  // consumers indexing by position keep working.
+  out << "t,kind,role,agent,span,label,a,b,clock\n";
   for (const auto& e : events) {
     const net::Address agent = agent_addr(e.agent);
     out << e.at << ',' << to_string(e.kind) << ',' << to_string(e.role) << ','
         << agent.node << ':' << agent.port << ',' << e.span << ',' << e.label
-        << ',' << e.a << ',' << e.b << "\n";
+        << ',' << e.a << ',' << e.b << ',' << e.clock << "\n";
   }
   return out.str();
 }

@@ -128,6 +128,22 @@ void ThreadFabric::count(const std::string& name, std::uint64_t by) {
   counters_.inc(name, by);
 }
 
+void ThreadFabric::set_clock(const net::Address& addr,
+                             obs::CausalClock* clock) {
+  std::lock_guard<std::mutex> lock(clocks_mu_);
+  if (clock == nullptr) {
+    clocks_.erase(addr);
+  } else {
+    clocks_[addr] = clock;
+  }
+}
+
+obs::CausalClock* ThreadFabric::clock_of(const net::Address& addr) {
+  std::lock_guard<std::mutex> lock(clocks_mu_);
+  auto it = clocks_.find(addr);
+  return it == clocks_.end() ? nullptr : it->second;
+}
+
 void ThreadFabric::trace_drop(const net::Address& from, const net::Address& to,
                               const std::string& type, std::uint64_t reason) {
 #if FLECC_TRACE_ENABLED
@@ -189,6 +205,7 @@ void ThreadFabric::send(net::Address from, net::Address to, std::string type,
   message->type = std::move(type);
   message->payload = std::move(payload);
   message->bytes = bytes;
+  if (obs::CausalClock* c = clock_of(from)) message->clock = c->tick();
 
   sim::Duration delay = cfg_.message_delay;
   if (cfg_.topology.has_value()) {
@@ -215,6 +232,11 @@ void ThreadFabric::send(net::Address from, net::Address to, std::string type,
     }
     count("msg.delivered." + message->type);
     count("msg.delivered");
+    // Observe before posting: the mailbox runs the handler after this
+    // post, so its trace emissions see a clock past the sender's stamp.
+    if (obs::CausalClock* c = clock_of(message->to)) {
+      c->observe(message->clock);
+    }
     mb->post_message(message);
   };
 

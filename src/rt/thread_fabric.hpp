@@ -70,6 +70,7 @@ class ThreadFabric : public net::Fabric {
   net::TimerId schedule(const net::Address& owner, sim::Duration delay,
                         std::function<void()> fn) override;
   bool cancel_timer(net::TimerId id) override;
+  void set_clock(const net::Address& addr, obs::CausalClock* clock) override;
 
   /// Thread-safe internally; read totals only after quiescing (e.g.
   /// after drain()).
@@ -125,6 +126,10 @@ class ThreadFabric : public net::Fabric {
 
   void scheduler_loop();
   void post_to(const net::Address& addr, std::function<void()> task);
+  /// Registered Lamport clock of `addr`, or nullptr. The registry is
+  /// mutex-guarded (sends run on many threads); the clock itself is
+  /// atomic, so tick/observe need no further locking.
+  obs::CausalClock* clock_of(const net::Address& addr);
   void enqueue_timed(TimedTask task);
   std::shared_ptr<Mailbox> lookup(const net::Address& addr);
   void count(const std::string& name, std::uint64_t by = 1);
@@ -137,6 +142,9 @@ class ThreadFabric : public net::Fabric {
   Config cfg_;
   std::mutex topo_mu_;  // guards cfg_.topology's route cache
   std::mutex loss_mu_;  // guards loss_rng_
+  std::mutex clocks_mu_;  // guards clocks_ (not the clocks themselves)
+  std::unordered_map<net::Address, obs::CausalClock*, net::AddressHash>
+      clocks_;
   sim::Rng loss_rng_;
   std::chrono::steady_clock::time_point epoch_;
 

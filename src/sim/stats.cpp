@@ -7,7 +7,23 @@
 
 namespace flecc::sim {
 
+namespace {
+
+/// Log2 bucket index for a sample: 0 for x < 1 (including negatives),
+/// else 1 + floor(log2(x)), clamped to the last bucket.
+std::size_t log2_bucket(double x) noexcept {
+  if (!(x >= 1.0)) return 0;  // also catches NaN
+  const auto v = static_cast<std::uint64_t>(std::min(
+      x, 9.2e18));  // below 2^63 so the shift below stays defined
+  std::size_t i = 1;
+  for (std::uint64_t w = v; w > 1; w >>= 1) ++i;
+  return std::min(i, RunningStat::kBuckets - 1);
+}
+
+}  // namespace
+
 void RunningStat::add(double x) noexcept {
+  ++buckets_[log2_bucket(x)];
   ++n_;
   sum_ += x;
   if (n_ == 1) {
@@ -20,6 +36,31 @@ void RunningStat::add(double x) noexcept {
   m2_ += delta * (x - mean_);
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
+}
+
+double RunningStat::bucket_lo(std::size_t i) noexcept {
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(i) - 1);  // 2^(i-1)
+}
+
+double RunningStat::quantile_est(double q) const noexcept {
+  if (n_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) < target) continue;
+    const double lo = bucket_lo(i);
+    const double hi = bucket_lo(i + 1);
+    const double frac =
+        (target - before) / static_cast<double>(buckets_[i]);
+    const double est = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    return std::clamp(est, min_, max_);
+  }
+  return max_;
 }
 
 double RunningStat::variance() const noexcept {
@@ -45,6 +86,7 @@ void RunningStat::merge(const RunningStat& other) noexcept {
   max_ = std::max(max_, other.max_);
   sum_ += other.sum_;
   n_ += other.n_;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
 }
 
 double SampleSet::mean() const noexcept {

@@ -12,9 +12,17 @@
 
 namespace flecc::sim {
 
-/// Streaming mean/variance/min/max (Welford's algorithm).
+/// Streaming mean/variance/min/max (Welford's algorithm), plus a
+/// fixed set of power-of-two buckets over the non-negative range so
+/// tail quantiles (p99, p99.9) can be estimated without retaining
+/// samples. Bucket i counts values in [2^(i-1), 2^i) (bucket 0 is
+/// [0, 1)); negative values land in bucket 0.
 class RunningStat {
  public:
+  /// Number of log2 buckets; covers the whole non-negative double
+  /// range that fits in 63 bits (plenty for microsecond latencies).
+  static constexpr std::size_t kBuckets = 64;
+
   void add(double x) noexcept;
   void reset() noexcept { *this = RunningStat{}; }
 
@@ -26,6 +34,19 @@ class RunningStat {
   [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
 
+  /// Count in log2 bucket `i` (see class comment for the ranges).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < kBuckets ? buckets_[i] : 0;
+  }
+  /// Lower edge of bucket i: 0 for bucket 0, else 2^(i-1).
+  [[nodiscard]] static double bucket_lo(std::size_t i) noexcept;
+  /// Estimated quantile from the log2 buckets (linear interpolation
+  /// inside the bucket, clamped to [min, max]); q in [0,1]. Returns 0
+  /// on an empty stat. Coarse by design — exact quantiles need a
+  /// SampleSet — but honest for tails: the estimate never leaves the
+  /// bucket the true value falls in.
+  [[nodiscard]] double quantile_est(double q) const noexcept;
+
   /// Merge another stat into this one (parallel reduction friendly).
   void merge(const RunningStat& other) noexcept;
 
@@ -36,6 +57,7 @@ class RunningStat {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+  std::uint64_t buckets_[kBuckets] = {};
 };
 
 /// Stores every sample; supports exact quantiles. Use for small-N series.

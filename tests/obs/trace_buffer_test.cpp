@@ -189,12 +189,66 @@ TEST(TraceMacroTest, EmitsIntoNonNullSink) {
 }
 
 TEST(TraceStringsTest, EveryKindAndRoleHasAName) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kModeSwitch); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kMonitorWarning); ++k) {
     EXPECT_STRNE(to_string(static_cast<EventKind>(k)), "unknown");
   }
   for (int r = 0; r <= static_cast<int>(Role::kOther); ++r) {
     EXPECT_STRNE(to_string(static_cast<Role>(r)), "unknown");
   }
+}
+
+/// Counts delivered events (sink-registration tests below).
+class CountingSink : public TraceSink {
+ public:
+  void on_event(const TraceEvent&) override { ++seen; }
+  std::size_t seen = 0;
+};
+
+// Regression test for the sink-registration ordering bug: a sink
+// attached to the recorder must cover buffers created BOTH before and
+// after the attach_sink call — late-created per-agent buffers used to
+// miss the sink entirely.
+TEST(TraceSinkTest, AttachCoversExistingAndFutureBuffers) {
+  if (!kTraceEnabled) GTEST_SKIP() << "built with FLECC_TRACE=OFF";
+  TraceRecorder rec(16);
+  TraceBuffer* early = rec.make_buffer("early");
+  CountingSink sink;
+  rec.attach_sink(&sink);
+  TraceBuffer* late = rec.make_buffer("late");  // created after attach
+
+  early->emit(ev(1, EventKind::kMsgSent, 1));
+  late->emit(ev(2, EventKind::kMsgSent, 2));
+  EXPECT_EQ(sink.seen, 2u);
+
+  // nullptr detaches everywhere, existing and future buffers alike.
+  rec.attach_sink(nullptr);
+  early->emit(ev(3, EventKind::kMsgSent, 1));
+  rec.make_buffer("post-detach")->emit(ev(4, EventKind::kMsgSent, 3));
+  EXPECT_EQ(sink.seen, 2u);
+}
+
+TEST(TraceSinkTest, SinkSeesClockStampedEvents) {
+  if (!kTraceEnabled) GTEST_SKIP() << "built with FLECC_TRACE=OFF";
+
+  class CaptureSink : public TraceSink {
+   public:
+    void on_event(const TraceEvent& e) override { last = e; }
+    TraceEvent last{};
+  };
+
+  TraceRecorder rec(16);
+  CaptureSink sink;
+  rec.attach_sink(&sink);
+  TraceBuffer* buf = rec.make_buffer("cm.1");
+  CausalClock clock;
+  buf->set_clock(&clock);
+  clock.tick();
+  clock.tick();
+  buf->emit(ev(5, EventKind::kOpStarted, 7, 9, "pull"));
+  EXPECT_EQ(sink.last.clock, clock.value());
+  EXPECT_EQ(sink.last.span, 9u);
+  // The ring stores the same stamped event the sink saw.
+  EXPECT_EQ(buf->snapshot().back().clock, clock.value());
 }
 
 }  // namespace

@@ -37,6 +37,7 @@ void expect_same(const TraceEvent& x, const TraceEvent& y) {
   EXPECT_EQ(x.span, y.span);
   EXPECT_EQ(x.a, y.a);
   EXPECT_EQ(x.b, y.b);
+  EXPECT_EQ(x.clock, y.clock);
   EXPECT_STREQ(x.label, y.label);
 }
 
@@ -59,6 +60,22 @@ TEST(TraceJsonlTest, LineLooksLikeJson) {
   EXPECT_NE(line.find("\"agent\":\"3:1\""), std::string::npos);
   // Spans serialize as strings: 64-bit values overflow JSON doubles.
   EXPECT_NE(line.find("\"span\":\""), std::string::npos);
+}
+
+TEST(TraceJsonlTest, ClockRoundTripsAndDefaultsToZero) {
+  TraceEvent e = make_event(9, EventKind::kMsgSent, Role::kCacheManager,
+                            agent_key({4, 2}), 0, "flecc.push_update");
+  e.clock = 0xdeadbeefULL;
+  const auto back = from_jsonl(to_jsonl(e));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->clock, 0xdeadbeefULL);
+
+  // Pre-clock traces have no "clock" field; readers default it to 0.
+  const auto old = from_jsonl(
+      "{\"t\":5,\"kind\":\"msg_sent\",\"role\":\"cm\",\"agent\":\"1:1\","
+      "\"span\":\"0\",\"label\":\"x\",\"a\":0,\"b\":0}");
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->clock, 0u);
 }
 
 TEST(TraceJsonlTest, EscapesHostileLabels) {
@@ -111,7 +128,7 @@ TEST(TraceJsonlTest, FileRoundTrip) {
 }
 
 TEST(TraceParseTest, KindAndRoleNamesRoundTrip) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kModeSwitch); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kMonitorWarning); ++k) {
     const auto kind = static_cast<EventKind>(k);
     const auto parsed = parse_kind(to_string(kind));
     ASSERT_TRUE(parsed.has_value()) << to_string(kind);
@@ -133,7 +150,7 @@ TEST(TraceCsvTest, HeaderAndOneRowPerEvent) {
   std::istringstream is(csv);
   std::string line;
   ASSERT_TRUE(std::getline(is, line));
-  EXPECT_EQ(line, "t,kind,role,agent,span,label,a,b");
+  EXPECT_EQ(line, "t,kind,role,agent,span,label,a,b,clock");
   std::size_t rows = 0;
   while (std::getline(is, line)) {
     if (!line.empty()) ++rows;

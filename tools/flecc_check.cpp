@@ -1,0 +1,117 @@
+// flecc_check — offline coherence invariant checker for obs JSONL
+// traces. Runs the same engine as the online monitor
+// (obs::monitor::InvariantMonitor) over a recorded trace and exits
+// non-zero when any invariant (I1-I4, causality; see PROTOCOL.md
+// "Invariants") is violated.
+//
+// Usage:
+//   flecc_check <trace.jsonl>                 health report to stdout;
+//                                             exit 1 on violations
+//   flecc_check <trace.jsonl> --quiet         only the verdict line
+//   flecc_check <trace.jsonl> --max-op-age N  warn on ops pending > N us
+//   flecc_check <trace.jsonl> --metrics <out> also write monitor metrics
+//                                             as a MetricsRegistry CSV
+//   flecc_check <trace.jsonl> --prom <out>    also write Prometheus text
+//
+// Traces come from the benches' --trace flag (chaos_soak,
+// fig4_efficiency) or the airline testbed. Ring-buffer truncation is
+// fine: the monitor never reports a violation for history it did not
+// see (pre-trace extractions merge silently; end-of-trace leftovers
+// are warnings, not violations).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/monitor/invariant_monitor.hpp"
+#include "obs/trace_io.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.jsonl> [--quiet] [--max-op-age <us>] "
+               "[--metrics <out.csv>] [--prom <out.prom>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string path = argv[1];
+
+  bool quiet = false;
+  std::string metrics_path;
+  std::string prom_path;
+  flecc::obs::monitor::InvariantMonitor::Config cfg;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--max-op-age" && i + 1 < argc) {
+      cfg.max_op_age =
+          static_cast<flecc::sim::Duration>(std::strtoull(argv[++i],
+                                                          nullptr, 10));
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--prom" && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::size_t bad_lines = 0;
+  auto events = flecc::obs::read_jsonl_file(path, &bad_lines);
+  if (events.empty() && bad_lines == 0) {
+    std::fprintf(stderr, "%s: empty or unreadable trace: %s\n", argv[0],
+                 path.c_str());
+    return 1;
+  }
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed line(s)\n",
+                 bad_lines);
+  }
+
+  // The engine assumes time order (JSONL exports are sorted, but be
+  // robust to concatenated or hand-edited traces).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const flecc::obs::TraceEvent& x,
+                      const flecc::obs::TraceEvent& y) { return x.at < y.at; });
+
+  flecc::obs::monitor::InvariantMonitor mon(cfg);
+  mon.run(events);
+
+  const auto& viol = mon.violations();
+  if (quiet) {
+    if (viol.empty()) {
+      std::printf("monitor: PASS (%llu events, %zu warning(s))\n",
+                  static_cast<unsigned long long>(mon.events_seen()),
+                  mon.warnings().size());
+    } else {
+      std::printf("monitor: %zu violation(s)\n", viol.size());
+    }
+  } else {
+    std::fputs(mon.health_report().c_str(), stdout);
+  }
+
+  if (!metrics_path.empty() || !prom_path.empty()) {
+    flecc::obs::MetricsRegistry reg;
+    mon.export_metrics(reg);
+    if (!metrics_path.empty() && !reg.write_csv(metrics_path)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    if (!prom_path.empty() && !reg.write_prometheus(prom_path)) {
+      std::fprintf(stderr, "cannot write %s\n", prom_path.c_str());
+      return 1;
+    }
+  }
+
+  return viol.empty() ? 0 : 1;
+}
