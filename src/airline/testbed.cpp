@@ -63,7 +63,14 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
     opts_.dir_cfg.trace = opts_.trace->make_buffer("dm", kDirTraceCapacity);
   }
 
-  const net::Address dir_addr{hosts.back(), kServicePort};
+  if (opts_.durable_directory && opts_.dir_cfg.durability == nullptr) {
+    durability_ = std::make_unique<core::MemoryDurabilityStore>(
+        opts_.checkpoint_flush_every);
+    opts_.dir_cfg.durability = durability_.get();
+  }
+
+  dir_addr_ = net::Address{hosts.back(), kServicePort};
+  const net::Address dir_addr = dir_addr_;
   directory_ = std::make_unique<core::DirectoryManager>(*fabric_, dir_addr,
                                                         *adapter_,
                                                         opts_.dir_cfg);
@@ -104,6 +111,28 @@ void FleccTestbed::crash_agent(std::size_t i) {
   // activity (timers, retransmissions, heartbeats) stops. The directory
   // learns about it only through liveness eviction or round timeouts.
   agents_[i]->cache().halt();
+}
+
+void FleccTestbed::crash_directory() {
+  if (dir_crashed_ || directory_ == nullptr) return;
+  dir_crashed_ = true;
+  // Destroying the manager unbinds its endpoint and cancels its timers:
+  // every in-memory table dies, in-flight messages to it vanish, and
+  // only the durability store survives — minus its unflushed WAL tail.
+  directory_.reset();
+  if (durability_ != nullptr) durability_->crash();
+}
+
+void FleccTestbed::restart_directory() {
+  if (!dir_crashed_) return;
+  dir_crashed_ = false;
+  // The new incarnation reads the surviving checkpoint (generation
+  // superblock + durable WAL prefix), bumps the generation, and probes
+  // the checkpointed views; opts_.dir_cfg still carries the durability
+  // pointer and the "dm" trace buffer, so the trace spans both lives.
+  directory_ = std::make_unique<core::DirectoryManager>(*fabric_, dir_addr_,
+                                                        *adapter_,
+                                                        opts_.dir_cfg);
 }
 
 void FleccTestbed::partition_agents(

@@ -16,6 +16,7 @@
 #include "baselines/multicast.hpp"
 #include "baselines/time_sharing.hpp"
 #include "core/directory_manager.hpp"
+#include "core/durability.hpp"
 #include "net/sim_fabric.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
@@ -51,6 +52,14 @@ struct TestbedOptions {
   /// (drop events), and "cm.<i>" per agent, so each writer stays
   /// single-threaded and the merged snapshot is time-ordered.
   obs::TraceRecorder* trace = nullptr;
+  /// Give the directory an owned in-memory durability store so
+  /// crash_directory()/restart_directory() can exercise checkpointed
+  /// recovery. Ignored when dir_cfg.durability is already set.
+  bool durable_directory = false;
+  /// Checkpoint lag: WAL appends between flushes (1 = every append is
+  /// durable; larger values leave an unflushed tail that a crash eats,
+  /// forcing the rebuild round to recover more from the CMs).
+  std::size_t checkpoint_flush_every = 1;
 };
 
 /// Full-featured Flecc deployment with TravelAgent drivers (Figures 5-6).
@@ -98,6 +107,27 @@ class FleccTestbed {
   void partition_agents(const std::vector<std::size_t>& agent_indices);
   void heal_partition() { fabric_->heal(); }
 
+  /// Crash the directory: every in-memory table (sharing sets, open
+  /// rounds, dedup windows) dies with the DirectoryManager object and
+  /// its endpoint unbinds, so in-flight messages to it vanish. The
+  /// durability store survives in the testbed, minus any unflushed WAL
+  /// tail (MemoryDurabilityStore::crash). Requires durable_directory.
+  void crash_directory();
+
+  /// Restart the directory from the surviving checkpoint: the new
+  /// incarnation replays the WAL under a bumped generation, probes
+  /// surviving agents (DirectoryRebuild), and fences stale traffic.
+  void restart_directory();
+
+  [[nodiscard]] bool directory_crashed() const noexcept {
+    return dir_crashed_;
+  }
+
+  /// The owned durability store (nullptr unless durable_directory).
+  [[nodiscard]] core::MemoryDurabilityStore* durability() noexcept {
+    return durability_.get();
+  }
+
  private:
   TestbedOptions opts_;
   GroupAssignment assignment_;
@@ -105,9 +135,12 @@ class FleccTestbed {
   std::unique_ptr<net::SimFabric> fabric_;
   FlightDatabase db_;
   std::unique_ptr<FlightDatabaseAdapter> adapter_;
+  std::unique_ptr<core::MemoryDurabilityStore> durability_;
   std::unique_ptr<core::DirectoryManager> directory_;
   std::vector<std::unique_ptr<TravelAgent>> agents_;
   std::vector<bool> crashed_;
+  net::Address dir_addr_{};
+  bool dir_crashed_ = false;
 };
 
 /// Protocol-parametric deployment behind the CoherenceClient interface

@@ -20,6 +20,42 @@ constexpr std::size_t kServedFetchWindow = 8;
 constexpr std::size_t kUnconfirmedEchoWindow = 32;
 constexpr std::size_t kServedInvalidateWindow = 4;
 
+/// Generation stamp of a directory-originated message; 0 = unstamped.
+std::uint64_t dm_generation_of(const net::Message& m) {
+  if (m.type == msg::kRegisterAck) {
+    return net::payload_as<msg::RegisterAck>(m).gen;
+  }
+  if (m.type == msg::kInitReply) {
+    return net::payload_as<msg::InitReply>(m).gen;
+  }
+  if (m.type == msg::kPullReply) {
+    return net::payload_as<msg::PullReply>(m).gen;
+  }
+  if (m.type == msg::kPushAck) return net::payload_as<msg::PushAck>(m).gen;
+  if (m.type == msg::kAcquireGrant) {
+    return net::payload_as<msg::AcquireGrant>(m).gen;
+  }
+  if (m.type == msg::kInvalidateReq) {
+    return net::payload_as<msg::InvalidateReq>(m).gen;
+  }
+  if (m.type == msg::kFetchReq) return net::payload_as<msg::FetchReq>(m).gen;
+  if (m.type == msg::kModeChangeAck) {
+    return net::payload_as<msg::ModeChangeAck>(m).gen;
+  }
+  if (m.type == msg::kKillAck) return net::payload_as<msg::KillAck>(m).gen;
+  if (m.type == msg::kUpdateNotify) {
+    return net::payload_as<msg::UpdateNotify>(m).gen;
+  }
+  if (m.type == msg::kHeartbeatAck) {
+    return net::payload_as<msg::HeartbeatAck>(m).gen;
+  }
+  if (m.type == msg::kOpNack) return net::payload_as<msg::OpNack>(m).gen;
+  if (m.type == msg::kDirectoryRebuild) {
+    return net::payload_as<msg::DirectoryRebuild>(m).gen;
+  }
+  return 0;
+}
+
 }  // namespace
 
 CacheManager::CacheManager(net::Fabric& fabric, net::Address self,
@@ -184,6 +220,7 @@ void CacheManager::send_register() {
   req.pull_trigger = cfg_.pull_trigger;
   req.validity_trigger = cfg_.validity_trigger;
   req.req = register_req_;
+  req.gen = dir_generation_;
   const auto bytes = msg::wire_size(req);
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
                     register_attempts_ == 1
@@ -271,12 +308,12 @@ void CacheManager::issue(Op& op) {
   }
   switch (op.kind) {
     case OpKind::kInit: {
-      msg::InitReq req{id_, op.req};
+      msg::InitReq req{id_, op.req, dir_generation_};
       fabric_.send(self_, directory_, msg::kInitReq, req, msg::wire_size(req));
       break;
     }
     case OpKind::kPull: {
-      msg::PullReq req{id_, intent_, op.req};
+      msg::PullReq req{id_, intent_, op.req, dir_generation_};
       fabric_.send(self_, directory_, msg::kPullReq, req, msg::wire_size(req));
       break;
     }
@@ -294,19 +331,20 @@ void CacheManager::issue(Op& op) {
       req.view = id_;
       req.image = *op.image;
       req.req = op.req;
+      req.gen = dir_generation_;
       req.echoes = op.echoes;
       const auto bytes = msg::wire_size(req);
       fabric_.send(self_, directory_, msg::kPushUpdate, std::move(req), bytes);
       break;
     }
     case OpKind::kAcquire: {
-      msg::AcquireReq req{id_, intent_, op.req};
+      msg::AcquireReq req{id_, intent_, op.req, dir_generation_};
       fabric_.send(self_, directory_, msg::kAcquireReq, req,
                    msg::wire_size(req));
       break;
     }
     case OpKind::kModeChange: {
-      msg::ModeChangeReq req{id_, op.new_mode, op.req};
+      msg::ModeChangeReq req{id_, op.new_mode, op.req, dir_generation_};
       fabric_.send(self_, directory_, msg::kModeChangeReq, req,
                    msg::wire_size(req));
       break;
@@ -323,6 +361,7 @@ void CacheManager::issue(Op& op) {
       req.dirty = op.image.has_value();
       if (op.image.has_value()) req.final_image = *op.image;
       req.req = op.req;
+      req.gen = dir_generation_;
       req.echoes = op.echoes;
       const auto bytes = msg::wire_size(req);
       fabric_.send(self_, directory_, msg::kKillReq, std::move(req), bytes);
@@ -444,7 +483,7 @@ void CacheManager::heartbeat_tick() {
     reconnect();
     return;
   }
-  msg::Heartbeat hb{id_, ++heartbeat_seq_};
+  msg::Heartbeat hb{id_, ++heartbeat_seq_, dir_generation_};
   ++heartbeat_unacked_;
   stats_.inc("heartbeat.sent");
   fabric_.send(self_, directory_, msg::kHeartbeat, hb, msg::wire_size(hb));
@@ -456,6 +495,27 @@ void CacheManager::heartbeat_tick() {
 
 void CacheManager::on_message(const net::Message& m) {
   if (halted_) return;
+
+  // Generation fencing: adopt a newer directory incarnation the moment
+  // any of its messages arrives (every subsequent send is stamped with
+  // it), and drop messages minted by an older, crashed incarnation —
+  // their protocol state (rounds, versions, grants) no longer exists.
+  if (const std::uint64_t gen = dm_generation_of(m); gen != 0) {
+    if (gen < dir_generation_) {
+      stats_.inc("recovery.fenced");
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgFenced,
+                        obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                        m.type.c_str(), gen, dir_generation_);
+      return;
+    }
+    if (gen > dir_generation_) {
+      if (dir_generation_ != 0) stats_.inc("recovery.generation_bump");
+      dir_generation_ = gen;
+    }
+  }
+
+  if (m.type == msg::kDirectoryRebuild) return handle_rebuild_probe(m);
+
   if (m.type == msg::kRegisterAck) {
     const auto& ack = net::payload_as<msg::RegisterAck>(m);
     if (ack.req != 0 && ack.req != register_req_) {
@@ -658,6 +718,50 @@ void CacheManager::on_message(const net::Message& m) {
   stats_.inc("msg.unexpected");
 }
 
+void CacheManager::handle_rebuild_probe(const net::Message& m) {
+  const auto& probe = net::payload_as<msg::DirectoryRebuild>(m);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                    obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                    msg::kDirectoryRebuild, probe.gen, probe.view);
+  if (!alive_ || !registered_ || probe.view != id_) {
+    // Killed/superseded incarnation of our address: let the rebuild
+    // window drop the checkpointed ghost.
+    stats_.inc("rebuild.probe.ignored");
+    return;
+  }
+  stats_.inc("rebuild.reannounced");
+  msg::RebuildReply rep;
+  rep.view = id_;
+  rep.view_name = cfg_.view_name;
+  rep.properties = cfg_.properties;
+  rep.mode = mode_;
+  rep.push_trigger = cfg_.push_trigger;
+  rep.pull_trigger = cfg_.pull_trigger;
+  rep.validity_trigger = cfg_.validity_trigger;
+  rep.active = valid_;
+  rep.exclusive = exclusive_;
+  rep.dirty = dirty_;
+  // Unconfirmed extractions re-deliver with the announcement: the
+  // directory merges them via the settled-round archive (or revives the
+  // round) exactly once. They stay queued here until a push/kill ack
+  // confirms them.
+  rep.echoes.assign(unconfirmed_echoes_.begin(), unconfirmed_echoes_.end());
+  rep.gen = dir_generation_;
+  const auto bytes = msg::wire_size(rep);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                    obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                    msg::kRebuildReply, dir_generation_,
+                    static_cast<std::uint64_t>(rep.echoes.size()));
+  fabric_.send(self_, directory_, msg::kRebuildReply, std::move(rep), bytes);
+  // The restarted directory lost our in-flight request with its dedup
+  // window; re-issue immediately under the new generation instead of
+  // waiting out the retransmission backoff.
+  if (current_.has_value()) {
+    stats_.inc("op.reissued.rebuild");
+    issue(*current_);
+  }
+}
+
 void CacheManager::queue_echo(msg::DeltaEcho e) {
   if (cfg_.chaos_drop_echoes) {
     // Mutation-test fault: pretend the echo was queued but lose it, so
@@ -693,12 +797,13 @@ void CacheManager::confirm_echoes(
 void CacheManager::serve_invalidate(std::uint64_t epoch) {
   // Retransmitted command: re-send the original ack (extraction already
   // moved the deltas; re-extracting would lose them).
-  for (const auto& [e, ack] : served_invalidates_) {
+  for (auto& [e, ack] : served_invalidates_) {
     if (e == epoch) {
       stats_.inc("msg.duplicate.replayed");
       FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kDedupHit,
                         obs::Role::kCacheManager, obs::agent_key(self_), 0,
                         msg::kInvalidateReq, epoch, /*replayed=*/1);
+      ack.gen = dir_generation_;  // re-stamp under the current generation
       fabric_.send(self_, directory_, msg::kInvalidateAck, ack,
                    msg::wire_size(ack));
       return;
@@ -709,6 +814,7 @@ void CacheManager::serve_invalidate(std::uint64_t epoch) {
   msg::InvalidateAck ack;
   ack.view = id_;
   ack.epoch = epoch;
+  ack.gen = dir_generation_;
   ack.dirty = dirty_ && valid_;
   if (ack.dirty) {
     ack.image = extract_dirty();
@@ -730,12 +836,13 @@ void CacheManager::serve_invalidate(std::uint64_t epoch) {
 }
 
 void CacheManager::serve_fetch(std::uint64_t token) {
-  for (const auto& [t, reply] : served_fetches_) {
+  for (auto& [t, reply] : served_fetches_) {
     if (t == token) {
       stats_.inc("msg.duplicate.replayed");
       FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kDedupHit,
                         obs::Role::kCacheManager, obs::agent_key(self_), 0,
                         msg::kFetchReq, token, /*replayed=*/1);
+      reply.gen = dir_generation_;  // re-stamp under the current generation
       fabric_.send(self_, directory_, msg::kFetchReply, reply,
                    msg::wire_size(reply));
       return;
@@ -745,6 +852,7 @@ void CacheManager::serve_fetch(std::uint64_t token) {
   msg::FetchReply reply;
   reply.view = id_;
   reply.token = token;
+  reply.gen = dir_generation_;
   reply.dirty = dirty_ && valid_;
   if (reply.dirty) {
     reply.image = extract_dirty();

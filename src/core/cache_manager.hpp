@@ -162,6 +162,11 @@ class CacheManager : public net::Endpoint {
   [[nodiscard]] std::uint64_t notifies_received() const noexcept {
     return notifies_received_;
   }
+  /// Highest directory generation observed (generation fencing). 0
+  /// until the first stamped directory message arrives.
+  [[nodiscard]] std::uint64_t dir_generation() const noexcept {
+    return dir_generation_;
+  }
   [[nodiscard]] std::uint64_t invalidations_served() const noexcept {
     return invalidations_served_;
   }
@@ -246,6 +251,10 @@ class CacheManager : public net::Endpoint {
   void heartbeat_tick();
   void serve_invalidate(std::uint64_t epoch);
   void serve_fetch(std::uint64_t token);
+  /// A restarted directory's rebuild probe: re-announce our
+  /// registration, cached-copy state, and unconfirmed echoes, then
+  /// re-issue the in-flight op under the new generation.
+  void handle_rebuild_probe(const net::Message& m);
   /// Track a dirty reply image until the directory confirms it.
   void queue_echo(msg::DeltaEcho e);
   /// An acked push/kill confirms the echoes it carried.
@@ -282,6 +291,11 @@ class CacheManager : public net::Endpoint {
 
   sim::Time last_push_at_ = 0;
   sim::Time last_pull_at_ = 0;
+
+  /// Highest directory generation seen in any stamped message; every
+  /// send carries it back. Messages stamped with a lower generation are
+  /// fenced (dropped) — they were minted by a crashed incarnation.
+  std::uint64_t dir_generation_ = 0;
 
   std::deque<Op> queue_;
   std::optional<Op> current_;

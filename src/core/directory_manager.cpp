@@ -15,6 +15,44 @@ namespace {
 /// within a handful of rounds).
 constexpr std::size_t kSettledRoundWindow = 256;
 
+/// Merged push/kill request ids remembered across restarts (per
+/// directory, not per sender). Sized like the dedup window but global:
+/// it only needs to cover requests whose CM might re-issue them after a
+/// crash, i.e. the recent past.
+constexpr std::size_t kMergedOpWindow = 1024;
+
+/// Generation stamp of a message; 0 = unknown (legacy/unfenced).
+std::uint64_t generation_of(const net::Message& m) {
+  if (m.type == msg::kRegisterReq) {
+    return net::payload_as<msg::RegisterReq>(m).gen;
+  }
+  if (m.type == msg::kInitReq) return net::payload_as<msg::InitReq>(m).gen;
+  if (m.type == msg::kPullReq) return net::payload_as<msg::PullReq>(m).gen;
+  if (m.type == msg::kPushUpdate) {
+    return net::payload_as<msg::PushUpdate>(m).gen;
+  }
+  if (m.type == msg::kAcquireReq) {
+    return net::payload_as<msg::AcquireReq>(m).gen;
+  }
+  if (m.type == msg::kModeChangeReq) {
+    return net::payload_as<msg::ModeChangeReq>(m).gen;
+  }
+  if (m.type == msg::kKillReq) return net::payload_as<msg::KillReq>(m).gen;
+  if (m.type == msg::kInvalidateAck) {
+    return net::payload_as<msg::InvalidateAck>(m).gen;
+  }
+  if (m.type == msg::kFetchReply) {
+    return net::payload_as<msg::FetchReply>(m).gen;
+  }
+  if (m.type == msg::kHeartbeat) {
+    return net::payload_as<msg::Heartbeat>(m).gen;
+  }
+  if (m.type == msg::kRebuildReply) {
+    return net::payload_as<msg::RebuildReply>(m).gen;
+  }
+  return 0;
+}
+
 /// Request id of a framed cache-manager request; 0 for unframed
 /// messages and for non-request types (commands, acks, heartbeats).
 std::uint64_t request_id_of(const net::Message& m) {
@@ -41,21 +79,97 @@ std::uint64_t request_id_of(const net::Message& m) {
 DirectoryManager::DirectoryManager(net::Fabric& fabric, net::Address self,
                                    PrimaryAdapter& primary, Config cfg)
     : fabric_(fabric), self_(self), primary_(primary), cfg_(cfg) {
+  std::size_t replayed = 0;
+  bool recovering = false;
+  if (cfg_.durability != nullptr) {
+    const std::uint64_t prev = cfg_.durability->generation();
+    recovering = prev > 0;  // a previous incarnation existed: restart
+    generation_ = prev + 1;
+    replayed = replay_checkpoint(cfg_.durability->load());
+    // Durable immediately: even if every WAL append is later lost, the
+    // next incarnation knows this one existed and fences its traffic.
+    cfg_.durability->set_generation(generation_);
+  }
+  // Generation-scoped id spaces: round ids and versions from different
+  // incarnations never collide, and a round id reveals which
+  // incarnation minted it (pre_crash_round()).
+  next_token_ = (generation_ << 32) | 1;
+  next_epoch_ = (generation_ << 32) | 1;
+  if (generation_ > 1) {
+    version_ = generation_ << 32;
+    // The Lamport clock is also generation-scoped: jumping forward is
+    // always legal, and it keeps this incarnation's stamps past every
+    // pre-crash one (the monitor checks per-agent monotonicity).
+    clock_.observe(generation_ << 32);
+  }
+
   fabric_.bind(self_, *this);
   fabric_.set_clock(self_, &clock_);
   if (cfg_.trace != nullptr) cfg_.trace->set_clock(&clock_);
   arm_liveness_timer();
+
+  if (recovering) {
+    stats_.inc("recovery.restart");
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                      obs::EventKind::kRecoveryBegin, obs::Role::kDirectory,
+                      obs::agent_key(self_), 0, "restart", generation_,
+                      static_cast<std::uint64_t>(replayed));
+    if (views_.empty()) {
+      // Empty (or fully lost) checkpoint: nobody to probe. Surviving
+      // cache managers rebuild the state themselves — their heartbeats
+      // are fenced (known == false), they re-register, and their
+      // echoes/pushes re-deliver any unconfirmed extractions.
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                        obs::EventKind::kRecoveryEnd, obs::Role::kDirectory,
+                        obs::agent_key(self_), 0, "rebuilt", generation_, 0);
+      stats_.inc("recovery.completed");
+    } else {
+      start_rebuild();
+    }
+  }
 }
 
 DirectoryManager::~DirectoryManager() {
   if (liveness_timer_ != net::kInvalidTimerId) {
     fabric_.cancel_timer(liveness_timer_);
   }
+  if (rebuild_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(rebuild_timer_);
+  }
+  if (rebuild_resend_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(rebuild_resend_timer_);
+  }
   fabric_.set_clock(self_, nullptr);
   fabric_.unbind(self_);
 }
 
 void DirectoryManager::on_message(const net::Message& m) {
+  // Generation fencing: a message stamped by a previous incarnation (or
+  // addressed to one) is rejected before the dedup window can replay a
+  // cached pre-crash reply. gen == 0 means unfenced (legacy senders and
+  // first contact) and passes through.
+  if (const std::uint64_t gen = generation_of(m);
+      gen != 0 && gen != generation_) {
+    stats_.inc("recovery.fenced");
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgFenced,
+                      obs::Role::kDirectory, obs::agent_key(self_),
+                      obs::span_id(m.from, request_id_of(m)), m.type.c_str(),
+                      gen, generation_);
+    if (m.type == msg::kHeartbeat) {
+      // known == false drives the sender into its reconnect path, which
+      // re-registers under the current generation.
+      const auto& hb = net::payload_as<msg::Heartbeat>(m);
+      msg::HeartbeatAck ack{hb.view, hb.seq, false, generation_};
+      fabric_.send(self_, m.from, msg::kHeartbeatAck, ack,
+                   msg::wire_size(ack));
+    } else if (const std::uint64_t rid = request_id_of(m); rid != 0) {
+      // Framed request: nack (never cached) so the sender aborts the op
+      // and re-issues it under the current generation.
+      send_nack(m.from, kInvalidViewId, rid, "stale generation");
+    }
+    return;
+  }
+
   if (m.type == msg::kHeartbeat) return handle_heartbeat(m);
 
   // Idempotent replay: a framed request we have already seen is either
@@ -89,6 +203,7 @@ void DirectoryManager::on_message(const net::Message& m) {
   if (m.type == msg::kFetchReply) return handle_fetch_reply(m);
   if (m.type == msg::kModeChangeReq) return handle_mode_change(m);
   if (m.type == msg::kKillReq) return handle_kill(m);
+  if (m.type == msg::kRebuildReply) return handle_rebuild_reply(m);
   stats_.inc("msg.unknown");
 }
 
@@ -207,9 +322,9 @@ void DirectoryManager::reply(const net::Address& to, std::uint64_t req,
 }
 
 void DirectoryManager::send_nack(const net::Address& to, ViewId view,
-                                 std::uint64_t req) {
+                                 std::uint64_t req, const char* reason) {
   stats_.inc("op.nack.sent");
-  msg::OpNack nack{view, "unknown view (stale registration)", req};
+  msg::OpNack nack{view, reason, req, generation_};
   const auto bytes = msg::wire_size(nack);
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                     obs::Role::kDirectory, obs::agent_key(self_),
@@ -255,7 +370,7 @@ void DirectoryManager::handle_heartbeat(const net::Message& m) {
   } else {
     stats_.inc("heartbeat.unknown");
   }
-  msg::HeartbeatAck ack{hb.view, hb.seq, known};
+  msg::HeartbeatAck ack{hb.view, hb.seq, known, generation_};
   fabric_.send(self_, m.from, msg::kHeartbeatAck, ack, msg::wire_size(ack));
 }
 
@@ -279,7 +394,7 @@ void DirectoryManager::handle_register(const net::Message& m) {
 
   auto reject = [&](const std::string& why) {
     stats_.inc("op.register.rejected");
-    msg::RegisterAck ack{kInvalidViewId, false, why, req.req};
+    msg::RegisterAck ack{kInvalidViewId, false, why, req.req, generation_};
     const auto bytes = msg::wire_size(ack);
     reply(m.from, req.req, msg::kRegisterAck, ack, bytes);
   };
@@ -323,11 +438,13 @@ void DirectoryManager::handle_register(const net::Message& m) {
   rec.properties = req.properties;
   rec.mode = req.mode;
   rec.validity = std::move(validity);
+  rec.validity_src = req.validity_trigger;
   rec.last_seen_at = fabric_.now();
   const ViewId id = rec.id;
+  wal_append(register_record(rec));
   views_.emplace(id, std::move(rec));
 
-  msg::RegisterAck ack{id, true, {}, req.req};
+  msg::RegisterAck ack{id, true, {}, req.req, generation_};
   const auto bytes = msg::wire_size(ack);
   reply(m.from, req.req, msg::kRegisterAck, ack, bytes);
 }
@@ -348,6 +465,7 @@ void DirectoryManager::handle_init(const net::Message& m) {
   out.image = primary_.extract_from_object(rec->properties);
   out.image.set_version(version_);
   out.req = req.req;
+  out.gen = generation_;
   rec->active = true;
   rec->last_sync = version_;
   rec->last_sync_at = fabric_.now();
@@ -432,9 +550,22 @@ void DirectoryManager::handle_pull(const net::Message& m) {
   pp.resends_left = cfg_.command_retries;
   FLECC_TRACE_ONLY(pp.span = obs::span_id(m.from, req.req);)
   const std::uint64_t token = pp.token;
+  if (cfg_.durability != nullptr) {
+    // Checkpoint the round opening per target so a straggler reply or
+    // echo arriving after a crash can still merge from the archive.
+    for (const auto& [id, props] : pp.target_props) {
+      WalRecord w;
+      w.kind = WalKind::kRoundOpen;
+      w.view = id;
+      w.properties = props;
+      w.ns = 0;
+      w.round = token;
+      wal_append(w);
+    }
+  }
   for (const ViewId id : candidates) {
     stats_.inc("op.fetch.sent");
-    msg::FetchReq freq{token};
+    msg::FetchReq freq{token, generation_};
     FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                       obs::Role::kDirectory, obs::agent_key(self_), pp.span,
                       msg::kFetchReq, token, id);
@@ -469,7 +600,7 @@ void DirectoryManager::arm_pull_resend(std::uint64_t token) {
       const auto* rec = find(id);
       if (rec == nullptr) continue;
       stats_.inc("op.fetch.retry");
-      msg::FetchReq freq{token};
+      msg::FetchReq freq{token, generation_};
       FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
                         obs::EventKind::kMsgRetransmitted,
                         obs::Role::kDirectory, obs::agent_key(self_),
@@ -492,6 +623,7 @@ void DirectoryManager::finish_pull(PendingPull& pp) {
   out.image.set_version(version_);
   out.unseen_before = pp.unseen_before;
   out.req = pp.req;
+  out.gen = generation_;
   rec->active = true;
   rec->last_sync = version_;
   rec->last_sync_at = fabric_.now();
@@ -544,6 +676,7 @@ void DirectoryManager::process_echoes(
         if (const auto* ps = round_props(e.view, pp.target_props)) {
           merge_update(e.image, e.view, *ps, "echo.fetch", e.round, pp.span);
           pp.merged.insert(e.view);
+          note_round_merge(false, e.round, e.view);
           stats_.inc("echo.merged");
         }
         if (pp.outstanding.erase(e.view) != 0 && pp.outstanding.empty()) {
@@ -563,7 +696,23 @@ void DirectoryManager::process_echoes(
         if (const auto* ps = round_props(e.view, sit->second.target_props)) {
           merge_update(e.image, e.view, *ps, "echo.fetch", e.round, 0);
           sit->second.merged.insert(e.view);
+          note_round_merge(false, e.round, e.view);
           stats_.inc("echo.merged");
+        }
+        continue;
+      }
+      if (pre_crash_round(e.round)) {
+        // A round a previous incarnation opened and the checkpoint lost.
+        // The echoed extraction may exist nowhere else — re-open an
+        // archive slot and merge it exactly once.
+        auto& slot = revive_settled(false, e.round);
+        if (slot.merged.count(e.view) != 0) {
+          stats_.inc("echo.duplicate");
+        } else if (const auto* ps = round_props(e.view, slot.target_props)) {
+          merge_update(e.image, e.view, *ps, "echo.fetch", e.round, 0);
+          slot.merged.insert(e.view);
+          note_round_merge(false, e.round, e.view);
+          stats_.inc("echo.revived");
         }
         continue;
       }
@@ -584,6 +733,7 @@ void DirectoryManager::process_echoes(
         merge_update(e.image, e.view, *ps, "echo.invalidate", e.round,
                      pa.span);
         pa.merged.insert(e.view);
+        note_round_merge(true, e.round, e.view);
         stats_.inc("echo.merged");
       }
       if (auto* rec = find(e.view); rec != nullptr) {
@@ -608,7 +758,22 @@ void DirectoryManager::process_echoes(
       if (const auto* ps = round_props(e.view, sit->second.target_props)) {
         merge_update(e.image, e.view, *ps, "echo.invalidate", e.round, 0);
         sit->second.merged.insert(e.view);
+        note_round_merge(true, e.round, e.view);
         stats_.inc("echo.merged");
+      }
+      continue;
+    }
+    if (pre_crash_round(e.round)) {
+      // As on the fetch side: a pre-crash invalidate epoch the
+      // checkpoint lost; merge its echoed extraction exactly once.
+      auto& slot = revive_settled(true, e.round);
+      if (slot.merged.count(e.view) != 0) {
+        stats_.inc("echo.duplicate");
+      } else if (const auto* ps = round_props(e.view, slot.target_props)) {
+        merge_update(e.image, e.view, *ps, "echo.invalidate", e.round, 0);
+        slot.merged.insert(e.view);
+        note_round_merge(true, e.round, e.view);
+        stats_.inc("echo.revived");
       }
       continue;
     }
@@ -629,12 +794,20 @@ void DirectoryManager::handle_fetch_reply(const net::Message& m) {
     // If this straggler carries deltas the round never merged, they
     // exist nowhere else — merge them from the settled-round archive.
     stats_.inc("op.fetch.late");
-    if (auto sit = settled_pulls_.find(rep.token);
-        sit != settled_pulls_.end() && rep.dirty &&
+    auto sit = settled_pulls_.find(rep.token);
+    if (sit == settled_pulls_.end() && rep.dirty &&
+        pre_crash_round(rep.token)) {
+      // A gen == 0 straggler from a round the checkpoint lost (stamped
+      // replies from the old incarnation are fenced before this point).
+      revive_settled(false, rep.token);
+      sit = settled_pulls_.find(rep.token);
+    }
+    if (sit != settled_pulls_.end() && rep.dirty &&
         sit->second.merged.count(rep.view) == 0) {
       if (const auto* ps = round_props(rep.view, sit->second.target_props)) {
         merge_update(rep.image, rep.view, *ps, "late_fetch", rep.token, 0);
         sit->second.merged.insert(rep.view);
+        note_round_merge(false, rep.token, rep.view);
         stats_.inc("op.fetch.late.merged");
       }
     }
@@ -655,6 +828,7 @@ void DirectoryManager::handle_fetch_reply(const net::Message& m) {
       merge_update(rep.image, rep.view, *ps, "fetch", rep.token,
                    it->second.span);
       it->second.merged.insert(rep.view);
+      note_round_merge(false, rep.token, rep.view);
     }
   }
   it->second.outstanding.erase(rep.view);
@@ -679,10 +853,18 @@ void DirectoryManager::handle_push(const net::Message& m) {
   touch(*rec);
   note_in_progress(m.from, req.req);
   process_echoes(req.echoes);
-  merge_update(req.image, req.view, rec->properties, "push", 0,
-               obs::span_id(m.from, req.req));
+  if (op_already_merged(m.from, req.req)) {
+    // A previous incarnation merged this push; the ack was lost to the
+    // crash. Ack without re-merging (the within-incarnation equivalent
+    // is the dedup window, which did not survive the restart).
+    stats_.inc("op.push.replayed_merge");
+  } else {
+    merge_update(req.image, req.view, rec->properties, "push", 0,
+                 obs::span_id(m.from, req.req));
+    note_op_merged(m.from, req.req);
+  }
   rec->active = true;
-  msg::PushAck ack{version_, req.req};
+  msg::PushAck ack{version_, req.req, generation_};
   reply(rec->cache_addr, req.req, msg::kPushAck, ack, msg::wire_size(ack));
 }
 
@@ -707,7 +889,7 @@ void DirectoryManager::merge_update(const ObjectImage& image, ViewId source,
     for (const auto& [id, other] : views_) {
       if (id == source || !other.active) continue;
       if (!conflicts(source, id)) continue;
-      msg::UpdateNotify note{version_};
+      msg::UpdateNotify note{version_, generation_};
       FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                         obs::Role::kDirectory, obs::agent_key(self_), 0,
                         msg::kUpdateNotify, version_, id);
@@ -744,6 +926,10 @@ void DirectoryManager::handle_acquire(const net::Message& m) {
 }
 
 void DirectoryManager::start_next_acquire() {
+  // Strong-mode arbitration is frozen until the post-restart rebuild
+  // settles: granting exclusivity against a half-rebuilt sharing set
+  // could skip an invalidation. Requests queue; finish_rebuild() drains.
+  if (rebuilding_) return;
   while (!acquire_queue_.empty()) {
     const msg::AcquireReq req = acquire_queue_.front();
     acquire_queue_.erase(acquire_queue_.begin());
@@ -777,9 +963,21 @@ void DirectoryManager::start_next_acquire() {
       continue;  // finish_acquire did not set inflight; serve next
     }
 
+    if (cfg_.durability != nullptr) {
+      // Mirror of the fetch-round checkpointing in handle_pull.
+      for (const auto& [id, props] : pa.target_props) {
+        WalRecord w;
+        w.kind = WalKind::kRoundOpen;
+        w.view = id;
+        w.properties = props;
+        w.ns = 1;
+        w.round = pa.epoch;
+        wal_append(w);
+      }
+    }
     for (const ViewId id : pa.awaiting) {
       stats_.inc("op.acquire.invalidations");
-      msg::InvalidateReq inv{pa.epoch};
+      msg::InvalidateReq inv{pa.epoch, generation_};
       FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                         obs::Role::kDirectory, obs::agent_key(self_), pa.span,
                         msg::kInvalidateReq, pa.epoch, id);
@@ -829,7 +1027,7 @@ void DirectoryManager::arm_acquire_resend(std::uint64_t epoch) {
           const auto* rec = find(id);
           if (rec == nullptr) continue;
           stats_.inc("op.invalidate.retry");
-          msg::InvalidateReq inv{epoch};
+          msg::InvalidateReq inv{epoch, generation_};
           FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
                             obs::EventKind::kMsgRetransmitted,
                             obs::Role::kDirectory, obs::agent_key(self_),
@@ -856,6 +1054,7 @@ void DirectoryManager::finish_acquire(PendingAcquire& pa) {
   grant.image = primary_.extract_from_object(rec->properties);
   grant.image.set_version(version_);
   grant.req = pa.req;
+  grant.gen = generation_;
   const auto bytes = msg::wire_size(grant);
   reply(rec->cache_addr, pa.req, msg::kAcquireGrant, std::move(grant), bytes);
 }
@@ -875,13 +1074,21 @@ void DirectoryManager::handle_invalidate_ack(const net::Message& m) {
     // The round already settled. A dirty straggler still carries the
     // only copy of its extraction — merge it via the archive, once.
     stats_.inc("op.invalidate.stale_ack");
-    if (auto sit = settled_acquires_.find(ack.epoch);
-        sit != settled_acquires_.end() && ack.dirty &&
+    auto sit = settled_acquires_.find(ack.epoch);
+    if (sit == settled_acquires_.end() && ack.dirty &&
+        pre_crash_round(ack.epoch)) {
+      // Mirror of the late-fetch revive: a gen == 0 straggler from an
+      // epoch the checkpoint lost.
+      revive_settled(true, ack.epoch);
+      sit = settled_acquires_.find(ack.epoch);
+    }
+    if (sit != settled_acquires_.end() && ack.dirty &&
         sit->second.merged.count(ack.view) == 0) {
       if (const auto* ps = round_props(ack.view, sit->second.target_props)) {
         merge_update(ack.image, ack.view, *ps, "late_invalidate", ack.epoch,
                      0);
         sit->second.merged.insert(ack.view);
+        note_round_merge(true, ack.epoch, ack.view);
         stats_.inc("op.invalidate.late.merged");
       }
     }
@@ -900,6 +1107,7 @@ void DirectoryManager::handle_invalidate_ack(const net::Message& m) {
       merge_update(ack.image, ack.view, *ps, "invalidate", ack.epoch,
                    acquire_inflight_->span);
       acquire_inflight_->merged.insert(ack.view);
+      note_round_merge(true, ack.epoch, ack.view);
     }
   }
   if (auto* rec = find(ack.view); rec != nullptr) {
@@ -929,6 +1137,13 @@ void DirectoryManager::handle_mode_change(const net::Message& m) {
   touch(*rec);
   note_in_progress(m.from, req.req);
   rec->mode = req.mode;
+  {
+    WalRecord w;
+    w.kind = WalKind::kModeChange;
+    w.view = req.view;
+    w.mode = req.mode;
+    wal_append(w);
+  }
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kModeSwitch,
                     obs::Role::kDirectory, obs::agent_key(self_),
                     obs::span_id(m.from, req.req),
@@ -942,7 +1157,7 @@ void DirectoryManager::handle_mode_change(const net::Message& m) {
     rec->active = false;
     rec->exclusive = false;
   }
-  msg::ModeChangeAck ack{req.mode, req.req};
+  msg::ModeChangeAck ack{req.mode, req.req, generation_};
   reply(rec->cache_addr, req.req, msg::kModeChangeAck, ack,
         msg::wire_size(ack));
 }
@@ -961,7 +1176,7 @@ void DirectoryManager::handle_kill(const net::Message& m) {
     // it covers a replay whose window entry has been evicted. Unframed
     // kills keep the seed's silent-drop behavior.
     if (req.req != 0) {
-      msg::KillAck ack{req.req};
+      msg::KillAck ack{req.req, generation_};
       reply(m.from, req.req, msg::kKillAck, ack, msg::wire_size(ack));
     }
     return;
@@ -969,17 +1184,32 @@ void DirectoryManager::handle_kill(const net::Message& m) {
   touch(*rec);
   note_in_progress(m.from, req.req);
   if (req.dirty) {
-    merge_update(req.final_image, req.view, rec->properties, "kill", 0,
-                 obs::span_id(m.from, req.req));
+    if (op_already_merged(m.from, req.req)) {
+      // Merged by a previous incarnation; see handle_push.
+      stats_.inc("op.kill.replayed_merge");
+    } else {
+      merge_update(req.final_image, req.view, rec->properties, "kill", 0,
+                   obs::span_id(m.from, req.req));
+      note_op_merged(m.from, req.req);
+    }
   }
   const net::Address addr = rec->cache_addr;
   views_.erase(req.view);
   complete_fetch_or_acquire_for_dead_view(req.view);
-  msg::KillAck ack{req.req};
+  msg::KillAck ack{req.req, generation_};
   reply(addr, req.req, msg::kKillAck, ack, msg::wire_size(ack));
 }
 
 void DirectoryManager::complete_fetch_or_acquire_for_dead_view(ViewId v) {
+  // Every deregistration path (kill, supersede, liveness eviction,
+  // rebuild drop) funnels through here: checkpoint the departure and
+  // release any rebuild wait on the view.
+  wal_deregister(v);
+  if (rebuilding_) {
+    rebuild_awaiting_.erase(v);
+    if (rebuild_awaiting_.empty()) finish_rebuild();
+  }
+
   // A dead view can no longer answer FetchReq/InvalidateReq; settle any
   // round that was waiting on it.
   std::vector<std::uint64_t> done_tokens;
@@ -1020,6 +1250,343 @@ void DirectoryManager::complete_fetch_or_acquire_for_dead_view(ViewId v) {
       }
     }
   }
+}
+
+// ---- durability & crash recovery ------------------------------------------
+
+void DirectoryManager::wal_append(const WalRecord& rec) {
+  if (cfg_.durability == nullptr) return;
+  cfg_.durability->append(rec);
+  if (cfg_.compact_threshold != 0 &&
+      ++wal_appends_since_compact_ >= cfg_.compact_threshold) {
+    compact_wal();
+  }
+}
+
+WalRecord DirectoryManager::register_record(const ViewRecord& rec) const {
+  WalRecord w;
+  w.kind = WalKind::kRegister;
+  w.view = rec.id;
+  w.node = rec.cache_addr.node;
+  w.port = rec.cache_addr.port;
+  w.name = rec.name;
+  w.properties = rec.properties;
+  w.mode = rec.mode;
+  w.validity = rec.validity_src;
+  return w;
+}
+
+void DirectoryManager::wal_deregister(ViewId v) {
+  if (cfg_.durability == nullptr) return;
+  WalRecord w;
+  w.kind = WalKind::kDeregister;
+  w.view = v;
+  wal_append(w);
+}
+
+void DirectoryManager::note_round_merge(bool invalidate, std::uint64_t round,
+                                        ViewId v) {
+  if (cfg_.durability == nullptr) return;
+  WalRecord w;
+  w.kind = WalKind::kRoundMerge;
+  w.view = v;
+  w.ns = invalidate ? 1 : 0;
+  w.round = round;
+  wal_append(w);
+}
+
+void DirectoryManager::note_op_merged(const net::Address& from,
+                                      std::uint64_t req) {
+  if (req == 0) return;
+  const MergedOpKey key{from.node, from.port, req};
+  if (!merged_ops_.insert(key).second) return;
+  merged_ops_order_.push_back(key);
+  while (merged_ops_order_.size() > kMergedOpWindow) {
+    merged_ops_.erase(merged_ops_order_.front());
+    merged_ops_order_.pop_front();
+  }
+  if (cfg_.durability == nullptr) return;
+  WalRecord w;
+  w.kind = WalKind::kOpMerged;
+  w.node = from.node;
+  w.port = from.port;
+  w.req = req;
+  wal_append(w);
+}
+
+bool DirectoryManager::op_already_merged(const net::Address& from,
+                                         std::uint64_t req) const {
+  if (req == 0) return false;
+  return merged_ops_.count(MergedOpKey{from.node, from.port, req}) != 0;
+}
+
+std::size_t DirectoryManager::replay_checkpoint(
+    const std::vector<WalRecord>& records) {
+  auto remember_round = [&](std::uint8_t ns, std::uint64_t round)
+      -> SettledRound& {
+    auto& rounds = ns == 1 ? settled_acquires_ : settled_pulls_;
+    auto& order = ns == 1 ? settled_acquire_order_ : settled_pull_order_;
+    auto [it, inserted] = rounds.try_emplace(round);
+    if (inserted) {
+      order.push_back(round);
+      if (order.size() > kSettledRoundWindow && order.front() != round) {
+        rounds.erase(order.front());
+        order.pop_front();
+      }
+    }
+    return it->second;
+  };
+
+  for (const auto& w : records) {
+    switch (w.kind) {
+      case WalKind::kRegister: {
+        ViewRecord rec;
+        rec.id = w.view;
+        rec.cache_addr = net::Address{w.node, w.port};
+        rec.name = w.name;
+        rec.properties = w.properties;
+        rec.mode = w.mode;
+        rec.validity_src = w.validity;
+        if (!w.validity.empty()) {
+          try {
+            rec.validity.emplace(w.validity);
+          } catch (const trigger::ParseError&) {
+            // Registration validated the source; a corrupt checkpoint
+            // line degrades to "no validity trigger", not an abort.
+          }
+        }
+        // Conservative restart state: nothing is active or exclusive
+        // until the view re-announces (RebuildReply) or re-syncs.
+        rec.active = false;
+        rec.exclusive = false;
+        rec.last_seen_at = fabric_.now();
+        next_view_id_ = std::max(next_view_id_, w.view + 1);
+        views_[w.view] = std::move(rec);
+        break;
+      }
+      case WalKind::kDeregister:
+        views_.erase(w.view);
+        break;
+      case WalKind::kModeChange:
+        if (auto* rec = find(w.view); rec != nullptr) rec->mode = w.mode;
+        break;
+      case WalKind::kRoundOpen:
+        remember_round(w.ns, w.round).target_props[w.view] = w.properties;
+        break;
+      case WalKind::kRoundMerge:
+        // Creates the slot if kRoundOpen never made it to disk (revived
+        // rounds): the exactly-once marker must survive regardless.
+        remember_round(w.ns, w.round).merged.insert(w.view);
+        break;
+      case WalKind::kOpMerged: {
+        const MergedOpKey key{w.node, w.port, w.req};
+        if (merged_ops_.insert(key).second) {
+          merged_ops_order_.push_back(key);
+          while (merged_ops_order_.size() > kMergedOpWindow) {
+            merged_ops_.erase(merged_ops_order_.front());
+            merged_ops_order_.pop_front();
+          }
+        }
+        break;
+      }
+    }
+  }
+  return records.size();
+}
+
+void DirectoryManager::compact_wal() {
+  if (cfg_.durability == nullptr) return;
+  wal_appends_since_compact_ = 0;
+  std::vector<WalRecord> snap;
+  snap.reserve(views_.size() + merged_ops_order_.size());
+  for (const auto& [id, rec] : views_) {
+    (void)id;
+    snap.push_back(register_record(rec));
+  }
+  // Settled-round archive in insertion order, so replay reconstructs
+  // the same eviction order.
+  auto dump_rounds = [&](const std::map<std::uint64_t, SettledRound>& rounds,
+                         const std::deque<std::uint64_t>& order,
+                         std::uint8_t ns) {
+    for (const std::uint64_t round : order) {
+      auto it = rounds.find(round);
+      if (it == rounds.end()) continue;
+      for (const auto& [view, props] : it->second.target_props) {
+        WalRecord w;
+        w.kind = WalKind::kRoundOpen;
+        w.view = view;
+        w.properties = props;
+        w.ns = ns;
+        w.round = round;
+        snap.push_back(std::move(w));
+      }
+      for (const ViewId view : it->second.merged) {
+        WalRecord w;
+        w.kind = WalKind::kRoundMerge;
+        w.view = view;
+        w.ns = ns;
+        w.round = round;
+        snap.push_back(std::move(w));
+      }
+    }
+  };
+  dump_rounds(settled_pulls_, settled_pull_order_, 0);
+  dump_rounds(settled_acquires_, settled_acquire_order_, 1);
+  for (const MergedOpKey& key : merged_ops_order_) {
+    WalRecord w;
+    w.kind = WalKind::kOpMerged;
+    w.node = std::get<0>(key);
+    w.port = std::get<1>(key);
+    w.req = std::get<2>(key);
+    snap.push_back(std::move(w));
+  }
+  stats_.inc("recovery.compactions");
+  cfg_.durability->compact(snap);
+}
+
+DirectoryManager::SettledRound& DirectoryManager::revive_settled(
+    bool invalidate, std::uint64_t round) {
+  auto& rounds = invalidate ? settled_acquires_ : settled_pulls_;
+  auto& order = invalidate ? settled_acquire_order_ : settled_pull_order_;
+  auto [it, inserted] = rounds.try_emplace(round);
+  if (inserted) {
+    stats_.inc("recovery.revived_round");
+    order.push_back(round);
+    if (order.size() > kSettledRoundWindow && order.front() != round) {
+      rounds.erase(order.front());
+      order.pop_front();
+    }
+  }
+  return it->second;
+}
+
+void DirectoryManager::start_rebuild() {
+  rebuilding_ = true;
+  rebuild_awaiting_.clear();
+  for (const auto& [id, rec] : views_) {
+    (void)rec;
+    rebuild_awaiting_.insert(id);
+  }
+  for (const auto& [id, rec] : views_) {
+    stats_.inc("recovery.probe.sent");
+    msg::DirectoryRebuild probe{id, generation_};
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                      obs::Role::kDirectory, obs::agent_key(self_), 0,
+                      msg::kDirectoryRebuild, generation_, id);
+    send_to_view(rec, msg::kDirectoryRebuild, probe, msg::wire_size(probe));
+  }
+  rebuild_resends_left_ = cfg_.command_retries;
+  // A plain (non-daemon) timer: the rebuild window must hold the sim
+  // open until it closes, even when no other work is scheduled yet.
+  rebuild_timer_ =
+      fabric_.schedule(self_, std::max<sim::Duration>(1, cfg_.rebuild_window),
+                       [this] {
+                         rebuild_timer_ = net::kInvalidTimerId;
+                         finish_rebuild();
+                       });
+  arm_rebuild_resend();
+}
+
+void DirectoryManager::arm_rebuild_resend() {
+  if (!rebuilding_ || rebuild_resends_left_ == 0) return;
+  const sim::Duration interval = std::max<sim::Duration>(
+      1, cfg_.rebuild_window /
+             static_cast<sim::Duration>(cfg_.command_retries + 1));
+  rebuild_resend_timer_ = fabric_.schedule(self_, interval, [this] {
+    rebuild_resend_timer_ = net::kInvalidTimerId;
+    if (!rebuilding_ || rebuild_resends_left_ == 0) return;
+    --rebuild_resends_left_;
+    for (const ViewId id : rebuild_awaiting_) {
+      const auto* rec = find(id);
+      if (rec == nullptr) continue;
+      stats_.inc("recovery.probe.retry");
+      msg::DirectoryRebuild probe{id, generation_};
+      FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                        obs::EventKind::kMsgRetransmitted,
+                        obs::Role::kDirectory, obs::agent_key(self_), 0,
+                        msg::kDirectoryRebuild, generation_, id);
+      send_to_view(*rec, msg::kDirectoryRebuild, probe,
+                   msg::wire_size(probe));
+    }
+    arm_rebuild_resend();
+  });
+}
+
+void DirectoryManager::handle_rebuild_reply(const net::Message& m) {
+  const auto& rep = net::payload_as<msg::RebuildReply>(m);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                    obs::Role::kDirectory, obs::agent_key(self_), 0,
+                    msg::kRebuildReply, rep.view);
+  auto* rec = find(rep.view);
+  if (rec == nullptr || rec->cache_addr != m.from) {
+    // Not a view we probed (or the address moved): the echoes are still
+    // self-contained extractions — merge them, drop the rest.
+    stats_.inc("recovery.reply.unknown");
+    process_echoes(rep.echoes);
+    return;
+  }
+  touch(*rec);
+  if (!rebuilding_ || rebuild_awaiting_.count(rep.view) == 0) {
+    stats_.inc("recovery.reply.duplicate");
+    process_echoes(rep.echoes);
+    return;
+  }
+  // The cache manager is authoritative over the (possibly stale)
+  // checkpoint: adopt its registration data and cached-copy state.
+  rec->name = rep.view_name;
+  rec->properties = rep.properties;
+  rec->mode = rep.mode;
+  rec->validity_src = rep.validity_trigger;
+  rec->validity.reset();
+  if (!rep.validity_trigger.empty()) {
+    try {
+      rec->validity.emplace(rep.validity_trigger);
+    } catch (const trigger::ParseError&) {
+      // Same degradation as replay_checkpoint.
+    }
+  }
+  rec->active = rep.active;
+  rec->exclusive = rep.exclusive;
+  rec->last_sync = version_;
+  rec->last_sync_at = fabric_.now();
+  wal_append(register_record(*rec));  // fresh checkpoint entry
+  ++reannounced_;
+  stats_.inc("recovery.reannounced");
+  process_echoes(rep.echoes);
+  rebuild_awaiting_.erase(rep.view);
+  if (rebuild_awaiting_.empty()) finish_rebuild();
+}
+
+void DirectoryManager::finish_rebuild() {
+  if (!rebuilding_) return;
+  rebuilding_ = false;
+  if (rebuild_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(rebuild_timer_);
+    rebuild_timer_ = net::kInvalidTimerId;
+  }
+  if (rebuild_resend_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(rebuild_resend_timer_);
+    rebuild_resend_timer_ = net::kInvalidTimerId;
+  }
+  const std::vector<ViewId> silent(rebuild_awaiting_.begin(),
+                                   rebuild_awaiting_.end());
+  rebuild_awaiting_.clear();
+  for (const ViewId v : silent) {
+    // Checkpointed but never re-announced: treat as departed. A
+    // survivor that merely lost every probe reconnects from scratch via
+    // its heartbeat (known == false → re-register).
+    stats_.inc("recovery.dropped");
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kViewEvicted,
+                      obs::Role::kDirectory, obs::agent_key(self_), 0,
+                      views_.at(v).name.c_str(), v, generation_);
+    views_.erase(v);
+    complete_fetch_or_acquire_for_dead_view(v);
+  }
+  stats_.inc("recovery.completed");
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kRecoveryEnd,
+                    obs::Role::kDirectory, obs::agent_key(self_), 0,
+                    "rebuilt", generation_, reannounced_);
+  start_next_acquire();
 }
 
 }  // namespace flecc::core

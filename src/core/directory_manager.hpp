@@ -28,10 +28,12 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "core/adapters.hpp"
+#include "core/durability.hpp"
 #include "core/merge_log.hpp"
 #include "core/messages.hpp"
 #include "core/static_map.hpp"
@@ -70,6 +72,20 @@ class DirectoryManager : public net::Endpoint {
     /// Optional protocol trace sink (not owned); nullptr = no tracing.
     /// See OBSERVABILITY.md for the events the directory emits.
     obs::TraceBuffer* trace = nullptr;
+    /// Durable checkpoint/WAL (not owned); nullptr disables durability
+    /// and crash-recovery (the directory then runs as generation 1
+    /// forever — the seed behavior). With a store, construction replays
+    /// the checkpoint, bumps the generation, and — when the previous
+    /// generation left checkpointed views behind — runs the CM-assisted
+    /// rebuild round (PROTOCOL.md, "Directory crash-recovery").
+    DurabilityStore* durability = nullptr;
+    /// How long a restarted directory waits for RebuildReply
+    /// re-announcements before dropping checkpointed views that stayed
+    /// silent (they reconnect via heartbeat `known == false`).
+    sim::Duration rebuild_window = sim::msec(500);
+    /// Compact the WAL after this many appends since the last
+    /// compaction (0 disables compaction).
+    std::size_t compact_threshold = 4096;
     /// Fault-injection knob (monitor mutation tests ONLY): treat every
     /// pair of views as non-conflicting when arbitrating strong-mode
     /// acquires, so grants go out without invalidating the previous
@@ -98,6 +114,14 @@ class DirectoryManager : public net::Endpoint {
 
   [[nodiscard]] net::Address address() const noexcept { return self_; }
   [[nodiscard]] Version version() const noexcept { return version_; }
+  /// Directory incarnation (generation fencing). 1 on first boot,
+  /// bumped on every restart from a DurabilityStore.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+  /// True while the post-restart rebuild round is still collecting
+  /// RebuildReply re-announcements (acquires queue, nothing is granted).
+  [[nodiscard]] bool rebuilding() const noexcept { return rebuilding_; }
   [[nodiscard]] std::size_t registered_count() const noexcept {
     return views_.size();
   }
@@ -131,6 +155,7 @@ class DirectoryManager : public net::Endpoint {
     props::PropertySet properties;
     Mode mode = Mode::kWeak;
     std::optional<trigger::Trigger> validity;
+    std::string validity_src;  // trigger source, kept for checkpointing
     bool active = false;     // holds a valid working copy
     bool exclusive = false;  // strong-mode ownership
     Version last_sync = 0;
@@ -204,6 +229,7 @@ class DirectoryManager : public net::Endpoint {
   void handle_mode_change(const net::Message& m);
   void handle_kill(const net::Message& m);
   void handle_heartbeat(const net::Message& m);
+  void handle_rebuild_reply(const net::Message& m);
 
   // helpers
   ViewRecord* find(ViewId v);
@@ -240,13 +266,43 @@ class DirectoryManager : public net::Endpoint {
   /// Send a reply and cache it in the sender's dedup window.
   void reply(const net::Address& to, std::uint64_t req, const char* type,
              std::any payload, std::size_t bytes);
-  /// Unknown-view request: tell the sender its registration is stale.
-  /// Never cached — re-execution after reconnect is the intended path.
-  void send_nack(const net::Address& to, ViewId view, std::uint64_t req);
+  /// Reject a framed request: tell the sender its registration (or
+  /// generation) is stale. Never cached — re-execution after
+  /// reconnect/retry is the intended path.
+  void send_nack(const net::Address& to, ViewId view, std::uint64_t req,
+                 const char* reason = "unknown view (stale registration)");
   void arm_pull_resend(std::uint64_t token);
   void arm_acquire_resend(std::uint64_t epoch);
   void arm_liveness_timer();
   void liveness_sweep();
+
+  // durability / recovery helpers
+  /// Append one record to the WAL (no-op without a store); triggers
+  /// compaction past cfg_.compact_threshold.
+  void wal_append(const WalRecord& rec);
+  [[nodiscard]] WalRecord register_record(const ViewRecord& rec) const;
+  void wal_deregister(ViewId v);
+  /// Record (and persist) that round `round` merged view `v`'s image.
+  void note_round_merge(bool invalidate, std::uint64_t round, ViewId v);
+  /// Record (and persist) that a dirty push/kill request merged, so a
+  /// post-restart re-issue is acked without re-merging.
+  void note_op_merged(const net::Address& from, std::uint64_t req);
+  [[nodiscard]] bool op_already_merged(const net::Address& from,
+                                       std::uint64_t req) const;
+  /// Rebuild in-memory state from the checkpoint (constructor only).
+  std::size_t replay_checkpoint(const std::vector<WalRecord>& records);
+  void compact_wal();
+  void start_rebuild();
+  void arm_rebuild_resend();
+  void finish_rebuild();
+  /// A round id minted by a previous incarnation (its generation bits
+  /// are below ours)? Only meaningful after a restart.
+  [[nodiscard]] bool pre_crash_round(std::uint64_t round) const {
+    return generation_ > 1 && (round >> 32) < generation_;
+  }
+  /// Re-open an archive slot for a pre-crash round the checkpoint lost,
+  /// so its straggler replies/echoes merge exactly once per epoch.
+  SettledRound& revive_settled(bool invalidate, std::uint64_t round);
 
   net::Fabric& fabric_;
   net::Address self_;
@@ -277,6 +333,26 @@ class DirectoryManager : public net::Endpoint {
   std::unordered_map<net::Address, std::deque<DedupEntry>, net::AddressHash>
       dedup_;
   net::TimerId liveness_timer_ = net::kInvalidTimerId;
+
+  // ---- crash recovery (PROTOCOL.md, "Directory crash-recovery") -------
+  /// Incarnation number stamped into every outgoing message. Token,
+  /// epoch, and version counters are generation-scoped (counter ids
+  /// carry the generation in their top 32 bits) so ids from different
+  /// incarnations never collide.
+  std::uint64_t generation_ = 1;
+  bool rebuilding_ = false;
+  std::set<ViewId> rebuild_awaiting_;
+  net::TimerId rebuild_timer_ = net::kInvalidTimerId;
+  net::TimerId rebuild_resend_timer_ = net::kInvalidTimerId;
+  std::size_t rebuild_resends_left_ = 0;
+  std::uint64_t reannounced_ = 0;
+  std::size_t wal_appends_since_compact_ = 0;
+  /// Bounded (address, request id) window of merged push/kill requests,
+  /// replayed from the WAL so a post-restart re-issue of an
+  /// already-merged request is acked without a double merge.
+  using MergedOpKey = std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>;
+  std::set<MergedOpKey> merged_ops_;
+  std::deque<MergedOpKey> merged_ops_order_;
 
   sim::CounterSet stats_;
   /// Lamport clock for causal trace stamping; mirrors

@@ -38,6 +38,8 @@ inline constexpr const char* kUpdateNotify = "flecc.update_notify";
 inline constexpr const char* kHeartbeat = "flecc.heartbeat";
 inline constexpr const char* kHeartbeatAck = "flecc.heartbeat_ack";
 inline constexpr const char* kOpNack = "flecc.op_nack";
+inline constexpr const char* kDirectoryRebuild = "flecc.rebuild_probe";
+inline constexpr const char* kRebuildReply = "flecc.rebuild_reply";
 
 // ---- request-id framing ------------------------------------------------
 //
@@ -50,6 +52,19 @@ inline constexpr const char* kOpNack = "flecc.op_nack";
 // (legacy senders / hand-forged test messages) and bypasses both the
 // dedup window and reply matching. The id travels inside the 32-byte
 // message header (kHeaderBytes), so framing adds no wire bytes.
+//
+// ---- generation fencing ------------------------------------------------
+//
+// Every payload also carries `gen`, the directory incarnation number
+// (PROTOCOL.md, "Directory crash-recovery"). The directory bumps its
+// generation on every restart (persisted through the DurabilityStore);
+// cache managers learn the current value from any directory message and
+// stamp it on everything they send. A message whose non-zero `gen`
+// differs from the receiver's current generation is *stale* — sent
+// before a crash (or to a pre-crash incarnation) — and is fenced:
+// rejected and counted rather than applied to the rebuilt state.
+// `gen == 0` means "unknown" (first contact, legacy traffic) and is
+// never fenced. Like `req`, the generation travels inside the header.
 
 // ---- payloads ---------------------------------------------------------
 
@@ -64,6 +79,7 @@ struct RegisterReq {
   std::string pull_trigger;
   std::string validity_trigger;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 
 /// Registration outcome: the assigned view id, or a rejection reason.
@@ -72,17 +88,20 @@ struct RegisterAck {
   bool accepted = false;
   std::string reason;  // on rejection: why
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 
 /// Initial data request (Figure 2, steps 3-5).
 struct InitReq {
   ViewId view = kInvalidViewId;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 /// The view's first image, scoped to its registered properties.
 struct InitReply {
   ObjectImage image;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 
 /// Weak-mode refresh. `intent` supports the read/write-semantics
@@ -91,6 +110,7 @@ struct PullReq {
   ViewId view = kInvalidViewId;
   AccessIntent intent = AccessIntent::kReadWrite;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 /// Fresh image for a pull, after any validity-triggered demand fetches.
 struct PullReply {
@@ -98,6 +118,7 @@ struct PullReply {
   /// Remote updates the view had not seen before this pull (quality).
   std::uint64_t unseen_before = 0;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 
 /// A dirty image extracted for a FetchReply or InvalidateAck whose
@@ -117,6 +138,7 @@ struct PushUpdate {
   ViewId view = kInvalidViewId;
   ObjectImage image;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
   /// Unconfirmed fetch/invalidate images riding along (empty when the
   /// network has been lossless).
   std::vector<DeltaEcho> echoes;
@@ -125,6 +147,7 @@ struct PushUpdate {
 struct PushAck {
   Version version = 0;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 
 /// Strong-mode activation (the directory serializes conflicting views).
@@ -132,17 +155,20 @@ struct AcquireReq {
   ViewId view = kInvalidViewId;
   AccessIntent intent = AccessIntent::kReadWrite;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 /// Grants strong-mode use: conflicting views have been invalidated and
 /// their dirty state merged into the carried image.
 struct AcquireGrant {
   ObjectImage image;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 
 /// Directory → cache: stop working, surrender updates (Fig. 2 step 12).
 struct InvalidateReq {
   std::uint64_t epoch = 0;
+  std::uint64_t gen = 0;
 };
 /// Surrender for an InvalidateReq: the view's final state for this
 /// epoch (fire-and-forget; recovered via DeltaEcho if lost).
@@ -151,11 +177,13 @@ struct InvalidateAck {
   std::uint64_t epoch = 0;
   ObjectImage image;  // final extracted state (empty if clean)
   bool dirty = false;
+  std::uint64_t gen = 0;
 };
 
 /// Directory → cache: demand fetch for a validity-triggered pull.
 struct FetchReq {
   std::uint64_t token = 0;
+  std::uint64_t gen = 0;
 };
 /// Extraction for a FetchReq round (fire-and-forget; recovered via
 /// DeltaEcho if lost).
@@ -164,6 +192,7 @@ struct FetchReply {
   std::uint64_t token = 0;
   ObjectImage image;
   bool dirty = false;
+  std::uint64_t gen = 0;
 };
 
 /// Run-time consistency-level change (§4, "Flecc allows views to ...
@@ -172,11 +201,13 @@ struct ModeChangeReq {
   ViewId view = kInvalidViewId;
   Mode mode = Mode::kWeak;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 /// Confirms the directory now treats the view under the new mode.
 struct ModeChangeAck {
   Mode mode = Mode::kWeak;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 
 /// Teardown (Figure 2, steps 20-21). Carries the final update image so
@@ -186,24 +217,28 @@ struct KillReq {
   ObjectImage final_image;
   bool dirty = false;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
   /// As in PushUpdate: last chance to land unconfirmed reply images.
   std::vector<DeltaEcho> echoes;
 };
 /// Confirms teardown: the view is deregistered and its image merged.
 struct KillAck {
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
 };
 
 /// Optional notification to conflicting views that the primary advanced
 /// (off by default; enabled for the notification ablation).
 struct UpdateNotify {
   Version version = 0;
+  std::uint64_t gen = 0;
 };
 
 /// Liveness ping, cache manager -> directory, on a daemon timer.
 struct Heartbeat {
   ViewId view = kInvalidViewId;
   std::uint64_t seq = 0;
+  std::uint64_t gen = 0;
 };
 /// `known == false` tells the sender its registration is gone (evicted
 /// or the directory restarted): reconnect immediately.
@@ -211,6 +246,7 @@ struct HeartbeatAck {
   ViewId view = kInvalidViewId;
   std::uint64_t seq = 0;
   bool known = true;
+  std::uint64_t gen = 0;
 };
 
 /// Directory -> cache: the request referenced an unknown view (stale
@@ -220,6 +256,37 @@ struct OpNack {
   ViewId view = kInvalidViewId;
   std::string reason;
   std::uint64_t req = 0;
+  std::uint64_t gen = 0;
+};
+
+/// Directory -> cache, after a restart: "I am generation `gen`, my
+/// checkpoint says you are view `view` — re-announce yourself."
+/// Retransmitted within the rebuild window until answered; cache
+/// managers that never answer are dropped when the window closes (they
+/// reconnect through the heartbeat `known == false` path).
+struct DirectoryRebuild {
+  ViewId view = kInvalidViewId;
+  std::uint64_t gen = 0;
+};
+
+/// A surviving cache manager's re-announcement: everything the rebuilt
+/// directory needs to restore the view's record without consensus —
+/// registration data, current mode, cache flags, and any unconfirmed
+/// extraction images (echoes) from before the crash. Idempotent at the
+/// directory; the probe's retransmissions cover reply loss.
+struct RebuildReply {
+  ViewId view = kInvalidViewId;
+  std::string view_name;
+  props::PropertySet properties;
+  Mode mode = Mode::kWeak;
+  std::string push_trigger;
+  std::string pull_trigger;
+  std::string validity_trigger;
+  bool active = false;     // currently using the image (strong grant)
+  bool exclusive = false;
+  bool dirty = false;      // unpushed local updates exist
+  std::vector<DeltaEcho> echoes;
+  std::uint64_t gen = 0;
 };
 
 // ---- wire-size estimation ---------------------------------------------
@@ -281,6 +348,12 @@ inline std::size_t wire_size(const Heartbeat&) { return kHeaderBytes; }
 inline std::size_t wire_size(const HeartbeatAck&) { return kHeaderBytes; }
 inline std::size_t wire_size(const OpNack& m) {
   return kHeaderBytes + m.reason.size();
+}
+inline std::size_t wire_size(const DirectoryRebuild&) { return kHeaderBytes; }
+inline std::size_t wire_size(const RebuildReply& m) {
+  return kHeaderBytes + m.view_name.size() + wire_size(m.properties) +
+         m.push_trigger.size() + m.pull_trigger.size() +
+         m.validity_trigger.size() + echoes_wire_size(m.echoes);
 }
 
 }  // namespace flecc::core::msg

@@ -46,6 +46,10 @@ class Fabric {
   [[nodiscard]] virtual sim::Time now() const = 0;
 
   /// Attach an endpoint at `addr`. The endpoint must outlive the binding.
+  /// Rebinding an address after unbind() attaches the new endpoint in
+  /// its place — directory crash-recovery relies on this (a restarted
+  /// DirectoryManager rebinds its predecessor's address; messages that
+  /// raced the gap were dropped as "unbound").
   virtual void bind(const Address& addr, Endpoint& ep) = 0;
 
   /// Detach the endpoint at `addr`; in-flight messages to it are dropped.

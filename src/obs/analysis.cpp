@@ -22,6 +22,12 @@ TraceSummary summarize(const std::vector<TraceEvent>& events) {
   s.total_events = events.size();
   // span → (label, started-at) for latency pairing.
   std::unordered_map<std::uint64_t, std::pair<std::string, sim::Time>> open;
+  // generation → recovery_begin time, for rebuild-duration pairing.
+  std::unordered_map<std::uint64_t, sim::Time> open_recoveries;
+  // Latest recovery_begin seen: ops open across it were interrupted by
+  // the restart (re-issued under the new generation), not truncated.
+  sim::Time last_recovery_at = 0;
+  bool any_recovery = false;
 
   bool first = true;
   for (const auto& e : events) {
@@ -84,9 +90,36 @@ TraceSummary summarize(const std::vector<TraceEvent>& events) {
       case EventKind::kMonitorWarning:
         ++s.monitor_warnings;
         break;
+      case EventKind::kMsgFenced:
+        ++s.fenced_messages;
+        break;
+      case EventKind::kRecoveryBegin:
+        ++s.recovery_epochs;
+        s.wal_replayed += e.b;
+        open_recoveries[e.a] = e.at;
+        last_recovery_at = std::max(last_recovery_at, e.at);
+        any_recovery = true;
+        break;
+      case EventKind::kRecoveryEnd: {
+        s.reannouncements += e.b;
+        auto it = open_recoveries.find(e.a);
+        if (it != open_recoveries.end()) {
+          s.rebuild_duration_us.add(static_cast<double>(e.at - it->second));
+          open_recoveries.erase(it);
+        }
+        break;
+      }
     }
   }
-  s.ops_unfinished = open.size();
+  s.recovery_unresolved = open_recoveries.size();
+  for (const auto& [span, info] : open) {
+    (void)span;
+    if (any_recovery && info.second <= last_recovery_at) {
+      ++s.ops_unfinished_recovery;
+    } else {
+      ++s.ops_unfinished;
+    }
+  }
   return s;
 }
 
@@ -96,6 +129,7 @@ void export_metrics(const TraceSummary& s, MetricsRegistry& reg) {
   reg.inc("trace.ops.started", s.ops_started);
   reg.inc("trace.ops.completed", s.ops_completed);
   reg.inc("trace.ops.unfinished", s.ops_unfinished);
+  reg.inc("trace.ops.unfinished.recovery", s.ops_unfinished_recovery);
   reg.inc("trace.msgs.sent", s.msgs_sent);
   reg.inc("trace.msgs.received", s.msgs_received);
   reg.inc("trace.msgs.retransmitted", s.retransmits);
@@ -113,6 +147,15 @@ void export_metrics(const TraceSummary& s, MetricsRegistry& reg) {
   reg.inc("trace.mode.switches", s.mode_switches);
   reg.inc("trace.invariant.violations", s.invariant_violations);
   reg.inc("trace.monitor.warnings", s.monitor_warnings);
+  reg.inc("recovery.epochs", s.recovery_epochs);
+  reg.inc("recovery.unresolved_epochs", s.recovery_unresolved);
+  reg.inc("recovery.fenced_messages", s.fenced_messages);
+  reg.inc("recovery.wal_replayed", s.wal_replayed);
+  reg.inc("recovery.reannouncements", s.reannouncements);
+  {
+    auto& ss = reg.samples("recovery.rebuild_duration_us");
+    for (double v : s.rebuild_duration_us.samples()) ss.add(v);
+  }
   for (const auto& [label, lat] : s.op_latency_us) {
     auto& ss = reg.samples("op." + label + ".latency_us");
     for (double v : lat.samples()) ss.add(v);
@@ -156,6 +199,10 @@ std::string render_report(const TraceSummary& s) {
   if (s.ops_unfinished != 0) {
     out << "  unfinished ops: " << s.ops_unfinished
         << " (crashed views or truncated trace)\n";
+  }
+  if (s.ops_unfinished_recovery != 0) {
+    out << "  ops interrupted by DM restart: " << s.ops_unfinished_recovery
+        << " (re-issued under the new generation)\n";
   }
 
   if (!s.op_latency_us.empty()) {
@@ -204,6 +251,17 @@ std::string render_report(const TraceSummary& s) {
   if (s.invariant_violations != 0 || s.monitor_warnings != 0) {
     out << "monitor findings: violations=" << s.invariant_violations
         << " warnings=" << s.monitor_warnings << "\n";
+  }
+  if (s.recovery_epochs != 0 || s.fenced_messages != 0) {
+    out << "recovery: epochs=" << s.recovery_epochs
+        << " unresolved=" << s.recovery_unresolved
+        << " wal_replayed=" << s.wal_replayed
+        << " reannouncements=" << s.reannouncements
+        << " fenced=" << s.fenced_messages;
+    if (s.rebuild_duration_us.count() != 0) {
+      out << " rebuild_mean_us=" << fmt_us(s.rebuild_duration_us.mean());
+    }
+    out << "\n";
   }
   return out.str();
 }

@@ -20,7 +20,13 @@ struct TraceSummary {
   /// label ("pull", "push", "acquire", ...).
   std::map<std::string, sim::SampleSet> op_latency_us;
   /// Ops started but never completed (crashed views, truncated trace).
+  /// Ops interrupted by a directory restart are counted separately in
+  /// ops_unfinished_recovery, not here.
   std::uint64_t ops_unfinished = 0;
+  /// Ops open when a directory recovery began: the cache manager
+  /// re-issued them under the new generation (a fresh span), so they
+  /// are expected casualties of the restart, not truncation.
+  std::uint64_t ops_unfinished_recovery = 0;
 
   std::uint64_t ops_enqueued = 0;
   std::uint64_t ops_started = 0;
@@ -42,6 +48,16 @@ struct TraceSummary {
   /// kMonitorWarning events emitted by obs::monitor::InvariantMonitor).
   std::uint64_t invariant_violations = 0;
   std::uint64_t monitor_warnings = 0;
+
+  /// Directory crash-recovery facts (kRecoveryBegin / kRecoveryEnd /
+  /// kMsgFenced; see OBSERVABILITY.md "Recovery metrics").
+  std::uint64_t recovery_epochs = 0;      ///< kRecoveryBegin events
+  std::uint64_t recovery_unresolved = 0;  ///< begins without an end
+  std::uint64_t fenced_messages = 0;      ///< stale-generation rejections
+  std::uint64_t wal_replayed = 0;         ///< checkpoint entries replayed
+  std::uint64_t reannouncements = 0;      ///< RebuildReply re-announcements
+  /// Per-epoch rebuild duration (recovery_begin → recovery_end), µs.
+  sim::SampleSet rebuild_duration_us;
 
   sim::Time first_at = 0;
   sim::Time last_at = 0;

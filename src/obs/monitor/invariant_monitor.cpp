@@ -98,6 +98,23 @@ void InvariantMonitor::process(const TraceEvent& e) {
     }
   }
 
+  // Crash-recovery bookkeeping is role-independent: msg_fenced is
+  // emitted by both endpoints, and the recovery_begin/end pair frames
+  // an epoch all shadow state must respect.
+  switch (e.kind) {
+    case EventKind::kMsgFenced:
+      ++fenced_messages_;
+      break;
+    case EventKind::kRecoveryBegin:
+      begin_recovery(e);
+      break;
+    case EventKind::kRecoveryEnd:
+      end_recovery(e);
+      break;
+    default:
+      break;
+  }
+
   switch (e.role) {
     case Role::kCacheManager:
       on_cm_event(e);
@@ -224,6 +241,18 @@ void InvariantMonitor::on_cm_event(const TraceEvent& e) {
         for (auto& [key, ex] : extractions_) {
           if (ex.agent != e.agent || ex.merges != 0 || ex.reported) continue;
           if (ex.at >= issued) continue;  // made after the echo snapshot
+          // A pre-restart extraction's echo may still be settling
+          // through the directory's revive path; only finalize() can
+          // judge it. Same-epoch extractions get the strict check.
+          if (ex.epoch != epoch_) continue;
+          // A push/kill image whose own op is still pending is not
+          // lost — the op carries it and is still retrying (ops can
+          // reorder across a directory-restart reconnect, so a later
+          // op may complete first). finalize() judges abandoned ones.
+          if (std::get<0>(key) == kNsSpan &&
+              pending_.count(std::get<2>(key)) != 0) {
+            continue;
+          }
           ex.reported = true;
           std::ostringstream d;
           d << "dirty extraction from view " << ex.view << " ("
@@ -345,6 +374,7 @@ void InvariantMonitor::on_dm_event(const TraceEvent& e) {
         ex.view = e.b;
         ex.reported = true;
         ex.merges = 1;
+        ex.epoch = epoch_;
         break;
       }
       if (ex.merges >= 1) {
@@ -395,6 +425,36 @@ void InvariantMonitor::record_extraction(std::uint8_t ns, std::uint64_t round,
   ex.agent = e.agent;
   ex.view = agent(e.agent).view;
   ex.clock = e.clock;
+  ex.epoch = epoch_;
+}
+
+void InvariantMonitor::begin_recovery(const TraceEvent& e) {
+  ++epoch_;
+  ++recovery_epochs_seen_;
+  open_recoveries_[e.a] = e.at;
+  // The restarted directory holds no grant state; exclusivity is
+  // re-established by the rebuild round, so pre-crash holders cannot
+  // support an I1 verdict against post-restart grants.
+  holders_.clear();
+  // An extraction that merged pre-crash may legally merge once more:
+  // if the crash ate the WAL record of the merge (checkpoint lag), the
+  // revived round replays the echo and the directory re-applies it.
+  // Grant one re-merge per epoch — a second merge within the new epoch
+  // still trips I2. reported=true exempts it from I3/finalize (it
+  // already merged; a replay is optional).
+  for (auto& [key, ex] : extractions_) {
+    if (ex.merges >= 1) {
+      ex.merges = 0;
+      ex.reported = true;
+    }
+  }
+}
+
+void InvariantMonitor::end_recovery(const TraceEvent& e) {
+  auto it = open_recoveries_.find(e.a);
+  if (it == open_recoveries_.end()) return;
+  rebuild_duration_us_.add(static_cast<double>(e.at - it->second));
+  open_recoveries_.erase(it);
 }
 
 void InvariantMonitor::check_span_causality(const TraceEvent& e) {
@@ -456,6 +516,15 @@ void InvariantMonitor::finalize() {
     emit_finding(EventKind::kMonitorWarning, f);
   }
 
+  for (const auto& [gen, began] : open_recoveries_) {
+    std::ostringstream d;
+    d << "directory recovery (generation " << gen << ", began at " << began
+      << " us) never completed — trace ends mid-rebuild";
+    Finding f{Invariant::kCausality, last_at_, 0, 0, d.str()};
+    warnings_.push_back(f);
+    emit_finding(EventKind::kMonitorWarning, f);
+  }
+
   if (cfg_.max_op_age > 0) {
     for (auto& [span, op] : pending_) {
       if (op.age_warned || last_at_ - op.started_at <= cfg_.max_op_age) {
@@ -470,6 +539,11 @@ void InvariantMonitor::finalize() {
       emit_finding(EventKind::kMonitorWarning, f);
     }
   }
+}
+
+std::uint64_t InvariantMonitor::unresolved_recovery_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_recoveries_.size();
 }
 
 std::uint64_t InvariantMonitor::violation_count(Invariant inv) const {
@@ -500,6 +574,11 @@ std::string InvariantMonitor::health_report() const {
     out << row;
   }
   out << "  warnings: " << warnings_.size() << "\n";
+  if (recovery_epochs_seen_ != 0 || fenced_messages_ != 0) {
+    out << "  recovery: epochs=" << recovery_epochs_seen_
+        << " unresolved=" << open_recoveries_.size()
+        << " fenced=" << fenced_messages_ << "\n";
+  }
   const std::size_t kShow = 5;
   for (std::size_t i = 0; i < violations_.size() && i < kShow; ++i) {
     const Finding& f = violations_[i];
@@ -539,6 +618,12 @@ void InvariantMonitor::export_metrics(MetricsRegistry& reg) const {
   }
   reg.inc("monitor.violations", violations_.size());
   reg.inc("monitor.warnings", warnings_.size());
+  reg.inc("monitor.recovery.epochs", recovery_epochs_seen_);
+  reg.inc("monitor.recovery.unresolved", open_recoveries_.size());
+  reg.inc("monitor.recovery.fenced", fenced_messages_);
+  for (const double v : rebuild_duration_us_.samples()) {
+    reg.observe("monitor.recovery.rebuild_us", v);
+  }
   for (const auto& [label, lat] : op_latency_us_) {
     for (const double v : lat.samples()) {
       reg.observe("monitor.op.latency_us." + label, v);

@@ -133,6 +133,12 @@ class InvariantMonitor : public TraceSink {
     return events_seen_;
   }
 
+  /// Number of directory recovery epochs that began (recovery_begin)
+  /// but never completed (recovery_end) — nonzero means the trace ends
+  /// with the directory still rebuilding, so the run's final state is
+  /// not trustworthy even if no invariant tripped.
+  [[nodiscard]] std::uint64_t unresolved_recovery_epochs() const;
+
   /// Human-readable per-invariant pass/violation table plus the
   /// first few findings; ends with "monitor: PASS" or
   /// "monitor: N violation(s)".
@@ -160,6 +166,12 @@ class InvariantMonitor : public TraceSink {
     std::uint64_t clock = 0;  ///< sender stamp, for the causality check
     int merges = 0;
     bool reported = false;  ///< an I3 finding already covers it
+    /// Recovery epoch the extraction was made in. A directory restart
+    /// bumps the monitor's epoch; extractions from earlier epochs are
+    /// exempt from the push/kill-completion I3 check (their echoes may
+    /// still be settling through the revive path) and extractions that
+    /// merged pre-crash earn one legal re-merge in the new epoch.
+    std::uint64_t epoch = 0;
   };
 
   /// An op_started span awaiting its op_completed.
@@ -194,6 +206,8 @@ class InvariantMonitor : public TraceSink {
   void process(const TraceEvent& e);
   void on_cm_event(const TraceEvent& e);
   void on_dm_event(const TraceEvent& e);
+  void begin_recovery(const TraceEvent& e);
+  void end_recovery(const TraceEvent& e);
   void record_extraction(std::uint8_t ns, std::uint64_t round,
                          std::uint64_t id, const TraceEvent& e);
   void check_span_causality(const TraceEvent& e);
@@ -216,6 +230,15 @@ class InvariantMonitor : public TraceSink {
   std::map<std::uint64_t, Holder> holders_;  ///< I1: exclusive views
   std::map<ExtractKey, Extraction> extractions_;
   std::unordered_map<std::uint64_t, PendingOp> pending_;
+
+  // ---- crash-recovery epochs (directory restarts) --------------------
+  std::uint64_t epoch_ = 0;  ///< bumps at each recovery_begin
+  std::uint64_t recovery_epochs_seen_ = 0;
+  std::uint64_t fenced_messages_ = 0;  ///< msg_fenced events (either role)
+  /// Open recoveries: generation → recovery_begin time; drained by
+  /// recovery_end, leftovers are unresolved at end of trace.
+  std::map<std::uint64_t, sim::Time> open_recoveries_;
+  sim::SampleSet rebuild_duration_us_;
 
   std::map<std::string, sim::SampleSet> op_latency_us_;
   std::uint64_t checks_[5] = {};

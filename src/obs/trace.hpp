@@ -70,6 +70,9 @@ enum class EventKind : std::uint8_t {
   kModeSwitch,          ///< consistency mode changed (weak <-> strong)
   kInvariantViolation,  ///< conformance monitor: protocol invariant broken
   kMonitorWarning,      ///< conformance monitor: liveness/health warning
+  kMsgFenced,           ///< stale-generation message rejected (recovery)
+  kRecoveryBegin,       ///< directory restarted; rebuild round opened
+  kRecoveryEnd,         ///< rebuild finished; normal processing resumed
 };
 
 /// Which protocol role emitted an event.
@@ -98,6 +101,9 @@ enum class Role : std::uint8_t {
     case EventKind::kModeSwitch: return "mode_switch";
     case EventKind::kInvariantViolation: return "invariant_violation";
     case EventKind::kMonitorWarning: return "monitor_warning";
+    case EventKind::kMsgFenced: return "msg_fenced";
+    case EventKind::kRecoveryBegin: return "recovery_begin";
+    case EventKind::kRecoveryEnd: return "recovery_end";
   }
   return "unknown";
 }

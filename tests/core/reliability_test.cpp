@@ -3,6 +3,7 @@
 // fail-safe reconnect paths (nack, failover, abandoned-op re-issue).
 #include <gtest/gtest.h>
 
+#include "core/durability.hpp"
 #include "core/reliability.hpp"
 #include "test_support.hpp"
 
@@ -97,11 +98,14 @@ TEST(ReliabilityTest, LossyRunCompletesEveryOpWithExactState) {
 struct Stub : net::Endpoint {
   std::vector<msg::RegisterAck> register_acks;
   std::vector<msg::PushAck> push_acks;
+  std::vector<msg::OpNack> nacks;
   void on_message(const net::Message& m) override {
     if (m.type == msg::kRegisterAck) {
       register_acks.push_back(net::payload_as<msg::RegisterAck>(m));
     } else if (m.type == msg::kPushAck) {
       push_acks.push_back(net::payload_as<msg::PushAck>(m));
+    } else if (m.type == msg::kOpNack) {
+      nacks.push_back(net::payload_as<msg::OpNack>(m));
     }
   }
 };
@@ -161,6 +165,61 @@ TEST(ReliabilityTest, DuplicateRegisterReplaysTheSameViewId) {
   // A replay is NOT a supersede: the original registration stands.
   EXPECT_EQ(h.directory_->stats().get("op.register.superseded"), 0u);
   EXPECT_EQ(h.directory_->stats().get("msg.duplicate.replayed"), 1u);
+}
+
+TEST(ReliabilityTest, DedupWindowDoesNotReplayAcrossGenerationBump) {
+  // The dedup window is checkpointed, so a restarted directory could in
+  // principle replay a pre-crash ack for a retransmitted request. The
+  // generation fence must win: a retransmission still stamped with the
+  // old generation is nacked ("stale generation"), never replayed and
+  // never re-merged.
+  MemoryDurabilityStore store;
+  DirectoryManager::Config dcfg;
+  dcfg.durability = &store;
+  Harness h(1, 100, dcfg);
+  Stub stub;
+  const net::Address sa{h.hosts_[0], 1};
+  h.fabric_->bind(sa, stub);
+
+  msg::RegisterReq rr;
+  rr.view_name = "kv.View";
+  rr.properties = cells(0, 9);
+  rr.req = 1;
+  h.fabric_->send(sa, h.dir_addr_, msg::kRegisterReq, rr, 64);
+  h.run();
+  ASSERT_EQ(stub.register_acks.size(), 1u);
+  ASSERT_EQ(stub.register_acks[0].gen, 1u);
+
+  msg::PushUpdate pu;
+  pu.view = stub.register_acks[0].view;
+  pu.image.set_int(inc_key(3), 5);
+  pu.req = 2;
+  pu.gen = 1;
+  h.fabric_->send(sa, h.dir_addr_, msg::kPushUpdate, pu, 64);
+  h.run();
+  ASSERT_EQ(stub.push_acks.size(), 1u);
+  ASSERT_EQ(h.primary_.merges(), 1u);
+
+  h.directory_.reset();
+  store.crash();
+  h.directory_ = std::make_unique<DirectoryManager>(*h.fabric_, h.dir_addr_,
+                                                    h.primary_, dcfg);
+  ASSERT_EQ(h.directory_->generation(), 2u);
+
+  // The identical retransmission (same req, same gen stamp) arrives at
+  // the new incarnation.
+  h.fabric_->send(sa, h.dir_addr_, msg::kPushUpdate, pu, 64);
+  h.run_until(h.sim_.now() + sim::msec(50));
+
+  ASSERT_EQ(stub.nacks.size(), 1u);
+  EXPECT_EQ(stub.nacks[0].reason, "stale generation");
+  EXPECT_EQ(stub.nacks[0].req, 2u);
+  EXPECT_EQ(stub.nacks[0].gen, 2u);
+  EXPECT_EQ(stub.push_acks.size(), 1u);  // no replayed PushAck
+  EXPECT_EQ(h.primary_.merges(), 1u);    // no second merge
+  EXPECT_EQ(h.primary_.cell(3), 5);
+  EXPECT_EQ(h.directory_->stats().get("recovery.fenced"), 1u);
+  EXPECT_EQ(h.directory_->stats().get("msg.duplicate.replayed"), 0u);
 }
 
 TEST(ReliabilityTest, RetransmitDuringFetchRoundIsDroppedInProgress) {

@@ -339,6 +339,123 @@ TEST(InvariantMonitorTest, ExportMetricsNamesAreStable) {
   EXPECT_NE(prom.find("quantile=\"0.999\""), std::string::npos);
 }
 
+// ---- directory crash-recovery epochs --------------------------------------
+
+TEST(InvariantMonitorTest, RecoveryEpochGrantsExactlyOneRemerge) {
+  // The checkpoint lost the merge marker (flush lag): after the
+  // restart the revived round legally re-applies the same extraction
+  // once...
+  auto events = clean_fetch_merge();
+  events.push_back(dm(100, EventKind::kRecoveryBegin, 0, "restart", 2, 1, 5));
+  events.push_back(dm(150, EventKind::kRecoveryEnd, 0, "rebuilt", 2, 0, 6));
+  events.push_back(
+      dm(200, EventKind::kMergeApplied, 0, "late_fetch", 5, kViewB, 7));
+  InvariantMonitor mon;
+  mon.run(events);
+  EXPECT_TRUE(mon.violations().empty()) << mon.health_report();
+
+  // ...but a second merge within the SAME epoch still trips I2.
+  events.push_back(
+      dm(210, EventKind::kMergeApplied, 0, "echo.fetch", 5, kViewB, 8));
+  InvariantMonitor strict;
+  strict.run(events);
+  EXPECT_EQ(strict.violation_count(Invariant::kExactlyOnceMerge), 1u);
+}
+
+TEST(InvariantMonitorTest, PreCrashExtractionIsExemptFromI3AfterRestart) {
+  // Same shape as I3FiresWhenAPushCompletesOverALostExtraction, but the
+  // directory crashed between the extraction and the push: the fetch
+  // round died with the old incarnation, so the completed push proves
+  // nothing. finalize() still surfaces the unmerged image as a warning.
+  const std::uint64_t sb = span_id(kB, 3);
+  const std::uint64_t sp = span_id(kB, 4);
+  std::vector<TraceEvent> events = {
+      cm(10, kB, EventKind::kOpStarted, sb, "pull", kViewB, 0, 1),
+      cm(20, kB, EventKind::kMsgSent, 0, "flecc.fetch_reply", 5, 1, 2),
+      cm(40, kB, EventKind::kOpCompleted, sb, "pull", 0, 0, 3),
+      dm(50, EventKind::kRecoveryBegin, 0, "restart", 2, 0, 10),
+      dm(60, EventKind::kRecoveryEnd, 0, "rebuilt", 2, 0, 11),
+      cm(70, kB, EventKind::kOpStarted, sp, "push", kViewB, 0, 12),
+      cm(71, kB, EventKind::kMsgSent, sp, "flecc.push_update", 0, 1, 13),
+      dm(80, EventKind::kMergeApplied, sp, "push", 0, kViewB, 14),
+      cm(90, kB, EventKind::kOpCompleted, sp, "push", 0, 0, 15),
+  };
+  InvariantMonitor mon;
+  mon.run(events);
+  EXPECT_EQ(mon.violation_count(Invariant::kNoLostUpdate), 0u)
+      << mon.health_report();
+  bool warned = false;
+  for (const auto& w : mon.warnings()) {
+    if (w.detail.find("unmerged") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned) << mon.health_report();
+}
+
+TEST(InvariantMonitorTest, ReorderedOpsAcrossRestartDoNotTripI3) {
+  // The reconnect after a directory restart re-queues an in-flight
+  // kill BEHIND a fresh push; the push completes while the kill's
+  // dirty image is still outstanding. The kill op is pending and still
+  // retrying — its extraction is late, not lost.
+  const std::uint64_t sk = span_id(kB, 3);
+  const std::uint64_t sp = span_id(kB, 4);
+  std::vector<TraceEvent> events = {
+      cm(10, kB, EventKind::kOpStarted, sk, "kill", kViewB, 0, 1),
+      dm(20, EventKind::kRecoveryBegin, 0, "restart", 2, 0, 2),
+      dm(30, EventKind::kRecoveryEnd, 0, "rebuilt", 2, 0, 3),
+      cm(35, kB, EventKind::kMsgSent, sk, "flecc.kill_req", 0, 1, 5),
+      cm(40, kB, EventKind::kOpStarted, sp, "push", kViewB, 0, 6),
+      cm(41, kB, EventKind::kMsgSent, sp, "flecc.push_update", 0, 1, 7),
+      dm(50, EventKind::kMergeApplied, sp, "push", 0, kViewB, 8),
+      cm(60, kB, EventKind::kOpCompleted, sp, "push", 0, 0, 9),
+      // The kill re-issues, merges, and completes a moment later.
+      dm(70, EventKind::kMergeApplied, sk, "kill", 0, kViewB, 11),
+      cm(80, kB, EventKind::kOpCompleted, sk, "kill", 0, 0, 12),
+  };
+  InvariantMonitor mon;
+  mon.run(events);
+  EXPECT_TRUE(mon.violations().empty()) << mon.health_report();
+}
+
+TEST(InvariantMonitorTest, UnresolvedRecoveryEpochWarnsAndCounts) {
+  auto events = clean_acquire_round();
+  events.push_back(dm(100, EventKind::kRecoveryBegin, 0, "restart", 2, 0, 20));
+  InvariantMonitor mon;
+  mon.run(events);
+  EXPECT_EQ(mon.unresolved_recovery_epochs(), 1u);
+  bool warned = false;
+  for (const auto& w : mon.warnings()) {
+    if (w.detail.find("never completed") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned) << mon.health_report();
+  EXPECT_NE(mon.health_report().find("epochs=1 unresolved=1"),
+            std::string::npos);
+
+  events.push_back(dm(150, EventKind::kRecoveryEnd, 0, "rebuilt", 2, 0, 21));
+  InvariantMonitor resolved;
+  resolved.run(events);
+  EXPECT_EQ(resolved.unresolved_recovery_epochs(), 0u);
+}
+
+TEST(InvariantMonitorTest, RecoveryMetricsAreExported) {
+  std::vector<TraceEvent> events = {
+      dm(10, EventKind::kRecoveryBegin, 0, "restart", 2, 3, 1),
+      dm(20, EventKind::kMsgFenced, 0, "flecc.push_update", 1, 2, 2),
+      cm(30, kA, EventKind::kMsgFenced, 0, "flecc.invalidate_req", 1, 2, 3),
+      dm(40, EventKind::kRecoveryEnd, 0, "rebuilt", 2, 0, 4),
+  };
+  InvariantMonitor mon;
+  mon.run(events);
+  EXPECT_TRUE(mon.violations().empty()) << mon.health_report();
+  MetricsRegistry reg;
+  mon.export_metrics(reg);
+  EXPECT_EQ(reg.counter("monitor.recovery.epochs"), 1u);
+  EXPECT_EQ(reg.counter("monitor.recovery.unresolved"), 0u);
+  EXPECT_EQ(reg.counter("monitor.recovery.fenced"), 2u);
+  const auto it = reg.sample_sets().find("monitor.recovery.rebuild_us");
+  ASSERT_NE(it, reg.sample_sets().end());
+  EXPECT_EQ(it->second.count(), 1u);
+}
+
 TEST(InvariantMonitorTest, HealthReportShowsVerdict) {
   InvariantMonitor mon;
   mon.run(clean_acquire_round());

@@ -4,6 +4,11 @@
 // non-zero when any invariant (I1-I4, causality; see PROTOCOL.md
 // "Invariants") is violated.
 //
+// Exit codes: 0 clean, 1 invariant violation(s), 2 usage error, 3 no
+// violations but the trace ends with an unresolved directory recovery
+// (a recovery_begin without its recovery_end — the run stopped
+// mid-rebuild, so the final state was never re-validated).
+//
 // Usage:
 //   flecc_check <trace.jsonl>                 health report to stdout;
 //                                             exit 1 on violations
@@ -88,13 +93,17 @@ int main(int argc, char** argv) {
   mon.run(events);
 
   const auto& viol = mon.violations();
+  const std::uint64_t unresolved = mon.unresolved_recovery_epochs();
   if (quiet) {
-    if (viol.empty()) {
+    if (!viol.empty()) {
+      std::printf("monitor: %zu violation(s)\n", viol.size());
+    } else if (unresolved != 0) {
+      std::printf("monitor: %llu unresolved recovery epoch(s)\n",
+                  static_cast<unsigned long long>(unresolved));
+    } else {
       std::printf("monitor: PASS (%llu events, %zu warning(s))\n",
                   static_cast<unsigned long long>(mon.events_seen()),
                   mon.warnings().size());
-    } else {
-      std::printf("monitor: %zu violation(s)\n", viol.size());
     }
   } else {
     std::fputs(mon.health_report().c_str(), stdout);
@@ -113,5 +122,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  return viol.empty() ? 0 : 1;
+  if (!viol.empty()) return 1;
+  return unresolved != 0 ? 3 : 0;
 }
