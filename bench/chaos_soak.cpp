@@ -62,9 +62,23 @@ bool is_crashed(std::size_t i) {
 /// from its checkpoint (`empty_checkpoint` drops the WAL first, leaving
 /// only the generation superblock — the pure CM-assisted rebuild).
 std::string run_soak(std::uint64_t seed, obs::TraceRecorder* trace = nullptr,
-                     bool crash_dm = false, bool empty_checkpoint = false) {
+                     bool crash_dm = false, bool empty_checkpoint = false,
+                     bool batch = false, std::size_t wbuf = 0) {
   TestbedOptions opts;
   opts.trace = trace;
+  // Raw-speed layer (PERFORMANCE.md): batching implies heartbeat
+  // piggybacking — suppressed beacons only make sense when regular
+  // traffic is being coalesced toward the directory anyway.
+  opts.batch_fabric = batch;
+  opts.piggyback_heartbeats = batch;
+  opts.write_buffer_ops = wbuf;
+  // The reservation loop is pull-driven (deltas reach the database via
+  // demand-fetch chasing), so exercising the write buffer needs
+  // trigger-fired pushes: idle dirty agents absorb `wbuf` of them
+  // locally, then surrender the accumulated delta in one capacity
+  // flush. Kill-time extraction flushes whatever remains, so the
+  // database audit below is unaffected.
+  if (wbuf > 0) opts.push_trigger = "(t > 400)";
   opts.n_agents = kAgents;
   opts.group_size = 10;
   opts.flights_per_group = 5;
@@ -184,9 +198,20 @@ std::string run_soak(std::uint64_t seed, obs::TraceRecorder* trace = nullptr,
       agg["cm." + k] += v;
     }
   }
-  for (const char* key : {"msg.dropped.loss", "msg.dropped.partition",
-                          "msg.dropped.unbound", "msg.sent"}) {
+  for (const char* key :
+       {"msg.dropped.loss", "msg.dropped.partition", "msg.dropped.unbound",
+        "msg.sent", "batch.frames", "batch.subs", "batch.coalesced",
+        "batch.flush.window", "batch.flush.capacity", "batch.flush.single",
+        "batch.sub.unbound"}) {
     agg[std::string("net.") + key] = tb.fabric().counters().get(key);
+  }
+  if (batch) {
+    SOAK_CHECK(agg["net.batch.frames"] >= 1,
+               "batching enabled but no train ever coalesced");
+  }
+  if (wbuf > 0) {
+    SOAK_CHECK(agg["cm.wbuf.absorbed"] >= 1,
+               "write buffer enabled but no push was ever absorbed");
   }
 
   SOAK_CHECK(agg["cm.op.retry"] >= 1, "loss injected but nothing retried");
@@ -224,6 +249,8 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   bool monitor = false;
   bool crash_dm = false;
+  bool batch = false;
+  std::size_t wbuf = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -231,18 +258,25 @@ int main(int argc, char** argv) {
       monitor = true;
     } else if (std::strcmp(argv[i], "--crash-dm") == 0) {
       crash_dm = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = true;
+    } else if (std::strcmp(argv[i], "--wbuf") == 0 && i + 1 < argc) {
+      wbuf = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trace out.jsonl] [--monitor] [--crash-dm]\n",
+                   "usage: %s [--trace out.jsonl] [--monitor] [--crash-dm] "
+                   "[--batch] [--wbuf N]\n",
                    argv[0]);
       return 2;
     }
   }
 
   std::printf("# Chaos soak — %zu agents, 10%% loss, partition of agents "
-              "[%zu,%zu], crashes {%zu,%zu}%s\n",
+              "[%zu,%zu], crashes {%zu,%zu}%s%s%s\n",
               kAgents, kPartitionLo, kPartitionHi, kCrashed[0], kCrashed[1],
-              crash_dm ? ", directory crash-restart" : "");
+              crash_dm ? ", directory crash-restart" : "",
+              batch ? ", send batching + piggybacked heartbeats" : "",
+              wbuf > 0 ? ", CM write buffer" : "");
 
   const std::uint64_t seed = 0xc0a5;
   obs::TraceRecorder recorder;
@@ -255,9 +289,10 @@ int main(int argc, char** argv) {
   // The recorder rides along on the first run only; the second stays
   // bare so the bit-identical comparison proves tracing (and the
   // monitor) never perturbs the protocol.
-  const std::string first =
-      run_soak(seed, tracing ? &recorder : nullptr, crash_dm);
-  const std::string second = run_soak(seed, nullptr, crash_dm);
+  const std::string first = run_soak(seed, tracing ? &recorder : nullptr,
+                                     crash_dm, false, batch, wbuf);
+  const std::string second =
+      run_soak(seed, nullptr, crash_dm, false, batch, wbuf);
   SOAK_CHECK(first == second,
              "two same-seed runs diverged: the soak is not deterministic");
 
@@ -288,8 +323,8 @@ int main(int argc, char** argv) {
     if (monitor) empty_rec.attach_sink(&empty_checker);
     const std::string e1 = run_soak(seed, monitor ? &empty_rec : nullptr,
                                     /*crash_dm=*/true,
-                                    /*empty_checkpoint=*/true);
-    const std::string e2 = run_soak(seed, nullptr, true, true);
+                                    /*empty_checkpoint=*/true, batch, wbuf);
+    const std::string e2 = run_soak(seed, nullptr, true, true, batch, wbuf);
     SOAK_CHECK(e1 == e2, "empty-checkpoint runs diverged");
     if (monitor) {
       empty_checker.finalize();

@@ -39,6 +39,11 @@ namespace {
 constexpr std::size_t kAgents = 100;
 constexpr int kOpsPerAgent = 1;
 
+// Raw-speed knobs (PERFORMANCE.md), shared by every protocol in the
+// sweep so the comparison stays apples-to-apples.
+bool g_batch = false;
+std::size_t g_wbuf = 0;
+
 /// Full lifecycle message count for one protocol at one group size.
 std::uint64_t run_lifecycle(Protocol protocol, std::size_t group_size,
                             obs::TraceRecorder* trace = nullptr) {
@@ -49,6 +54,8 @@ std::uint64_t run_lifecycle(Protocol protocol, std::size_t group_size,
   opts.capacity = 1 << 20;
   opts.mode = core::Mode::kWeak;
   opts.trace = trace;
+  opts.batch_fabric = g_batch;
+  opts.write_buffer_ops = g_wbuf;
   CoherenceTestbed tb(protocol, opts);
 
   tb.connect_all();
@@ -72,14 +79,24 @@ std::uint64_t run_lifecycle(Protocol protocol, std::size_t group_size,
 int main(int argc, char** argv) {
   bool tracing = false;
   bool monitor = false;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       tracing = true;
     } else if (std::strcmp(argv[i], "--monitor") == 0) {
       // The monitor rides on the traced re-runs, so it implies --trace.
       monitor = tracing = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      g_batch = true;
+    } else if (std::strcmp(argv[i], "--wbuf") == 0 && i + 1 < argc) {
+      g_wbuf = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--trace] [--monitor]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace] [--monitor] [--batch] [--wbuf N] "
+                   "[--json out.json]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -92,6 +109,11 @@ int main(int argc, char** argv) {
 
   sim::Table table({"group_size", "flecc", "time-sharing", "multicast"});
   obs::TraceRecorder last_trace;
+  struct Row {
+    std::size_t group;
+    std::uint64_t flecc, ts, mc;
+  };
+  std::vector<Row> rows;
   for (std::size_t g = 10; g <= 100; g += 10) {
     const std::uint64_t flecc_msgs = run_lifecycle(Protocol::kFlecc, g);
     if (tracing) {
@@ -124,13 +146,43 @@ int main(int argc, char** argv) {
       rec.attach_sink(nullptr);
       if (g == 100) last_trace = std::move(rec);
     }
-    table.add_row({static_cast<std::int64_t>(g), flecc_msgs,
-                   run_lifecycle(Protocol::kTimeSharing, g),
-                   run_lifecycle(Protocol::kMulticast, g)});
+    const std::uint64_t ts_msgs = run_lifecycle(Protocol::kTimeSharing, g);
+    const std::uint64_t mc_msgs = run_lifecycle(Protocol::kMulticast, g);
+    table.add_row({static_cast<std::int64_t>(g), flecc_msgs, ts_msgs,
+                   mc_msgs});
+    rows.push_back({g, flecc_msgs, ts_msgs, mc_msgs});
   }
   std::printf("%s", table.to_string().c_str());
   if (table.write_csv("fig4_efficiency.csv")) {
     std::printf("\n# data also written to fig4_efficiency.csv\n");
+  }
+  if (json_path != nullptr) {
+    // Machine-readable results for scripted before/after comparisons
+    // (the PERFORMANCE.md hop-count trajectory): physical fabric hops
+    // per protocol and group size, plus the knob settings that
+    // produced them.
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fprintf(f,
+                   "{\n  \"batch\": %s,\n  \"write_buffer_ops\": %zu,\n"
+                   "  \"rows\": [\n",
+                   g_batch ? "true" : "false", g_wbuf);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(f,
+                     "    {\"group_size\": %zu, \"flecc\": %llu, "
+                     "\"time_sharing\": %llu, \"multicast\": %llu}%s\n",
+                     rows[i].group,
+                     static_cast<unsigned long long>(rows[i].flecc),
+                     static_cast<unsigned long long>(rows[i].ts),
+                     static_cast<unsigned long long>(rows[i].mc),
+                     i + 1 < rows.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("# hop counts also written to %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
   }
   if (monitor) {
     std::printf("\n# monitor check passed: zero invariant violations at "

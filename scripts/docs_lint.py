@@ -10,6 +10,10 @@ headers they document:
    in PROTOCOL.md (the "Message reference" table).
 3. Every EventKind wire name and every exported `trace.*` metric prefix
    appears in OBSERVABILITY.md.
+4. Every raw-speed knob documented in PERFORMANCE.md names a real
+   Config field in its defining header (and vice versa: the raw-speed
+   Config fields all appear in PERFORMANCE.md), and every `batch.*` /
+   `wbuf.*` counter emitted by the code is documented there.
 
 Exit status 0 = clean, 1 = violations (each printed as file:line).
 """
@@ -106,6 +110,43 @@ def main() -> int:
             errors.append(
                 f"src/obs/monitor/invariant_monitor.cpp: metric '{metric}' "
                 "is not documented in OBSERVABILITY.md")
+
+    performance = (REPO / "PERFORMANCE.md").read_text()
+    # Knob <-> header cross-check: each (header, field) pair below is a
+    # raw-speed Config knob; PERFORMANCE.md must name every one, and
+    # each must still exist in its defining header.
+    knobs = [
+        ("src/core/cache_manager.hpp",
+         ["pool_messages", "write_buffer_ops", "piggyback_heartbeats"]),
+        ("src/core/directory_manager.hpp", ["pool_messages"]),
+        ("src/net/batch_fabric.hpp", ["batch_window", "max_batch"]),
+        ("src/airline/testbed.hpp",
+         ["batch_fabric", "pool_messages", "write_buffer_ops",
+          "piggyback_heartbeats"]),
+    ]
+    for rel, fields in knobs:
+        header = (REPO / rel).read_text()
+        for field in fields:
+            if not re.search(rf"\b{field}\b\s*=", header):
+                errors.append(f"{rel}: raw-speed knob '{field}' named in "
+                              "docs_lint.py no longer exists in the header")
+            if f"`{field}`" not in performance:
+                errors.append(f"{rel}: knob '{field}' is not documented in "
+                              "PERFORMANCE.md")
+
+    # Counter families: everything the code emits under batch.* / wbuf.*
+    # must be documented (OBSERVABILITY.md documents the families too,
+    # but PERFORMANCE.md is the canonical knob/counter reference).
+    perf_sources = {
+        "src/net/batch_fabric.cpp": r'"(batch\.[a-z_.]+)"',
+        "src/core/cache_manager.cpp": r'"(wbuf\.[a-z_.]+)"',
+    }
+    for rel, pattern in perf_sources.items():
+        text = (REPO / rel).read_text()
+        for counter in sorted(set(re.findall(pattern, text))):
+            if f"`{counter}`" not in performance:
+                errors.append(f"{rel}: counter '{counter}' is not "
+                              "documented in PERFORMANCE.md")
 
     if errors:
         print(f"docs lint: {len(errors)} problem(s)")

@@ -53,6 +53,10 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
   auto topo = make_lan(opts_.n_agents, opts_.lan_latency, hosts);
   fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo),
                                              opts_.fabric_cfg);
+  if (opts_.batch_fabric) {
+    batch_ = std::make_unique<net::BatchFabric>(*fabric_, opts_.batch_cfg);
+  }
+  net::Fabric& proto = protocol_fabric();
 
   db_ = make_db(assignment_, opts_.capacity);
   adapter_ = std::make_unique<FlightDatabaseAdapter>(db_);
@@ -68,10 +72,11 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
         opts_.checkpoint_flush_every);
     opts_.dir_cfg.durability = durability_.get();
   }
+  opts_.dir_cfg.pool_messages = opts_.pool_messages;
 
   dir_addr_ = net::Address{hosts.back(), kServicePort};
   const net::Address dir_addr = dir_addr_;
-  directory_ = std::make_unique<core::DirectoryManager>(*fabric_, dir_addr,
+  directory_ = std::make_unique<core::DirectoryManager>(proto, dir_addr,
                                                         *adapter_,
                                                         opts_.dir_cfg);
 
@@ -90,9 +95,12 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
     cfg.retry = opts_.retry;
     cfg.heartbeat_interval = opts_.heartbeat_interval;
     cfg.heartbeat_miss_limit = opts_.heartbeat_miss_limit;
+    cfg.pool_messages = opts_.pool_messages;
+    cfg.write_buffer_ops = opts_.write_buffer_ops;
+    cfg.piggyback_heartbeats = opts_.piggyback_heartbeats;
     const net::Address addr{hosts[i], kServicePort};
     agents_.push_back(
-        std::make_unique<TravelAgent>(*fabric_, addr, dir_addr, std::move(cfg)));
+        std::make_unique<TravelAgent>(proto, addr, dir_addr, std::move(cfg)));
   }
   crashed_.assign(agents_.size(), false);
 }
@@ -130,8 +138,8 @@ void FleccTestbed::restart_directory() {
   // superblock + durable WAL prefix), bumps the generation, and probes
   // the checkpointed views; opts_.dir_cfg still carries the durability
   // pointer and the "dm" trace buffer, so the trace spans both lives.
-  directory_ = std::make_unique<core::DirectoryManager>(*fabric_, dir_addr_,
-                                                        *adapter_,
+  directory_ = std::make_unique<core::DirectoryManager>(protocol_fabric(),
+                                                        dir_addr_, *adapter_,
                                                         opts_.dir_cfg);
 }
 
@@ -164,6 +172,13 @@ CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
   auto topo = make_lan(opts_.n_agents, opts_.lan_latency, hosts);
   fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo),
                                              opts_.fabric_cfg);
+  if (opts_.batch_fabric) {
+    batch_ = std::make_unique<net::BatchFabric>(*fabric_, opts_.batch_cfg);
+  }
+  // Every protocol (Flecc and baselines) rides the same fabric stack so
+  // the Figure-4 comparison stays apples-to-apples.
+  net::Fabric& proto =
+      batch_ != nullptr ? static_cast<net::Fabric&>(*batch_) : *fabric_;
 
   db_ = make_db(assignment_, opts_.capacity);
   adapter_ = std::make_unique<FlightDatabaseAdapter>(db_);
@@ -173,20 +188,21 @@ CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
         opts_.trace->make_buffer("fabric", kFabricTraceCapacity));
     opts_.dir_cfg.trace = opts_.trace->make_buffer("dm", kDirTraceCapacity);
   }
+  opts_.dir_cfg.pool_messages = opts_.pool_messages;
 
   const net::Address coord_addr{hosts.back(), kServicePort};
   switch (protocol_) {
     case Protocol::kFlecc:
       directory_ = std::make_unique<core::DirectoryManager>(
-          *fabric_, coord_addr, *adapter_, opts_.dir_cfg);
+          proto, coord_addr, *adapter_, opts_.dir_cfg);
       break;
     case Protocol::kTimeSharing:
       ts_coord_ = std::make_unique<baselines::TimeSharingCoordinator>(
-          *fabric_, coord_addr, *adapter_);
+          proto, coord_addr, *adapter_);
       break;
     case Protocol::kMulticast:
       mc_dir_ = std::make_unique<baselines::MulticastDirectory>(
-          *fabric_, coord_addr, *adapter_);
+          proto, coord_addr, *adapter_);
       break;
   }
 
@@ -207,21 +223,24 @@ CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
         cfg.retry = opts_.retry;
         cfg.heartbeat_interval = opts_.heartbeat_interval;
         cfg.heartbeat_miss_limit = opts_.heartbeat_miss_limit;
+        cfg.pool_messages = opts_.pool_messages;
+        cfg.write_buffer_ops = opts_.write_buffer_ops;
+        cfg.piggyback_heartbeats = opts_.piggyback_heartbeats;
         if (opts_.trace != nullptr) {
           cfg.trace = opts_.trace->make_buffer("cm." + std::to_string(i));
         }
         clients_.push_back(std::make_unique<baselines::FleccClient>(
-            *fabric_, addr, coord_addr, *view, std::move(cfg)));
+            proto, addr, coord_addr, *view, std::move(cfg)));
         break;
       }
       case Protocol::kTimeSharing:
         clients_.push_back(std::make_unique<baselines::TimeSharingClient>(
-            *fabric_, addr, coord_addr, *view, "air.TravelAgent",
+            proto, addr, coord_addr, *view, "air.TravelAgent",
             view->properties()));
         break;
       case Protocol::kMulticast:
         clients_.push_back(std::make_unique<baselines::MulticastClient>(
-            *fabric_, addr, coord_addr, *view, "air.TravelAgent",
+            proto, addr, coord_addr, *view, "air.TravelAgent",
             view->properties()));
         break;
     }

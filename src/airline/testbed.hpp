@@ -17,6 +17,7 @@
 #include "baselines/time_sharing.hpp"
 #include "core/directory_manager.hpp"
 #include "core/durability.hpp"
+#include "net/batch_fabric.hpp"
 #include "net/sim_fabric.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
@@ -52,6 +53,20 @@ struct TestbedOptions {
   /// (drop events), and "cm.<i>" per agent, so each writer stays
   /// single-threaded and the merged snapshot is time-ordered.
   obs::TraceRecorder* trace = nullptr;
+  // ---- raw-speed knobs (PERFORMANCE.md) ---------------------------------
+  /// Wrap the simulated fabric in a net::BatchFabric: message trains
+  /// between the same pair of nodes travel as one framed hop. All
+  /// protocol components (directory, agents, baselines) ride it, so
+  /// cross-protocol comparisons stay apples-to-apples.
+  bool batch_fabric = false;
+  net::BatchFabric::Config batch_cfg{};
+  /// Message-payload pooling, applied to every cache manager AND to
+  /// dir_cfg.pool_messages (uniform A/B switch).
+  bool pool_messages = true;
+  /// CM write buffer: pushes absorbed per flush cycle (0 disables).
+  std::size_t write_buffer_ops = 0;
+  /// CM heartbeat piggybacking on regular directory traffic.
+  bool piggyback_heartbeats = false;
   /// Give the directory an owned in-memory durability store so
   /// crash_directory()/restart_directory() can exercise checkpointed
   /// recovery. Ignored when dir_cfg.durability is already set.
@@ -73,6 +88,14 @@ class FleccTestbed {
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] net::SimFabric& fabric() noexcept { return *fabric_; }
+  /// The fabric protocol components are wired to: the BatchFabric when
+  /// opts.batch_fabric, the SimFabric otherwise.
+  [[nodiscard]] net::Fabric& protocol_fabric() noexcept {
+    return batch_ != nullptr ? static_cast<net::Fabric&>(*batch_) : *fabric_;
+  }
+  [[nodiscard]] net::BatchFabric* batch_fabric() noexcept {
+    return batch_.get();
+  }
   [[nodiscard]] FlightDatabase& database() noexcept { return db_; }
   [[nodiscard]] core::DirectoryManager& directory() noexcept {
     return *directory_;
@@ -133,6 +156,10 @@ class FleccTestbed {
   GroupAssignment assignment_;
   sim::Simulator sim_;
   std::unique_ptr<net::SimFabric> fabric_;
+  /// Optional batching decorator; must outlive everything bound
+  /// through it (declared before, hence destroyed after, the protocol
+  /// components below).
+  std::unique_ptr<net::BatchFabric> batch_;
   FlightDatabase db_;
   std::unique_ptr<FlightDatabaseAdapter> adapter_;
   std::unique_ptr<core::MemoryDurabilityStore> durability_;
@@ -183,6 +210,8 @@ class CoherenceTestbed {
   GroupAssignment assignment_;
   sim::Simulator sim_;
   std::unique_ptr<net::SimFabric> fabric_;
+  /// Optional batching decorator (see FleccTestbed::batch_).
+  std::unique_ptr<net::BatchFabric> batch_;
   FlightDatabase db_;
   std::unique_ptr<FlightDatabaseAdapter> adapter_;
 

@@ -20,6 +20,9 @@ core::CacheManager::Config make_cm_config(const TravelAgent::Config& cfg,
   out.retry = cfg.retry;
   out.heartbeat_interval = cfg.heartbeat_interval;
   out.heartbeat_miss_limit = cfg.heartbeat_miss_limit;
+  out.pool_messages = cfg.pool_messages;
+  out.write_buffer_ops = cfg.write_buffer_ops;
+  out.piggyback_heartbeats = cfg.piggyback_heartbeats;
   out.trace = cfg.trace;
   return out;
 }

@@ -37,6 +37,10 @@ class TravelAgent {
     core::RetryPolicy retry{};
     sim::Duration heartbeat_interval = 0;
     std::size_t heartbeat_miss_limit = 3;
+    /// Raw-speed knobs, forwarded to the cache manager (PERFORMANCE.md).
+    bool pool_messages = true;
+    std::size_t write_buffer_ops = 0;
+    bool piggyback_heartbeats = false;
     /// Protocol-event sink, forwarded to the cache manager (obs layer,
     /// not owned; nullptr disables).
     obs::TraceBuffer* trace = nullptr;

@@ -102,7 +102,26 @@ void CacheManager::pull_image(Done done) {
 }
 
 void CacheManager::push_image(Done done) {
+  if (halted_) return;
+  if (can_absorb_push()) {
+    // Write buffer: the deltas keep accumulating in the view's pending
+    // set; the next extraction (a real push, a served fetch or
+    // invalidate, or the kill) surrenders them all in one message.
+    ++wbuf_streak_;
+    stats_.inc("wbuf.absorbed");
+    if (done) done();
+    return;
+  }
+  if (wbuf_streak_ >= cfg_.write_buffer_ops && cfg_.write_buffer_ops > 0) {
+    stats_.inc("wbuf.flush.capacity");
+  }
   enqueue(Op{OpKind::kPush, {}, std::move(done)});
+}
+
+bool CacheManager::can_absorb_push() const noexcept {
+  return cfg_.write_buffer_ops > 0 && mode_ == Mode::kWeak && alive_ &&
+         registered_ && !rejected_ && valid_ && dirty_ &&
+         wbuf_streak_ < cfg_.write_buffer_ops;
 }
 
 void CacheManager::start_use_image(Done done) {
@@ -221,7 +240,6 @@ void CacheManager::send_register() {
   req.validity_trigger = cfg_.validity_trigger;
   req.req = register_req_;
   req.gen = dir_generation_;
-  const auto bytes = msg::wire_size(req);
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
                     register_attempts_ == 1
                         ? obs::EventKind::kMsgSent
@@ -229,7 +247,7 @@ void CacheManager::send_register() {
                     obs::Role::kCacheManager, obs::agent_key(self_),
                     obs::span_id(self_, register_req_), msg::kRegisterReq,
                     register_attempts_);
-  fabric_.send(self_, directory_, msg::kRegisterReq, std::move(req), bytes);
+  send_dir(msg::kRegisterReq, std::move(req));
   if (!cfg_.retry.enabled()) return;
   if (register_attempts_ < cfg_.retry.max_attempts) {
     register_timer_ = fabric_.schedule(
@@ -308,13 +326,12 @@ void CacheManager::issue(Op& op) {
   }
   switch (op.kind) {
     case OpKind::kInit: {
-      msg::InitReq req{id_, op.req, dir_generation_};
-      fabric_.send(self_, directory_, msg::kInitReq, req, msg::wire_size(req));
+      send_dir(msg::kInitReq, msg::InitReq{id_, op.req, dir_generation_});
       break;
     }
     case OpKind::kPull: {
-      msg::PullReq req{id_, intent_, op.req, dir_generation_};
-      fabric_.send(self_, directory_, msg::kPullReq, req, msg::wire_size(req));
+      send_dir(msg::kPullReq,
+               msg::PullReq{id_, intent_, op.req, dir_generation_});
       break;
     }
     case OpKind::kPush: {
@@ -333,20 +350,17 @@ void CacheManager::issue(Op& op) {
       req.req = op.req;
       req.gen = dir_generation_;
       req.echoes = op.echoes;
-      const auto bytes = msg::wire_size(req);
-      fabric_.send(self_, directory_, msg::kPushUpdate, std::move(req), bytes);
+      send_dir(msg::kPushUpdate, std::move(req));
       break;
     }
     case OpKind::kAcquire: {
-      msg::AcquireReq req{id_, intent_, op.req, dir_generation_};
-      fabric_.send(self_, directory_, msg::kAcquireReq, req,
-                   msg::wire_size(req));
+      send_dir(msg::kAcquireReq,
+               msg::AcquireReq{id_, intent_, op.req, dir_generation_});
       break;
     }
     case OpKind::kModeChange: {
-      msg::ModeChangeReq req{id_, op.new_mode, op.req, dir_generation_};
-      fabric_.send(self_, directory_, msg::kModeChangeReq, req,
-                   msg::wire_size(req));
+      send_dir(msg::kModeChangeReq,
+               msg::ModeChangeReq{id_, op.new_mode, op.req, dir_generation_});
       break;
     }
     case OpKind::kKill: {
@@ -363,8 +377,7 @@ void CacheManager::issue(Op& op) {
       req.req = op.req;
       req.gen = dir_generation_;
       req.echoes = op.echoes;
-      const auto bytes = msg::wire_size(req);
-      fabric_.send(self_, directory_, msg::kKillReq, std::move(req), bytes);
+      send_dir(msg::kKillReq, std::move(req));
       break;
     }
   }
@@ -445,6 +458,11 @@ void CacheManager::cancel_op_timer() {
 }
 
 ObjectImage CacheManager::extract_dirty() {
+  if (wbuf_streak_ > 0) {
+    // This extraction carries everything the write buffer absorbed.
+    stats_.inc("wbuf.flushed");
+    wbuf_streak_ = 0;
+  }
   ObjectImage image = view_.extract_from_view(cfg_.properties);
   return image;
 }
@@ -483,10 +501,21 @@ void CacheManager::heartbeat_tick() {
     reconnect();
     return;
   }
-  msg::Heartbeat hb{id_, ++heartbeat_seq_, dir_generation_};
-  ++heartbeat_unacked_;
-  stats_.inc("heartbeat.sent");
-  fabric_.send(self_, directory_, msg::kHeartbeat, hb, msg::wire_size(hb));
+  if (cfg_.piggyback_heartbeats && last_dir_traffic_ > 0 &&
+      fabric_.now() - last_dir_traffic_ < cfg_.heartbeat_interval) {
+    // Regular traffic reached the directory within the interval — it
+    // keeps our liveness record fresh exactly like a beacon would, and
+    // its replies clear the miss counter (on_message). Skip the
+    // redundant send; a dead directory is still caught because idle
+    // managers fall back to timed beacons and busy ones hit the
+    // request-retry failover first.
+    stats_.inc("heartbeat.piggybacked");
+  } else {
+    msg::Heartbeat hb{id_, ++heartbeat_seq_, dir_generation_};
+    ++heartbeat_unacked_;
+    stats_.inc("heartbeat.sent");
+    send_dir(msg::kHeartbeat, hb);
+  }
   heartbeat_timer_ = fabric_.schedule_daemon(
       self_, cfg_.heartbeat_interval, [this] { heartbeat_tick(); });
 }
@@ -513,6 +542,12 @@ void CacheManager::on_message(const net::Message& m) {
       dir_generation_ = gen;
     }
   }
+
+  // Piggyback mode treats every live directory message as a liveness
+  // proof — without this, a beacon whose ack happened to be dropped
+  // would keep counting misses even while real replies flow, and the
+  // miss counter would double-count its way to a spurious reconnect.
+  if (cfg_.piggyback_heartbeats) heartbeat_unacked_ = 0;
 
   if (m.type == msg::kDirectoryRebuild) return handle_rebuild_probe(m);
 
@@ -747,12 +782,11 @@ void CacheManager::handle_rebuild_probe(const net::Message& m) {
   // confirms them.
   rep.echoes.assign(unconfirmed_echoes_.begin(), unconfirmed_echoes_.end());
   rep.gen = dir_generation_;
-  const auto bytes = msg::wire_size(rep);
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                     obs::Role::kCacheManager, obs::agent_key(self_), 0,
                     msg::kRebuildReply, dir_generation_,
                     static_cast<std::uint64_t>(rep.echoes.size()));
-  fabric_.send(self_, directory_, msg::kRebuildReply, std::move(rep), bytes);
+  send_dir(msg::kRebuildReply, std::move(rep));
   // The restarted directory lost our in-flight request with its dedup
   // window; re-issue immediately under the new generation instead of
   // waiting out the retransmission backoff.
@@ -804,8 +838,7 @@ void CacheManager::serve_invalidate(std::uint64_t epoch) {
                         obs::Role::kCacheManager, obs::agent_key(self_), 0,
                         msg::kInvalidateReq, epoch, /*replayed=*/1);
       ack.gen = dir_generation_;  // re-stamp under the current generation
-      fabric_.send(self_, directory_, msg::kInvalidateAck, ack,
-                   msg::wire_size(ack));
+      send_dir(msg::kInvalidateAck, ack);
       return;
     }
   }
@@ -827,12 +860,11 @@ void CacheManager::serve_invalidate(std::uint64_t epoch) {
   if (served_invalidates_.size() > kServedInvalidateWindow) {
     served_invalidates_.pop_front();
   }
-  const auto bytes = msg::wire_size(ack);
   // b = dirty: marks an extraction the directory must merge exactly once.
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                     obs::Role::kCacheManager, obs::agent_key(self_), 0,
                     msg::kInvalidateAck, epoch, ack.dirty ? 1 : 0);
-  fabric_.send(self_, directory_, msg::kInvalidateAck, std::move(ack), bytes);
+  send_dir(msg::kInvalidateAck, std::move(ack));
 }
 
 void CacheManager::serve_fetch(std::uint64_t token) {
@@ -843,8 +875,7 @@ void CacheManager::serve_fetch(std::uint64_t token) {
                         obs::Role::kCacheManager, obs::agent_key(self_), 0,
                         msg::kFetchReq, token, /*replayed=*/1);
       reply.gen = dir_generation_;  // re-stamp under the current generation
-      fabric_.send(self_, directory_, msg::kFetchReply, reply,
-                   msg::wire_size(reply));
+      send_dir(msg::kFetchReply, reply);
       return;
     }
   }
@@ -861,12 +892,11 @@ void CacheManager::serve_fetch(std::uint64_t token) {
   }
   served_fetches_.emplace_back(token, reply);
   if (served_fetches_.size() > kServedFetchWindow) served_fetches_.pop_front();
-  const auto bytes = msg::wire_size(reply);
   // b = dirty: marks an extraction the directory must merge exactly once.
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                     obs::Role::kCacheManager, obs::agent_key(self_), 0,
                     msg::kFetchReply, token, reply.dirty ? 1 : 0);
-  fabric_.send(self_, directory_, msg::kFetchReply, std::move(reply), bytes);
+  send_dir(msg::kFetchReply, std::move(reply));
 }
 
 // ---- quality triggers --------------------------------------------------------

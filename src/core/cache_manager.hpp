@@ -36,6 +36,7 @@
 #include "core/reliability.hpp"
 #include "core/types.hpp"
 #include "net/fabric.hpp"
+#include "net/pool.hpp"
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -65,6 +66,29 @@ class CacheManager : public net::Endpoint {
     sim::Duration heartbeat_interval = 0;
     /// Consecutive unacked heartbeats tolerated before reconnect().
     std::size_t heartbeat_miss_limit = 3;
+    /// Message-payload pooling (PERFORMANCE.md): requests are built in
+    /// recycled ObjectPool slots (net/pool.hpp) and travel as 8-byte
+    /// PoolPtr handles instead of deep-copied std::any boxes, making
+    /// the steady-state send path allocation-lean. Protocol behavior
+    /// is identical; off = plain boxed-by-value payloads (A/B runs).
+    bool pool_messages = true;
+    /// WEAK-mode write buffer (PERFORMANCE.md): absorb up to this many
+    /// consecutive pushes locally — the push completes immediately and
+    /// its deltas keep accumulating in the view — before one combined
+    /// PushUpdate goes out; 0 disables. Every real extraction (the
+    /// next non-absorbed push, a served fetch/invalidate, a kill)
+    /// naturally carries the accumulated deltas, so no update is lost
+    /// (monitor invariant I3). STRONG-mode pushes are never absorbed.
+    std::size_t write_buffer_ops = 0;
+    /// Piggyback liveness on regular traffic (PERFORMANCE.md): skip a
+    /// timed heartbeat when anything was sent to the directory within
+    /// the last heartbeat interval, and let ANY directory-originated
+    /// message clear the miss counter (each proves liveness as well as
+    /// a HeartbeatAck does — without this dedupe, a lost ack would
+    /// keep incrementing the miss counter even while replies flow,
+    /// forcing a spurious reconnect). Cuts beacon traffic on busy
+    /// managers to ~zero.
+    bool piggyback_heartbeats = false;
     /// Optional protocol trace sink (not owned); nullptr = no tracing.
     /// See OBSERVABILITY.md for the events this manager emits.
     obs::TraceBuffer* trace = nullptr;
@@ -173,6 +197,11 @@ class CacheManager : public net::Endpoint {
   [[nodiscard]] const sim::CounterSet& stats() const noexcept {
     return stats_;
   }
+  /// Pushes currently absorbed by the write buffer (deltas pending in
+  /// the view, not yet surrendered); resets to 0 at every extraction.
+  [[nodiscard]] std::size_t write_buffer_depth() const noexcept {
+    return wbuf_streak_;
+  }
 
   void on_message(const net::Message& m) override;
 
@@ -262,6 +291,13 @@ class CacheManager : public net::Endpoint {
   void arm_trigger_timer();
   void poll_triggers();
   ObjectImage extract_dirty();
+  /// True when an explicit/triggered push may be absorbed by the
+  /// write buffer instead of hitting the wire.
+  [[nodiscard]] bool can_absorb_push() const noexcept;
+  /// Send `value` to the directory, pooling the payload when enabled,
+  /// and record the traffic for heartbeat piggybacking.
+  template <typename T>
+  void send_dir(const char* type, T value);
 
   net::Fabric& fabric_;
   net::Address self_;
@@ -333,6 +369,16 @@ class CacheManager : public net::Endpoint {
   std::deque<msg::DeltaEcho> unconfirmed_echoes_;
 
   net::TimerId trigger_timer_ = net::kInvalidTimerId;
+
+  // ---- raw-speed state (PERFORMANCE.md) ---------------------------------
+  /// Per-payload-type slot pools; only touched when cfg_.pool_messages.
+  net::PoolSet pools_;
+  /// Consecutive pushes absorbed by the write buffer since the last
+  /// extraction (lifetime totals live in the wbuf.* counters).
+  std::size_t wbuf_streak_ = 0;
+  /// When traffic last went to the directory (heartbeat piggybacking).
+  sim::Time last_dir_traffic_ = 0;
+
   sim::CounterSet stats_;
   /// Lamport clock for causal trace stamping; registered with the
   /// fabric (sends tick it, deliveries observe the sender's stamp) and
@@ -340,5 +386,18 @@ class CacheManager : public net::Endpoint {
   /// compiled out.
   obs::CausalClock clock_;
 };
+
+template <typename T>
+void CacheManager::send_dir(const char* type, T value) {
+  const std::size_t bytes = msg::wire_size(value);
+  last_dir_traffic_ = fabric_.now();
+  if (cfg_.pool_messages) {
+    net::PoolPtr<T> slot = pools_.acquire<T>();
+    *slot = std::move(value);
+    fabric_.send(self_, directory_, type, std::move(slot), bytes);
+  } else {
+    fabric_.send(self_, directory_, type, std::move(value), bytes);
+  }
+}
 
 }  // namespace flecc::core

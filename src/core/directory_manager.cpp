@@ -160,7 +160,7 @@ void DirectoryManager::on_message(const net::Message& m) {
       // re-registers under the current generation.
       const auto& hb = net::payload_as<msg::Heartbeat>(m);
       msg::HeartbeatAck ack{hb.view, hb.seq, false, generation_};
-      fabric_.send(self_, m.from, msg::kHeartbeatAck, ack,
+      fabric_.send(self_, m.from, msg::kHeartbeatAck, box(ack),
                    msg::wire_size(ack));
     } else if (const std::uint64_t rid = request_id_of(m); rid != 0) {
       // Framed request: nack (never cached) so the sender aborts the op
@@ -329,7 +329,7 @@ void DirectoryManager::send_nack(const net::Address& to, ViewId view,
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                     obs::Role::kDirectory, obs::agent_key(self_),
                     obs::span_id(to, req), msg::kOpNack, view);
-  fabric_.send(self_, to, msg::kOpNack, std::move(nack), bytes);
+  fabric_.send(self_, to, msg::kOpNack, box(std::move(nack)), bytes);
 }
 
 void DirectoryManager::arm_liveness_timer() {
@@ -371,7 +371,8 @@ void DirectoryManager::handle_heartbeat(const net::Message& m) {
     stats_.inc("heartbeat.unknown");
   }
   msg::HeartbeatAck ack{hb.view, hb.seq, known, generation_};
-  fabric_.send(self_, m.from, msg::kHeartbeatAck, ack, msg::wire_size(ack));
+  fabric_.send(self_, m.from, msg::kHeartbeatAck, box(ack),
+               msg::wire_size(ack));
 }
 
 // ---- registration -------------------------------------------------------
@@ -396,7 +397,7 @@ void DirectoryManager::handle_register(const net::Message& m) {
     stats_.inc("op.register.rejected");
     msg::RegisterAck ack{kInvalidViewId, false, why, req.req, generation_};
     const auto bytes = msg::wire_size(ack);
-    reply(m.from, req.req, msg::kRegisterAck, ack, bytes);
+    reply(m.from, req.req, msg::kRegisterAck, box(std::move(ack)), bytes);
   };
 
   if (req.view_name.empty()) {
@@ -446,7 +447,7 @@ void DirectoryManager::handle_register(const net::Message& m) {
 
   msg::RegisterAck ack{id, true, {}, req.req, generation_};
   const auto bytes = msg::wire_size(ack);
-  reply(m.from, req.req, msg::kRegisterAck, ack, bytes);
+  reply(m.from, req.req, msg::kRegisterAck, box(std::move(ack)), bytes);
 }
 
 // ---- init ---------------------------------------------------------------
@@ -470,7 +471,8 @@ void DirectoryManager::handle_init(const net::Message& m) {
   rec->last_sync = version_;
   rec->last_sync_at = fabric_.now();
   const auto bytes = msg::wire_size(out);
-  reply(rec->cache_addr, req.req, msg::kInitReply, std::move(out), bytes);
+  reply(rec->cache_addr, req.req, msg::kInitReply, box(std::move(out)),
+        bytes);
 }
 
 // ---- weak-mode pull (with validity-triggered demand fetch) ---------------
@@ -569,7 +571,8 @@ void DirectoryManager::handle_pull(const net::Message& m) {
     FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                       obs::Role::kDirectory, obs::agent_key(self_), pp.span,
                       msg::kFetchReq, token, id);
-    send_to_view(views_.at(id), msg::kFetchReq, freq, msg::wire_size(freq));
+    send_to_view(views_.at(id), msg::kFetchReq, box(freq),
+                 msg::wire_size(freq));
   }
   pp.timeout = fabric_.schedule(self_, cfg_.fetch_timeout, [this, token] {
     auto it = pending_pulls_.find(token);
@@ -605,7 +608,7 @@ void DirectoryManager::arm_pull_resend(std::uint64_t token) {
                         obs::EventKind::kMsgRetransmitted,
                         obs::Role::kDirectory, obs::agent_key(self_),
                         it2->second.span, msg::kFetchReq, token, id);
-      send_to_view(*rec, msg::kFetchReq, freq, msg::wire_size(freq));
+      send_to_view(*rec, msg::kFetchReq, box(freq), msg::wire_size(freq));
     }
     arm_pull_resend(token);
   });
@@ -628,7 +631,8 @@ void DirectoryManager::finish_pull(PendingPull& pp) {
   rec->last_sync = version_;
   rec->last_sync_at = fabric_.now();
   const auto bytes = msg::wire_size(out);
-  reply(rec->cache_addr, pp.req, msg::kPullReply, std::move(out), bytes);
+  reply(rec->cache_addr, pp.req, msg::kPullReply, box(std::move(out)),
+        bytes);
 }
 
 void DirectoryManager::settle_pull_round(PendingPull& pp) {
@@ -865,7 +869,8 @@ void DirectoryManager::handle_push(const net::Message& m) {
   }
   rec->active = true;
   msg::PushAck ack{version_, req.req, generation_};
-  reply(rec->cache_addr, req.req, msg::kPushAck, ack, msg::wire_size(ack));
+  reply(rec->cache_addr, req.req, msg::kPushAck, box(ack),
+        msg::wire_size(ack));
 }
 
 void DirectoryManager::merge_update(const ObjectImage& image, ViewId source,
@@ -893,7 +898,8 @@ void DirectoryManager::merge_update(const ObjectImage& image, ViewId source,
       FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                         obs::Role::kDirectory, obs::agent_key(self_), 0,
                         msg::kUpdateNotify, version_, id);
-      send_to_view(other, msg::kUpdateNotify, note, msg::wire_size(note));
+      send_to_view(other, msg::kUpdateNotify, box(note),
+                   msg::wire_size(note));
       stats_.inc("op.notify.sent");
     }
   }
@@ -981,7 +987,7 @@ void DirectoryManager::start_next_acquire() {
       FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                         obs::Role::kDirectory, obs::agent_key(self_), pa.span,
                         msg::kInvalidateReq, pa.epoch, id);
-      send_to_view(views_.at(id), msg::kInvalidateReq, inv,
+      send_to_view(views_.at(id), msg::kInvalidateReq, box(inv),
                    msg::wire_size(inv));
     }
     const std::uint64_t epoch = pa.epoch;
@@ -1033,7 +1039,8 @@ void DirectoryManager::arm_acquire_resend(std::uint64_t epoch) {
                             obs::Role::kDirectory, obs::agent_key(self_),
                             acquire_inflight_->span, msg::kInvalidateReq,
                             epoch, id);
-          send_to_view(*rec, msg::kInvalidateReq, inv, msg::wire_size(inv));
+          send_to_view(*rec, msg::kInvalidateReq, box(inv),
+                       msg::wire_size(inv));
         }
         arm_acquire_resend(epoch);
       });
@@ -1056,7 +1063,8 @@ void DirectoryManager::finish_acquire(PendingAcquire& pa) {
   grant.req = pa.req;
   grant.gen = generation_;
   const auto bytes = msg::wire_size(grant);
-  reply(rec->cache_addr, pa.req, msg::kAcquireGrant, std::move(grant), bytes);
+  reply(rec->cache_addr, pa.req, msg::kAcquireGrant, box(std::move(grant)),
+        bytes);
 }
 
 void DirectoryManager::handle_invalidate_ack(const net::Message& m) {
@@ -1158,7 +1166,7 @@ void DirectoryManager::handle_mode_change(const net::Message& m) {
     rec->exclusive = false;
   }
   msg::ModeChangeAck ack{req.mode, req.req, generation_};
-  reply(rec->cache_addr, req.req, msg::kModeChangeAck, ack,
+  reply(rec->cache_addr, req.req, msg::kModeChangeAck, box(ack),
         msg::wire_size(ack));
 }
 
@@ -1177,7 +1185,7 @@ void DirectoryManager::handle_kill(const net::Message& m) {
     // kills keep the seed's silent-drop behavior.
     if (req.req != 0) {
       msg::KillAck ack{req.req, generation_};
-      reply(m.from, req.req, msg::kKillAck, ack, msg::wire_size(ack));
+      reply(m.from, req.req, msg::kKillAck, box(ack), msg::wire_size(ack));
     }
     return;
   }
@@ -1197,7 +1205,7 @@ void DirectoryManager::handle_kill(const net::Message& m) {
   views_.erase(req.view);
   complete_fetch_or_acquire_for_dead_view(req.view);
   msg::KillAck ack{req.req, generation_};
-  reply(addr, req.req, msg::kKillAck, ack, msg::wire_size(ack));
+  reply(addr, req.req, msg::kKillAck, box(ack), msg::wire_size(ack));
 }
 
 void DirectoryManager::complete_fetch_or_acquire_for_dead_view(ViewId v) {
@@ -1473,7 +1481,8 @@ void DirectoryManager::start_rebuild() {
     FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
                       obs::Role::kDirectory, obs::agent_key(self_), 0,
                       msg::kDirectoryRebuild, generation_, id);
-    send_to_view(rec, msg::kDirectoryRebuild, probe, msg::wire_size(probe));
+    send_to_view(rec, msg::kDirectoryRebuild, box(probe),
+                 msg::wire_size(probe));
   }
   rebuild_resends_left_ = cfg_.command_retries;
   // A plain (non-daemon) timer: the rebuild window must hold the sim
@@ -1505,7 +1514,7 @@ void DirectoryManager::arm_rebuild_resend() {
                         obs::EventKind::kMsgRetransmitted,
                         obs::Role::kDirectory, obs::agent_key(self_), 0,
                         msg::kDirectoryRebuild, generation_, id);
-      send_to_view(*rec, msg::kDirectoryRebuild, probe,
+      send_to_view(*rec, msg::kDirectoryRebuild, box(probe),
                    msg::wire_size(probe));
     }
     arm_rebuild_resend();

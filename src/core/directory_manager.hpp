@@ -39,6 +39,7 @@
 #include "core/static_map.hpp"
 #include "core/types.hpp"
 #include "net/fabric.hpp"
+#include "net/pool.hpp"
 #include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "trigger/trigger.hpp"
@@ -86,6 +87,12 @@ class DirectoryManager : public net::Endpoint {
     /// Compact the WAL after this many appends since the last
     /// compaction (0 disables compaction).
     std::size_t compact_threshold = 4096;
+    /// Message-payload pooling (PERFORMANCE.md): replies and commands
+    /// are built in recycled ObjectPool slots (net/pool.hpp) and travel
+    /// as 8-byte PoolPtr handles instead of deep-copied std::any boxes.
+    /// The dedup window caches the same handle, so replay costs one
+    /// refcount bump instead of a payload copy. Protocol-neutral.
+    bool pool_messages = true;
     /// Fault-injection knob (monitor mutation tests ONLY): treat every
     /// pair of views as non-conflicting when arbitrating strong-mode
     /// acquires, so grants go out without invalidating the previous
@@ -259,6 +266,15 @@ class DirectoryManager : public net::Endpoint {
   void maybe_prune_log();
   void send_to_view(const ViewRecord& rec, const char* type, std::any payload,
                     std::size_t bytes);
+  /// Type-erase an outgoing payload, through the slot pool when
+  /// pooling is enabled (callers compute wire bytes BEFORE boxing).
+  template <typename T>
+  std::any box(T value) {
+    if (!cfg_.pool_messages) return std::any(std::move(value));
+    net::PoolPtr<T> slot = pools_.acquire<T>();
+    *slot = std::move(value);
+    return std::any(std::move(slot));
+  }
 
   // reliability helpers
   DedupEntry* find_dedup(const net::Address& from, std::uint64_t req);
@@ -353,6 +369,9 @@ class DirectoryManager : public net::Endpoint {
   using MergedOpKey = std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>;
   std::set<MergedOpKey> merged_ops_;
   std::deque<MergedOpKey> merged_ops_order_;
+
+  /// Per-payload-type slot pools; only touched when cfg_.pool_messages.
+  net::PoolSet pools_;
 
   sim::CounterSet stats_;
   /// Lamport clock for causal trace stamping; mirrors

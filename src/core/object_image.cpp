@@ -1,8 +1,23 @@
 #include "core/object_image.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace flecc::core {
+
+namespace {
+
+/// First field whose key is >= `key` (the vector is key-sorted).
+template <typename Fields>
+auto field_lower_bound(Fields& fields, const std::string& key) {
+  return std::lower_bound(
+      fields.begin(), fields.end(), key,
+      [](const ObjectImage::Field& f, const std::string& k) {
+        return f.first < k;
+      });
+}
+
+}  // namespace
 
 std::string to_string(const ImageValue& v) {
   if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
@@ -10,9 +25,25 @@ std::string to_string(const ImageValue& v) {
   return "\"" + std::get<std::string>(v) + "\"";
 }
 
+void ObjectImage::set(const std::string& key, ImageValue v) {
+  auto it = field_lower_bound(fields_, key);
+  if (it != fields_.end() && it->first == key) {
+    it->second = std::move(v);
+  } else {
+    fields_.emplace(it, key, std::move(v));
+  }
+}
+
 const ImageValue* ObjectImage::find(const std::string& key) const {
-  auto it = fields_.find(key);
-  return it == fields_.end() ? nullptr : &it->second;
+  auto it = field_lower_bound(fields_, key);
+  return it == fields_.end() || it->first != key ? nullptr : &it->second;
+}
+
+bool ObjectImage::erase(const std::string& key) {
+  auto it = field_lower_bound(fields_, key);
+  if (it == fields_.end() || it->first != key) return false;
+  fields_.erase(it);
+  return true;
 }
 
 std::optional<std::int64_t> ObjectImage::get_int(
@@ -41,7 +72,7 @@ std::optional<std::string> ObjectImage::get_str(const std::string& key) const {
 }
 
 std::size_t ObjectImage::overlay(const ObjectImage& delta) {
-  for (const auto& [k, v] : delta.fields_) fields_[k] = v;
+  for (const auto& [k, v] : delta.fields_) set(k, v);
   return delta.fields_.size();
 }
 

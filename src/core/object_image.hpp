@@ -4,13 +4,22 @@
 // between the application's objects and this keyed scalar container
 // (paper §4.1, "Merge/Extract methods"). Images also serve as *deltas*:
 // an application may extract only changed keys and merge them key-wise.
+//
+// Storage is a flat key-sorted vector rather than a node-based map: a
+// whole image lives in one buffer (typical field keys fit the string
+// SSO), so copying an image costs one allocation, copy-assigning into a
+// pooled message slot reuses the slot's capacity (zero allocations in
+// steady state — see net/pool.hpp), and iteration is cache-friendly.
+// The trade is O(n) inserts for out-of-order keys; extract paths emit
+// keys in sorted order, so building an image stays linear.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "core/types.hpp"
 
@@ -22,19 +31,19 @@ std::string to_string(const ImageValue& v);
 
 class ObjectImage {
  public:
+  using Field = std::pair<std::string, ImageValue>;
+
   ObjectImage() = default;
 
-  void set_int(const std::string& key, std::int64_t v) { fields_[key] = v; }
-  void set_real(const std::string& key, double v) { fields_[key] = v; }
+  void set_int(const std::string& key, std::int64_t v) { set(key, ImageValue{v}); }
+  void set_real(const std::string& key, double v) { set(key, ImageValue{v}); }
   void set_str(const std::string& key, std::string v) {
-    fields_[key] = std::move(v);
+    set(key, ImageValue{std::move(v)});
   }
-  void set(const std::string& key, ImageValue v) {
-    fields_[key] = std::move(v);
-  }
+  void set(const std::string& key, ImageValue v);
 
   [[nodiscard]] bool has(const std::string& key) const {
-    return fields_.count(key) != 0;
+    return find(key) != nullptr;
   }
   [[nodiscard]] const ImageValue* find(const std::string& key) const;
   [[nodiscard]] std::optional<std::int64_t> get_int(
@@ -43,10 +52,19 @@ class ObjectImage {
   [[nodiscard]] std::optional<std::string> get_str(
       const std::string& key) const;
 
-  bool erase(const std::string& key) { return fields_.erase(key) != 0; }
+  bool erase(const std::string& key);
 
   [[nodiscard]] bool empty() const noexcept { return fields_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
+
+  /// Drop every field and the version, KEEPING the buffer capacity —
+  /// pooled-slot reuse depends on this (never use to "free" an image).
+  void clear() noexcept {
+    fields_.clear();
+    version_ = 0;
+  }
+  /// Pre-size the field buffer (extract paths that know their count).
+  void reserve(std::size_t n) { fields_.reserve(n); }
 
   /// Key-wise overwrite: every field of `delta` replaces/creates the
   /// same field here. Returns the number of fields applied.
@@ -61,14 +79,15 @@ class ObjectImage {
 
   [[nodiscard]] std::string to_string() const;
 
-  /// Deterministic iteration.
+  /// Deterministic (key-sorted) iteration over Field pairs.
   [[nodiscard]] auto begin() const { return fields_.begin(); }
   [[nodiscard]] auto end() const { return fields_.end(); }
 
   friend bool operator==(const ObjectImage&, const ObjectImage&) = default;
 
  private:
-  std::map<std::string, ImageValue> fields_;
+  /// Sorted by key; invariant maintained by set()/erase().
+  std::vector<Field> fields_;
   Version version_ = 0;
 };
 

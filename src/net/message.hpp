@@ -11,6 +11,7 @@
 #include <string>
 
 #include "net/address.hpp"
+#include "net/pool.hpp"
 
 namespace flecc::net {
 
@@ -27,10 +28,16 @@ struct Message {
   std::uint64_t clock = 0;
 };
 
-/// Cast a message payload to its concrete protocol struct.
-/// Throws std::bad_any_cast on type mismatch (a protocol bug).
+/// Cast a message payload to its concrete protocol struct. Senders may
+/// box the struct by value or hand over a pooled PoolPtr<T> handle
+/// (message pooling, see net/pool.hpp) — receivers see the same const
+/// reference either way. Throws std::bad_any_cast on a genuine type
+/// mismatch (a protocol bug).
 template <typename T>
 const T& payload_as(const Message& m) {
+  if (const auto* pooled = std::any_cast<PoolPtr<T>>(&m.payload)) {
+    return **pooled;
+  }
   return std::any_cast<const T&>(m.payload);
 }
 

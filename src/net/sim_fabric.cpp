@@ -34,7 +34,7 @@ void SimFabric::set_clock(const Address& addr, obs::CausalClock* clock) {
 void SimFabric::send(Address from, Address to, std::string type,
                      std::any payload, std::size_t bytes) {
   ++sent_;
-  counters_.inc("msg.sent." + type);
+  counters_.inc_cat("msg.sent.", type);
   counters_.inc("msg.sent");
   counters_.inc("bytes.sent", bytes);
 
@@ -88,7 +88,7 @@ void SimFabric::send(Address from, Address to, std::string type,
       return;
     }
     ++delivered_;
-    counters_.inc("msg.delivered." + msg.type);
+    counters_.inc_cat("msg.delivered.", msg.type);
     counters_.inc("msg.delivered");
     if (trace_) {
       trace_(TraceEntry{msg.id, msg.from, msg.to, msg.type, msg.bytes,

@@ -123,9 +123,15 @@ std::shared_ptr<ThreadFabric::Mailbox> ThreadFabric::lookup(
   return it == endpoints_.end() ? nullptr : it->second;
 }
 
-void ThreadFabric::count(const std::string& name, std::uint64_t by) {
+void ThreadFabric::count(std::string_view name, std::uint64_t by) {
   std::lock_guard<std::mutex> lock(counters_mu_);
   counters_.inc(name, by);
+}
+
+void ThreadFabric::count_cat(std::string_view prefix,
+                             std::string_view suffix) {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  counters_.inc_cat(prefix, suffix);
 }
 
 void ThreadFabric::set_clock(const net::Address& addr,
@@ -181,7 +187,7 @@ void ThreadFabric::post_to(const net::Address& addr,
 
 void ThreadFabric::send(net::Address from, net::Address to, std::string type,
                         std::any payload, std::size_t bytes) {
-  count("msg.sent." + type);
+  count_cat("msg.sent.", type);
   count("msg.sent");
   count("bytes.sent", bytes);
 
@@ -230,7 +236,7 @@ void ThreadFabric::send(net::Address from, net::Address to, std::string type,
       note_idle_if_done();
       return;
     }
-    count("msg.delivered." + message->type);
+    count_cat("msg.delivered.", message->type);
     count("msg.delivered");
     // Observe before posting: the mailbox runs the handler after this
     // post, so its trace emissions see a clock past the sender's stamp.

@@ -132,7 +132,8 @@ class ThreadFabric : public net::Fabric {
   obs::CausalClock* clock_of(const net::Address& addr);
   void enqueue_timed(TimedTask task);
   std::shared_ptr<Mailbox> lookup(const net::Address& addr);
-  void count(const std::string& name, std::uint64_t by = 1);
+  void count(std::string_view name, std::uint64_t by = 1);
+  void count_cat(std::string_view prefix, std::string_view suffix);
   /// Emit a msg_dropped trace event; serialized under counters_mu_
   /// because the obs ring is single-writer and sends run on any thread.
   void trace_drop(const net::Address& from, const net::Address& to,

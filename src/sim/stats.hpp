@@ -4,8 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -106,14 +109,38 @@ class Histogram {
 };
 
 /// Named monotonic counters ("messages.pull", "bytes.total", ...).
+/// The transparent comparator lets hot paths bump existing counters
+/// from a string_view without materializing a heap key; only the
+/// first-ever hit of a name allocates (the stored map key).
 class CounterSet {
  public:
-  void inc(const std::string& name, std::uint64_t by = 1) {
-    counters_[name] += by;
+  void inc(std::string_view name, std::uint64_t by = 1) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(name), 0).first;
+    }
+    it->second += by;
+  }
+  /// inc(prefix + suffix) without the concatenation temporary — the
+  /// per-message-type counters ("msg.sent.<type>") are bumped once per
+  /// send, which made the key concat a measurable allocation source.
+  void inc_cat(std::string_view prefix, std::string_view suffix,
+               std::uint64_t by = 1) {
+    char buf[96];
+    if (prefix.size() + suffix.size() <= sizeof(buf)) {
+      std::memcpy(buf, prefix.data(), prefix.size());
+      std::memcpy(buf + prefix.size(), suffix.data(), suffix.size());
+      inc(std::string_view(buf, prefix.size() + suffix.size()), by);
+    } else {
+      std::string key(prefix);
+      key += suffix;
+      inc(key, by);
+    }
   }
   [[nodiscard]] std::uint64_t get(const std::string& name) const;
   [[nodiscard]] std::uint64_t total() const;
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>&
+  all() const {
     return counters_;
   }
   void reset() { counters_.clear(); }
@@ -121,7 +148,7 @@ class CounterSet {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 
 /// A value sampled against simulated time.

@@ -1,0 +1,186 @@
+// CM write buffer (Config::write_buffer_ops) and heartbeat piggybacking
+// (Config::piggyback_heartbeats): WEAK-mode push absorption, flush on
+// capacity and extraction, and delta integrity under bursts.
+#include <functional>
+#include <gtest/gtest.h>
+
+#include "core/cache_manager.hpp"
+#include "test_support.hpp"
+
+namespace flecc::core {
+namespace {
+
+using testing::Harness;
+
+CacheManager::Config wbuf_cfg(std::size_t ops) {
+  CacheManager::Config cfg;
+  cfg.mode = Mode::kWeak;
+  cfg.write_buffer_ops = ops;
+  return cfg;
+}
+
+TEST(WriteBufferTest, AbsorbsWeakPushesUpToCapacity) {
+  Harness h(1);
+  auto m = h.make_member(0, 9, wbuf_cfg(3));
+  m.cm->init_image();
+  h.run();
+
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    m.view->increment(0, 1);
+    m.cm->start_use_image();
+    m.cm->end_use_image(/*modified=*/true);
+    m.cm->push_image([&] { ++completions; });
+  }
+  // Absorbed pushes complete locally, without touching the directory.
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(m.cm->write_buffer_depth(), 3u);
+  EXPECT_EQ(m.cm->stats().get("wbuf.absorbed"), 3u);
+  h.run();
+  // Nothing was extracted or merged upstream yet.
+  EXPECT_EQ(h.primary_.cell(0), 0);
+  EXPECT_EQ(m.view->value(0), 3);  // deltas intact in the view
+}
+
+TEST(WriteBufferTest, CapacityFlushDeliversEveryBufferedDelta) {
+  Harness h(1);
+  auto m = h.make_member(0, 9, wbuf_cfg(3));
+  m.cm->init_image();
+  h.run();
+
+  for (int i = 0; i < 4; ++i) {
+    m.view->increment(0, 1);
+    m.cm->start_use_image();
+    m.cm->end_use_image(true);
+    m.cm->push_image();
+  }
+  h.run();
+  // The 4th push hit the cap: one real extraction carried all 4 deltas.
+  EXPECT_EQ(h.primary_.cell(0), 4);
+  EXPECT_EQ(m.cm->write_buffer_depth(), 0u);
+  EXPECT_EQ(m.cm->stats().get("wbuf.absorbed"), 3u);
+  EXPECT_EQ(m.cm->stats().get("wbuf.flush.capacity"), 1u);
+  EXPECT_EQ(m.cm->stats().get("wbuf.flushed"), 1u);
+}
+
+TEST(WriteBufferTest, KillFlushesBufferedWrites) {
+  Harness h(1);
+  auto m = h.make_member(0, 9, wbuf_cfg(8));
+  m.cm->init_image();
+  h.run();
+
+  for (int i = 0; i < 2; ++i) {
+    m.view->increment(5, 3);
+    m.cm->start_use_image();
+    m.cm->end_use_image(true);
+    m.cm->push_image();
+  }
+  EXPECT_EQ(m.cm->write_buffer_depth(), 2u);
+  EXPECT_EQ(h.primary_.cell(5), 0);
+
+  // Extraction on teardown flushes the buffer: no update is lost when
+  // the component leaves (the chaos soak's database lower bound).
+  m.cm->kill_image();
+  h.run();
+  EXPECT_EQ(h.primary_.cell(5), 6);
+  EXPECT_EQ(m.cm->write_buffer_depth(), 0u);
+  EXPECT_EQ(m.cm->stats().get("wbuf.flushed"), 1u);
+}
+
+TEST(WriteBufferTest, StrongModeNeverAbsorbs) {
+  Harness h(1);
+  auto cfg = wbuf_cfg(4);
+  cfg.mode = Mode::kStrong;
+  auto m = h.make_member(0, 9, cfg);
+  m.cm->init_image();
+  h.run();
+
+  m.view->increment(1, 2);
+  bool used = false;
+  m.cm->start_use_image([&] {
+    used = true;
+    m.cm->end_use_image(true);
+  });
+  h.run();
+  ASSERT_TRUE(used);
+  m.cm->push_image();
+  h.run();
+  // STRONG semantics are untouched by the buffer knob.
+  EXPECT_EQ(h.primary_.cell(1), 2);
+  EXPECT_EQ(m.cm->stats().get("wbuf.absorbed"), 0u);
+}
+
+TEST(WriteBufferTest, BurstIntegrityMatchesUnbufferedRun) {
+  // Same burst workload with and without the write buffer: after the
+  // final kill the database totals must be identical (I3-style: deltas
+  // are deferred, never dropped).
+  auto run_total = [](std::size_t wbuf_ops) {
+    Harness h(2);
+    auto a = h.make_member(0, 9, wbuf_cfg(wbuf_ops));
+    auto b = h.make_member(0, 9, wbuf_cfg(wbuf_ops));
+    a.cm->init_image();
+    b.cm->init_image();
+    h.run();
+    for (int round = 0; round < 10; ++round) {
+      a.view->increment(round % 3, 1);
+      a.cm->start_use_image();
+      a.cm->end_use_image(true);
+      a.cm->push_image();
+      b.view->increment(round % 5, 2);
+      b.cm->start_use_image();
+      b.cm->end_use_image(true);
+      b.cm->push_image();
+      h.run();
+    }
+    a.cm->kill_image();
+    b.cm->kill_image();
+    h.run();
+    return h.primary_.total();
+  };
+  const auto buffered = run_total(3);
+  const auto unbuffered = run_total(0);
+  EXPECT_EQ(buffered, unbuffered);
+  EXPECT_EQ(buffered, 10 * 1 + 10 * 2);
+}
+
+TEST(WriteBufferTest, PiggybackSuppressesBeaconsUnderTrafficKeepsLiveness) {
+  Harness h(1);
+  CacheManager::Config cfg;
+  cfg.mode = Mode::kWeak;
+  cfg.heartbeat_interval = sim::msec(5);
+  cfg.piggyback_heartbeats = true;
+  auto m = h.make_member(0, 9, std::move(cfg));
+  m.cm->init_image();
+  h.run();
+
+  // Steady directory traffic (a pull every 2 ms) for 50 ms: every
+  // heartbeat tick finds fresh traffic and skips its beacon.
+  const sim::Time deadline = h.fabric_->now() + sim::msec(50);
+  std::function<void()> tick = [&] {
+    if (h.fabric_->now() >= deadline) return;
+    m.cm->pull_image();
+    h.fabric_->schedule(m.cm->address(), sim::msec(2), tick);
+  };
+  tick();
+  h.run();
+
+  const auto piggybacked = m.cm->stats().get("heartbeat.piggybacked");
+  const auto sent_busy = m.cm->stats().get("heartbeat.sent");
+  EXPECT_GE(piggybacked, 5u);
+  EXPECT_EQ(sent_busy, 0u);
+  // The dedupe bugfix: regular replies reset the miss counter, so the
+  // suppressed beacons never accumulate into a spurious failover.
+  EXPECT_EQ(m.cm->stats().get("heartbeat.failover"), 0u);
+  EXPECT_EQ(m.cm->stats().get("reconnect"), 0u);
+
+  // Once the view goes idle, timed beacons resume: liveness detection
+  // does not silently die with the traffic.
+  h.fabric_->schedule(m.cm->address(), sim::msec(40), [] {});
+  h.run();
+  EXPECT_GT(m.cm->stats().get("heartbeat.sent"), sent_busy);
+  EXPECT_EQ(m.cm->stats().get("heartbeat.failover"), 0u);
+  EXPECT_TRUE(m.cm->registered());
+}
+
+}  // namespace
+}  // namespace flecc::core

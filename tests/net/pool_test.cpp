@@ -1,0 +1,132 @@
+#include "net/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <any>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/object_image.hpp"
+#include "net/message.hpp"
+
+namespace flecc::net {
+namespace {
+
+struct Payload {
+  std::int64_t a = 0;
+  std::string s;
+  std::vector<int> v;
+};
+
+TEST(PoolPtr, AnyStoresHandleInline) {
+  // The whole point of the handle: libstdc++'s std::any small-object
+  // criteria (pointer-sized, nothrow-movable) must hold, or every send
+  // would still box-allocate.
+  static_assert(sizeof(PoolPtr<Payload>) == sizeof(void*));
+  static_assert(std::is_nothrow_move_constructible_v<PoolPtr<Payload>>);
+  static_assert(std::is_nothrow_copy_constructible_v<PoolPtr<Payload>>);
+}
+
+TEST(ObjectPool, ReusesSlotAfterRelease) {
+  ObjectPool<Payload> pool;
+  Payload* first = nullptr;
+  {
+    PoolPtr<Payload> p = pool.acquire();
+    p->a = 7;
+    first = p.get();
+  }  // released -> freelist
+  EXPECT_EQ(pool.free_slots(), 1u);
+  PoolPtr<Payload> q = pool.acquire();
+  EXPECT_EQ(q.get(), first);  // same slot came back
+  const auto st = pool.stats();
+  EXPECT_EQ(st.acquired, 2u);
+  EXPECT_EQ(st.allocated, 1u);
+  EXPECT_EQ(st.reused, 1u);
+  EXPECT_EQ(st.recycled, 1u);
+}
+
+TEST(ObjectPool, ReuseKeepsContainerCapacity) {
+  ObjectPool<Payload> pool;
+  std::size_t cap = 0;
+  {
+    PoolPtr<Payload> p = pool.acquire();
+    p->v.assign(100, 1);
+    cap = p->v.capacity();
+  }
+  PoolPtr<Payload> q = pool.acquire();
+  // Reuse contract: content unspecified (here: stale), capacity kept.
+  EXPECT_GE(q->v.capacity(), cap);
+  q->v.assign(50, 2);  // fits in the recycled buffer, no allocation
+  EXPECT_GE(q->v.capacity(), cap);
+}
+
+TEST(ObjectPool, GrowsGracefullyWhenExhausted) {
+  ObjectPool<Payload> pool(/*max_free=*/2);
+  std::vector<PoolPtr<Payload>> live;
+  for (int i = 0; i < 10; ++i) live.push_back(pool.acquire());
+  EXPECT_EQ(pool.stats().allocated, 10u);  // all misses, none failed
+  live.clear();
+  // Freelist is bounded: 2 recycled, the rest deleted.
+  EXPECT_EQ(pool.free_slots(), 2u);
+  const auto st = pool.stats();
+  EXPECT_EQ(st.recycled, 2u);
+  EXPECT_EQ(st.freed, 8u);
+}
+
+TEST(ObjectPool, RefcountSharedAcrossAnyCopies) {
+  ObjectPool<Payload> pool;
+  PoolPtr<Payload> p = pool.acquire();
+  p->a = 42;
+  std::any boxed(p);           // refs: 2 (dedup-window style copy)
+  std::any boxed2 = boxed;     // refs: 3 (replay copy)
+  p.reset();                   // refs: 2 -> slot NOT recycled
+  EXPECT_EQ(pool.free_slots(), 0u);
+  EXPECT_EQ(std::any_cast<PoolPtr<Payload>&>(boxed2)->a, 42);
+  boxed.reset();
+  boxed2.reset();              // last reference -> recycled
+  EXPECT_EQ(pool.free_slots(), 1u);
+}
+
+TEST(ObjectPool, OutstandingPtrSurvivesPoolDeath) {
+  PoolPtr<Payload> survivor;
+  {
+    ObjectPool<Payload> pool;
+    survivor = pool.acquire();
+    survivor->s = "still here";
+  }  // pool destroyed with the slot outstanding
+  EXPECT_EQ(survivor->s, "still here");
+  survivor.reset();  // slot (and the detached core) self-delete
+}
+
+TEST(PoolSet, PerTypePoolsAndStats) {
+  PoolSet set;
+  { auto p = set.acquire<Payload>(); p->a = 1; }
+  { auto s = set.acquire<std::string>(); *s = "x"; }
+  { auto p = set.acquire<Payload>(); p->a = 2; }
+  EXPECT_EQ(set.stats<Payload>().acquired, 2u);
+  EXPECT_EQ(set.stats<Payload>().reused, 1u);
+  EXPECT_EQ(set.stats<std::string>().acquired, 1u);
+  EXPECT_EQ(set.stats<int>().acquired, 0u);  // never created
+}
+
+TEST(PayloadAs, ReadsPooledAndBoxedUniformly) {
+  PoolSet set;
+  auto slot = set.acquire<core::ObjectImage>();
+  slot->clear();
+  slot->set_int("f.100.free", 5);
+
+  Message pooled;
+  pooled.type = "test.image";
+  pooled.payload = slot;
+  Message boxed;
+  boxed.type = "test.image";
+  boxed.payload = *slot;  // plain by-value boxing, the legacy path
+
+  EXPECT_EQ(payload_as<core::ObjectImage>(pooled).get_int("f.100.free"), 5);
+  EXPECT_EQ(payload_as<core::ObjectImage>(boxed).get_int("f.100.free"), 5);
+  EXPECT_THROW(payload_as<std::string>(pooled), std::bad_any_cast);
+}
+
+}  // namespace
+}  // namespace flecc::net
