@@ -28,6 +28,8 @@
 #include <string>
 
 #include "airline/testbed.hpp"
+#include "core/flow_control.hpp"
+#include "obs/metrics.hpp"
 #include "obs/monitor/invariant_monitor.hpp"
 #include "obs/trace_io.hpp"
 
@@ -243,6 +245,141 @@ std::string run_soak(std::uint64_t seed, obs::TraceRecorder* trace = nullptr,
   return out;
 }
 
+// ---- overload storm (--overload) -------------------------------------------
+
+constexpr std::size_t kStormAgents = 40;
+constexpr std::size_t kStormOps = 8;
+/// Per-destination bulk-queue bound for the flow-controlled run. The
+/// synchronized storm start alone puts ~kStormAgents bulk requests in
+/// flight toward the directory, so the unbounded baseline must exceed
+/// this while the bounded run stays at or under it.
+constexpr std::size_t kStormQueueBound = 12;
+
+struct OverloadResult {
+  std::uint64_t queue_peak = 0;
+  std::uint64_t fabric_shed = 0;
+  std::uint64_t dm_shed = 0;
+  std::uint64_t breaker_opened = 0;
+  std::uint64_t degraded = 0;
+};
+
+/// One overload storm: every agent conflicts on the same tiny hot
+/// flight set (the Zipf head), all start at once with zero think time,
+/// and the directory is the slow node (every message to it pays extra
+/// queuing delay). With `flow_on` the full ladder is armed — bounded
+/// fabric queues, DM admission control, CM breaker + WEAK degradation;
+/// without it only the lane classifier is installed so the baseline
+/// still reports the same peak-depth metric it is compared on.
+std::string run_overload(std::uint64_t seed, obs::TraceRecorder* trace,
+                         bool flow_on, OverloadResult* result = nullptr) {
+  TestbedOptions opts;
+  opts.trace = trace;
+  opts.n_agents = kStormAgents;
+  opts.group_size = kStormAgents;  // one conflict group: everyone collides
+  opts.flights_per_group = 2;      // tiny hot-object set
+  opts.capacity = 1 << 20;
+  opts.mode = core::Mode::kStrong;  // acquire/invalidate amplification
+  opts.think_time = 0;              // no pacing: the burst IS the storm
+  opts.fabric_cfg.seed = seed;
+  opts.heartbeat_interval = sim::msec(500);
+  opts.heartbeat_miss_limit = 5;
+
+  core::flow::FlowLimits limits;
+  limits.queue_capacity = flow_on ? kStormQueueBound : 0;
+  limits.retry_after = sim::msec(50);
+  opts.fabric_cfg.flow = core::flow::make_fabric_flow(limits);
+  if (flow_on) {
+    opts.dir_cfg.max_acquire_queue = 8;
+    opts.dir_cfg.max_fetch_rounds = 8;
+    opts.dir_cfg.busy_retry_after = sim::msec(50);
+    opts.breaker_threshold = 3;
+    opts.breaker_open_timeout = sim::msec(200);
+    opts.degrade_on_overload = true;
+    opts.write_buffer_ops = 4;  // degraded WEAK pushes absorb locally
+  }
+
+  FleccTestbed tb(opts);
+  // The slow component: every message toward the directory pays extra
+  // queuing delay, so the synchronized burst piles up in front of it.
+  tb.fabric().set_endpoint_delay(tb.directory().address(), sim::msec(5));
+  tb.init_all_agents();
+
+  std::size_t loops_completed = 0;
+  for (std::size_t i = 0; i < tb.agent_count(); ++i) {
+    const auto flight = tb.assignment().agent_flights[i][0];
+    tb.agent(i).run_reservation_loop(kStormOps, flight, 1,
+                                     /*pull_first=*/false,
+                                     [&] { ++loops_completed; });
+  }
+  tb.run();
+
+  // ---- convergence asserts ---------------------------------------------
+  SOAK_CHECK(loops_completed == kStormAgents,
+             "%zu/%zu storm loops completed", loops_completed, kStormAgents);
+  std::int64_t confirmed = 0;
+  for (std::size_t i = 0; i < tb.agent_count(); ++i) {
+    confirmed += tb.agent(i).view().confirmed_total();
+    SOAK_CHECK(tb.agent(i).ops_completed() == kStormOps,
+               "agent %zu completed %zu/%zu ops", i,
+               tb.agent(i).ops_completed(), kStormOps);
+    SOAK_CHECK(tb.agent(i).cache().queued_ops() == 0,
+               "agent %zu has %zu wedged queued ops", i,
+               tb.agent(i).cache().queued_ops());
+    SOAK_CHECK(!tb.agent(i).cache().op_in_flight(),
+               "agent %zu has a wedged in-flight op", i);
+    // Degradation is transient: once the storm drains the breaker
+    // closes and the manager climbs back to STRONG.
+    SOAK_CHECK(!tb.agent(i).cache().degraded(),
+               "agent %zu is still degraded after the storm", i);
+    SOAK_CHECK(tb.agent(i).cache().mode() == core::Mode::kStrong,
+               "agent %zu never restored STRONG mode", i);
+  }
+
+  for (std::size_t i = 0; i < tb.agent_count(); ++i) tb.agent(i).shutdown();
+  tb.run();
+
+  const std::int64_t db_total = tb.database().total_reserved();
+  SOAK_CHECK(db_total == confirmed,
+             "database diverged from confirmations: %lld != %lld",
+             static_cast<long long>(db_total),
+             static_cast<long long>(confirmed));
+
+  // ---- aggregate counters ----------------------------------------------
+  std::map<std::string, std::uint64_t> agg;
+  for (const auto& [k, v] : tb.directory().stats().all()) agg["dm." + k] += v;
+  for (std::size_t i = 0; i < tb.agent_count(); ++i) {
+    for (const auto& [k, v] : tb.agent(i).cache().stats().all()) {
+      agg["cm." + k] += v;
+    }
+  }
+  for (const auto& [k, v] : tb.fabric().counters().all()) {
+    if (k.rfind("flow.", 0) == 0) agg["net." + k] += v;
+  }
+  agg["net.msg.sent"] = tb.fabric().counters().get("msg.sent");
+
+  if (result != nullptr) {
+    // find(), not operator[]: inserting zero rows here would make the
+    // result-collecting run print differently from its determinism twin.
+    const auto get = [&agg](const char* k) -> std::uint64_t {
+      const auto it = agg.find(k);
+      return it == agg.end() ? 0 : it->second;
+    };
+    result->queue_peak = get("net.flow.queue.peak");
+    result->fabric_shed = get("net.flow.shed");
+    result->dm_shed = get("dm.shed.acquire") + get("dm.shed.pull");
+    result->breaker_opened = get("cm.breaker.open");
+    result->degraded = get("cm.breaker.degrade");
+  }
+
+  std::string out = "counter,value\n";
+  for (const auto& [k, v] : agg) {
+    out += k + "," + std::to_string(v) + "\n";
+  }
+  out += "summary.db_total," + std::to_string(db_total) + "\n";
+  out += "summary.sim_end_us," + std::to_string(tb.simulator().now()) + "\n";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -250,6 +387,7 @@ int main(int argc, char** argv) {
   bool monitor = false;
   bool crash_dm = false;
   bool batch = false;
+  bool overload = false;
   std::size_t wbuf = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -260,15 +398,96 @@ int main(int argc, char** argv) {
       crash_dm = true;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch = true;
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
     } else if (std::strcmp(argv[i], "--wbuf") == 0 && i + 1 < argc) {
       wbuf = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace out.jsonl] [--monitor] [--crash-dm] "
-                   "[--batch] [--wbuf N]\n",
+                   "[--batch] [--overload] [--wbuf N]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  if (overload) {
+    std::printf("# Overload storm — %zu strong-mode agents on one hot "
+                "flight group, slow directory, queue bound %zu\n",
+                kStormAgents, kStormQueueBound);
+    const std::uint64_t seed = 0xc0a5;
+    obs::TraceRecorder recorder;
+    obs::monitor::InvariantMonitor checker;
+    if (monitor) recorder.attach_sink(&checker);
+    const bool tracing = trace_path != nullptr || monitor;
+    OverloadResult flow_res;
+    const std::string first = run_overload(
+        seed, tracing ? &recorder : nullptr, /*flow_on=*/true, &flow_res);
+    const std::string second = run_overload(seed, nullptr, true);
+    SOAK_CHECK(first == second,
+               "two same-seed overload runs diverged: not deterministic");
+    OverloadResult base_res;
+    run_overload(seed, nullptr, /*flow_on=*/false, &base_res);
+
+    // The bound held where the baseline blew through it, and every
+    // layer of the ladder actually engaged.
+    SOAK_CHECK(flow_res.queue_peak <= kStormQueueBound,
+               "bounded run peak %llu exceeds bound %zu",
+               static_cast<unsigned long long>(flow_res.queue_peak),
+               kStormQueueBound);
+    SOAK_CHECK(base_res.queue_peak > kStormQueueBound,
+               "baseline peak %llu never exceeded the bound %zu — the "
+               "storm is not a storm",
+               static_cast<unsigned long long>(base_res.queue_peak),
+               kStormQueueBound);
+    SOAK_CHECK(flow_res.fabric_shed + flow_res.dm_shed >= 1,
+               "flow control on but nothing was ever shed");
+    SOAK_CHECK(flow_res.breaker_opened >= 1,
+               "sustained pressure never opened a breaker");
+    SOAK_CHECK(flow_res.degraded >= 1,
+               "no STRONG manager ever degraded to buffered WEAK");
+
+    if (monitor) {
+      checker.finalize();
+      std::fputs(checker.health_report().c_str(), stdout);
+      obs::MetricsRegistry reg;
+      checker.export_metrics(reg);
+      // Surface the overload ladder in the same Prometheus export the
+      // monitor writes: flow.*/shed.*/breaker.* families.
+      reg.inc("net.flow.queue.peak", flow_res.queue_peak);
+      reg.inc("net.flow.shed", flow_res.fabric_shed);
+      reg.inc("dm.shed", flow_res.dm_shed);
+      reg.inc("cm.breaker.open", flow_res.breaker_opened);
+      reg.inc("cm.breaker.degrade", flow_res.degraded);
+      if (reg.write_prometheus("flecc_metrics.prom")) {
+        std::printf("# monitor metrics -> flecc_metrics.prom\n");
+      }
+      SOAK_CHECK(checker.violations().empty(),
+                 "online monitor reported %zu invariant violation(s)",
+                 checker.violations().size());
+    }
+    if (trace_path != nullptr) {
+      const auto events = recorder.snapshot();
+      if (!obs::write_jsonl(events, trace_path)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path);
+        return 1;
+      }
+      std::printf("# trace: %zu events -> %s\n", events.size(), trace_path);
+    }
+    std::printf("%s", first.c_str());
+    std::printf("# peak bulk queue depth: bounded %llu <= %zu, unbounded "
+                "baseline %llu\n",
+                static_cast<unsigned long long>(flow_res.queue_peak),
+                kStormQueueBound,
+                static_cast<unsigned long long>(base_res.queue_peak));
+    if (std::FILE* f = std::fopen("chaos_soak.csv", "w")) {
+      std::fputs(first.c_str(), f);
+      std::fclose(f);
+      std::printf("\n# data also written to chaos_soak.csv\n");
+    }
+    std::printf("# overload storm converged; two same-seed runs were "
+                "bit-identical\n");
+    return 0;
   }
 
   std::printf("# Chaos soak — %zu agents, 10%% loss, partition of agents "

@@ -46,6 +46,20 @@ BASELINE_ROW = "BM_ProtocolTrain/pool:0/batch:0/wbuf:0"
 BATCHED_ROW = "BM_ProtocolTrain/pool:1/batch:1/wbuf:0"
 FULL_ROW = "BM_ProtocolTrain/pool:1/batch:1/wbuf:4"
 
+REGEN_HINT = (
+    "regenerate with: build/bench/micro_primitives "
+    "--benchmark_filter=ProtocolTrain --benchmark_format=json "
+    "--benchmark_out=results.json && "
+    "scripts/bench_gate.py --record results.json"
+)
+
+
+def fail(message: str) -> int:
+    """One actionable line on stderr, no traceback; exit status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    print(REGEN_HINT, file=sys.stderr)
+    return 2
+
 
 def load_rows(path: pathlib.Path) -> dict[str, dict]:
     """name -> {counter: value, time: ns} for every ProtocolTrain row."""
@@ -146,11 +160,18 @@ def main() -> int:
                     default=DEFAULT_BASELINE)
     args = ap.parse_args()
 
-    rows = load_rows(args.results)
+    try:
+        rows = load_rows(args.results)
+    except FileNotFoundError:
+        return fail(f"results file {args.results} does not exist")
+    except json.JSONDecodeError as exc:
+        return fail(f"results file {args.results} is not valid JSON "
+                    f"(line {exc.lineno}: {exc.msg})")
+    except KeyError as exc:
+        return fail(f"results file {args.results} is missing benchmark "
+                    f"key {exc} — not google-benchmark JSON output?")
     if not rows:
-        print(f"error: no ProtocolTrain rows in {args.results}",
-              file=sys.stderr)
-        return 2
+        return fail(f"no ProtocolTrain rows in {args.results}")
 
     errors = check_improvements(rows)
 
@@ -167,10 +188,14 @@ def main() -> int:
         return 0
 
     if not args.baseline.exists():
-        print(f"error: baseline {args.baseline} missing "
-              "(run --record first)", file=sys.stderr)
-        return 2
-    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+        return fail(f"baseline {args.baseline} missing (record it first)")
+    try:
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return fail(f"baseline {args.baseline} is not valid JSON "
+                    f"(line {exc.lineno}: {exc.msg})")
+    if not isinstance(baseline, dict):
+        return fail(f"baseline {args.baseline} is not a row mapping")
     errors += check_against_baseline(rows, baseline)
     if errors:
         for e in errors:

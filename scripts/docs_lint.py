@@ -14,6 +14,10 @@ headers they document:
    Config field in its defining header (and vice versa: the raw-speed
    Config fields all appear in PERFORMANCE.md), and every `batch.*` /
    `wbuf.*` counter emitted by the code is documented there.
+5. The overload-resilience knobs (flow control, admission control,
+   circuit breaker) appear in PROTOCOL.md ("Flow control & overload"),
+   and every `flow.*` / `shed.*` / `breaker.*` counter emitted by the
+   code appears in OBSERVABILITY.md ("Flow control counter families").
 
 Exit status 0 = clean, 1 = violations (each printed as file:line).
 """
@@ -147,6 +151,48 @@ def main() -> int:
             if f"`{counter}`" not in performance:
                 errors.append(f"{rel}: counter '{counter}' is not "
                               "documented in PERFORMANCE.md")
+
+    # Overload-resilience knobs live in PROTOCOL.md ("Flow control &
+    # overload"): same two-way check as the raw-speed knobs above.
+    overload_knobs = [
+        ("src/core/flow_control.hpp", ["queue_capacity", "retry_after"]),
+        ("src/core/cache_manager.hpp",
+         ["breaker_threshold", "breaker_open_timeout",
+          "degrade_on_overload"]),
+        ("src/core/directory_manager.hpp",
+         ["max_fetch_rounds", "max_view_rounds", "max_acquire_queue",
+          "busy_retry_after"]),
+        ("src/core/reliability.hpp", ["deadline"]),
+    ]
+    for rel, fields in overload_knobs:
+        header = (REPO / rel).read_text()
+        for field in fields:
+            if not re.search(rf"\b{field}\b\s*=", header):
+                errors.append(f"{rel}: overload knob '{field}' named in "
+                              "docs_lint.py no longer exists in the header")
+            if f"`{field}`" not in protocol:
+                errors.append(f"{rel}: knob '{field}' is not documented in "
+                              "PROTOCOL.md")
+
+    # Flow-control counter families: everything emitted under flow.* /
+    # shed.* / breaker.* must appear in OBSERVABILITY.md ("Flow control
+    # counter families"). The doc lists them with role prefixes
+    # (net./dm./cm.), so this is a substring match on the bare name.
+    flow_sources = {
+        "src/net/sim_fabric.cpp": r'"(flow\.[a-z_.]+)"',
+        "src/rt/thread_fabric.cpp": r'"(flow\.[a-z_.]+)"',
+        "src/core/directory_manager.cpp": r'"((?:flow|shed)\.[a-z_.]+)"',
+        "src/core/cache_manager.cpp": r'"((?:flow|breaker)\.[a-z_.]+)"',
+    }
+    for rel, pattern in flow_sources.items():
+        text = (REPO / rel).read_text()
+        for counter in sorted(set(re.findall(pattern, text))):
+            counter = counter.rstrip(".")  # inc_cat prefixes
+            if counter.count(".") == 0:
+                continue  # a bare family prefix, not a counter name
+            if counter not in observability:
+                errors.append(f"{rel}: counter '{counter}' is not "
+                              "documented in OBSERVABILITY.md")
 
     if errors:
         print(f"docs lint: {len(errors)} problem(s)")

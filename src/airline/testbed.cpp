@@ -98,6 +98,9 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
     cfg.pool_messages = opts_.pool_messages;
     cfg.write_buffer_ops = opts_.write_buffer_ops;
     cfg.piggyback_heartbeats = opts_.piggyback_heartbeats;
+    cfg.breaker_threshold = opts_.breaker_threshold;
+    cfg.breaker_open_timeout = opts_.breaker_open_timeout;
+    cfg.degrade_on_overload = opts_.degrade_on_overload;
     const net::Address addr{hosts[i], kServicePort};
     agents_.push_back(
         std::make_unique<TravelAgent>(proto, addr, dir_addr, std::move(cfg)));
@@ -226,6 +229,9 @@ CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
         cfg.pool_messages = opts_.pool_messages;
         cfg.write_buffer_ops = opts_.write_buffer_ops;
         cfg.piggyback_heartbeats = opts_.piggyback_heartbeats;
+        cfg.breaker_threshold = opts_.breaker_threshold;
+        cfg.breaker_open_timeout = opts_.breaker_open_timeout;
+        cfg.degrade_on_overload = opts_.degrade_on_overload;
         if (opts_.trace != nullptr) {
           cfg.trace = opts_.trace->make_buffer("cm." + std::to_string(i));
         }

@@ -67,6 +67,16 @@ struct TestbedOptions {
   std::size_t write_buffer_ops = 0;
   /// CM heartbeat piggybacking on regular directory traffic.
   bool piggyback_heartbeats = false;
+  // ---- overload knobs (PROTOCOL.md "Flow control & overload") -----------
+  /// CM circuit breaker toward the directory: consecutive Busy/failover
+  /// events before bulk traffic is suspended (0 disables). Fabric-level
+  /// bounding lives in fabric_cfg.flow; DM admission caps in dir_cfg.
+  std::size_t breaker_threshold = 0;
+  /// Minimum open window of the CM breaker.
+  sim::Duration breaker_open_timeout = sim::msec(500);
+  /// Degrade STRONG managers to buffered WEAK writes while their
+  /// breaker is open (restored automatically when it closes).
+  bool degrade_on_overload = false;
   /// Give the directory an owned in-memory durability store so
   /// crash_directory()/restart_directory() can exercise checkpointed
   /// recovery. Ignored when dir_cfg.durability is already set.

@@ -23,6 +23,9 @@ core::CacheManager::Config make_cm_config(const TravelAgent::Config& cfg,
   out.pool_messages = cfg.pool_messages;
   out.write_buffer_ops = cfg.write_buffer_ops;
   out.piggyback_heartbeats = cfg.piggyback_heartbeats;
+  out.breaker_threshold = cfg.breaker_threshold;
+  out.breaker_open_timeout = cfg.breaker_open_timeout;
+  out.degrade_on_overload = cfg.degrade_on_overload;
   out.trace = cfg.trace;
   return out;
 }

@@ -41,6 +41,11 @@ class TravelAgent {
     bool pool_messages = true;
     std::size_t write_buffer_ops = 0;
     bool piggyback_heartbeats = false;
+    /// Overload knobs, forwarded to the cache manager (PROTOCOL.md
+    /// "Flow control & overload").
+    std::size_t breaker_threshold = 0;
+    sim::Duration breaker_open_timeout = sim::msec(500);
+    bool degrade_on_overload = false;
     /// Protocol-event sink, forwarded to the cache manager (obs layer,
     /// not owned; nullptr disables).
     obs::TraceBuffer* trace = nullptr;

@@ -50,6 +50,7 @@ std::uint64_t dm_generation_of(const net::Message& m) {
     return net::payload_as<msg::HeartbeatAck>(m).gen;
   }
   if (m.type == msg::kOpNack) return net::payload_as<msg::OpNack>(m).gen;
+  if (m.type == msg::kBusy) return net::payload_as<msg::Busy>(m).gen;
   if (m.type == msg::kDirectoryRebuild) {
     return net::payload_as<msg::DirectoryRebuild>(m).gen;
   }
@@ -73,6 +74,12 @@ CacheManager::CacheManager(net::Fabric& fabric, net::Address self,
   fabric_.bind(self_, *this);
   fabric_.set_clock(self_, &clock_);
   if (cfg_.trace != nullptr) cfg_.trace->set_clock(&clock_);
+  breaker_ = flow::CircuitBreaker(flow::CircuitBreaker::Config{
+      cfg_.breaker_threshold, cfg_.breaker_open_timeout});
+  breaker_.set_transition_hook(
+      [this](flow::BreakerState from, flow::BreakerState to) {
+        on_breaker_transition(from, to);
+      });
   register_req_ = next_req_++;
   send_register();
 }
@@ -230,6 +237,7 @@ void CacheManager::reconnect(Done done) {
 // ---- registration -----------------------------------------------------------
 
 void CacheManager::send_register() {
+  if (register_attempts_ == 0) register_started_at_ = fabric_.now();
   ++register_attempts_;
   msg::RegisterReq req;
   req.view_name = cfg_.view_name;
@@ -266,6 +274,27 @@ void CacheManager::send_register() {
 void CacheManager::on_register_timeout() {
   register_timer_ = net::kInvalidTimerId;
   if (!alive_ || registered_ || rejected_) return;
+  if (cfg_.retry.deadline > 0 && register_started_at_ >= 0 &&
+      fabric_.now() - register_started_at_ >= cfg_.retry.deadline) {
+    // The directory stayed unreachable for this incarnation's whole
+    // budget: fail registration terminally so queued callers unwedge
+    // (they observe the failure through rejected()).
+    stats_.inc("reliability.exhausted");
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                      obs::EventKind::kRetryExhausted,
+                      obs::Role::kCacheManager, obs::agent_key(self_),
+                      obs::span_id(self_, register_req_), "register",
+                      register_attempts_);
+    rejected_ = true;
+    reject_reason_ = "registration deadline exhausted";
+    if (cfg_.on_give_up) cfg_.on_give_up("register");
+    std::deque<Op> q = std::move(queue_);
+    queue_.clear();
+    for (auto& op : q) {
+      if (op.done) op.done();
+    }
+    return;
+  }
   stats_.inc("register.retry");
   send_register();
 }
@@ -316,9 +345,29 @@ void CacheManager::pump() {
 }
 
 void CacheManager::issue(Op& op) {
+  if (is_bulk(op.kind) && !breaker_.allow(fabric_.now())) {
+    // Breaker open: hold the op locally instead of hammering a drowning
+    // directory; the timer re-tries at the window edge (where allow()
+    // admits it as the half-open probe). The overall deadline still
+    // applies, so a destination that never recovers is terminal.
+    if (cfg_.retry.deadline > 0 && op.first_issued_at >= 0 &&
+        fabric_.now() - op.first_issued_at >= cfg_.retry.deadline) {
+      give_up_current(op_label(op.kind));
+      return;
+    }
+    stats_.inc("breaker.deferred");
+    cancel_op_timer();
+    op_timer_ =
+        fabric_.schedule(self_, breaker_.retry_in(fabric_.now()), [this] {
+          op_timer_ = net::kInvalidTimerId;
+          if (alive_ && current_.has_value()) issue(*current_);
+        });
+    return;
+  }
   ++op.attempts;
   if (op.req == 0) op.req = next_req_++;
   if (op.attempts == 1) {
+    if (op.first_issued_at < 0) op.first_issued_at = fabric_.now();
     // a = our view id: the monitor's agent -> view mapping.
     FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kOpStarted,
                       obs::Role::kCacheManager, obs::agent_key(self_),
@@ -400,15 +449,75 @@ void CacheManager::issue(Op& op) {
 void CacheManager::on_op_timeout() {
   op_timer_ = net::kInvalidTimerId;
   if (!alive_ || !current_.has_value()) return;
+  if (cfg_.retry.deadline > 0 && current_->first_issued_at >= 0 &&
+      fabric_.now() - current_->first_issued_at >= cfg_.retry.deadline) {
+    // Overall per-op budget spent across every retransmission, Busy
+    // back-off, and reconnect cycle: give up terminally instead of
+    // failing over into yet another retry round.
+    give_up_current(op_label(current_->kind));
+    return;
+  }
   if (current_->attempts >= cfg_.retry.max_attempts) {
     // Retry budget exhausted: assume the registration (or the
     // directory) is gone and fail over instead of wedging the queue.
     stats_.inc("op.failover");
     reconnect();
+    // After reconnect so the breaker's degradation hook sees the op
+    // already parked back on the queue, not still in flight.
+    breaker_.on_failure(fabric_.now());
     return;
   }
   stats_.inc("op.retry");
   issue(*current_);
+}
+
+void CacheManager::give_up_current(const char* why) {
+  stats_.inc("reliability.exhausted");
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                    obs::EventKind::kRetryExhausted,
+                    obs::Role::kCacheManager, obs::agent_key(self_),
+                    obs::span_id(self_, current_->req), why,
+                    current_->attempts);
+  cancel_op_timer();
+  Done done = std::move(current_->done);
+  current_.reset();
+  // After the reset: the breaker hook must not re-park the abandoned op.
+  breaker_.on_failure(fabric_.now());
+  if (cfg_.on_give_up) cfg_.on_give_up(why);
+  if (done) done();
+  pump();
+}
+
+void CacheManager::on_breaker_transition(flow::BreakerState from,
+                                         flow::BreakerState to) {
+  stats_.inc_cat("breaker.", flow::to_string(to));
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                    obs::EventKind::kBreakerTransition,
+                    obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                    flow::to_string(to), static_cast<std::uint64_t>(from),
+                    static_cast<std::uint64_t>(to));
+  if (to == flow::BreakerState::kOpen && cfg_.degrade_on_overload &&
+      !degraded_ && mode_ == Mode::kStrong && alive_ && !rejected_) {
+    // Degradation ladder: STRONG acquires are what a drowning directory
+    // cannot serve, so fall back to WEAK — pushes get absorbed by the
+    // write buffer and use sections stop needing exclusivity. The
+    // stalled bulk op is parked behind the mode switch (same kind, same
+    // req id) and re-issues once the breaker admits traffic again.
+    if (current_.has_value() && current_->kind != OpKind::kModeChange &&
+        current_->kind != OpKind::kKill) {
+      cancel_op_timer();
+      queue_.push_front(std::move(*current_));
+      current_.reset();
+    }
+    queue_.push_front(Op{OpKind::kModeChange, Mode::kWeak, {}});
+    degraded_ = true;
+    stats_.inc("breaker.degrade");
+    pump();
+  } else if (to == flow::BreakerState::kClosed && degraded_) {
+    degraded_ = false;
+    stats_.inc("breaker.restore");
+    set_mode(Mode::kStrong);
+  }
 }
 
 bool CacheManager::accept_reply(OpKind kind, std::uint64_t req) {
@@ -440,6 +549,9 @@ bool CacheManager::accept_reply(OpKind kind, std::uint64_t req) {
 
 void CacheManager::complete_current() {
   cancel_op_timer();
+  // A served bulk request is proof the directory is healthy again; the
+  // transition hook un-degrades (kClosed) if overload had demoted us.
+  if (is_bulk(current_->kind)) breaker_.on_success();
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kOpCompleted,
                     obs::Role::kCacheManager, obs::agent_key(self_),
                     obs::span_id(self_, current_->req),
@@ -599,6 +711,41 @@ void CacheManager::on_message(const net::Message& m) {
       return;
     }
     heartbeat_unacked_ = 0;
+    return;
+  }
+
+  if (m.type == msg::kBusy) {
+    const auto& busy = net::payload_as<msg::Busy>(m);
+    if (!current_.has_value() ||
+        (busy.req != 0 && busy.req != current_->req)) {
+      // Late Busy for an exchange that already resolved.
+      stats_.inc("msg.duplicate.dropped");
+      return;
+    }
+    stats_.inc("flow.busy.received");
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                      obs::Role::kCacheManager, obs::agent_key(self_),
+                      obs::span_id(self_, current_->req), msg::kBusy,
+                      static_cast<std::uint64_t>(busy.retry_after));
+    // An explicit "try later": swap the exponential schedule for the
+    // server-suggested retry_after (jittered so a shed burst does not
+    // re-arrive in lockstep) and reset the attempt count — Busy proves
+    // the destination is alive, so the retransmission budget must not
+    // tick toward failover while we politely back off. The overall
+    // deadline (first_issued_at) still bounds the total wait.
+    current_->attempts = 1;
+    cancel_op_timer();
+    double delay = static_cast<double>(
+        busy.retry_after > 0 ? busy.retry_after : cfg_.retry.base_timeout);
+    if (cfg_.retry.jitter > 0.0) {
+      delay *= retry_rng_.uniform(1.0, 1.0 + cfg_.retry.jitter);
+    }
+    op_timer_ = fabric_.schedule(
+        self_, std::max<sim::Duration>(1, static_cast<sim::Duration>(delay)),
+        [this] { on_op_timeout(); });
+    // Last: the breaker's transition hook may park current_ behind a
+    // degradation mode switch (which cancels the timer just armed).
+    breaker_.on_busy(fabric_.now(), busy.retry_after);
     return;
   }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/adapters.hpp"
+#include "core/flow_control.hpp"
 #include "core/messages.hpp"
 #include "core/reliability.hpp"
 #include "core/types.hpp"
@@ -89,6 +90,20 @@ class CacheManager : public net::Endpoint {
     /// forcing a spurious reconnect). Cuts beacon traffic on busy
     /// managers to ~zero.
     bool piggyback_heartbeats = false;
+    /// Circuit breaker toward the directory (PROTOCOL.md "Flow control
+    /// & overload"): consecutive Busy replies / retry failovers before
+    /// bulk traffic is suspended; 0 disables the breaker.
+    std::size_t breaker_threshold = 0;
+    /// Minimum time an open breaker suspends bulk traffic; a Busy's
+    /// retry_after extends (never shortens) the window.
+    sim::Duration breaker_open_timeout = sim::msec(500);
+    /// Degradation ladder: when the breaker opens while in STRONG mode,
+    /// fall back to buffered WEAK writes (the write buffer keeps pushes
+    /// local) until the breaker closes, then restore STRONG.
+    bool degrade_on_overload = false;
+    /// Observer for terminal give-ups (RetryPolicy::deadline expired);
+    /// the argument names the abandoned operation ("pull", ...).
+    std::function<void(const char*)> on_give_up;
     /// Optional protocol trace sink (not owned); nullptr = no tracing.
     /// See OBSERVABILITY.md for the events this manager emits.
     obs::TraceBuffer* trace = nullptr;
@@ -202,6 +217,12 @@ class CacheManager : public net::Endpoint {
   [[nodiscard]] std::size_t write_buffer_depth() const noexcept {
     return wbuf_streak_;
   }
+  /// Circuit-breaker state toward the directory (overload diagnostics).
+  [[nodiscard]] flow::BreakerState breaker_state() const noexcept {
+    return breaker_.state();
+  }
+  /// True while overload degraded a STRONG manager to buffered WEAK.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
 
   void on_message(const net::Message& m) override;
 
@@ -257,6 +278,11 @@ class CacheManager : public net::Endpoint {
     std::uint64_t req = 0;
     /// Sends so far (first transmission included).
     std::size_t attempts = 0;
+    /// When the first transmission went out; anchors
+    /// RetryPolicy::deadline across retransmissions, Busy back-offs,
+    /// and reconnect() re-issues. -1 until first issue (0 is a valid
+    /// simulated time — ops started at t=0 must still hit deadlines).
+    sim::Time first_issued_at = -1;
     /// Push/kill extract the view's pending deltas exactly once; the
     /// image is cached here so retransmissions resend the same deltas
     /// (ViewAdapter::extract_from_view moves them out of the view).
@@ -266,6 +292,12 @@ class CacheManager : public net::Endpoint {
     std::vector<msg::DeltaEcho> echoes;
   };
 
+  /// Bulk (sheddable/breaker-gated) op kinds: the load generators.
+  static constexpr bool is_bulk(OpKind k) noexcept {
+    return k == OpKind::kInit || k == OpKind::kPull || k == OpKind::kPush ||
+           k == OpKind::kAcquire;
+  }
+
   void enqueue(Op op);
   void pump();
   void issue(Op& op);
@@ -273,6 +305,11 @@ class CacheManager : public net::Endpoint {
   void complete_current();
   void cancel_op_timer();
   void on_op_timeout();
+  /// RetryPolicy::deadline expired: abandon the in-flight op terminally
+  /// (its completion still fires so callers never wedge).
+  void give_up_current(const char* why);
+  /// breaker.* counters, trace, and the degradation ladder.
+  void on_breaker_transition(flow::BreakerState from, flow::BreakerState to);
   void send_register();
   void on_register_timeout();
   void start_heartbeats();
@@ -341,6 +378,10 @@ class CacheManager : public net::Endpoint {
 
   // ---- reliability state ------------------------------------------------
   sim::Rng retry_rng_;
+  /// Breaker toward the (single) directory destination.
+  flow::CircuitBreaker breaker_;
+  /// STRONG manager currently degraded to buffered WEAK by overload.
+  bool degraded_ = false;
   std::uint64_t next_req_ = 1;
   net::TimerId op_timer_ = net::kInvalidTimerId;
   /// In-flight registration (the register exchange is not an Op: it
@@ -350,6 +391,10 @@ class CacheManager : public net::Endpoint {
   /// self-driving once connectivity returns.
   std::uint64_t register_req_ = 0;
   std::size_t register_attempts_ = 0;
+  /// First send of this incarnation's register exchange; anchors
+  /// RetryPolicy::deadline for registration (which is not an Op).
+  /// -1 = not started (0 is a valid simulated time).
+  sim::Time register_started_at_ = -1;
   net::TimerId register_timer_ = net::kInvalidTimerId;
   net::TimerId heartbeat_timer_ = net::kInvalidTimerId;
   std::uint64_t heartbeat_seq_ = 0;

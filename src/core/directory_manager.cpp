@@ -204,6 +204,13 @@ void DirectoryManager::on_message(const net::Message& m) {
   if (m.type == msg::kModeChangeReq) return handle_mode_change(m);
   if (m.type == msg::kKillReq) return handle_kill(m);
   if (m.type == msg::kRebuildReply) return handle_rebuild_reply(m);
+  if (m.type == msg::kBusy) {
+    // A fabric-synthesized Busy for one of our commands: the command's
+    // round timeout + resends already cover a slow receiver, so the
+    // directory just counts it.
+    stats_.inc("flow.busy.ignored");
+    return;
+  }
   stats_.inc("msg.unknown");
 }
 
@@ -330,6 +337,40 @@ void DirectoryManager::send_nack(const net::Address& to, ViewId view,
                     obs::Role::kDirectory, obs::agent_key(self_),
                     obs::span_id(to, req), msg::kOpNack, view);
   fabric_.send(self_, to, msg::kOpNack, box(std::move(nack)), bytes);
+}
+
+void DirectoryManager::send_busy(const net::Address& to, ViewId view,
+                                 std::uint64_t req, const char* reason) {
+  stats_.inc("flow.busy.sent");
+  msg::Busy busy{view, reason, cfg_.busy_retry_after, req, generation_};
+  const auto bytes = msg::wire_size(busy);
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kLoadShed,
+                    obs::Role::kDirectory, obs::agent_key(self_),
+                    obs::span_id(to, req), reason, view);
+  fabric_.send(self_, to, msg::kBusy, box(std::move(busy)), bytes);
+}
+
+void DirectoryManager::forget_in_progress(const net::Address& from,
+                                          std::uint64_t req) {
+  if (req == 0 || cfg_.dedup_window == 0) return;
+  auto it = dedup_.find(from);
+  if (it == dedup_.end()) return;
+  auto& win = it->second;
+  for (auto e = win.begin(); e != win.end(); ++e) {
+    if (e->req == req && !e->completed) {
+      win.erase(e);
+      return;
+    }
+  }
+}
+
+std::size_t DirectoryManager::open_rounds_of(ViewId v) const {
+  std::size_t n = 0;
+  for (const auto& [token, pp] : pending_pulls_) {
+    (void)token;
+    if (pp.requester == v) ++n;
+  }
+  return n;
 }
 
 void DirectoryManager::arm_liveness_timer() {
@@ -536,6 +577,27 @@ void DirectoryManager::handle_pull(const net::Message& m) {
     pp.unseen_before = unseen;
     pp.req = req.req;
     finish_pull(pp);
+    return;
+  }
+
+  // Admission control: opening yet another demand-fetch round past the
+  // configured budget is refused with Busy — fetch rounds are the
+  // invalidation/fetch fan-out amplifier, so this is where overload is
+  // cut off. Cheap pulls (no round needed) are always served above.
+  // The in-progress dedup slot noted earlier must be forgotten, or the
+  // post-Busy retry would be dropped as a duplicate of a round that
+  // never opened.
+  const bool over_global = cfg_.max_fetch_rounds != 0 &&
+                           pending_pulls_.size() >= cfg_.max_fetch_rounds;
+  const bool over_view = !over_global && cfg_.max_view_rounds != 0 &&
+                         open_rounds_of(req.view) >= cfg_.max_view_rounds;
+  if (over_global || over_view) {
+    stats_.inc("shed.pull");
+    stats_.inc(over_global ? "shed.pull.global" : "shed.pull.view");
+    forget_in_progress(m.from, req.req);
+    send_busy(m.from, req.view, req.req,
+              over_global ? "fetch rounds saturated"
+                          : "per-view round budget");
     return;
   }
 
@@ -926,6 +988,15 @@ void DirectoryManager::handle_acquire(const net::Message& m) {
     return;
   }
   touch(*rec);
+  // Admission control: a full arbitration queue means every new acquire
+  // would wait behind max_acquire_queue invalidation rounds anyway —
+  // better to tell the requester to back off than to buffer unboundedly.
+  if (cfg_.max_acquire_queue != 0 &&
+      acquire_queue_.size() >= cfg_.max_acquire_queue) {
+    stats_.inc("shed.acquire");
+    send_busy(m.from, req.view, req.req, "acquire queue full");
+    return;
+  }
   note_in_progress(m.from, req.req);
   acquire_queue_.push_back(req);
   if (!acquire_inflight_.has_value()) start_next_acquire();

@@ -99,6 +99,22 @@ class DirectoryManager : public net::Endpoint {
     /// holder — the exact bug the monitor's I1 (STRONG exclusivity)
     /// check catches.
     bool chaos_ignore_conflicts = false;
+    // ---- admission control (PROTOCOL.md "Flow control & overload") ----
+    /// Global cap on concurrently open demand-fetch rounds. A pull that
+    /// would open a round past the cap is answered with msg::Busy
+    /// instead (shed.pull counter); pulls that need no fetch round are
+    /// always served. 0 = unlimited (the seed behavior).
+    std::size_t max_fetch_rounds = 0;
+    /// Per-requesting-view cap on open fetch rounds, so one hot view
+    /// cannot monopolize the global budget. 0 = unlimited.
+    std::size_t max_view_rounds = 0;
+    /// Cap on queued strong-mode acquires (the in-flight one excluded).
+    /// An acquire past the cap is answered with msg::Busy (shed.acquire
+    /// counter). 0 = unlimited.
+    std::size_t max_acquire_queue = 0;
+    /// retry_after hint stamped into Busy replies. Cache managers back
+    /// off (jittered) at least this long before re-issuing.
+    sim::Duration busy_retry_after = sim::msec(100);
   };
 
   DirectoryManager(net::Fabric& fabric, net::Address self,
@@ -287,6 +303,17 @@ class DirectoryManager : public net::Endpoint {
   /// reconnect/retry is the intended path.
   void send_nack(const net::Address& to, ViewId view, std::uint64_t req,
                  const char* reason = "unknown view (stale registration)");
+  /// Shed an over-admission request: answer msg::Busy(retry_after).
+  /// Like send_nack, never cached in the dedup window — the request did
+  /// not execute, and re-executing the retry later is the point.
+  void send_busy(const net::Address& to, ViewId view, std::uint64_t req,
+                 const char* reason);
+  /// Drop the in-progress dedup slot noted for a request we ultimately
+  /// shed, so its post-Busy retry is not mistaken for a duplicate of a
+  /// round in flight.
+  void forget_in_progress(const net::Address& from, std::uint64_t req);
+  /// Open fetch rounds requested by view `v`.
+  [[nodiscard]] std::size_t open_rounds_of(ViewId v) const;
   void arm_pull_resend(std::uint64_t token);
   void arm_acquire_resend(std::uint64_t epoch);
   void arm_liveness_timer();

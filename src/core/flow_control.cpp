@@ -1,0 +1,82 @@
+#include "core/flow_control.hpp"
+
+#include <utility>
+
+#include "core/messages.hpp"
+#include "net/message.hpp"
+
+namespace flecc::core::flow {
+
+bool is_control_lane(std::string_view type) noexcept {
+  // Bulk = the four load-generating requests; everything else (acks,
+  // replies, grants, heartbeats, invalidations, fetches, recovery,
+  // nacks, Busy, mode changes, registration, non-Flecc frames) rides
+  // the control lane and is never shed.
+  return !(type == msg::kInitReq || type == msg::kPullReq ||
+           type == msg::kPushUpdate || type == msg::kAcquireReq);
+}
+
+namespace {
+
+/// Recover (view, req) from a sheddable bulk message so the Busy can be
+/// matched against the sender's in-flight op. Returns false for types
+/// the protocol cannot answer (those are shed silently, counted).
+bool shed_identity(const net::Message& shed, ViewId& view,
+                   std::uint64_t& req) {
+  if (shed.type == msg::kInitReq) {
+    const auto& p = net::payload_as<msg::InitReq>(shed);
+    view = p.view;
+    req = p.req;
+    return true;
+  }
+  if (shed.type == msg::kPullReq) {
+    const auto& p = net::payload_as<msg::PullReq>(shed);
+    view = p.view;
+    req = p.req;
+    return true;
+  }
+  if (shed.type == msg::kPushUpdate) {
+    const auto& p = net::payload_as<msg::PushUpdate>(shed);
+    view = p.view;
+    req = p.req;
+    return true;
+  }
+  if (shed.type == msg::kAcquireReq) {
+    const auto& p = net::payload_as<msg::AcquireReq>(shed);
+    view = p.view;
+    req = p.req;
+    return true;
+  }
+  return false;
+}
+
+net::BusyReply make_busy(const net::Message& shed, sim::Duration retry_after) {
+  msg::Busy busy;
+  if (!shed_identity(shed, busy.view, busy.req)) return {};
+  busy.reason = "queue overflow";
+  busy.retry_after = retry_after;
+  busy.gen = 0;  // fabric-synthesized: no incarnation claim, never fenced
+
+  net::BusyReply reply;
+  reply.type = msg::kBusy;
+  reply.bytes = msg::wire_size(busy);
+  reply.payload = std::move(busy);
+  return reply;
+}
+
+}  // namespace
+
+net::FlowControl make_fabric_flow(const FlowLimits& limits) {
+  net::FlowControl fc;
+  fc.queue_capacity = limits.queue_capacity;
+  fc.high_watermark = limits.high_watermark;
+  fc.low_watermark = limits.low_watermark;
+  fc.retry_after = limits.retry_after;
+  fc.is_control = [](std::string_view type) { return is_control_lane(type); };
+  fc.make_busy = [](const net::Message& shed, sim::Duration retry_after) {
+    return make_busy(shed, retry_after);
+  };
+  return fc;
+}
+
+}  // namespace flecc::core::flow

@@ -12,6 +12,7 @@
 #include "core/object_image.hpp"
 #include "core/types.hpp"
 #include "props/property.hpp"
+#include "sim/time.hpp"
 
 namespace flecc::core::msg {
 
@@ -38,6 +39,7 @@ inline constexpr const char* kUpdateNotify = "flecc.update_notify";
 inline constexpr const char* kHeartbeat = "flecc.heartbeat";
 inline constexpr const char* kHeartbeatAck = "flecc.heartbeat_ack";
 inline constexpr const char* kOpNack = "flecc.op_nack";
+inline constexpr const char* kBusy = "flecc.busy";
 inline constexpr const char* kDirectoryRebuild = "flecc.rebuild_probe";
 inline constexpr const char* kRebuildReply = "flecc.rebuild_reply";
 
@@ -259,6 +261,23 @@ struct OpNack {
   std::uint64_t gen = 0;
 };
 
+/// Overload shed (PROTOCOL.md "Flow control & overload"): the request
+/// was refused by directory admission control or a bounded fabric
+/// queue — retry no earlier than `retry_after`. Sent by the directory
+/// (gen == its generation) or synthesized by a fabric on behalf of an
+/// overloaded destination (gen == 0, never fenced). Never cached in
+/// the dedup window: by definition the request did not execute, and
+/// re-executing it later is the intended recovery. Unlike OpNack, a
+/// Busy does NOT mean the registration is stale — the receiver backs
+/// off instead of reconnecting.
+struct Busy {
+  ViewId view = kInvalidViewId;
+  std::string reason;
+  sim::Duration retry_after = 0;
+  std::uint64_t req = 0;
+  std::uint64_t gen = 0;
+};
+
 /// Directory -> cache, after a restart: "I am generation `gen`, my
 /// checkpoint says you are view `view` — re-announce yourself."
 /// Retransmitted within the rebuild window until answered; cache
@@ -347,6 +366,9 @@ inline std::size_t wire_size(const UpdateNotify&) { return kHeaderBytes; }
 inline std::size_t wire_size(const Heartbeat&) { return kHeaderBytes; }
 inline std::size_t wire_size(const HeartbeatAck&) { return kHeaderBytes; }
 inline std::size_t wire_size(const OpNack& m) {
+  return kHeaderBytes + m.reason.size();
+}
+inline std::size_t wire_size(const Busy& m) {
   return kHeaderBytes + m.reason.size();
 }
 inline std::size_t wire_size(const DirectoryRebuild&) { return kHeaderBytes; }

@@ -34,6 +34,15 @@ struct RetryPolicy {
   /// Seed for the jitter process; mixed with the endpoint address so
   /// every cache manager draws an independent deterministic stream.
   std::uint64_t seed = 0x8e11ab1eULL;
+  /// Overall wall-clock budget per operation, measured from its first
+  /// transmission across every retransmission, failover, and Busy
+  /// back-off. 0 = no deadline (the pre-existing behavior: reconnect()
+  /// resets the attempt budget, so an op against a permanently dead
+  /// directory retries forever). When the deadline expires the op gives
+  /// up terminally: `reliability.exhausted` is counted, a
+  /// retry_exhausted trace event is emitted, Config::on_give_up fires,
+  /// and the op's completion runs so callers never wedge.
+  sim::Duration deadline = 0;
 
   [[nodiscard]] bool enabled() const noexcept { return max_attempts > 1; }
 

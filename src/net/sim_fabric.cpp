@@ -60,10 +60,59 @@ void SimFabric::send(Address from, Address to, std::string type,
                       type.c_str(), obs::kDropNoRoute, obs::agent_key(to));
     return;
   }
-  const sim::Duration delay =
+  sim::Duration delay =
       (cfg_.model_contention ? contended_delay(*route, bytes)
                              : Topology::transfer_delay(*route, bytes)) +
       cfg_.per_message_overhead;
+  if (!endpoint_delay_.empty()) {
+    if (auto dit = endpoint_delay_.find(to); dit != endpoint_delay_.end()) {
+      delay += dit->second;  // slow-endpoint service-time inflation
+    }
+  }
+
+  // Flow control: bulk messages toward a destination whose queue is
+  // past the high watermark are shed with a synthesized Busy instead of
+  // growing the queue. Depth tracking runs whenever a lane classifier
+  // is installed so an unbounded baseline still reports its peak.
+  bool tracked = false;
+  if (cfg_.flow.is_control && !cfg_.flow.is_control(type)) {
+    DestFlow& df = dest_flow_[to];
+    if (cfg_.flow.enabled()) {
+      if (df.shedding && df.outstanding <= cfg_.flow.low()) {
+        df.shedding = false;
+      }
+      if (!df.shedding && df.outstanding >= cfg_.flow.high()) {
+        df.shedding = true;
+      }
+      if (df.shedding) {
+        counters_.inc("flow.shed");
+        counters_.inc_cat("flow.shed.", type);
+        FLECC_TRACE_EVENT(obs_trace_, sim_.now(), obs::EventKind::kMsgDropped,
+                          obs::Role::kFabric, obs::agent_key(from), 0,
+                          type.c_str(), obs::kDropOverload,
+                          obs::agent_key(to));
+        if (cfg_.flow.make_busy) {
+          Message shed;
+          shed.from = from;
+          shed.to = to;
+          shed.type = std::move(type);
+          shed.payload = std::move(payload);
+          shed.bytes = bytes;
+          BusyReply busy = cfg_.flow.make_busy(shed, cfg_.flow.retry_after);
+          if (!busy.type.empty()) {
+            // The Busy is a normal control-lane message: it pays the
+            // return latency and is subject to loss like anything else.
+            send(to, from, std::move(busy.type), std::move(busy.payload),
+                 busy.bytes);
+          }
+        }
+        return;
+      }
+    }
+    ++df.outstanding;
+    counters_.set_max("flow.queue.peak", df.outstanding);
+    tracked = true;
+  }
 
   Message msg;
   msg.id = next_msg_id_++;
@@ -77,7 +126,9 @@ void SimFabric::send(Address from, Address to, std::string type,
   }
 
   const sim::Time sent_at = sim_.now();
-  sim_.schedule_after(delay, [this, msg = std::move(msg), sent_at]() mutable {
+  sim_.schedule_after(delay, [this, msg = std::move(msg), sent_at,
+                              tracked]() mutable {
+    if (tracked) note_drained(msg.to);
     auto it = endpoints_.find(msg.to);
     if (it == endpoints_.end()) {
       counters_.inc("msg.dropped.unbound");
@@ -99,6 +150,15 @@ void SimFabric::send(Address from, Address to, std::string type,
     }
     it->second->on_message(msg);
   });
+}
+
+void SimFabric::note_drained(const Address& to) {
+  auto it = dest_flow_.find(to);
+  if (it == dest_flow_.end() || it->second.outstanding == 0) return;
+  --it->second.outstanding;
+  if (it->second.shedding && it->second.outstanding <= cfg_.flow.low()) {
+    it->second.shedding = false;
+  }
 }
 
 sim::Duration SimFabric::contended_delay(const Route& route,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "net/flow.hpp"
 #include "net/topology.hpp"
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
@@ -35,6 +36,12 @@ class SimFabric : public Fabric {
     /// model keeps message-count experiments independent of burst
     /// timing.
     bool model_contention = false;
+    /// Bounded per-destination queues + Busy synthesis (net/flow.hpp).
+    /// Depth tracking (the flow.queue.peak gauge) engages as soon as
+    /// `flow.is_control` is set, even with queue_capacity == 0, so an
+    /// unbounded baseline run still reports its peak; shedding needs
+    /// flow.enabled(). Default: fully off, zero behavior change.
+    FlowControl flow{};
   };
 
   SimFabric(sim::Simulator& simulator, Topology topology, Config cfg);
@@ -76,6 +83,24 @@ class SimFabric : public Fabric {
   /// Loss injection control.
   void set_loss_probability(double p) { cfg_.loss_probability = p; }
 
+  /// Inflate delivery latency into one endpoint (a "slow DM" for
+  /// overload experiments): every message to `addr` pays `extra` on top
+  /// of the modeled network delay. 0 removes the inflation.
+  void set_endpoint_delay(const Address& addr, sim::Duration extra) {
+    if (extra <= 0) {
+      endpoint_delay_.erase(addr);
+    } else {
+      endpoint_delay_[addr] = extra;
+    }
+  }
+
+  /// Bulk (sheddable-lane) messages currently queued toward `addr`;
+  /// 0 unless Config::flow installs a lane classifier.
+  [[nodiscard]] std::size_t outstanding_to(const Address& addr) const {
+    auto it = dest_flow_.find(addr);
+    return it == dest_flow_.end() ? 0 : it->second.outstanding;
+  }
+
   /// Cut every link between the two address groups: messages whose
   /// endpoints fall on opposite sides are dropped
   /// (counter `msg.dropped.partition`) until heal() is called. Grouping
@@ -105,6 +130,16 @@ class SimFabric : public Fabric {
 
   [[nodiscard]] bool partition_blocks(NodeId from, NodeId to) const;
 
+  /// Per-destination bulk-queue state (flow control). `shedding` is the
+  /// watermark hysteresis latch: set at high(), cleared at low().
+  struct DestFlow {
+    std::size_t outstanding = 0;
+    bool shedding = false;
+  };
+
+  /// A tracked bulk delivery completed toward `to`.
+  void note_drained(const Address& to);
+
   sim::Simulator& sim_;
   Topology topology_;
   Config cfg_;
@@ -114,6 +149,8 @@ class SimFabric : public Fabric {
   std::unordered_map<LinkId, sim::Time> link_free_at_;
   std::unordered_map<Address, Endpoint*, AddressHash> endpoints_;
   std::unordered_map<Address, obs::CausalClock*, AddressHash> clocks_;
+  std::unordered_map<Address, DestFlow, AddressHash> dest_flow_;
+  std::unordered_map<Address, sim::Duration, AddressHash> endpoint_delay_;
   sim::CounterSet counters_;
   TraceHook trace_;
   obs::TraceBuffer* obs_trace_ = nullptr;

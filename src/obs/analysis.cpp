@@ -13,6 +13,7 @@ const char* drop_reason_name(std::uint64_t code) {
     case kDropPartition: return "partition";
     case kDropNoRoute: return "no_route";
     case kDropUnbound: return "unbound";
+    case kDropOverload: return "overload";
     default: return "other";
   }
 }

@@ -73,6 +73,9 @@ enum class EventKind : std::uint8_t {
   kMsgFenced,           ///< stale-generation message rejected (recovery)
   kRecoveryBegin,       ///< directory restarted; rebuild round opened
   kRecoveryEnd,         ///< rebuild finished; normal processing resumed
+  kLoadShed,            ///< admission control refused a request (Busy sent)
+  kBreakerTransition,   ///< CM circuit breaker changed state (a=from, b=to)
+  kRetryExhausted,      ///< retry deadline/budget spent; op abandoned (CM)
 };
 
 /// Which protocol role emitted an event.
@@ -104,6 +107,9 @@ enum class Role : std::uint8_t {
     case EventKind::kMsgFenced: return "msg_fenced";
     case EventKind::kRecoveryBegin: return "recovery_begin";
     case EventKind::kRecoveryEnd: return "recovery_end";
+    case EventKind::kLoadShed: return "load_shed";
+    case EventKind::kBreakerTransition: return "breaker_transition";
+    case EventKind::kRetryExhausted: return "retry_exhausted";
   }
   return "unknown";
 }
@@ -124,6 +130,7 @@ enum DropReason : std::uint64_t {
   kDropPartition = 1,  ///< sender and receiver in separate partitions
   kDropNoRoute = 2,    ///< no fabric route between the nodes
   kDropUnbound = 3,    ///< destination endpoint not bound at delivery
+  kDropOverload = 4,   ///< bounded queue shed the message (flow control)
 };
 
 /// Packs a fabric address into the 64-bit `agent` field of an event.

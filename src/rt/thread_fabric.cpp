@@ -11,8 +11,16 @@ using Clock = std::chrono::steady_clock;
 ThreadFabric::Mailbox::Mailbox(net::Endpoint& ep,
                                std::atomic<std::int64_t>& inflight,
                                std::condition_variable& idle_cv,
-                               std::mutex& idle_mu)
-    : ep_(ep), inflight_(inflight), idle_cv_(idle_cv), idle_mu_(idle_mu) {
+                               std::mutex& idle_mu, std::size_t capacity,
+                               std::size_t low,
+                               std::atomic<std::size_t>& peak)
+    : ep_(ep),
+      inflight_(inflight),
+      idle_cv_(idle_cv),
+      idle_mu_(idle_mu),
+      capacity_(capacity),
+      low_(low),
+      peak_(peak) {
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -27,9 +35,32 @@ void ThreadFabric::Mailbox::post(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadFabric::Mailbox::post_message(
-    std::shared_ptr<const net::Message> msg) {
-  post([this, msg = std::move(msg)] { ep_.on_message(*msg); });
+bool ThreadFabric::Mailbox::post_message(
+    std::shared_ptr<const net::Message> msg, bool control,
+    obs::CausalClock* clock) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return true;  // swallowed, like post() on teardown
+    const std::size_t depth = queue_.size();
+    if (capacity_ != 0) {
+      if (shedding_ && depth <= low_) shedding_ = false;
+      if (!shedding_ && depth >= capacity_) shedding_ = true;
+      if (shedding_ && !control) return false;
+    }
+    std::size_t cur = peak_.load(std::memory_order_relaxed);
+    while (depth + 1 > cur && !peak_.compare_exchange_weak(
+                                  cur, depth + 1, std::memory_order_relaxed)) {
+    }
+    // The receiver clock is observed on the mailbox thread right before
+    // the handler runs, so handler trace emissions always see a clock
+    // past the sender's stamp.
+    queue_.push_back([this, msg = std::move(msg), clock] {
+      if (clock != nullptr) clock->observe(msg->clock);
+      ep_.on_message(*msg);
+    });
+  }
+  cv_.notify_one();
+  return true;
 }
 
 void ThreadFabric::Mailbox::stop() {
@@ -95,8 +126,11 @@ sim::Time ThreadFabric::now() const {
 
 void ThreadFabric::bind(const net::Address& addr, net::Endpoint& ep) {
   std::lock_guard<std::mutex> lock(endpoints_mu_);
+  const std::size_t capacity = cfg_.flow.enabled() ? cfg_.flow.high() : 0;
+  const std::size_t low = cfg_.flow.enabled() ? cfg_.flow.low() : 0;
   auto [it, inserted] = endpoints_.emplace(
-      addr, std::make_shared<Mailbox>(ep, inflight_, idle_cv_, idle_mu_));
+      addr, std::make_shared<Mailbox>(ep, inflight_, idle_cv_, idle_mu_,
+                                      capacity, low, peak_depth_));
   (void)it;
   if (!inserted) {
     throw std::logic_error("ThreadFabric::bind: address already bound: " +
@@ -236,14 +270,28 @@ void ThreadFabric::send(net::Address from, net::Address to, std::string type,
       note_idle_if_done();
       return;
     }
+    const bool control = cfg_.flow.control(message->type);
+    if (!mb->post_message(message, control, clock_of(message->to))) {
+      // Mailbox full: shed the bulk message and answer its sender with
+      // a synthesized Busy (a regular control-lane send) instead of
+      // letting the queue grow without limit.
+      count("flow.shed");
+      count_cat("flow.shed.", message->type);
+      trace_drop(message->from, message->to, message->type,
+                 obs::kDropOverload);
+      note_idle_if_done();
+      if (cfg_.flow.make_busy) {
+        net::BusyReply busy =
+            cfg_.flow.make_busy(*message, cfg_.flow.retry_after);
+        if (!busy.type.empty()) {
+          send(message->to, message->from, std::move(busy.type),
+               std::move(busy.payload), busy.bytes);
+        }
+      }
+      return;
+    }
     count_cat("msg.delivered.", message->type);
     count("msg.delivered");
-    // Observe before posting: the mailbox runs the handler after this
-    // post, so its trace emissions see a clock past the sender's stamp.
-    if (obs::CausalClock* c = clock_of(message->to)) {
-      c->observe(message->clock);
-    }
-    mb->post_message(message);
   };
 
   if (delay <= 0) {
@@ -320,8 +368,16 @@ void ThreadFabric::scheduler_loop() {
 }
 
 void ThreadFabric::drain() {
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  idle_cv_.wait(lock, [this] { return inflight_.load() == 0; });
+  {
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] { return inflight_.load() == 0; });
+  }
+  // Publish the mailbox high-water mark now that the fabric is quiet.
+  const std::size_t peak = peak_depth_.load(std::memory_order_relaxed);
+  if (peak > 0) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    counters_.set_max("flow.queue.peak", peak);
+  }
 }
 
 }  // namespace flecc::rt

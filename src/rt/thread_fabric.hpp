@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "net/fabric.hpp"
+#include "net/flow.hpp"
 #include "net/topology.hpp"
 #include "obs/trace.hpp"
 #include "sim/rng.hpp"
@@ -53,6 +54,13 @@ class ThreadFabric : public net::Fabric {
     /// The fabric contributes msg_dropped events; emission is
     /// serialized internally (sends happen on many threads).
     obs::TraceBuffer* trace = nullptr;
+    /// Bounded mailboxes + Busy synthesis (net/flow.hpp). When
+    /// enabled, a mailbox past its high watermark refuses bulk-lane
+    /// messages — the sender gets a synthesized Busy instead of the
+    /// queue growing without limit — while control-lane messages
+    /// (classified by flow.is_control) always get through. Default:
+    /// off, mailboxes stay unbounded.
+    net::FlowControl flow{};
   };
 
   explicit ThreadFabric(Config cfg);
@@ -83,6 +91,12 @@ class ThreadFabric : public net::Fabric {
   /// mailbox is empty. Pending *future* timers do not count.
   void drain();
 
+  /// Deepest any mailbox has ever been (all lanes). Also published as
+  /// the flow.queue.peak counter; read after drain() for a stable value.
+  [[nodiscard]] std::size_t peak_mailbox_depth() const noexcept {
+    return peak_depth_.load(std::memory_order_relaxed);
+  }
+
   /// Run `task` on the mailbox thread of the endpoint bound at `addr`,
   /// serialized with its handlers. This is how application threads must
   /// invoke endpoint APIs (e.g. CacheManager::start_use_image): protocol
@@ -96,11 +110,22 @@ class ThreadFabric : public net::Fabric {
  private:
   class Mailbox {
    public:
+    /// `capacity`/`low` bound the bulk lane (0 = unbounded); `peak`
+    /// is the fabric-wide high-water gauge this mailbox raises.
     Mailbox(net::Endpoint& ep, std::atomic<std::int64_t>& inflight,
-            std::condition_variable& idle_cv, std::mutex& idle_mu);
+            std::condition_variable& idle_cv, std::mutex& idle_mu,
+            std::size_t capacity, std::size_t low,
+            std::atomic<std::size_t>& peak);
     ~Mailbox();
     void post(std::function<void()> task);
-    void post_message(std::shared_ptr<const net::Message> msg);
+    /// Enqueue a delivery. Control-lane messages always enter; bulk
+    /// messages are refused (false) while the watermark latch is shut:
+    /// set when the queue reaches `capacity`, cleared once it drains
+    /// to `low`. The caller synthesizes the Busy on refusal. `clock`
+    /// (nullable) is the receiver's causal clock, observed on the
+    /// mailbox thread just before the handler.
+    [[nodiscard]] bool post_message(std::shared_ptr<const net::Message> msg,
+                                    bool control, obs::CausalClock* clock);
     void stop();
 
    private:
@@ -114,6 +139,10 @@ class ThreadFabric : public net::Fabric {
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     bool stopping_ = false;
+    const std::size_t capacity_;
+    const std::size_t low_;
+    bool shedding_ = false;
+    std::atomic<std::size_t>& peak_;
     std::thread thread_;
   };
 
@@ -170,6 +199,7 @@ class ThreadFabric : public net::Fabric {
   mutable std::mutex counters_mu_;
   sim::CounterSet counters_;
   std::atomic<std::uint64_t> next_msg_id_{1};
+  std::atomic<std::size_t> peak_depth_{0};
 };
 
 /// Run an async operation and block the calling thread until its

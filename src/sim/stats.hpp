@@ -137,6 +137,17 @@ class CounterSet {
       inc(key, by);
     }
   }
+  /// Raise `name` to at least `v` — a peak gauge (e.g. the maximum
+  /// queue depth "flow.queue.peak") living alongside the monotonic
+  /// counters so snapshots/exports need no second container.
+  void set_max(std::string_view name, std::uint64_t v) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      counters_.emplace(std::string(name), v);
+    } else if (it->second < v) {
+      it->second = v;
+    }
+  }
   [[nodiscard]] std::uint64_t get(const std::string& name) const;
   [[nodiscard]] std::uint64_t total() const;
   [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>&
