@@ -24,7 +24,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 
 #include "airline/testbed.hpp"
@@ -46,6 +48,14 @@ constexpr std::size_t kPartitionLo = 20, kPartitionHi = 29;
 
 bool is_crashed(std::size_t i) {
   return i == kCrashed[0] || i == kCrashed[1];
+}
+
+/// Generated artifacts (CSV, Prometheus export, traces named by the
+/// caller) land in the git-ignored out/ directory.
+std::string out_path(const char* name) {
+  std::error_code ec;
+  std::filesystem::create_directories("out", ec);
+  return std::string("out/") + name;
 }
 
 #define SOAK_CHECK(cond, ...)                                   \
@@ -269,9 +279,13 @@ struct OverloadResult {
 /// queuing delay). With `flow_on` the full ladder is armed — bounded
 /// fabric queues, DM admission control, CM breaker + WEAK degradation;
 /// without it only the lane classifier is installed so the baseline
-/// still reports the same peak-depth metric it is compared on.
+/// still reports the same peak-depth metric it is compared on. With
+/// `crash_dm` the slow directory additionally dies mid-storm and
+/// restarts from its checkpoint — overload plus crash recovery in one
+/// run.
 std::string run_overload(std::uint64_t seed, obs::TraceRecorder* trace,
-                         bool flow_on, OverloadResult* result = nullptr) {
+                         bool flow_on, OverloadResult* result = nullptr,
+                         bool crash_dm = false) {
   TestbedOptions opts;
   opts.trace = trace;
   opts.n_agents = kStormAgents;
@@ -283,6 +297,14 @@ std::string run_overload(std::uint64_t seed, obs::TraceRecorder* trace,
   opts.fabric_cfg.seed = seed;
   opts.heartbeat_interval = sim::msec(500);
   opts.heartbeat_miss_limit = 5;
+  if (crash_dm) {
+    // Fully-flushed WAL: every exactly-once merge marker is durable, so
+    // the strict db == confirmed equality below must survive the crash
+    // (the lagging-checkpoint / at-least-once regime is covered by the
+    // main soak's --crash-dm variants).
+    opts.durable_directory = true;
+    opts.checkpoint_flush_every = 1;
+  }
 
   core::flow::FlowLimits limits;
   limits.queue_capacity = flow_on ? kStormQueueBound : 0;
@@ -310,6 +332,15 @@ std::string run_overload(std::uint64_t seed, obs::TraceRecorder* trace,
     tb.agent(i).run_reservation_loop(kStormOps, flight, 1,
                                      /*pull_first=*/false,
                                      [&] { ++loops_completed; });
+  }
+  if (crash_dm) {
+    // The overloaded slow node dies at the height of the pile-up, takes
+    // its queue down with it, and restarts from the lagging checkpoint
+    // while every agent is still retrying into the void.
+    tb.run_until(tb.simulator().now() + sim::msec(400));
+    tb.crash_directory();
+    tb.run_until(tb.simulator().now() + sim::msec(500));
+    tb.restart_directory();
   }
   tb.run();
 
@@ -356,6 +387,12 @@ std::string run_overload(std::uint64_t seed, obs::TraceRecorder* trace,
     if (k.rfind("flow.", 0) == 0) agg["net." + k] += v;
   }
   agg["net.msg.sent"] = tb.fabric().counters().get("msg.sent");
+  if (crash_dm) {
+    SOAK_CHECK(agg["dm.recovery.restart"] >= 1,
+               "the directory never restarted from its checkpoint");
+    SOAK_CHECK(agg["dm.recovery.completed"] >= 1,
+               "directory recovery never completed under overload");
+  }
 
   if (result != nullptr) {
     // find(), not operator[]: inserting zero rows here would make the
@@ -380,6 +417,276 @@ std::string run_overload(std::uint64_t seed, obs::TraceRecorder* trace,
   return out;
 }
 
+// ---- live migration soak (--migrate) ---------------------------------------
+
+constexpr std::size_t kMigAgents = 24;
+constexpr std::size_t kMigOps = 12;        // bystanders: still working
+constexpr std::size_t kMigVictimOps = 4;   // victims: quiescent early
+constexpr std::size_t kMigVictims[] = {3, 11};
+constexpr std::size_t kMigSpares = 2;
+
+bool is_mig_victim(std::size_t i) {
+  return i == kMigVictims[0] || i == kMigVictims[1];
+}
+
+/// Who the chaos hook kills when the migration FSM reaches the armed
+/// phase (kTargetNone = warm run, no sabotage).
+enum MigrateCrashTarget { kTargetNone = 0, kTargetSource, kTargetDest };
+
+struct MigrateVariant {
+  const char* name;
+  MigrateCrashTarget target;
+  int phase;  ///< core::DirectoryManager::MigratePhase to strike at
+};
+
+/// Shared state for the on_migrate_phase chaos hook. Declared before
+/// the testbed so the callback outlives every component that fires it.
+struct MigrateChaos {
+  FleccTestbed* tb = nullptr;
+  MigrateCrashTarget target = kTargetNone;
+  int phase = -1;
+  /// view id -> agent index / spare slot of the two armed migrations.
+  std::map<std::uint64_t, std::size_t> victim_of_view;
+  std::map<std::uint64_t, std::size_t> spare_of_view;
+  /// Views already sabotaged: the retry migration runs unharmed.
+  std::set<std::uint64_t> struck_views;
+  /// Spare slots currently holding a crashed destination.
+  std::set<std::size_t> crashed_spares;
+  std::size_t crashes = 0;
+};
+
+/// One live-migration soak: 24 journaled weak-mode agents work under
+/// 5% loss while two early-quiescent victims are migrated onto spare
+/// hosts. Per variant the chaos hook kills the source or destination
+/// cache manager at a chosen FSM phase; crashed sources restart from
+/// their write-ahead journals, aborted moves are retried onto a fresh
+/// destination. The database must end EXACTLY equal to every life's
+/// confirmed sales — zero lost updates, zero double merges.
+std::string run_migrate(std::uint64_t seed, obs::TraceRecorder* trace,
+                        const MigrateVariant& variant) {
+  MigrateChaos chaos;
+  chaos.target = variant.target;
+  chaos.phase = variant.phase;
+
+  TestbedOptions opts;
+  opts.trace = trace;
+  opts.n_agents = kMigAgents;
+  opts.group_size = 8;
+  opts.flights_per_group = 4;
+  opts.capacity = 1 << 20;
+  opts.mode = core::Mode::kWeak;
+  // Demand-fetch chasing keeps deltas flowing toward the database while
+  // the write buffer makes sure some WEAK updates are still buffered
+  // CM-side whenever a crash or a handoff strikes.
+  opts.validity_trigger = "(_age < 500)";
+  opts.write_buffer_ops = 4;
+  opts.push_trigger = "(t > 400)";
+  opts.think_time = sim::msec(300);
+  opts.fabric_cfg.loss_probability = 0.05;
+  opts.fabric_cfg.seed = seed;
+  opts.heartbeat_interval = sim::msec(500);
+  opts.heartbeat_miss_limit = 3;
+  opts.dir_cfg.liveness_timeout = sim::seconds(2);
+  opts.cm_journal = true;
+  opts.cm_journal_flush_every = 1;
+  opts.spare_hosts = kMigSpares;
+  // The chaos hook fires synchronously inside directory processing at
+  // every FSM transition — deterministic under the simulated fabric.
+  opts.dir_cfg.on_migrate_phase = [&chaos](core::ViewId v, int phase) {
+    if (chaos.tb == nullptr || chaos.target == kTargetNone) return;
+    if (phase != chaos.phase) return;
+    if (chaos.struck_views.count(v) != 0) return;
+    const auto vit = chaos.victim_of_view.find(v);
+    if (vit == chaos.victim_of_view.end()) return;
+    chaos.struck_views.insert(v);
+    ++chaos.crashes;
+    if (chaos.target == kTargetSource) {
+      chaos.tb->crash_agent(vit->second);
+    } else {
+      const std::size_t slot = chaos.spare_of_view.at(v);
+      chaos.tb->crash_spare(slot);
+      chaos.crashed_spares.insert(slot);
+    }
+  };
+
+  FleccTestbed tb(opts);
+  chaos.tb = &tb;
+  tb.init_all_agents();
+
+  std::size_t loops_completed = 0;
+  for (std::size_t i = 0; i < tb.agent_count(); ++i) {
+    const auto flight = tb.assignment().agent_flights[i][0];
+    const std::size_t ops = is_mig_victim(i) ? kMigVictimOps : kMigOps;
+    tb.agent(i).run_reservation_loop(ops, flight, 1, /*pull_first=*/true,
+                                     [&] { ++loops_completed; });
+  }
+
+  // The victims' short loops drain first; migrate their (quiescent)
+  // views live while the bystanders are still mid-workload.
+  tb.run_until(tb.simulator().now() + sim::msec(2500));
+  for (std::size_t k = 0; k < kMigSpares; ++k) {
+    const std::size_t v = kMigVictims[k];
+    SOAK_CHECK(tb.agent(v).ops_completed() == kMigVictimOps,
+               "victim %zu not quiescent before migration (%zu/%zu ops)", v,
+               tb.agent(v).ops_completed(), kMigVictimOps);
+    tb.spawn_destination(v, k);
+    const std::uint64_t view = tb.agent(v).cache().id();
+    chaos.victim_of_view[view] = v;
+    chaos.spare_of_view[view] = k;
+    SOAK_CHECK(tb.migrate_agent(v, k),
+               "directory rejected migration of view %llu",
+               static_cast<unsigned long long>(view));
+  }
+
+  // Let the moves — and, in the crash variants, their per-phase
+  // timeouts — fully resolve while the bystander workload continues.
+  tb.run_until(tb.simulator().now() + sim::seconds(8));
+  if (variant.target != kTargetNone) {
+    SOAK_CHECK(chaos.crashes >= 1,
+               "variant '%s' armed but the chaos hook never fired",
+               variant.name);
+  }
+
+  // Repairs. Crashed sources restart on the same address and journal:
+  // the new life replays buffered writes and strong intents, resumes
+  // its view (or is fenced onto a fresh registration when the view
+  // already moved) and re-delivers every update exactly once. Aborted
+  // moves get a fresh destination and a second, unharmed attempt.
+  if (variant.target == kTargetSource) {
+    for (const std::size_t v : kMigVictims) {
+      if (tb.crashed(v)) tb.restart_agent(v);
+    }
+  } else if (variant.target == kTargetDest) {
+    for (std::size_t k = 0; k < kMigSpares; ++k) {
+      const std::size_t v = kMigVictims[k];
+      if (!tb.agent(v).cache().moved()) {
+        tb.spawn_destination(v, k);
+        chaos.crashed_spares.erase(k);
+        SOAK_CHECK(tb.migrate_agent(v, k),
+                   "directory rejected the retry migration of agent %zu", v);
+      }
+      // moved() && crashed spare: the handoff completed and THEN the
+      // destination died — liveness eviction reclaims the view; its
+      // delta already merged at handoff, so nothing is lost.
+    }
+  }
+
+  tb.run_until(tb.simulator().now() + sim::seconds(20));
+  tb.run();
+
+  // ---- convergence asserts ---------------------------------------------
+  SOAK_CHECK(loops_completed == kMigAgents, "%zu/%zu loops completed",
+             loops_completed, kMigAgents);
+  for (std::size_t i = 0; i < tb.agent_count(); ++i) {
+    SOAK_CHECK(!tb.crashed(i), "agent %zu left crashed", i);
+    SOAK_CHECK(tb.agent(i).cache().queued_ops() == 0,
+               "agent %zu has %zu wedged queued ops", i,
+               tb.agent(i).cache().queued_ops());
+    SOAK_CHECK(!tb.agent(i).cache().op_in_flight(),
+               "agent %zu has a wedged in-flight op", i);
+  }
+
+  // Surrender the remaining deltas so the database is auditable. Moved
+  // managers are inert (their view lives at the destination now);
+  // killing the destination instead surrenders the migrated copy.
+  std::int64_t live_confirmed = 0;
+  for (std::size_t i = 0; i < tb.agent_count(); ++i) {
+    live_confirmed += tb.agent(i).view().confirmed_total();
+    if (!tb.agent(i).cache().moved()) tb.agent(i).shutdown();
+  }
+  for (std::size_t k = 0; k < kMigSpares; ++k) {
+    const std::size_t v = kMigVictims[k];
+    if (tb.has_spare(k) && chaos.crashed_spares.count(k) == 0 &&
+        tb.agent(v).cache().moved()) {
+      live_confirmed += tb.spare(k).view().confirmed_total();
+      tb.spare(k).shutdown();
+    }
+  }
+  tb.run();
+
+  // Zero lost updates, zero double merges: the database equals every
+  // life's confirmed sales EXACTLY — across crashes, journal replays,
+  // handoffs, aborted moves and re-pushed deltas.
+  const std::int64_t db_total = tb.database().total_reserved();
+  const std::int64_t expected = live_confirmed + tb.retired_confirmed();
+  SOAK_CHECK(db_total == expected,
+             "lost-update accounting failed: database %lld != confirmed %lld"
+             " (live %lld + retired %lld)",
+             static_cast<long long>(db_total),
+             static_cast<long long>(expected),
+             static_cast<long long>(live_confirmed),
+             static_cast<long long>(tb.retired_confirmed()));
+  SOAK_CHECK(db_total > 0, "the workload confirmed nothing");
+
+  // ---- aggregate counters ----------------------------------------------
+  std::map<std::string, std::uint64_t> agg;
+  for (const auto& [k, v] : tb.directory().stats().all()) agg["dm." + k] += v;
+  for (std::size_t i = 0; i < tb.agent_count(); ++i) {
+    for (const auto& [k, v] : tb.agent(i).cache().stats().all()) {
+      agg["cm." + k] += v;
+    }
+  }
+  for (std::size_t k = 0; k < kMigSpares; ++k) {
+    if (!tb.has_spare(k)) continue;
+    for (const auto& [key, v] : tb.spare(k).cache().stats().all()) {
+      agg["cm." + key] += v;
+    }
+  }
+  for (const char* key : {"msg.dropped.loss", "msg.dropped.unbound",
+                          "msg.sent"}) {
+    agg[std::string("net.") + key] = tb.fabric().counters().get(key);
+  }
+
+  SOAK_CHECK(agg["cm.wbuf.absorbed"] >= 1,
+             "write buffer enabled but no push was ever absorbed");
+  switch (variant.target) {
+    case kTargetNone:
+      SOAK_CHECK(agg["dm.migrate.done"] >= kMigSpares,
+                 "warm variant: not every migration completed");
+      break;
+    case kTargetSource:
+      SOAK_CHECK(agg["cm.journal.replay"] >= 1,
+                 "a source crashed but no journal was ever replayed");
+      if (variant.phase == core::DirectoryManager::kMigrateQuiesce) {
+        SOAK_CHECK(agg["dm.migrate.aborted"] >= 1,
+                   "source died at quiesce but nothing aborted");
+      } else {
+        // The handoff had already merged: the move completes without
+        // the source, whose restarted life is fenced onto a fresh
+        // registration instead of stealing the view back.
+        SOAK_CHECK(agg["dm.migrate.done"] >= kMigSpares,
+                   "post-handoff source crash should not stop the move");
+        SOAK_CHECK(agg["dm.register.fenced.moved"] >= 1,
+                   "restarted source was never fenced off its moved view");
+      }
+      break;
+    case kTargetDest:
+      if (variant.phase == core::DirectoryManager::kMigrateDone) {
+        SOAK_CHECK(agg["dm.migrate.done"] >= kMigSpares,
+                   "dest died after done: the move itself should complete");
+        SOAK_CHECK(agg["dm.view.evicted.liveness"] >= 1,
+                   "dead destination was never evicted");
+      } else {
+        SOAK_CHECK(agg["dm.migrate.aborted"] >= 1,
+                   "dest died mid-move but nothing aborted");
+        SOAK_CHECK(agg["dm.migrate.done"] >= kMigSpares,
+                   "the retry migration never completed");
+      }
+      break;
+  }
+
+  std::string out = "counter,value\n";
+  for (const auto& [k, v] : agg) {
+    out += k + "," + std::to_string(v) + "\n";
+  }
+  out += "summary.live_confirmed," + std::to_string(live_confirmed) + "\n";
+  out += "summary.retired_confirmed," +
+         std::to_string(tb.retired_confirmed()) + "\n";
+  out += "summary.db_total," + std::to_string(db_total) + "\n";
+  out += "summary.sim_end_us," + std::to_string(tb.simulator().now()) + "\n";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -388,6 +695,7 @@ int main(int argc, char** argv) {
   bool crash_dm = false;
   bool batch = false;
   bool overload = false;
+  bool migrate = false;
   std::size_t wbuf = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -400,34 +708,97 @@ int main(int argc, char** argv) {
       batch = true;
     } else if (std::strcmp(argv[i], "--overload") == 0) {
       overload = true;
+    } else if (std::strcmp(argv[i], "--migrate") == 0) {
+      migrate = true;
     } else if (std::strcmp(argv[i], "--wbuf") == 0 && i + 1 < argc) {
       wbuf = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace out.jsonl] [--monitor] [--crash-dm] "
-                   "[--batch] [--overload] [--wbuf N]\n",
+                   "[--batch] [--overload] [--migrate] [--wbuf N]\n",
                    argv[0]);
       return 2;
     }
   }
 
+  if (migrate) {
+    std::printf("# Migration soak — %zu journaled agents, 5%% loss, two live "
+                "view moves onto spare hosts, crash matrix over every "
+                "migration phase\n",
+                kMigAgents);
+    const std::uint64_t seed = 0xc0a5;
+    static const MigrateVariant kVariants[] = {
+        {"warm", kTargetNone, -1},
+        {"src-quiesce", kTargetSource, core::DirectoryManager::kMigrateQuiesce},
+        {"src-handoff", kTargetSource, core::DirectoryManager::kMigrateHandoff},
+        {"src-done", kTargetSource, core::DirectoryManager::kMigrateDone},
+        {"dest-quiesce", kTargetDest, core::DirectoryManager::kMigrateQuiesce},
+        {"dest-handoff", kTargetDest, core::DirectoryManager::kMigrateHandoff},
+        {"dest-done", kTargetDest, core::DirectoryManager::kMigrateDone},
+    };
+    std::string all;
+    for (const auto& v : kVariants) {
+      obs::TraceRecorder recorder;
+      obs::monitor::InvariantMonitor checker;
+      if (monitor) recorder.attach_sink(&checker);
+      const bool tracing = trace_path != nullptr || monitor;
+      const std::string first =
+          run_migrate(seed, tracing ? &recorder : nullptr, v);
+      const std::string second = run_migrate(seed, nullptr, v);
+      SOAK_CHECK(first == second,
+                 "variant '%s': two same-seed runs diverged", v.name);
+      if (monitor) {
+        checker.finalize();
+        SOAK_CHECK(checker.violations().empty(),
+                   "variant '%s': %zu invariant violation(s)", v.name,
+                   checker.violations().size());
+        SOAK_CHECK(checker.unresolved_migration_epochs() == 0,
+                   "variant '%s': a migration epoch never settled", v.name);
+        SOAK_CHECK(checker.unresolved_recovery_epochs() == 0,
+                   "variant '%s': a recovery epoch never resolved", v.name);
+        obs::MetricsRegistry reg;
+        checker.export_metrics(reg);
+        reg.write_prometheus(out_path("flecc_metrics.prom").c_str());
+      }
+      if (trace_path != nullptr) {
+        obs::write_jsonl(recorder.snapshot(), trace_path);
+      }
+      std::printf("# migrate variant %-13s converged; twin bit-identical\n",
+                  v.name);
+      all += std::string("# variant ") + v.name + "\n" + first;
+    }
+    std::printf("%s", all.c_str());
+    const std::string csv = out_path("chaos_soak.csv");
+    if (std::FILE* f = std::fopen(csv.c_str(), "w")) {
+      std::fputs(all.c_str(), f);
+      std::fclose(f);
+      std::printf("\n# data also written to %s\n", csv.c_str());
+    }
+    std::printf("# all migration variants converged; every twin was "
+                "bit-identical\n");
+    return 0;
+  }
+
   if (overload) {
     std::printf("# Overload storm — %zu strong-mode agents on one hot "
-                "flight group, slow directory, queue bound %zu\n",
-                kStormAgents, kStormQueueBound);
+                "flight group, slow directory, queue bound %zu%s\n",
+                kStormAgents, kStormQueueBound,
+                crash_dm ? ", directory crash-restart mid-storm" : "");
     const std::uint64_t seed = 0xc0a5;
     obs::TraceRecorder recorder;
     obs::monitor::InvariantMonitor checker;
     if (monitor) recorder.attach_sink(&checker);
     const bool tracing = trace_path != nullptr || monitor;
     OverloadResult flow_res;
-    const std::string first = run_overload(
-        seed, tracing ? &recorder : nullptr, /*flow_on=*/true, &flow_res);
-    const std::string second = run_overload(seed, nullptr, true);
+    const std::string first =
+        run_overload(seed, tracing ? &recorder : nullptr, /*flow_on=*/true,
+                     &flow_res, crash_dm);
+    const std::string second =
+        run_overload(seed, nullptr, true, nullptr, crash_dm);
     SOAK_CHECK(first == second,
                "two same-seed overload runs diverged: not deterministic");
     OverloadResult base_res;
-    run_overload(seed, nullptr, /*flow_on=*/false, &base_res);
+    run_overload(seed, nullptr, /*flow_on=*/false, &base_res, crash_dm);
 
     // The bound held where the baseline blew through it, and every
     // layer of the ladder actually engaged.
@@ -459,8 +830,9 @@ int main(int argc, char** argv) {
       reg.inc("dm.shed", flow_res.dm_shed);
       reg.inc("cm.breaker.open", flow_res.breaker_opened);
       reg.inc("cm.breaker.degrade", flow_res.degraded);
-      if (reg.write_prometheus("flecc_metrics.prom")) {
-        std::printf("# monitor metrics -> flecc_metrics.prom\n");
+      const std::string prom = out_path("flecc_metrics.prom");
+      if (reg.write_prometheus(prom.c_str())) {
+        std::printf("# monitor metrics -> %s\n", prom.c_str());
       }
       SOAK_CHECK(checker.violations().empty(),
                  "online monitor reported %zu invariant violation(s)",
@@ -480,10 +852,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(flow_res.queue_peak),
                 kStormQueueBound,
                 static_cast<unsigned long long>(base_res.queue_peak));
-    if (std::FILE* f = std::fopen("chaos_soak.csv", "w")) {
+    const std::string csv = out_path("chaos_soak.csv");
+    if (std::FILE* f = std::fopen(csv.c_str(), "w")) {
       std::fputs(first.c_str(), f);
       std::fclose(f);
-      std::printf("\n# data also written to chaos_soak.csv\n");
+      std::printf("\n# data also written to %s\n", csv.c_str());
     }
     std::printf("# overload storm converged; two same-seed runs were "
                 "bit-identical\n");
@@ -520,8 +893,9 @@ int main(int argc, char** argv) {
     std::fputs(checker.health_report().c_str(), stdout);
     obs::MetricsRegistry reg;
     checker.export_metrics(reg);
-    if (reg.write_prometheus("flecc_metrics.prom")) {
-      std::printf("# monitor metrics -> flecc_metrics.prom\n");
+    const std::string prom = out_path("flecc_metrics.prom");
+    if (reg.write_prometheus(prom.c_str())) {
+      std::printf("# monitor metrics -> %s\n", prom.c_str());
     }
     SOAK_CHECK(checker.violations().empty(),
                "online monitor reported %zu invariant violation(s)",
@@ -574,10 +948,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s", first.c_str());
-  if (std::FILE* f = std::fopen("chaos_soak.csv", "w")) {
+  const std::string csv = out_path("chaos_soak.csv");
+  if (std::FILE* f = std::fopen(csv.c_str(), "w")) {
     std::fputs(first.c_str(), f);
     std::fclose(f);
-    std::printf("\n# data also written to chaos_soak.csv\n");
+    std::printf("\n# data also written to %s\n", csv.c_str());
   }
   std::printf("# all convergence checks passed; two same-seed runs were "
               "bit-identical\n");

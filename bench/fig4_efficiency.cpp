@@ -23,6 +23,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "airline/testbed.hpp"
 #include "obs/monitor/invariant_monitor.hpp"
@@ -153,8 +155,11 @@ int main(int argc, char** argv) {
     rows.push_back({g, flecc_msgs, ts_msgs, mc_msgs});
   }
   std::printf("%s", table.to_string().c_str());
-  if (table.write_csv("fig4_efficiency.csv")) {
-    std::printf("\n# data also written to fig4_efficiency.csv\n");
+  // Generated artifacts land in the git-ignored out/ directory.
+  std::error_code out_ec;
+  std::filesystem::create_directories("out", out_ec);
+  if (table.write_csv("out/fig4_efficiency.csv")) {
+    std::printf("\n# data also written to out/fig4_efficiency.csv\n");
   }
   if (json_path != nullptr) {
     // Machine-readable results for scripted before/after comparisons

@@ -11,6 +11,7 @@
 // STRONG; data quality degrades over time in WEAK and is always perfect
 // (0 unseen updates) in STRONG.
 #include <cstdio>
+#include <filesystem>
 #include <string_view>
 #include <vector>
 
@@ -120,8 +121,11 @@ int main() {
                    rec.latency_us / 1000.0, rec.quality});
   }
   std::printf("%s", table.to_string().c_str());
-  if (table.write_csv("fig5_adaptability.csv")) {
-    std::printf("\n# data also written to fig5_adaptability.csv\n");
+  // Generated artifacts land in the git-ignored out/ directory.
+  std::error_code out_ec;
+  std::filesystem::create_directories("out", out_ec);
+  if (table.write_csv("out/fig5_adaptability.csv")) {
+    std::printf("\n# data also written to out/fig5_adaptability.csv\n");
   }
 
   // Phase aggregates (the figure's two bands).

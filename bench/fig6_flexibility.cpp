@@ -13,6 +13,7 @@
 // resets; with the trigger, auto-pulls keep the unseen count near zero,
 // at the price of more messages.
 #include <cstdio>
+#include <filesystem>
 #include <utility>
 #include <vector>
 
@@ -141,8 +142,11 @@ int main() {
                                                               : "no")});
     }
   }
-  if (csv.write_csv("fig6_flexibility.csv")) {
-    std::printf("\n# data also written to fig6_flexibility.csv\n");
+  // Generated artifacts land in the git-ignored out/ directory.
+  std::error_code out_ec;
+  std::filesystem::create_directories("out", out_ec);
+  if (csv.write_csv("out/fig6_flexibility.csv")) {
+    std::printf("\n# data also written to out/fig6_flexibility.csv\n");
   }
 
   sim::RunningStat q_without, q_with;

@@ -31,6 +31,13 @@
 // which is exactly the point: pooling wins must show up end to end.
 static std::atomic<std::uint64_t> g_alloc_count{0};
 
+// This TU's replaced operators intentionally pair malloc/posix_memalign
+// with free; GCC inlines them into callers and flags the new/free mix
+// as a mismatch it is not.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void* operator new(std::size_t n) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n ? n : 1)) return p;

@@ -7,6 +7,6 @@ set title "Figure 4 — messages between cache managers and directory manager"
 set xlabel "agents serving similar flights (conflicting-group size)"
 set ylabel "total messages"
 set key top left
-plot "fig4_efficiency.csv" using 1:2 with linespoints title "Flecc", \
-     "fig4_efficiency.csv" using 1:3 with linespoints title "time-sharing", \
-     "fig4_efficiency.csv" using 1:4 with linespoints title "multicast"
+plot "out/fig4_efficiency.csv" using 1:2 with linespoints title "Flecc", \
+     "out/fig4_efficiency.csv" using 1:3 with linespoints title "time-sharing", \
+     "out/fig4_efficiency.csv" using 1:4 with linespoints title "multicast"

@@ -7,8 +7,8 @@ set multiplot layout 2,1 title \
     "Figure 5 — WEAK/STRONG/WEAK trade-off (10 conflicting agents)"
 set xlabel ""
 set ylabel "data quality (unseen updates)"
-plot "fig5_adaptability.csv" using 1:5 with points pt 7 ps 0.6 notitle
+plot "out/fig5_adaptability.csv" using 1:5 with points pt 7 ps 0.6 notitle
 set xlabel "simulated time (ms)"
 set ylabel "method execution time (ms)"
-plot "fig5_adaptability.csv" using 1:4 with points pt 7 ps 0.6 notitle
+plot "out/fig5_adaptability.csv" using 1:4 with points pt 7 ps 0.6 notitle
 unset multiplot

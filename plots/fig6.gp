@@ -7,7 +7,7 @@ set title "Figure 6 — unseen remote updates per method call"
 set xlabel "simulated time (ms)"
 set ylabel "data quality (unseen updates)"
 set key top left
-plot "< awk -F, '$1==\"no-trigger\"'   fig6_flexibility.csv" \
+plot "< awk -F, '$1==\"no-trigger\"'   out/fig6_flexibility.csv" \
          using 3:4 with linespoints title "explicit pulls only", \
-     "< awk -F, '$1==\"with-trigger\"' fig6_flexibility.csv" \
+     "< awk -F, '$1==\"with-trigger\"' out/fig6_flexibility.csv" \
          using 3:4 with linespoints title "with pull trigger"

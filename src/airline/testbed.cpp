@@ -49,8 +49,10 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
     : opts_(std::move(opts)),
       assignment_(assign_flight_groups(opts_.n_agents, opts_.group_size,
                                        opts_.flights_per_group)) {
-  std::vector<net::NodeId> hosts;
-  auto topo = make_lan(opts_.n_agents, opts_.lan_latency, hosts);
+  // Spare hosts sit idle between the agents and the database host until
+  // spawn_destination() places a migration target on one.
+  auto topo = make_lan(opts_.n_agents + opts_.spare_hosts, opts_.lan_latency,
+                       hosts_);
   fabric_ = std::make_unique<net::SimFabric>(sim_, std::move(topo),
                                              opts_.fabric_cfg);
   if (opts_.batch_fabric) {
@@ -74,38 +76,55 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
   }
   opts_.dir_cfg.pool_messages = opts_.pool_messages;
 
-  dir_addr_ = net::Address{hosts.back(), kServicePort};
+  dir_addr_ = net::Address{hosts_.back(), kServicePort};
   const net::Address dir_addr = dir_addr_;
   directory_ = std::make_unique<core::DirectoryManager>(proto, dir_addr,
                                                         *adapter_,
                                                         opts_.dir_cfg);
 
-  for (std::size_t i = 0; i < opts_.n_agents; ++i) {
-    TravelAgent::Config cfg;
-    if (opts_.trace != nullptr) {
-      cfg.trace = opts_.trace->make_buffer("cm." + std::to_string(i));
+  if (opts_.cm_journal) {
+    cm_journal_stores_.reserve(opts_.n_agents);
+    for (std::size_t i = 0; i < opts_.n_agents; ++i) {
+      cm_journal_stores_.push_back(
+          std::make_unique<core::MemoryDurabilityStore>(
+              opts_.cm_journal_flush_every));
     }
-    cfg.flights = assignment_.agent_flights[i];
-    cfg.mode = opts_.mode;
-    cfg.push_trigger = opts_.push_trigger;
-    cfg.pull_trigger = opts_.pull_trigger;
-    cfg.validity_trigger = opts_.validity_trigger;
-    cfg.think_time = opts_.think_time;
-    cfg.trigger_poll = opts_.trigger_poll;
-    cfg.retry = opts_.retry;
-    cfg.heartbeat_interval = opts_.heartbeat_interval;
-    cfg.heartbeat_miss_limit = opts_.heartbeat_miss_limit;
-    cfg.pool_messages = opts_.pool_messages;
-    cfg.write_buffer_ops = opts_.write_buffer_ops;
-    cfg.piggyback_heartbeats = opts_.piggyback_heartbeats;
-    cfg.breaker_threshold = opts_.breaker_threshold;
-    cfg.breaker_open_timeout = opts_.breaker_open_timeout;
-    cfg.degrade_on_overload = opts_.degrade_on_overload;
-    const net::Address addr{hosts[i], kServicePort};
-    agents_.push_back(
-        std::make_unique<TravelAgent>(proto, addr, dir_addr, std::move(cfg)));
+  }
+  for (std::size_t i = 0; i < opts_.n_agents; ++i) {
+    const net::Address addr{hosts_[i], kServicePort};
+    agents_.push_back(std::make_unique<TravelAgent>(proto, addr, dir_addr,
+                                                    agent_config(i)));
   }
   crashed_.assign(agents_.size(), false);
+  spares_.resize(opts_.spare_hosts);
+  spare_journals_.resize(opts_.spare_hosts);
+}
+
+TravelAgent::Config FleccTestbed::agent_config(std::size_t i) {
+  TravelAgent::Config cfg;
+  if (opts_.trace != nullptr) {
+    cfg.trace = opts_.trace->make_buffer("cm." + std::to_string(i));
+  }
+  cfg.flights = assignment_.agent_flights[i];
+  cfg.mode = opts_.mode;
+  cfg.push_trigger = opts_.push_trigger;
+  cfg.pull_trigger = opts_.pull_trigger;
+  cfg.validity_trigger = opts_.validity_trigger;
+  cfg.think_time = opts_.think_time;
+  cfg.trigger_poll = opts_.trigger_poll;
+  cfg.retry = opts_.retry;
+  cfg.heartbeat_interval = opts_.heartbeat_interval;
+  cfg.heartbeat_miss_limit = opts_.heartbeat_miss_limit;
+  cfg.pool_messages = opts_.pool_messages;
+  cfg.write_buffer_ops = opts_.write_buffer_ops;
+  cfg.piggyback_heartbeats = opts_.piggyback_heartbeats;
+  cfg.breaker_threshold = opts_.breaker_threshold;
+  cfg.breaker_open_timeout = opts_.breaker_open_timeout;
+  cfg.degrade_on_overload = opts_.degrade_on_overload;
+  if (!cm_journal_stores_.empty()) {
+    cfg.journal = cm_journal_stores_[i].get();
+  }
+  return cfg;
 }
 
 FleccTestbed::~FleccTestbed() = default;
@@ -122,6 +141,63 @@ void FleccTestbed::crash_agent(std::size_t i) {
   // activity (timers, retransmissions, heartbeats) stops. The directory
   // learns about it only through liveness eviction or round timeouts.
   agents_[i]->cache().halt();
+  if (!cm_journal_stores_.empty()) {
+    // The host died with the process: unflushed journal appends are gone.
+    cm_journal_stores_[i]->crash();
+  }
+}
+
+TravelAgent& FleccTestbed::restart_agent(std::size_t i) {
+  if (!crashed_.at(i) || cm_journal_stores_.empty()) {
+    return *agents_.at(i);
+  }
+  // The view-level sales counters die with the old object; fold them
+  // into the retired total so database accounting stays exact.
+  retired_confirmed_ += agents_[i]->view().net_sold();
+  const net::Address addr{hosts_[i], kServicePort};
+  // Destroy the old (halted) agent first: its endpoint is already
+  // unbound, but the address must be free before the new bind.
+  agents_[i].reset();
+  agents_[i] = std::make_unique<TravelAgent>(protocol_fabric(), addr,
+                                             dir_addr_, agent_config(i));
+  crashed_[i] = false;
+  return *agents_[i];
+}
+
+TravelAgent& FleccTestbed::spawn_destination(std::size_t src,
+                                             std::size_t spare) {
+  if (spares_.at(spare) != nullptr) {
+    retired_confirmed_ += spares_[spare]->view().net_sold();
+    spares_[spare].reset();
+  }
+  TravelAgent::Config cfg = agent_config(src);
+  if (opts_.trace != nullptr) {
+    cfg.trace = opts_.trace->make_buffer("cm.spare." + std::to_string(spare));
+  }
+  cfg.await_migration = true;
+  if (opts_.cm_journal) {
+    spare_journals_[spare] = std::make_unique<core::MemoryDurabilityStore>(
+        opts_.cm_journal_flush_every);
+    cfg.journal = spare_journals_[spare].get();
+  } else {
+    cfg.journal = nullptr;
+  }
+  const net::Address addr{hosts_[opts_.n_agents + spare], kServicePort};
+  spares_[spare] = std::make_unique<TravelAgent>(protocol_fabric(), addr,
+                                                 dir_addr_, std::move(cfg));
+  return *spares_[spare];
+}
+
+void FleccTestbed::crash_spare(std::size_t i) {
+  if (spares_.at(i) == nullptr) return;
+  spares_[i]->cache().halt();
+  if (spare_journals_[i] != nullptr) spare_journals_[i]->crash();
+}
+
+bool FleccTestbed::migrate_agent(std::size_t src, std::size_t spare) {
+  if (directory_ == nullptr || spares_.at(spare) == nullptr) return false;
+  return directory_->begin_migration(agents_.at(src)->cache().id(),
+                                     spares_[spare]->cache().address());
 }
 
 void FleccTestbed::crash_directory() {

@@ -85,6 +85,17 @@ struct TestbedOptions {
   /// durable; larger values leave an unflushed tail that a crash eats,
   /// forcing the rebuild round to recover more from the CMs).
   std::size_t checkpoint_flush_every = 1;
+  // ---- dynamic reconfiguration knobs (PROTOCOL.md "View migration &
+  // CM journaling") -------------------------------------------------------
+  /// Give every agent an owned in-memory write-ahead journal, so
+  /// crash_agent()/restart_agent() exercise journaled CM recovery
+  /// (buffered WEAK writes and unacked push intents survive the crash).
+  bool cm_journal = false;
+  /// CM journal appends between flushes (1 = every append durable).
+  std::size_t cm_journal_flush_every = 1;
+  /// Extra idle LAN hosts reserved as live-migration destinations
+  /// (spawn_destination() places an await-migration agent on one).
+  std::size_t spare_hosts = 0;
 };
 
 /// Full-featured Flecc deployment with TravelAgent drivers (Figures 5-6).
@@ -130,10 +141,53 @@ class FleccTestbed {
   /// Silently crash agent `i`: its endpoint is unbound (messages to it
   /// vanish) and no kill/teardown protocol runs. The TravelAgent object
   /// stays alive for post-mortem inspection but must not be driven.
+  /// With cm_journal, the agent's journal store also loses its
+  /// unflushed tail (MemoryDurabilityStore::crash).
   void crash_agent(std::size_t i);
   [[nodiscard]] bool crashed(std::size_t i) const {
     return crashed_.at(i);
   }
+
+  /// Restart a crashed agent on the SAME address and journal store: the
+  /// new cache manager replays the journal, resumes its view id under a
+  /// bumped incarnation, and re-delivers journaled updates exactly
+  /// once. The old agent's confirmed sales are folded into
+  /// retired_confirmed() before the object is replaced (its view-level
+  /// counters die with it). Requires cm_journal.
+  TravelAgent& restart_agent(std::size_t i);
+
+  /// Confirmed-minus-cancelled sales of agent lives that were retired
+  /// by restart_agent(); add to the surviving agents' totals when
+  /// balancing against the database.
+  [[nodiscard]] std::int64_t retired_confirmed() const noexcept {
+    return retired_confirmed_;
+  }
+
+  /// Agent `i`'s journal store (nullptr unless cm_journal).
+  [[nodiscard]] core::MemoryDurabilityStore* agent_journal(std::size_t i) {
+    return cm_journal_stores_.empty() ? nullptr
+                                      : cm_journal_stores_.at(i).get();
+  }
+
+  // ---- live view migration ----------------------------------------------
+
+  /// Place an idle await-migration agent on spare host `spare` (0-based,
+  /// < opts.spare_hosts), configured with the same flights as source
+  /// agent `src` so it can adopt that view's data. Re-spawning on an
+  /// occupied slot replaces the previous (e.g. crashed) destination;
+  /// its confirmed sales fold into retired_confirmed().
+  TravelAgent& spawn_destination(std::size_t src, std::size_t spare);
+  [[nodiscard]] TravelAgent& spare(std::size_t i) { return *spares_.at(i); }
+  [[nodiscard]] bool has_spare(std::size_t i) const {
+    return i < spares_.size() && spares_[i] != nullptr;
+  }
+
+  /// Silently crash the destination agent on spare slot `i`.
+  void crash_spare(std::size_t i);
+
+  /// Ask the directory to migrate agent `src`'s view to the destination
+  /// on spare slot `spare` (which must have been spawned).
+  bool migrate_agent(std::size_t src, std::size_t spare);
 
   /// Cut the given agents off from everyone else (including the
   /// directory) until heal_partition().
@@ -162,6 +216,9 @@ class FleccTestbed {
   }
 
  private:
+  /// Shared agent configuration (constructor + restart_agent).
+  TravelAgent::Config agent_config(std::size_t i);
+
   TestbedOptions opts_;
   GroupAssignment assignment_;
   sim::Simulator sim_;
@@ -173,11 +230,20 @@ class FleccTestbed {
   FlightDatabase db_;
   std::unique_ptr<FlightDatabaseAdapter> adapter_;
   std::unique_ptr<core::MemoryDurabilityStore> durability_;
+  /// Per-agent CM write-ahead journals (empty unless cm_journal); the
+  /// stores outlive agent restarts, which is the whole point.
+  std::vector<std::unique_ptr<core::MemoryDurabilityStore>> cm_journal_stores_;
+  /// Journals for spawned migration destinations, by spare slot.
+  std::vector<std::unique_ptr<core::MemoryDurabilityStore>> spare_journals_;
   std::unique_ptr<core::DirectoryManager> directory_;
   std::vector<std::unique_ptr<TravelAgent>> agents_;
+  /// Migration destinations, by spare slot (nullptr = not spawned).
+  std::vector<std::unique_ptr<TravelAgent>> spares_;
   std::vector<bool> crashed_;
+  std::vector<net::NodeId> hosts_;
   net::Address dir_addr_{};
   bool dir_crashed_ = false;
+  std::int64_t retired_confirmed_ = 0;
 };
 
 /// Protocol-parametric deployment behind the CoherenceClient interface

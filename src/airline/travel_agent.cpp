@@ -27,6 +27,9 @@ core::CacheManager::Config make_cm_config(const TravelAgent::Config& cfg,
   out.breaker_open_timeout = cfg.breaker_open_timeout;
   out.degrade_on_overload = cfg.degrade_on_overload;
   out.trace = cfg.trace;
+  out.journal = cfg.journal;
+  out.await_migration = cfg.await_migration;
+  out.on_moved = cfg.on_moved;
   return out;
 }
 }  // namespace

@@ -49,6 +49,14 @@ class TravelAgent {
     /// Protocol-event sink, forwarded to the cache manager (obs layer,
     /// not owned; nullptr disables).
     obs::TraceBuffer* trace = nullptr;
+    /// Dynamic-reconfiguration knobs, forwarded to the cache manager
+    /// (PROTOCOL.md "View migration & CM journaling"): a write-ahead
+    /// journal store (not owned; nullptr disables), whether to start
+    /// idle as a migration destination, and an observer fired when a
+    /// migration moved this agent's view away.
+    core::DurabilityStore* journal = nullptr;
+    bool await_migration = false;
+    std::function<void()> on_moved;
   };
 
   using Done = std::function<void()>;

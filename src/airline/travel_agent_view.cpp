@@ -94,6 +94,19 @@ core::ObjectImage TravelAgentView::extract_from_view(
   return image;
 }
 
+core::ObjectImage TravelAgentView::peek_from_view(
+    const props::PropertySet& vpl) const {
+  const props::Domain* scope = vpl.find(kFlightsProperty);
+  core::ObjectImage image;
+  for (const auto& [n, delta] : pending_) {
+    if (delta != 0 &&
+        (scope == nullptr || scope->contains(props::Value{n}))) {
+      image.set_int(key_delta(n), delta);
+    }
+  }
+  return image;
+}
+
 void TravelAgentView::merge_into_view(const core::ObjectImage& image,
                                       const props::PropertySet& vpl) {
   const props::Domain* scope = vpl.find(kFlightsProperty);

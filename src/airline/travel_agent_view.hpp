@@ -66,6 +66,8 @@ class TravelAgentView : public core::ViewAdapter {
 
   [[nodiscard]] core::ObjectImage extract_from_view(
       const props::PropertySet& vpl) override;
+  [[nodiscard]] core::ObjectImage peek_from_view(
+      const props::PropertySet& vpl) const override;
   void merge_into_view(const core::ObjectImage& image,
                        const props::PropertySet& vpl) override;
   [[nodiscard]] const trigger::Env& variables() const override {

@@ -52,6 +52,19 @@ class ViewAdapter {
   virtual void merge_into_view(const ObjectImage& image,
                                const props::PropertySet& vpl) = 0;
 
+  /// Non-destructive snapshot of what extract_from_view would return,
+  /// WITHOUT consuming the pending deltas. The cache manager's
+  /// write-ahead journal uses it to checkpoint buffered WEAK writes
+  /// (PROTOCOL.md, "View migration & CM journaling"). Adapters that do
+  /// not implement it journal nothing for absorbed writes (the default
+  /// returns an empty image), which degrades crash recovery but never
+  /// correctness.
+  [[nodiscard]] virtual ObjectImage peek_from_view(
+      const props::PropertySet& vpl) const {
+    (void)vpl;
+    return {};
+  }
+
   /// Current values of the view variables referenced by triggers.
   [[nodiscard]] virtual const trigger::Env& variables() const = 0;
 };

@@ -1,6 +1,7 @@
 #include "core/cache_manager.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -54,8 +55,24 @@ std::uint64_t dm_generation_of(const net::Message& m) {
   if (m.type == msg::kDirectoryRebuild) {
     return net::payload_as<msg::DirectoryRebuild>(m).gen;
   }
+  if (m.type == msg::kViewMoveReq) {
+    return net::payload_as<msg::ViewMoveReq>(m).gen;
+  }
+  if (m.type == msg::kViewMoveInstall) {
+    return net::payload_as<msg::ViewMoveInstall>(m).gen;
+  }
+  if (m.type == msg::kViewMoveDone) {
+    return net::payload_as<msg::ViewMoveDone>(m).gen;
+  }
   return 0;
 }
+
+/// Journal compaction cadence: rewrite the log as a snapshot once this
+/// many records accumulated since the last compaction.
+constexpr std::size_t kJournalCompactThreshold = 256;
+/// How many request ids one kCmReq ceiling promise covers; amortizes
+/// the journal traffic of alloc_req() to one record per 64 ids.
+constexpr std::uint64_t kReqCeilingStride = 64;
 
 }  // namespace
 
@@ -80,13 +97,21 @@ CacheManager::CacheManager(net::Fabric& fabric, net::Address self,
       [this](flow::BreakerState from, flow::BreakerState to) {
         on_breaker_transition(from, to);
       });
-  register_req_ = next_req_++;
-  send_register();
+  replay_journal();
+  if (!cfg_.await_migration || resume_view_ != kInvalidViewId) {
+    register_req_ = alloc_req();
+    send_register();
+  }
+  // else: idle migration destination — a ViewMoveInstall adopts us.
 }
 
 CacheManager::~CacheManager() {
   if (trigger_timer_ != net::kInvalidTimerId) {
     fabric_.cancel_timer(trigger_timer_);
+  }
+  if (handoff_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(handoff_timer_);
+    handoff_timer_ = net::kInvalidTimerId;
   }
   cancel_op_timer();
   if (register_timer_ != net::kInvalidTimerId) {
@@ -116,6 +141,7 @@ void CacheManager::push_image(Done done) {
     // invalidate, or the kill) surrenders them all in one message.
     ++wbuf_streak_;
     stats_.inc("wbuf.absorbed");
+    journal_write_buffer();
     if (done) done();
     return;
   }
@@ -172,6 +198,7 @@ void CacheManager::end_use_image(bool modified) {
   auto tokens = std::move(deferred_fetch_tokens_);
   deferred_fetch_tokens_.clear();
   for (const auto token : tokens) serve_fetch(token);
+  try_seal();  // a pending migration may now find us quiescent
 }
 
 void CacheManager::set_mode(Mode m, Done done) {
@@ -229,7 +256,7 @@ void CacheManager::reconnect(Done done) {
     queue_.push_front(Op{OpKind::kInit, {}, std::move(done)});
   }
 
-  register_req_ = next_req_++;
+  register_req_ = alloc_req();
   register_attempts_ = 0;
   send_register();
 }
@@ -246,6 +273,8 @@ void CacheManager::send_register() {
   req.push_trigger = cfg_.push_trigger;
   req.pull_trigger = cfg_.pull_trigger;
   req.validity_trigger = cfg_.validity_trigger;
+  req.resume_view = resume_view_;
+  req.incarnation = incarnation_;
   req.req = register_req_;
   req.gen = dir_generation_;
   FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
@@ -314,6 +343,10 @@ void CacheManager::halt() {
     fabric_.cancel_timer(trigger_timer_);
     trigger_timer_ = net::kInvalidTimerId;
   }
+  if (handoff_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(handoff_timer_);
+    handoff_timer_ = net::kInvalidTimerId;
+  }
   current_.reset();  // completions are deliberately NOT invoked
   queue_.clear();
   fabric_.set_clock(self_, nullptr);
@@ -338,7 +371,11 @@ void CacheManager::enqueue(Op op) {
 }
 
 void CacheManager::pump() {
-  if (current_.has_value() || !registered_ || queue_.empty()) return;
+  if (sealed_) return;  // quiesced for migration: nothing issues
+  if (current_.has_value() || !registered_ || queue_.empty()) {
+    try_seal();  // the queue may just have drained under a move request
+    return;
+  }
   current_ = std::move(queue_.front());
   queue_.pop_front();
   issue(*current_);
@@ -365,7 +402,7 @@ void CacheManager::issue(Op& op) {
     return;
   }
   ++op.attempts;
-  if (op.req == 0) op.req = next_req_++;
+  if (op.req == 0) op.req = alloc_req();
   if (op.attempts == 1) {
     if (op.first_issued_at < 0) op.first_issued_at = fabric_.now();
     // a = our view id: the monitor's agent -> view mapping.
@@ -392,6 +429,7 @@ void CacheManager::issue(Op& op) {
         op.image = extract_dirty();
         op.echoes.assign(unconfirmed_echoes_.begin(),
                          unconfirmed_echoes_.end());
+        journal_intent(op.req, *op.image);
       }
       msg::PushUpdate req;
       req.view = id_;
@@ -418,6 +456,7 @@ void CacheManager::issue(Op& op) {
         if (dirty_) op.image = extract_dirty();
         op.echoes.assign(unconfirmed_echoes_.begin(),
                          unconfirmed_echoes_.end());
+        if (op.image.has_value()) journal_intent(op.req, *op.image);
       }
       msg::KillReq req;
       req.view = id_;
@@ -662,6 +701,9 @@ void CacheManager::on_message(const net::Message& m) {
   if (cfg_.piggyback_heartbeats) heartbeat_unacked_ = 0;
 
   if (m.type == msg::kDirectoryRebuild) return handle_rebuild_probe(m);
+  if (m.type == msg::kViewMoveReq) return handle_move_req(m);
+  if (m.type == msg::kViewMoveInstall) return handle_move_install(m);
+  if (m.type == msg::kViewMoveDone) return handle_move_done(m);
 
   if (m.type == msg::kRegisterAck) {
     const auto& ack = net::payload_as<msg::RegisterAck>(m);
@@ -684,6 +726,12 @@ void CacheManager::on_message(const net::Message& m) {
     if (ack.accepted) {
       registered_ = true;
       id_ = ack.view;
+      if (resume_view_ != kInvalidViewId) {
+        stats_.inc(id_ == resume_view_ ? "journal.resumed"
+                                       : "journal.resume_missed");
+        resume_view_ = kInvalidViewId;  // later reconnects register fresh
+      }
+      journal_bind();
       arm_trigger_timer();
       start_heartbeats();
       pump();
@@ -703,6 +751,13 @@ void CacheManager::on_message(const net::Message& m) {
   if (m.type == msg::kHeartbeatAck) {
     const auto& ack = net::payload_as<msg::HeartbeatAck>(m);
     if (!alive_ || !registered_ || ack.view != id_) return;
+    if (sealed_) {
+      // Mid-migration the record may already point at the destination
+      // (known=false for us) — reconnecting now would fresh-register and
+      // steal the view back. The ViewMoveDone settles our fate instead.
+      heartbeat_unacked_ = 0;
+      return;
+    }
     if (!ack.known) {
       // The directory does not know us (restart or liveness eviction):
       // our copy can no longer be trusted to be coherent.
@@ -837,6 +892,7 @@ void CacheManager::on_message(const net::Message& m) {
     dirty_ = false;
     last_push_at_ = fabric_.now();
     confirm_echoes(current_->echoes);
+    journal_flush(current_->req);
     complete_current();
     return;
   }
@@ -883,6 +939,11 @@ void CacheManager::on_message(const net::Message& m) {
     dirty_ = false;
     confirm_echoes(current_->echoes);
     unconfirmed_echoes_.clear();  // nothing after the kill will carry them
+    journal_flush(current_->req);
+    if (cfg_.journal != nullptr) {
+      cfg_.journal->compact({});  // a killed view never resumes
+      journal_appends_ = 0;
+    }
     if (trigger_timer_ != net::kInvalidTimerId) {
       fabric_.cancel_timer(trigger_timer_);
       trigger_timer_ = net::kInvalidTimerId;
@@ -910,6 +971,13 @@ void CacheManager::handle_rebuild_probe(const net::Message& m) {
     // window drop the checkpointed ghost.
     stats_.inc("rebuild.probe.ignored");
     return;
+  }
+  if (sealed_) {
+    // The directory restarted mid-migration and forgot it (migrations
+    // are not checkpointed): abandon the handoff and resume serving —
+    // the re-pushed delta dedups against the WAL-persisted merge marker.
+    stats_.inc("migrate.abandoned.rebuild");
+    unseal_resume();
   }
   stats_.inc("rebuild.reannounced");
   msg::RebuildReply rep;
@@ -998,6 +1066,7 @@ void CacheManager::serve_invalidate(std::uint64_t epoch) {
   ack.dirty = dirty_ && valid_;
   if (ack.dirty) {
     ack.image = extract_dirty();
+    journal_write_buffer();  // the buffered set left with this reply
     queue_echo(msg::DeltaEcho{epoch, /*invalidate=*/true, id_, ack.image});
   }
   valid_ = false;
@@ -1035,6 +1104,7 @@ void CacheManager::serve_fetch(std::uint64_t token) {
   if (reply.dirty) {
     reply.image = extract_dirty();
     dirty_ = false;  // our updates are now at the primary
+    journal_write_buffer();  // the buffered set left with this reply
     queue_echo(msg::DeltaEcho{token, /*invalidate=*/false, id_, reply.image});
   }
   served_fetches_.emplace_back(token, reply);
@@ -1044,6 +1114,448 @@ void CacheManager::serve_fetch(std::uint64_t token) {
                     obs::Role::kCacheManager, obs::agent_key(self_), 0,
                     msg::kFetchReply, token, reply.dirty ? 1 : 0);
   send_dir(msg::kFetchReply, std::move(reply));
+}
+
+// ---- write-ahead journal ----------------------------------------------------
+
+void CacheManager::replay_journal() {
+  if (cfg_.journal == nullptr) return;
+  const std::vector<WalRecord> records = cfg_.journal->load();
+  if (records.empty()) return;
+  ViewId resume = kInvalidViewId;
+  std::uint64_t last_incarnation = 0;
+  std::uint64_t ceiling = 0;
+  ObjectImage pending;
+  // Ordered by request id, which is issue order: replayed intents go
+  // back out in the sequence the pre-crash life sent them.
+  std::map<std::uint64_t, ObjectImage> intents;
+  for (const auto& w : records) {
+    switch (w.kind) {
+      case WalKind::kCmBind:
+        resume = w.view;
+        last_incarnation = std::max(last_incarnation, w.req);
+        break;
+      case WalKind::kCmWrite:
+        pending = w.image;  // cumulative snapshot: last one wins
+        break;
+      case WalKind::kCmIntent:
+        // The buffered set traveled with this extraction.
+        intents[w.req] = w.image;
+        ceiling = std::max(ceiling, w.req);
+        pending.clear();
+        break;
+      case WalKind::kCmFlush:
+        intents.erase(w.req);
+        break;
+      case WalKind::kCmReq:
+        ceiling = std::max(ceiling, w.req);
+        break;
+      default:
+        break;  // directory-side kinds: not ours
+    }
+  }
+  next_req_ = ceiling + 1;
+  req_ceiling_ = next_req_;
+  if (resume != kInvalidViewId) {
+    resume_view_ = resume;
+    incarnation_ = last_incarnation + 1;
+  }
+  const bool have_pending = !pending.empty();
+  if (resume != kInvalidViewId || !intents.empty() || have_pending) {
+    stats_.inc("journal.replay");
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                      obs::EventKind::kJournalReplay,
+                      obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                      "replay", resume,
+                      intents.size() + (have_pending ? 1 : 0));
+  }
+  if (intents.empty() && !have_pending) return;
+  // Refresh the base image first, then surrender the pre-crash state:
+  // one push per unflushed intent under its ORIGINAL request id (the
+  // directory's (address, req) key absorbs any that already merged),
+  // then the buffered write set under a fresh id. Preset images are
+  // never re-extracted — the restarted view starts empty.
+  queue_.push_back(Op{OpKind::kInit, Mode::kWeak, {}});
+  for (auto& [req, image] : intents) {
+    Op op{OpKind::kPush, Mode::kWeak, {}};
+    op.req = req;
+    op.image = std::move(image);
+    queue_.push_back(std::move(op));
+    stats_.inc("journal.replayed.intent");
+  }
+  if (have_pending) {
+    Op op{OpKind::kPush, Mode::kWeak, {}};
+    op.req = alloc_req();
+    op.image = std::move(pending);
+    queue_.push_back(std::move(op));
+    stats_.inc("journal.replayed.wbuf");
+  }
+}
+
+void CacheManager::journal_append(WalRecord w) {
+  if (cfg_.journal == nullptr) return;
+  cfg_.journal->append(w);
+  if (++journal_appends_ >= kJournalCompactThreshold) compact_journal();
+}
+
+void CacheManager::journal_bind() {
+  if (cfg_.journal == nullptr) return;
+  WalRecord w;
+  w.kind = WalKind::kCmBind;
+  w.view = id_;
+  w.req = incarnation_;
+  journal_append(std::move(w));
+}
+
+void CacheManager::journal_intent(std::uint64_t req,
+                                  const ObjectImage& image) {
+  if (cfg_.journal == nullptr || image.empty()) return;
+  WalRecord w;
+  w.kind = WalKind::kCmIntent;
+  w.view = id_;
+  w.req = req;
+  w.image = image;
+  stats_.inc("journal.intent");
+  journal_append(std::move(w));
+}
+
+void CacheManager::journal_flush(std::uint64_t req) {
+  if (cfg_.journal == nullptr) return;
+  WalRecord w;
+  w.kind = WalKind::kCmFlush;
+  w.req = req;
+  journal_append(std::move(w));
+}
+
+void CacheManager::journal_write_buffer() {
+  if (cfg_.journal == nullptr) return;
+  WalRecord w;
+  w.kind = WalKind::kCmWrite;
+  w.view = id_;
+  w.image = view_.peek_from_view(cfg_.properties);
+  stats_.inc("journal.write");
+  journal_append(std::move(w));
+}
+
+void CacheManager::compact_journal() {
+  if (cfg_.journal == nullptr) return;
+  journal_appends_ = 0;
+  std::vector<WalRecord> snapshot;
+  if (alive_ && !moved_) {
+    if (registered_ && id_ != kInvalidViewId) {
+      WalRecord bind;
+      bind.kind = WalKind::kCmBind;
+      bind.view = id_;
+      bind.req = incarnation_;
+      snapshot.push_back(std::move(bind));
+    }
+    WalRecord ceil;
+    ceil.kind = WalKind::kCmReq;
+    ceil.req = req_ceiling_;
+    snapshot.push_back(std::move(ceil));
+    const auto add_intent = [&](std::uint64_t req, const ObjectImage& img) {
+      if (img.empty()) return;
+      WalRecord w;
+      w.kind = WalKind::kCmIntent;
+      w.view = id_;
+      w.req = req;
+      w.image = img;
+      snapshot.push_back(std::move(w));
+    };
+    if (current_.has_value() && current_->image.has_value()) {
+      add_intent(current_->req, *current_->image);
+    }
+    for (const auto& op : queue_) {
+      if (op.image.has_value() && op.req != 0) {
+        add_intent(op.req, *op.image);
+      }
+    }
+    if (sealed_ && handoff_dirty_) add_intent(handoff_req_, handoff_image_);
+    WalRecord wb;
+    wb.kind = WalKind::kCmWrite;
+    wb.view = id_;
+    wb.image = view_.peek_from_view(cfg_.properties);
+    if (!wb.image.empty()) snapshot.push_back(std::move(wb));
+  }
+  cfg_.journal->compact(snapshot);
+  stats_.inc("journal.compacted");
+}
+
+std::uint64_t CacheManager::alloc_req() {
+  const std::uint64_t r = next_req_++;
+  if (cfg_.journal != nullptr && next_req_ > req_ceiling_) {
+    // Promise a stride of ids ahead of time so a restart never re-mints
+    // an id the directory may already associate with a merged op.
+    req_ceiling_ = next_req_ + kReqCeilingStride;
+    WalRecord w;
+    w.kind = WalKind::kCmReq;
+    w.req = req_ceiling_;
+    journal_append(std::move(w));
+  }
+  return r;
+}
+
+// ---- view migration ---------------------------------------------------------
+
+void CacheManager::handle_move_req(const net::Message& m) {
+  const auto& req = net::payload_as<msg::ViewMoveReq>(m);
+  if (!alive_ || !registered_ || req.view != id_) {
+    stats_.inc("migrate.req.ignored");
+    return;
+  }
+  if (sealed_) {
+    if (req.epoch != seal_epoch_) {
+      // The directory opened a fresh migration attempt for us; the same
+      // sealed extraction simply travels under the new epoch (its merge
+      // stays keyed by handoff_req_, so no double-merge is possible).
+      seal_epoch_ = req.epoch;
+      pending_move_epoch_ = req.epoch;
+      stats_.inc("migrate.requiesced");
+    } else {
+      stats_.inc("msg.duplicate.dropped");
+    }
+    send_handoff();
+    return;
+  }
+  if (move_requested_ && pending_move_epoch_ == req.epoch) {
+    stats_.inc("msg.duplicate.dropped");
+    return;
+  }
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                    obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                    msg::kViewMoveReq, req.epoch);
+  move_requested_ = true;
+  pending_move_epoch_ = req.epoch;
+  stats_.inc("migrate.quiesce");
+  try_seal();
+}
+
+void CacheManager::try_seal() {
+  if (!move_requested_ || sealed_ || !alive_ || !registered_) return;
+  if (in_use_ || current_.has_value() || !queue_.empty()) return;
+  if (deferred_invalidate_epoch_.has_value() ||
+      !deferred_fetch_tokens_.empty()) {
+    return;
+  }
+  seal();
+}
+
+void CacheManager::seal() {
+  sealed_ = true;
+  seal_epoch_ = pending_move_epoch_;
+  handoff_dirty_ = dirty_ && valid_;
+  handoff_image_ = ObjectImage{};
+  handoff_req_ = alloc_req();
+  if (handoff_dirty_) {
+    // Extracted exactly once; every retransmission (and any post-abort
+    // or journal-replayed re-push) resends this same image under
+    // handoff_req_.
+    handoff_image_ = extract_dirty();
+    journal_write_buffer();  // the buffered set left with the handoff
+    journal_intent(handoff_req_, handoff_image_);
+  }
+  handoff_echoes_.assign(unconfirmed_echoes_.begin(),
+                         unconfirmed_echoes_.end());
+  handoff_attempts_ = 0;
+  stats_.inc("migrate.sealed");
+  send_handoff();
+}
+
+void CacheManager::send_handoff() {
+  if (!sealed_ || !alive_) return;
+  ++handoff_attempts_;
+  msg::HandoffState hs;
+  hs.view = id_;
+  hs.epoch = seal_epoch_;
+  hs.mode = mode_;
+  hs.exclusive = exclusive_;
+  hs.dirty = handoff_dirty_;
+  hs.delta = handoff_image_;
+  hs.echoes = handoff_echoes_;
+  hs.req = handoff_req_;
+  hs.gen = dir_generation_;
+  // b = dirty: an extraction the directory must merge exactly once.
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(),
+                    handoff_attempts_ == 1 ? obs::EventKind::kMsgSent
+                                           : obs::EventKind::kMsgRetransmitted,
+                    obs::Role::kCacheManager, obs::agent_key(self_),
+                    obs::span_id(self_, handoff_req_), msg::kHandoffState,
+                    handoff_attempts_, handoff_dirty_ ? 1 : 0);
+  send_dir(msg::kHandoffState, std::move(hs));
+  if (handoff_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(handoff_timer_);
+    handoff_timer_ = net::kInvalidTimerId;
+  }
+  if (!cfg_.retry.enabled()) return;
+  const sim::Duration delay =
+      cfg_.retry.timeout_for(handoff_attempts_, retry_rng_);
+  if (handoff_attempts_ < cfg_.retry.max_attempts) {
+    handoff_timer_ = fabric_.schedule(self_, delay, [this] {
+      handoff_timer_ = net::kInvalidTimerId;
+      send_handoff();
+    });
+  } else {
+    // Retransmission budget spent without a ViewMoveDone — the
+    // directory likely crashed mid-migration and forgot it. Resume
+    // serving; the delta re-pushes under the same request id, which the
+    // WAL-persisted merge marker dedups if the handoff did merge.
+    handoff_timer_ = fabric_.schedule(self_, delay, [this] {
+      handoff_timer_ = net::kInvalidTimerId;
+      if (!sealed_) return;
+      stats_.inc("migrate.handoff.abandoned");
+      unseal_resume();
+    });
+  }
+}
+
+void CacheManager::unseal_resume() {
+  if (!sealed_) return;
+  if (handoff_timer_ != net::kInvalidTimerId) {
+    fabric_.cancel_timer(handoff_timer_);
+    handoff_timer_ = net::kInvalidTimerId;
+  }
+  sealed_ = false;
+  move_requested_ = false;
+  stats_.inc("migrate.resumed");
+  if (handoff_dirty_) {
+    Op op{OpKind::kPush, Mode::kWeak, {}};
+    op.req = handoff_req_;
+    op.image = std::move(handoff_image_);
+    op.echoes = std::move(handoff_echoes_);
+    queue_.push_front(std::move(op));
+    stats_.inc("migrate.repush");
+  }
+  handoff_dirty_ = false;
+  handoff_image_ = ObjectImage{};
+  handoff_echoes_.clear();
+  pump();
+}
+
+void CacheManager::handle_move_install(const net::Message& m) {
+  const auto& ins = net::payload_as<msg::ViewMoveInstall>(m);
+  if (!alive_) return;
+  if (registered_ && id_ == ins.view && installed_epoch_ == ins.epoch) {
+    // Retransmitted install: replay the ack idempotently.
+    stats_.inc("msg.duplicate.replayed");
+    send_dir(msg::kViewMoveAck,
+             msg::ViewMoveAck{id_, ins.epoch, dir_generation_});
+    return;
+  }
+  if (registered_ && id_ != kInvalidViewId && id_ != ins.view) {
+    // We already host a different view; the migration aborts by timeout.
+    stats_.inc("migrate.install.refused");
+    return;
+  }
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                    obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                    msg::kViewMoveInstall, ins.epoch, ins.view);
+  installed_epoch_ = ins.epoch;
+  id_ = ins.view;
+  registered_ = true;
+  rejected_ = false;
+  reject_reason_.clear();
+  cfg_.view_name = ins.view_name;
+  cfg_.properties = ins.properties;
+  cfg_.validity_trigger = ins.validity_trigger;
+  mode_ = ins.mode;
+  exclusive_ = ins.exclusive;
+  view_.merge_into_view(ins.image, cfg_.properties);
+  valid_ = true;
+  dirty_ = false;
+  last_version_ = ins.image.version();
+  last_pull_at_ = fabric_.now();
+  journal_bind();
+  stats_.inc("migrate.installed");
+  arm_trigger_timer();
+  start_heartbeats();
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                    obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                    msg::kViewMoveAck, ins.epoch);
+  send_dir(msg::kViewMoveAck,
+           msg::ViewMoveAck{id_, ins.epoch, dir_generation_});
+  pump();
+}
+
+void CacheManager::handle_move_done(const net::Message& m) {
+  const auto& done = net::payload_as<msg::ViewMoveDone>(m);
+  if (!alive_) return;
+  if (sealed_ && done.view == id_ && done.epoch == seal_epoch_) {
+    FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgReceived,
+                      obs::Role::kCacheManager, obs::agent_key(self_), 0,
+                      msg::kViewMoveDone, done.epoch, done.aborted ? 1 : 0);
+    if (done.aborted) {
+      stats_.inc("migrate.aborted.src");
+      unseal_resume();
+      return;
+    }
+    // The view now lives at the destination; this manager is done for
+    // good. Its journal is wiped so a restart can never resurrect the
+    // moved view.
+    moved_ = true;
+    sealed_ = false;
+    move_requested_ = false;
+    alive_ = false;
+    registered_ = false;
+    valid_ = false;
+    exclusive_ = false;
+    dirty_ = false;
+    handoff_dirty_ = false;
+    handoff_image_ = ObjectImage{};
+    handoff_echoes_.clear();
+    unconfirmed_echoes_.clear();
+    if (handoff_timer_ != net::kInvalidTimerId) {
+      fabric_.cancel_timer(handoff_timer_);
+      handoff_timer_ = net::kInvalidTimerId;
+    }
+    if (trigger_timer_ != net::kInvalidTimerId) {
+      fabric_.cancel_timer(trigger_timer_);
+      trigger_timer_ = net::kInvalidTimerId;
+    }
+    stop_heartbeats();
+    if (cfg_.journal != nullptr) {
+      cfg_.journal->compact({});
+      journal_appends_ = 0;
+    }
+    stats_.inc("migrate.moved");
+    std::deque<Op> q = std::move(queue_);
+    queue_.clear();
+    for (auto& op : q) {
+      if (op.done) op.done();
+    }
+    if (cfg_.on_moved) cfg_.on_moved();
+    return;
+  }
+  if (done.aborted && !sealed_ && move_requested_ && done.view == id_ &&
+      done.epoch == pending_move_epoch_) {
+    // Aborted before we even quiesced: stand down the move request so
+    // triggers resume firing.
+    move_requested_ = false;
+    stats_.inc("migrate.aborted.src");
+    return;
+  }
+  if (done.aborted && registered_ && done.view == id_ &&
+      installed_epoch_ == done.epoch && installed_epoch_ != 0) {
+    // Destination side of an aborted migration: uninstall the view our
+    // ack never sealed — the source resumes serving it.
+    stats_.inc("migrate.uninstalled");
+    registered_ = false;
+    id_ = kInvalidViewId;
+    installed_epoch_ = 0;
+    valid_ = false;
+    exclusive_ = false;
+    dirty_ = false;
+    if (trigger_timer_ != net::kInvalidTimerId) {
+      fabric_.cancel_timer(trigger_timer_);
+      trigger_timer_ = net::kInvalidTimerId;
+    }
+    stop_heartbeats();
+    if (cfg_.journal != nullptr) {
+      cfg_.journal->compact({});
+      journal_appends_ = 0;
+    }
+    return;
+  }
+  stats_.inc("msg.duplicate.dropped");
 }
 
 // ---- quality triggers --------------------------------------------------------
@@ -1062,8 +1574,8 @@ void CacheManager::poll_triggers() {
   if (!alive_) return;
   // Quiescent only: triggers never interrupt the mutual-exclusion
   // section or preempt an in-flight operation.
-  const bool can_fire =
-      !in_use_ && !current_.has_value() && queue_.empty();
+  const bool can_fire = !in_use_ && !current_.has_value() &&
+                        queue_.empty() && !move_requested_;
   if (can_fire && registered_) {
     const trigger::Env& vars = view_.variables();
     if (pull_trigger_.has_value()) {

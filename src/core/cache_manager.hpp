@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/adapters.hpp"
+#include "core/durability.hpp"
 #include "core/flow_control.hpp"
 #include "core/messages.hpp"
 #include "core/reliability.hpp"
@@ -112,6 +113,22 @@ class CacheManager : public net::Endpoint {
     /// FetchReply/InvalidateAck loses its extracted deltas for good —
     /// the exact bug the monitor's I3 (no-lost-update) check catches.
     bool chaos_drop_echoes = false;
+    // ---- dynamic reconfiguration (PROTOCOL.md "View migration & CM
+    // journaling") ---------------------------------------------------
+    /// Write-ahead journal (not owned): buffered WEAK writes and
+    /// unacked push/kill intents are journaled, so a crashed manager
+    /// restarted on the SAME store replays them, resumes its view
+    /// (same view id, bumped incarnation), and re-delivers every
+    /// buffered update exactly once instead of losing it. nullptr
+    /// disables journaling (the seed behavior: a crash loses whatever
+    /// the write buffer held).
+    DurabilityStore* journal = nullptr;
+    /// Start idle as a migration destination: skip registration and
+    /// wait for a ViewMoveInstall to adopt a migrating view.
+    bool await_migration = false;
+    /// Observer fired when a migration moved this manager's view away
+    /// (ViewMoveDone, not aborted); the manager is inert afterwards.
+    std::function<void()> on_moved;
   };
 
   using Done = std::function<void()>;
@@ -223,6 +240,16 @@ class CacheManager : public net::Endpoint {
   }
   /// True while overload degraded a STRONG manager to buffered WEAK.
   [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  /// True while quiesced for a view migration (HandoffState in flight).
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+  /// True once a migration moved this manager's view away for good.
+  [[nodiscard]] bool moved() const noexcept { return moved_; }
+  /// This manager's life number (journal-derived; 1 on a fresh store).
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+  /// View id the journal asked to resume (kInvalidViewId = fresh).
+  [[nodiscard]] ViewId resumed_view() const noexcept { return resume_view_; }
 
   void on_message(const net::Message& m) override;
 
@@ -331,6 +358,40 @@ class CacheManager : public net::Endpoint {
   /// True when an explicit/triggered push may be absorbed by the
   /// write buffer instead of hitting the wire.
   [[nodiscard]] bool can_absorb_push() const noexcept;
+
+  // ---- journaling & view migration (PROTOCOL.md "View migration & CM
+  // journaling") -----------------------------------------------------
+  /// Rebuild pre-crash state from cfg_.journal (constructor only):
+  /// derives resume_view_/incarnation_/next_req_ and re-enqueues one
+  /// push per unflushed intent plus one for the buffered write set.
+  void replay_journal();
+  void journal_append(WalRecord w);
+  /// Journal the (view id, incarnation) binding after registration or
+  /// install.
+  void journal_bind();
+  /// Journal an extracted-but-unacked push/kill/handoff image.
+  void journal_intent(std::uint64_t req, const ObjectImage& image);
+  /// The directory acked request `req`: its intent is durable there.
+  void journal_flush(std::uint64_t req);
+  /// Journal the cumulative buffered write set (every absorb).
+  void journal_write_buffer();
+  /// Rewrite the journal as a minimal snapshot of live state.
+  void compact_journal();
+  /// Allocate a request id, journaling a ceiling promise so a restart
+  /// never re-mints an id the directory may already have seen.
+  [[nodiscard]] std::uint64_t alloc_req();
+  /// Seal for migration once quiescent (no use section, no in-flight or
+  /// queued op); called from every place that could drain the last op.
+  void try_seal();
+  void seal();
+  void send_handoff();
+  void handle_move_req(const net::Message& m);
+  void handle_move_install(const net::Message& m);
+  void handle_move_done(const net::Message& m);
+  /// Abort path: resume serving and surrender the sealed extraction
+  /// through the regular push path under the SAME request id (the
+  /// directory's exactly-once key absorbs an already-merged handoff).
+  void unseal_resume();
   /// Send `value` to the directory, pooling the payload when enabled,
   /// and record the traffic for heartbeat piggybacking.
   template <typename T>
@@ -414,6 +475,40 @@ class CacheManager : public net::Endpoint {
   std::deque<msg::DeltaEcho> unconfirmed_echoes_;
 
   net::TimerId trigger_timer_ = net::kInvalidTimerId;
+
+  // ---- dynamic reconfiguration state ------------------------------------
+  /// Life number of this manager (1 on a fresh journal; last journaled
+  /// binding + 1 after a restart). Sent with resume registrations.
+  std::uint64_t incarnation_ = 1;
+  /// View id to resume (journal-derived); cleared after the first
+  /// successful registration so later reconnects register fresh.
+  ViewId resume_view_ = kInvalidViewId;
+  /// Highest request id the journal promises was never exceeded; a
+  /// restart resumes allocation above it (no (address, req) reuse).
+  std::uint64_t req_ceiling_ = 0;
+  std::size_t journal_appends_ = 0;
+  /// A ViewMoveReq arrived; sealing happens at the next quiescent point.
+  bool move_requested_ = false;
+  /// Quiesced: HandoffState retransmits until ViewMoveDone settles it.
+  bool sealed_ = false;
+  /// The view now lives at the migration destination; inert forever.
+  bool moved_ = false;
+  /// Epoch of the ViewMoveReq we are quiescing for (not yet sealed).
+  std::uint64_t pending_move_epoch_ = 0;
+  /// Epoch the handoff was extracted and sent under.
+  std::uint64_t seal_epoch_ = 0;
+  /// The handoff delta travels under this request id: the directory's
+  /// (address, req) exactly-once key absorbs any journal-replayed or
+  /// post-abort re-push of the same extraction.
+  std::uint64_t handoff_req_ = 0;
+  bool handoff_dirty_ = false;
+  ObjectImage handoff_image_;
+  std::vector<msg::DeltaEcho> handoff_echoes_;
+  std::size_t handoff_attempts_ = 0;
+  net::TimerId handoff_timer_ = net::kInvalidTimerId;
+  /// Destination side: epoch of the install we adopted (idempotent ack
+  /// replay for retransmitted installs).
+  std::uint64_t installed_epoch_ = 0;
 
   // ---- raw-speed state (PERFORMANCE.md) ---------------------------------
   /// Per-payload-type slot pools; only touched when cfg_.pool_messages.

@@ -50,6 +50,12 @@ std::uint64_t generation_of(const net::Message& m) {
   if (m.type == msg::kRebuildReply) {
     return net::payload_as<msg::RebuildReply>(m).gen;
   }
+  if (m.type == msg::kHandoffState) {
+    return net::payload_as<msg::HandoffState>(m).gen;
+  }
+  if (m.type == msg::kViewMoveAck) {
+    return net::payload_as<msg::ViewMoveAck>(m).gen;
+  }
   return 0;
 }
 
@@ -133,6 +139,12 @@ DirectoryManager::~DirectoryManager() {
   if (liveness_timer_ != net::kInvalidTimerId) {
     fabric_.cancel_timer(liveness_timer_);
   }
+  for (auto& [view, mig] : migrations_) {
+    (void)view;
+    if (mig.resend_timer != net::kInvalidTimerId) {
+      fabric_.cancel_timer(mig.resend_timer);
+    }
+  }
   if (rebuild_timer_ != net::kInvalidTimerId) {
     fabric_.cancel_timer(rebuild_timer_);
   }
@@ -204,6 +216,8 @@ void DirectoryManager::on_message(const net::Message& m) {
   if (m.type == msg::kModeChangeReq) return handle_mode_change(m);
   if (m.type == msg::kKillReq) return handle_kill(m);
   if (m.type == msg::kRebuildReply) return handle_rebuild_reply(m);
+  if (m.type == msg::kHandoffState) return handle_handoff_state(m);
+  if (m.type == msg::kViewMoveAck) return handle_view_move_ack(m);
   if (m.type == msg::kBusy) {
     // A fabric-synthesized Busy for one of our commands: the command's
     // round timeout + resends already cover a slow receiver, so the
@@ -390,6 +404,7 @@ void DirectoryManager::liveness_sweep() {
   }
   for (const ViewId id : dead) {
     stats_.inc("view.evicted.liveness");
+    const bool held_token = views_.at(id).exclusive;
     FLECC_TRACE_EVENT(cfg_.trace, now, obs::EventKind::kViewEvicted,
                       obs::Role::kDirectory, obs::agent_key(self_), 0,
                       views_.at(id).name.c_str(), id,
@@ -397,6 +412,14 @@ void DirectoryManager::liveness_sweep() {
                                                  views_.at(id).last_seen_at));
     views_.erase(id);
     complete_fetch_or_acquire_for_dead_view(id);
+    if (held_token) {
+      // A dead STRONG holder's token is released to the FIFO acquire
+      // queue in the same sweep, not left for the next request (or a
+      // round timeout) to discover. Traffic from the dead incarnation
+      // is fenced at re-registration (stale incarnation/generation).
+      stats_.inc("view.evicted.strong_reclaim");
+      if (!acquire_inflight_.has_value()) start_next_acquire();
+    }
   }
   arm_liveness_timer();
 }
@@ -456,6 +479,58 @@ void DirectoryManager::handle_register(const net::Message& m) {
       validity.emplace(req.validity_trigger);
     } catch (const trigger::ParseError& e) {
       return reject(std::string("bad validity trigger: ") + e.what());
+    }
+  }
+
+  // Journal-replaying resume: the cache manager restarted with its view
+  // id intact and asks for the surviving record back (same view id, no
+  // fresh registration) so its replayed pushes land under the identity
+  // the exactly-once keys were minted for. Fenced unless the claimed
+  // incarnation is strictly newer than the recorded one — a retransmit
+  // from the dead life must not steal the view back.
+  if (req.resume_view != kInvalidViewId) {
+    if (auto* rec = find(req.resume_view);
+        rec != nullptr && rec->cache_addr != m.from) {
+      // The record moved while this manager was dead: a live migration
+      // rebound the view to another address (and reset its incarnation
+      // sequence), so an incarnation comparison alone would let the
+      // restarted source steal the view back from its new server. A
+      // resume is only honored from the record's current home; everyone
+      // else falls through to a fresh registration — their replayed
+      // pushes still merge exactly once (merged_ops_ is keyed by
+      // address, not view).
+      stats_.inc("register.fenced.moved");
+    } else if (rec != nullptr) {
+      if (req.incarnation <= rec->incarnation) {
+        stats_.inc("register.fenced.incarnation");
+        return reject("stale incarnation");
+      }
+      if (migrating(req.resume_view)) {
+        abort_migration(req.resume_view, "source resumed");
+      }
+      rec->cache_addr = m.from;
+      rec->name = req.view_name;
+      rec->properties = req.properties;
+      rec->mode = req.mode;
+      rec->validity = std::move(validity);
+      rec->validity_src = req.validity_trigger;
+      rec->incarnation = req.incarnation;
+      // Conservative until the resumed manager re-syncs (Init/Pull).
+      rec->active = false;
+      rec->exclusive = false;
+      rec->last_seen_at = fabric_.now();
+      wal_append(register_record(*rec));
+      stats_.inc("view.resumed");
+      msg::RegisterAck ack{req.resume_view, true, {}, req.req, generation_};
+      const auto bytes = msg::wire_size(ack);
+      reply(m.from, req.req, msg::kRegisterAck, box(std::move(ack)), bytes);
+      return;
+    } else {
+      // Record gone (evicted, killed, or dropped by a directory
+      // rebuild): fall through to a fresh registration. The replayed
+      // pushes still merge exactly once — merged_ops_ is keyed by
+      // address, not view.
+      stats_.inc("view.resume_missed");
     }
   }
 
@@ -567,6 +642,9 @@ void DirectoryManager::handle_pull(const net::Message& m) {
   if (need_fetch) {
     for (const auto& [id, other] : views_) {
       if (id == req.view || !other.active) continue;
+      // A migrating view is sealed: it cannot answer a FetchReq, and
+      // its dirty state reaches the primary through the handoff anyway.
+      if (migrating(id)) continue;
       if (conflicts(req.view, id)) candidates.insert(id);
     }
   }
@@ -1007,6 +1085,10 @@ void DirectoryManager::start_next_acquire() {
   // settles: granting exclusivity against a half-rebuilt sharing set
   // could skip an invalidation. Requests queue; finish_rebuild() drains.
   if (rebuilding_) return;
+  // Likewise frozen while any view migration is in flight: a grant
+  // racing the atomic rebind could target the sealed source or skip the
+  // half-installed destination. Migration completion/abort drains.
+  if (!migrations_.empty()) return;
   while (!acquire_queue_.empty()) {
     const msg::AcquireReq req = acquire_queue_.front();
     acquire_queue_.erase(acquire_queue_.begin());
@@ -1284,6 +1366,7 @@ void DirectoryManager::complete_fetch_or_acquire_for_dead_view(ViewId v) {
   // rebuild drop) funnels through here: checkpoint the departure and
   // release any rebuild wait on the view.
   wal_deregister(v);
+  if (migrating(v)) abort_migration(v, "view departed");
   if (rebuilding_) {
     rebuild_awaiting_.erase(v);
     if (rebuild_awaiting_.empty()) finish_rebuild();
@@ -1331,6 +1414,241 @@ void DirectoryManager::complete_fetch_or_acquire_for_dead_view(ViewId v) {
   }
 }
 
+// ---- view migration (PROTOCOL.md "View migration & CM journaling") --------
+
+bool DirectoryManager::begin_migration(ViewId v, net::Address dest) {
+  auto* rec = find(v);
+  if (rec == nullptr || migrating(v) || rebuilding_ ||
+      rec->cache_addr == dest) {
+    stats_.inc("migrate.rejected");
+    return false;
+  }
+  PendingMigration mig;
+  mig.view = v;
+  mig.epoch = next_epoch_++;  // shares the invalidate-epoch id space
+  mig.src = rec->cache_addr;
+  mig.dest = dest;
+  mig.phase = kMigrateQuiesce;
+  mig.resends_left = cfg_.migrate_resends;
+  stats_.inc("migrate.begin");
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMigrateBegin,
+                    obs::Role::kDirectory, obs::agent_key(self_), 0,
+                    rec->name.c_str(), v, mig.epoch);
+  auto [it, inserted] = migrations_.emplace(v, std::move(mig));
+  (void)inserted;
+  send_move_req(it->second);
+  arm_migrate_resend(v);
+  if (cfg_.on_migrate_phase) cfg_.on_migrate_phase(v, kMigrateQuiesce);
+  return true;
+}
+
+void DirectoryManager::send_move_req(const PendingMigration& mig) {
+  msg::ViewMoveReq req{mig.view, mig.epoch, generation_};
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                    obs::Role::kDirectory, obs::agent_key(self_), 0,
+                    msg::kViewMoveReq, mig.epoch, mig.view);
+  fabric_.send(self_, mig.src, msg::kViewMoveReq, box(req),
+               msg::wire_size(req));
+}
+
+void DirectoryManager::send_move_install(const PendingMigration& mig) {
+  const auto* rec = find(mig.view);
+  if (rec == nullptr) return;
+  msg::ViewMoveInstall inst;
+  inst.view = mig.view;
+  inst.epoch = mig.epoch;
+  inst.view_name = rec->name;
+  inst.properties = rec->properties;
+  inst.mode = rec->mode;
+  inst.validity_trigger = rec->validity_src;
+  inst.exclusive = rec->exclusive;
+  // A fresh primary extraction (the handoff delta is already merged):
+  // the destination starts valid without a separate pull round.
+  inst.image = primary_.extract_from_object(rec->properties);
+  inst.image.set_version(version_);
+  inst.gen = generation_;
+  const auto bytes = msg::wire_size(inst);
+  stats_.inc("migrate.install.sent");
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMsgSent,
+                    obs::Role::kDirectory, obs::agent_key(self_), 0,
+                    msg::kViewMoveInstall, mig.epoch, mig.view);
+  fabric_.send(self_, mig.dest, msg::kViewMoveInstall, box(std::move(inst)),
+               bytes);
+}
+
+void DirectoryManager::arm_migrate_resend(ViewId v) {
+  auto it = migrations_.find(v);
+  if (it == migrations_.end()) return;
+  it->second.resend_timer =
+      fabric_.schedule(self_, std::max<sim::Duration>(1, cfg_.migrate_timeout),
+                       [this, v] { on_migrate_timeout(v); });
+}
+
+void DirectoryManager::on_migrate_timeout(ViewId v) {
+  auto it = migrations_.find(v);
+  if (it == migrations_.end()) return;
+  it->second.resend_timer = net::kInvalidTimerId;
+  if (it->second.resends_left == 0) {
+    abort_migration(v, "phase timeout");
+    return;
+  }
+  --it->second.resends_left;
+  stats_.inc("migrate.resend");
+  if (it->second.phase == kMigrateQuiesce) {
+    send_move_req(it->second);
+  } else {
+    send_move_install(it->second);
+  }
+  arm_migrate_resend(v);
+}
+
+void DirectoryManager::abort_migration(ViewId v, const char* why) {
+  auto it = migrations_.find(v);
+  if (it == migrations_.end()) return;
+  PendingMigration mig = std::move(it->second);
+  migrations_.erase(it);
+  if (mig.resend_timer != net::kInvalidTimerId) {
+    fabric_.cancel_timer(mig.resend_timer);
+  }
+  stats_.inc("migrate.aborted");
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMigrateAborted,
+                    obs::Role::kDirectory, obs::agent_key(self_), 0, why,
+                    mig.view, mig.epoch);
+  note_migration_outcome(mig.view, mig.epoch, true);
+  msg::ViewMoveDone done{mig.view, mig.epoch, true, generation_};
+  fabric_.send(self_, mig.src, msg::kViewMoveDone, box(done),
+               msg::wire_size(done));
+  if (mig.phase == kMigrateHandoff) {
+    // The install may already have landed at the destination whose ack
+    // we never saw: uninstall it, or the view would be served twice.
+    fabric_.send(self_, mig.dest, msg::kViewMoveDone, box(done),
+                 msg::wire_size(done));
+  }
+  if (cfg_.on_migrate_phase) cfg_.on_migrate_phase(v, kMigrateAborted);
+  if (migrations_.empty() && !acquire_inflight_.has_value()) {
+    start_next_acquire();
+  }
+}
+
+void DirectoryManager::note_migration_outcome(ViewId v, std::uint64_t epoch,
+                                              bool aborted) {
+  const bool fresh = migration_outcomes_.count(v) == 0;
+  migration_outcomes_[v] = {epoch, aborted};
+  if (fresh) {
+    migration_outcome_order_.push_back(v);
+    while (migration_outcome_order_.size() > kSettledRoundWindow) {
+      migration_outcomes_.erase(migration_outcome_order_.front());
+      migration_outcome_order_.pop_front();
+    }
+  }
+}
+
+void DirectoryManager::handle_handoff_state(const net::Message& m) {
+  const auto& hs = net::payload_as<msg::HandoffState>(m);
+  stats_.inc("migrate.handoff");
+  // Unconfirmed extraction images ride along exactly as on push/kill.
+  process_echoes(hs.echoes);
+  auto it = migrations_.find(hs.view);
+  if (it == migrations_.end() || it->second.epoch != hs.epoch ||
+      it->second.src != m.from) {
+    // Retransmit for a migration that already settled: replay the
+    // outcome so the source can release (done) or unseal (aborted).
+    if (auto oit = migration_outcomes_.find(hs.view);
+        oit != migration_outcomes_.end() && oit->second.first == hs.epoch) {
+      stats_.inc("migrate.handoff.replayed");
+      msg::ViewMoveDone done{hs.view, hs.epoch, oit->second.second,
+                             generation_};
+      fabric_.send(self_, m.from, msg::kViewMoveDone, box(done),
+                   msg::wire_size(done));
+    } else {
+      stats_.inc("migrate.handoff.unknown");
+    }
+    return;
+  }
+  auto& mig = it->second;
+  if (mig.phase != kMigrateQuiesce) {
+    // Duplicate handoff while the install is in flight: the first copy
+    // already merged.
+    stats_.inc("msg.duplicate.dropped");
+    return;
+  }
+  auto* rec = find(hs.view);
+  if (rec == nullptr) {  // unreachable (eviction aborts), but be safe
+    abort_migration(hs.view, "view departed");
+    return;
+  }
+  touch(*rec);
+  // Merge the sealed write-buffer delta exactly once under the source's
+  // (address, req) key — the same key absorbs a journal-replayed push of
+  // this delta after an abort or a source crash, so no path double-merges.
+  if (hs.dirty) {
+    if (op_already_merged(m.from, hs.req)) {
+      stats_.inc("migrate.handoff.replayed_merge");
+    } else {
+      merge_update(hs.delta, hs.view, rec->properties, "migrate", 0,
+                   obs::span_id(m.from, hs.req));
+      note_op_merged(m.from, hs.req);
+    }
+  }
+  rec->mode = hs.mode;
+  mig.phase = kMigrateHandoff;
+  mig.resends_left = cfg_.migrate_resends;
+  if (mig.resend_timer != net::kInvalidTimerId) {
+    fabric_.cancel_timer(mig.resend_timer);
+    mig.resend_timer = net::kInvalidTimerId;
+  }
+  send_move_install(mig);
+  arm_migrate_resend(hs.view);
+  if (cfg_.on_migrate_phase) cfg_.on_migrate_phase(hs.view, kMigrateHandoff);
+}
+
+void DirectoryManager::handle_view_move_ack(const net::Message& m) {
+  const auto& ack = net::payload_as<msg::ViewMoveAck>(m);
+  auto it = migrations_.find(ack.view);
+  if (it == migrations_.end() || it->second.epoch != ack.epoch ||
+      it->second.dest != m.from) {
+    stats_.inc("migrate.ack.stale");
+    return;
+  }
+  PendingMigration mig = std::move(it->second);
+  migrations_.erase(it);
+  if (mig.resend_timer != net::kInvalidTimerId) {
+    fabric_.cancel_timer(mig.resend_timer);
+  }
+  auto* rec = find(ack.view);
+  if (rec == nullptr) {  // unreachable (eviction aborts), but be safe
+    note_migration_outcome(ack.view, ack.epoch, true);
+    msg::ViewMoveDone done{ack.view, ack.epoch, true, generation_};
+    fabric_.send(self_, mig.src, msg::kViewMoveDone, box(done),
+                 msg::wire_size(done));
+    fabric_.send(self_, mig.dest, msg::kViewMoveDone, box(done),
+                 msg::wire_size(done));
+    return;
+  }
+  // The atomic rebind: from this statement on, the view IS its
+  // destination. The view id (and with it the monitor's ownership
+  // bookkeeping) is unchanged; only the serving address moves.
+  rec->cache_addr = mig.dest;
+  rec->incarnation = 1;  // the destination starts a fresh life sequence
+  rec->active = true;
+  rec->last_sync = version_;
+  rec->last_sync_at = fabric_.now();
+  rec->last_seen_at = fabric_.now();
+  wal_append(register_record(*rec));
+  stats_.inc("migrate.done");
+  FLECC_TRACE_EVENT(cfg_.trace, fabric_.now(), obs::EventKind::kMigrateDone,
+                    obs::Role::kDirectory, obs::agent_key(self_), 0,
+                    rec->name.c_str(), ack.view, ack.epoch);
+  note_migration_outcome(ack.view, ack.epoch, false);
+  msg::ViewMoveDone done{ack.view, ack.epoch, false, generation_};
+  fabric_.send(self_, mig.src, msg::kViewMoveDone, box(done),
+               msg::wire_size(done));
+  if (cfg_.on_migrate_phase) cfg_.on_migrate_phase(ack.view, kMigrateDone);
+  if (migrations_.empty() && !acquire_inflight_.has_value()) {
+    start_next_acquire();
+  }
+}
+
 // ---- durability & crash recovery ------------------------------------------
 
 void DirectoryManager::wal_append(const WalRecord& rec) {
@@ -1352,6 +1670,7 @@ WalRecord DirectoryManager::register_record(const ViewRecord& rec) const {
   w.properties = rec.properties;
   w.mode = rec.mode;
   w.validity = rec.validity_src;
+  w.req = rec.incarnation;  // the req slot doubles as the life number
   return w;
 }
 
@@ -1439,6 +1758,7 @@ std::size_t DirectoryManager::replay_checkpoint(
         rec.active = false;
         rec.exclusive = false;
         rec.last_seen_at = fabric_.now();
+        rec.incarnation = w.req == 0 ? 1 : w.req;
         next_view_id_ = std::max(next_view_id_, w.view + 1);
         views_[w.view] = std::move(rec);
         break;
@@ -1468,6 +1788,14 @@ std::size_t DirectoryManager::replay_checkpoint(
         }
         break;
       }
+      case WalKind::kCmBind:
+      case WalKind::kCmWrite:
+      case WalKind::kCmIntent:
+      case WalKind::kCmFlush:
+      case WalKind::kCmReq:
+        // Cache-manager journal records: a directory pointed at a CM's
+        // store (misconfiguration) skips them rather than aborting.
+        break;
     }
   }
   return records.size();

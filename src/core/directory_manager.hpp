@@ -23,6 +23,7 @@
 #include <any>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -115,6 +116,24 @@ class DirectoryManager : public net::Endpoint {
     /// retry_after hint stamped into Busy replies. Cache managers back
     /// off (jittered) at least this long before re-issuing.
     sim::Duration busy_retry_after = sim::msec(100);
+    // ---- view migration (PROTOCOL.md "View migration & CM journaling") --
+    /// Per-phase wait before retransmitting ViewMoveReq/ViewMoveInstall.
+    sim::Duration migrate_timeout = sim::msec(250);
+    /// Retransmissions per migration phase before the move aborts and
+    /// the view stays bound to its source.
+    std::size_t migrate_resends = 4;
+    /// Chaos/test hook fired at every migration phase transition
+    /// (MigratePhase below), synchronously inside directory processing —
+    /// deterministic under the simulated fabric. Not owned.
+    std::function<void(ViewId view, int phase)> on_migrate_phase;
+  };
+
+  /// Migration FSM phases, reported through Config::on_migrate_phase.
+  enum MigratePhase : int {
+    kMigrateQuiesce = 0,  ///< ViewMoveReq sent; awaiting HandoffState
+    kMigrateHandoff = 1,  ///< handoff merged; ViewMoveInstall sent
+    kMigrateDone = 2,     ///< destination acked; record rebound
+    kMigrateAborted = 3,  ///< a phase timed out; view stays at the source
   };
 
   DirectoryManager(net::Fabric& fabric, net::Address self,
@@ -130,6 +149,19 @@ class DirectoryManager : public net::Endpoint {
   /// Install statically-known sharing relationships (entries default to
   /// Relation::kDynamic).
   void set_static_map(StaticMap m) { static_map_ = std::move(m); }
+
+  /// Open a live migration of view `v` to the cache manager awaiting
+  /// installation at `dest` (PROTOCOL.md, "View migration & CM
+  /// journaling"). Returns false — and counts migrate.rejected — when
+  /// the view is unknown, already migrating, or the directory is mid
+  /// rebuild. The move runs asynchronously; outcome is observable via
+  /// the migrate.* counters and Config::on_migrate_phase.
+  bool begin_migration(ViewId v, net::Address dest);
+
+  /// Migrations currently in flight (tests/benches).
+  [[nodiscard]] std::size_t migrations_inflight() const noexcept {
+    return migrations_.size();
+  }
 
   void on_message(const net::Message& m) override;
 
@@ -184,6 +216,20 @@ class DirectoryManager : public net::Endpoint {
     Version last_sync = 0;
     sim::Time last_sync_at = 0;
     sim::Time last_seen_at = 0;  // liveness: last message from this view
+    /// Life number of the serving cache manager; a journal-replaying
+    /// resume must register with a strictly greater incarnation.
+    std::uint64_t incarnation = 1;
+  };
+
+  /// One in-flight view migration (per-view FSM; see MigratePhase).
+  struct PendingMigration {
+    ViewId view = kInvalidViewId;
+    std::uint64_t epoch = 0;
+    net::Address src;
+    net::Address dest;
+    int phase = kMigrateQuiesce;
+    net::TimerId resend_timer = net::kInvalidTimerId;
+    std::size_t resends_left = 0;
   };
 
   struct PendingPull {
@@ -253,6 +299,19 @@ class DirectoryManager : public net::Endpoint {
   void handle_kill(const net::Message& m);
   void handle_heartbeat(const net::Message& m);
   void handle_rebuild_reply(const net::Message& m);
+  void handle_handoff_state(const net::Message& m);
+  void handle_view_move_ack(const net::Message& m);
+
+  // migration helpers
+  void send_move_req(const PendingMigration& mig);
+  void send_move_install(const PendingMigration& mig);
+  void arm_migrate_resend(ViewId v);
+  void on_migrate_timeout(ViewId v);
+  void abort_migration(ViewId v, const char* why);
+  void note_migration_outcome(ViewId v, std::uint64_t epoch, bool aborted);
+  [[nodiscard]] bool migrating(ViewId v) const {
+    return migrations_.count(v) != 0;
+  }
 
   // helpers
   ViewRecord* find(ViewId v);
@@ -370,6 +429,15 @@ class DirectoryManager : public net::Endpoint {
   std::vector<msg::AcquireReq> acquire_queue_;
   std::optional<PendingAcquire> acquire_inflight_;
   std::uint64_t next_epoch_ = 1;
+
+  // ---- view migration --------------------------------------------------
+  std::map<ViewId, PendingMigration> migrations_;
+  /// Recently finished migrations (view -> epoch, aborted), kept in a
+  /// bounded window so a source still retransmitting HandoffState after
+  /// completion gets its ViewMoveDone replayed instead of a spurious
+  /// abort.
+  std::map<ViewId, std::pair<std::uint64_t, bool>> migration_outcomes_;
+  std::deque<ViewId> migration_outcome_order_;
 
   /// Idempotent-replay windows, keyed by cache-manager address (stable
   /// across reconnects, unlike view ids).

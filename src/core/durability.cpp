@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace flecc::core {
@@ -14,6 +15,11 @@ const char* to_string(WalKind k) noexcept {
     case WalKind::kRoundOpen: return "round_open";
     case WalKind::kRoundMerge: return "round_merge";
     case WalKind::kOpMerged: return "op_merged";
+    case WalKind::kCmBind: return "cm_bind";
+    case WalKind::kCmWrite: return "cm_write";
+    case WalKind::kCmIntent: return "cm_intent";
+    case WalKind::kCmFlush: return "cm_flush";
+    case WalKind::kCmReq: return "cm_req";
   }
   return "unknown";
 }
@@ -81,10 +87,15 @@ bool parse_num(const std::string& s, T& out) {
 }
 
 std::string serialize_value(const props::Value& v) {
+  std::string out;
   if (const auto* iv = std::get_if<std::int64_t>(&v)) {
-    return "i" + std::to_string(*iv);
+    out = 'i';
+    out += std::to_string(*iv);
+  } else {
+    out = 's';
+    out += escape(std::get<std::string>(v));
   }
-  return "s" + escape(std::get<std::string>(v));
+  return out;
 }
 
 bool parse_value(const std::string& s, props::Value& out) {
@@ -127,8 +138,10 @@ std::string serialize_properties(const props::PropertySet& ps) {
     out += '=';
     if (domain.is_interval()) {
       const auto& iv = domain.as_interval();
-      out += "interval:" + std::to_string(iv.lo) + ":" +
-             std::to_string(iv.hi);
+      out += "interval:";
+      out += std::to_string(iv.lo);
+      out += ':';
+      out += std::to_string(iv.hi);
     } else {
       out += "discrete:";
       bool first = true;
@@ -178,6 +191,65 @@ bool parse_properties(const std::string& s, props::PropertySet& out) {
   return true;
 }
 
+std::string serialize_image(const ObjectImage& img) {
+  // v<version>;key=ival|rval|sval joined by ';' — same escape discipline
+  // as property sets, so an image token never breaks line framing.
+  std::string out = "v";
+  out += std::to_string(img.version());
+  for (const auto& [key, value] : img) {
+    out += ';';
+    out += escape(key);
+    out += '=';
+    if (const auto* iv = std::get_if<std::int64_t>(&value)) {
+      out += 'i';
+      out += std::to_string(*iv);
+    } else if (const auto* rv = std::get_if<double>(&value)) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "r%.17g", *rv);
+      out += buf;
+    } else {
+      out += 's';
+      out += escape(std::get<std::string>(value));
+    }
+  }
+  return out;
+}
+
+bool parse_image(const std::string& s, ObjectImage& out) {
+  out = {};
+  if (s.empty() || s[0] != 'v') return false;
+  const auto parts = split(s, ';');
+  std::uint64_t version = 0;
+  if (!parse_num(parts[0].substr(1), version)) return false;
+  out.set_version(version);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const auto eq = parts[i].find('=');
+    if (eq == std::string::npos) return false;
+    std::string key;
+    if (!unescape(parts[i].substr(0, eq), key)) return false;
+    const std::string body = parts[i].substr(eq + 1);
+    if (body.empty()) return false;
+    if (body[0] == 'i') {
+      std::int64_t iv = 0;
+      if (!parse_num(body.substr(1), iv)) return false;
+      out.set_int(key, iv);
+    } else if (body[0] == 'r') {
+      char* end = nullptr;
+      const std::string num = body.substr(1);
+      const double rv = std::strtod(num.c_str(), &end);
+      if (end == nullptr || *end != '\0') return false;
+      out.set_real(key, rv);
+    } else if (body[0] == 's') {
+      std::string sv;
+      if (!unescape(body.substr(1), sv)) return false;
+      out.set_str(key, std::move(sv));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string serialize_record(const WalRecord& rec) {
   std::ostringstream out;
   out << "W " << to_string(rec.kind) << ' ' << rec.view << ' ' << rec.node
@@ -186,17 +258,22 @@ std::string serialize_record(const WalRecord& rec) {
       << static_cast<unsigned>(rec.ns) << ' ' << rec.round << ' ' << rec.req
       << ' ' << field(rec.name) << ' ' << field(rec.validity) << ' '
       << field(serialize_properties(rec.properties));
+  // The image token is optional (13th): absent means empty, so every
+  // pre-journal checkpoint still parses.
+  if (!(rec.image == ObjectImage{})) out << ' ' << serialize_image(rec.image);
   return out.str();
 }
 
 bool parse_record(const std::string& line, WalRecord& out) {
   const auto tok = split(line, ' ');
-  if (tok.size() != 12 || tok[0] != "W") return false;
+  if ((tok.size() != 12 && tok.size() != 13) || tok[0] != "W") return false;
   out = {};
   bool kind_ok = false;
   for (const WalKind k :
        {WalKind::kRegister, WalKind::kDeregister, WalKind::kModeChange,
-        WalKind::kRoundOpen, WalKind::kRoundMerge, WalKind::kOpMerged}) {
+        WalKind::kRoundOpen, WalKind::kRoundMerge, WalKind::kOpMerged,
+        WalKind::kCmBind, WalKind::kCmWrite, WalKind::kCmIntent,
+        WalKind::kCmFlush, WalKind::kCmReq}) {
     if (tok[1] == to_string(k)) {
       out.kind = k;
       kind_ok = true;
@@ -223,6 +300,7 @@ bool parse_record(const std::string& line, WalRecord& out) {
       !unfield(tok[11], props_s)) {
     return false;
   }
+  if (tok.size() == 13 && !parse_image(tok[12], out.image)) return false;
   return parse_properties(props_s, out.properties);
 }
 

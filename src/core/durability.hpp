@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/object_image.hpp"
 #include "core/types.hpp"
 #include "props/property.hpp"
 
@@ -32,6 +33,13 @@ enum class WalKind : std::uint8_t {
   kRoundOpen,   // fetch/invalidate round opened against one target view
   kRoundMerge,  // that target's extraction merged (exactly-once marker)
   kOpMerged,    // a dirty push/kill request merged (idempotency marker)
+  // Cache-manager journal kinds (PROTOCOL.md, "View migration & CM
+  // journaling"): the same store interface, written by a CacheManager.
+  kCmBind,      // registered/installed under view + incarnation (req)
+  kCmWrite,     // cumulative write-buffer snapshot after an absorb
+  kCmIntent,    // a dirty push/kill/handoff issued under request id req
+  kCmFlush,     // that request id was acked: the intent is durable
+  kCmReq,       // request-id ceiling promise: ids below req may be used
 };
 
 [[nodiscard]] const char* to_string(WalKind k) noexcept;
@@ -56,9 +64,18 @@ struct WalRecord {
   std::uint8_t ns = 0;
   std::uint64_t round = 0;  // kRoundOpen, kRoundMerge
   std::uint64_t req = 0;    // kOpMerged: the merged request id
+  /// Journaled delta (kCmWrite: cumulative pending snapshot; kCmIntent:
+  /// the extracted op image). Empty for directory-side kinds, and
+  /// serialized as the optional 13th token — records without one parse
+  /// with an empty image, keeping old checkpoints readable.
+  ObjectImage image;
 
   friend bool operator==(const WalRecord&, const WalRecord&) = default;
 };
+
+/// Image (de)serialization for the journal's 13th token.
+[[nodiscard]] std::string serialize_image(const ObjectImage& img);
+[[nodiscard]] bool parse_image(const std::string& s, ObjectImage& out);
 
 // ---- record (de)serialization ------------------------------------------
 // Deterministic single-line text encoding, shared by the file store and

@@ -42,6 +42,11 @@ inline constexpr const char* kOpNack = "flecc.op_nack";
 inline constexpr const char* kBusy = "flecc.busy";
 inline constexpr const char* kDirectoryRebuild = "flecc.rebuild_probe";
 inline constexpr const char* kRebuildReply = "flecc.rebuild_reply";
+inline constexpr const char* kViewMoveReq = "flecc.view_move_req";
+inline constexpr const char* kHandoffState = "flecc.handoff_state";
+inline constexpr const char* kViewMoveInstall = "flecc.view_move_install";
+inline constexpr const char* kViewMoveAck = "flecc.view_move_ack";
+inline constexpr const char* kViewMoveDone = "flecc.view_move_done";
 
 // ---- request-id framing ------------------------------------------------
 //
@@ -80,6 +85,15 @@ struct RegisterReq {
   std::string push_trigger;
   std::string pull_trigger;
   std::string validity_trigger;
+  /// Non-zero = this is a journal-replaying restart of an earlier view:
+  /// the directory rebinds the surviving record (same view id) instead
+  /// of minting a fresh one (PROTOCOL.md, "View migration & CM
+  /// journaling"). 0 = fresh registration.
+  ViewId resume_view = kInvalidViewId;
+  /// Monotonic per-view life number. A resume whose incarnation is not
+  /// strictly greater than the recorded one is a stale retransmit from
+  /// a dead life and is fenced.
+  std::uint64_t incarnation = 1;
   std::uint64_t req = 0;
   std::uint64_t gen = 0;
 };
@@ -308,6 +322,73 @@ struct RebuildReply {
   std::uint64_t gen = 0;
 };
 
+/// Directory -> source cache, opening a live view migration (PROTOCOL.md
+/// "View migration & CM journaling"): quiesce the view and hand its
+/// state off under migration epoch `epoch`. Retransmitted until the
+/// HandoffState arrives or the migration aborts.
+struct ViewMoveReq {
+  ViewId view = kInvalidViewId;
+  std::uint64_t epoch = 0;
+  std::uint64_t gen = 0;
+};
+
+/// Source cache -> directory: the sealed view's serialized state. The
+/// dirty write-buffer delta travels as `delta` under the source's own
+/// request id, so the directory merges it exactly once (the same
+/// `(address, req)` key guards a journal-replayed push after an abort
+/// or a source crash). Unconfirmed extraction images ride along as
+/// echoes, exactly as on PushUpdate/KillReq. Retransmitted until a
+/// ViewMoveDone settles the outcome.
+struct HandoffState {
+  ViewId view = kInvalidViewId;
+  std::uint64_t epoch = 0;
+  Mode mode = Mode::kWeak;
+  bool exclusive = false;
+  bool dirty = false;
+  ObjectImage delta;  // unmerged write-buffer state (empty if clean)
+  std::vector<DeltaEcho> echoes;
+  std::uint64_t req = 0;
+  std::uint64_t gen = 0;
+};
+
+/// Directory -> destination cache: adopt the migrating view. Carries the
+/// registration identity plus a fresh primary extraction, so the
+/// destination starts valid without a separate pull. Retransmitted
+/// until acked; the destination replays the ack idempotently per epoch.
+struct ViewMoveInstall {
+  ViewId view = kInvalidViewId;
+  std::uint64_t epoch = 0;
+  std::string view_name;
+  props::PropertySet properties;
+  Mode mode = Mode::kWeak;
+  std::string validity_trigger;
+  bool exclusive = false;
+  ObjectImage image;  // fresh primary extraction, versioned
+  std::uint64_t gen = 0;
+};
+
+/// Destination cache -> directory: the view is installed and serving;
+/// rebind the directory record atomically.
+struct ViewMoveAck {
+  ViewId view = kInvalidViewId;
+  std::uint64_t epoch = 0;
+  std::uint64_t gen = 0;
+};
+
+/// Directory -> source (and, on abort, destination): the migration's
+/// outcome. `aborted == false` releases the source (its state now lives
+/// at the destination); `aborted == true` tells the source to resume —
+/// re-pushing its handoff delta is safe because the directory's
+/// exactly-once key absorbs the duplicate if the handoff already
+/// merged. Sent to the destination only on abort, to uninstall a view
+/// whose ack never arrived.
+struct ViewMoveDone {
+  ViewId view = kInvalidViewId;
+  std::uint64_t epoch = 0;
+  bool aborted = false;
+  std::uint64_t gen = 0;
+};
+
 // ---- wire-size estimation ---------------------------------------------
 
 /// Simulated serialized size of a property set.
@@ -377,5 +458,15 @@ inline std::size_t wire_size(const RebuildReply& m) {
          m.push_trigger.size() + m.pull_trigger.size() +
          m.validity_trigger.size() + echoes_wire_size(m.echoes);
 }
+inline std::size_t wire_size(const ViewMoveReq&) { return kHeaderBytes; }
+inline std::size_t wire_size(const HandoffState& m) {
+  return kHeaderBytes + m.delta.wire_size() + echoes_wire_size(m.echoes);
+}
+inline std::size_t wire_size(const ViewMoveInstall& m) {
+  return kHeaderBytes + m.view_name.size() + wire_size(m.properties) +
+         m.validity_trigger.size() + m.image.wire_size();
+}
+inline std::size_t wire_size(const ViewMoveAck&) { return kHeaderBytes; }
+inline std::size_t wire_size(const ViewMoveDone&) { return kHeaderBytes; }
 
 }  // namespace flecc::core::msg

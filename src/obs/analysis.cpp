@@ -29,6 +29,8 @@ TraceSummary summarize(const std::vector<TraceEvent>& events) {
   // the restart (re-issued under the new generation), not truncated.
   sim::Time last_recovery_at = 0;
   bool any_recovery = false;
+  // migration epoch → migrate_begin time, for settle-duration pairing.
+  std::unordered_map<std::uint64_t, sim::Time> open_migrations;
 
   bool first = true;
   for (const auto& e : events) {
@@ -110,9 +112,38 @@ TraceSummary summarize(const std::vector<TraceEvent>& events) {
         }
         break;
       }
+      case EventKind::kLoadShed:
+        ++s.load_sheds;
+        break;
+      case EventKind::kBreakerTransition:
+        ++s.breaker_transitions;
+        break;
+      case EventKind::kRetryExhausted:
+        ++s.retries_exhausted;
+        break;
+      case EventKind::kMigrateBegin:
+        ++s.migration_epochs;
+        open_migrations[e.b] = e.at;
+        break;
+      case EventKind::kMigrateAborted:
+        ++s.migrations_aborted;
+        [[fallthrough]];
+      case EventKind::kMigrateDone: {
+        auto it = open_migrations.find(e.b);
+        if (it != open_migrations.end()) {
+          s.migration_duration_us.add(static_cast<double>(e.at - it->second));
+          open_migrations.erase(it);
+        }
+        break;
+      }
+      case EventKind::kJournalReplay:
+        ++s.journal_replays;
+        s.journal_replayed += e.b;
+        break;
     }
   }
   s.recovery_unresolved = open_recoveries.size();
+  s.migration_unresolved = open_migrations.size();
   for (const auto& [span, info] : open) {
     (void)span;
     if (any_recovery && info.second <= last_recovery_at) {
@@ -156,6 +187,18 @@ void export_metrics(const TraceSummary& s, MetricsRegistry& reg) {
   {
     auto& ss = reg.samples("recovery.rebuild_duration_us");
     for (double v : s.rebuild_duration_us.samples()) ss.add(v);
+  }
+  reg.inc("trace.load.sheds", s.load_sheds);
+  reg.inc("trace.breaker.transitions", s.breaker_transitions);
+  reg.inc("trace.retries.exhausted", s.retries_exhausted);
+  reg.inc("migrate.epochs", s.migration_epochs);
+  reg.inc("migrate.aborted", s.migrations_aborted);
+  reg.inc("migrate.unresolved_epochs", s.migration_unresolved);
+  reg.inc("journal.replays", s.journal_replays);
+  reg.inc("journal.replayed_records", s.journal_replayed);
+  {
+    auto& ss = reg.samples("migrate.duration_us");
+    for (double v : s.migration_duration_us.samples()) ss.add(v);
   }
   for (const auto& [label, lat] : s.op_latency_us) {
     auto& ss = reg.samples("op." + label + ".latency_us");
@@ -261,6 +304,17 @@ std::string render_report(const TraceSummary& s) {
         << " fenced=" << s.fenced_messages;
     if (s.rebuild_duration_us.count() != 0) {
       out << " rebuild_mean_us=" << fmt_us(s.rebuild_duration_us.mean());
+    }
+    out << "\n";
+  }
+  if (s.migration_epochs != 0 || s.journal_replays != 0) {
+    out << "migration: epochs=" << s.migration_epochs
+        << " aborted=" << s.migrations_aborted
+        << " unresolved=" << s.migration_unresolved
+        << " journal_replays=" << s.journal_replays
+        << " journal_replayed=" << s.journal_replayed;
+    if (s.migration_duration_us.count() != 0) {
+      out << " settle_mean_us=" << fmt_us(s.migration_duration_us.mean());
     }
     out << "\n";
   }

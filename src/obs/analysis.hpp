@@ -59,6 +59,22 @@ struct TraceSummary {
   /// Per-epoch rebuild duration (recovery_begin → recovery_end), µs.
   sim::SampleSet rebuild_duration_us;
 
+  /// Overload facts (kLoadShed / kBreakerTransition / kRetryExhausted).
+  std::uint64_t load_sheds = 0;           ///< admission-control refusals
+  std::uint64_t breaker_transitions = 0;  ///< CM breaker state changes
+  std::uint64_t retries_exhausted = 0;    ///< ops abandoned terminally
+
+  /// View-migration facts (kMigrateBegin / kMigrateDone /
+  /// kMigrateAborted / kJournalReplay; see OBSERVABILITY.md "Migration
+  /// & journaling counter families").
+  std::uint64_t migration_epochs = 0;      ///< kMigrateBegin events
+  std::uint64_t migrations_aborted = 0;    ///< closed by kMigrateAborted
+  std::uint64_t migration_unresolved = 0;  ///< begins with no outcome
+  std::uint64_t journal_replays = 0;       ///< CM journal-driven restarts
+  std::uint64_t journal_replayed = 0;      ///< journal records re-issued
+  /// Per-epoch settle duration (migrate_begin → done/aborted), µs.
+  sim::SampleSet migration_duration_us;
+
   sim::Time first_at = 0;
   sim::Time last_at = 0;
   std::uint64_t total_events = 0;

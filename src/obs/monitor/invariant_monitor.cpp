@@ -288,6 +288,21 @@ void InvariantMonitor::on_cm_event(const TraceEvent& e) {
       break;
     }
 
+    case EventKind::kJournalReplay: {
+      // A cache manager restarted and replayed its write-ahead journal
+      // (a = view, b = replayed strong intents). Its re-issued pushes
+      // reuse the pre-crash (address, req) spans, so the extraction
+      // ledger and the directory's merged-ops dedup line up — nothing
+      // to reset here, just account for it.
+      ++journal_replays_;
+      journal_replayed_intents_ += e.b;
+      if (e.a != 0) {
+        st.view = e.a;
+        view_agent_[e.a] = e.agent;
+      }
+      break;
+    }
+
     case EventKind::kHeartbeatMiss: {
       const std::uint64_t streak = e.a;
       if (cfg_.heartbeat_warn_streak != 0 &&
@@ -353,6 +368,12 @@ void InvariantMonitor::on_dm_event(const TraceEvent& e) {
       if (is(e.label, "push") || is(e.label, "kill")) {
         if (e.span == 0) keyed = false;  // unframed op: no identity
         key = {kNsSpan, 0, e.span};
+      } else if (is(e.label, "migrate")) {
+        // Handoff delta merged at the directory under the source's
+        // (address, handoff req) span — the same span a journal-replayed
+        // push of that delta uses, so the ledger dedups the two paths.
+        if (e.span == 0) keyed = false;
+        key = {kNsSpan, 0, e.span};
       } else if (is(e.label, "fetch") || is(e.label, "late_fetch") ||
                  is(e.label, "echo.fetch")) {
         key = {kNsFetch, e.a, e.b};
@@ -399,6 +420,21 @@ void InvariantMonitor::on_dm_event(const TraceEvent& e) {
     case EventKind::kViewEvicted: {
       evicted_views_.insert(e.a);
       holders_.erase(e.a);
+      break;
+    }
+
+    case EventKind::kMigrateBegin: {
+      begin_migration(e);
+      break;
+    }
+
+    case EventKind::kMigrateDone: {
+      end_migration(e, /*aborted=*/false);
+      break;
+    }
+
+    case EventKind::kMigrateAborted: {
+      end_migration(e, /*aborted=*/true);
       break;
     }
 
@@ -455,6 +491,47 @@ void InvariantMonitor::end_recovery(const TraceEvent& e) {
   if (it == open_recoveries_.end()) return;
   rebuild_duration_us_.add(static_cast<double>(e.at - it->second));
   open_recoveries_.erase(it);
+}
+
+void InvariantMonitor::begin_migration(const TraceEvent& e) {
+  // a = view, b = migration epoch.
+  ++migration_epochs_seen_;
+  open_migrations_[e.b] = OpenMigration{e.a, e.at};
+}
+
+void InvariantMonitor::end_migration(const TraceEvent& e, bool aborted) {
+  // a = view, b = migration epoch. One legal ownership transfer per
+  // epoch: a migrate_done for an epoch that already settled — whether
+  // it completed or aborted — means the directory rebound the same
+  // view twice under one epoch, i.e. two components both believe they
+  // own the view.
+  const std::uint64_t epoch = e.b;
+  auto closed = closed_migrations_.find(epoch);
+  if (closed != closed_migrations_.end()) {
+    if (!aborted) {
+      std::ostringstream d;
+      d << "second ownership transfer for migration epoch " << epoch
+        << " (view " << e.a << "): epoch already settled as "
+        << (closed->second ? "aborted" : "done");
+      violation(Invariant::kExclusivity, e, 0, d.str());
+    }
+    return;  // duplicate abort is harmless (resent Done{aborted})
+  }
+  auto it = open_migrations_.find(epoch);
+  if (it != open_migrations_.end()) {
+    migration_duration_us_.add(static_cast<double>(e.at - it->second.began));
+    open_migrations_.erase(it);
+  }
+  closed_migrations_[epoch] = aborted;
+  if (aborted) {
+    ++migrations_aborted_;
+  } else {
+    ++checks_[idx(Invariant::kExclusivity)];
+    // Ownership moved: the source surrendered its copy with the
+    // handoff, so it can no longer support an I1 verdict as a holder.
+    // The destination re-establishes holding via its own grants.
+    holders_.erase(e.a);
+  }
 }
 
 void InvariantMonitor::check_span_causality(const TraceEvent& e) {
@@ -525,6 +602,16 @@ void InvariantMonitor::finalize() {
     emit_finding(EventKind::kMonitorWarning, f);
   }
 
+  for (const auto& [epoch, mig] : open_migrations_) {
+    std::ostringstream d;
+    d << "migration epoch " << epoch << " (view " << mig.view
+      << ", began at " << mig.began
+      << " us) never settled — trace ends mid-handoff";
+    Finding f{Invariant::kCausality, last_at_, 0, 0, d.str()};
+    warnings_.push_back(f);
+    emit_finding(EventKind::kMonitorWarning, f);
+  }
+
   if (cfg_.max_op_age > 0) {
     for (auto& [span, op] : pending_) {
       if (op.age_warned || last_at_ - op.started_at <= cfg_.max_op_age) {
@@ -544,6 +631,11 @@ void InvariantMonitor::finalize() {
 std::uint64_t InvariantMonitor::unresolved_recovery_epochs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return open_recoveries_.size();
+}
+
+std::uint64_t InvariantMonitor::unresolved_migration_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_migrations_.size();
 }
 
 std::uint64_t InvariantMonitor::violation_count(Invariant inv) const {
@@ -578,6 +670,12 @@ std::string InvariantMonitor::health_report() const {
     out << "  recovery: epochs=" << recovery_epochs_seen_
         << " unresolved=" << open_recoveries_.size()
         << " fenced=" << fenced_messages_ << "\n";
+  }
+  if (migration_epochs_seen_ != 0 || journal_replays_ != 0) {
+    out << "  migration: epochs=" << migration_epochs_seen_
+        << " aborted=" << migrations_aborted_
+        << " unresolved=" << open_migrations_.size()
+        << " journal_replays=" << journal_replays_ << "\n";
   }
   const std::size_t kShow = 5;
   for (std::size_t i = 0; i < violations_.size() && i < kShow; ++i) {
@@ -623,6 +721,14 @@ void InvariantMonitor::export_metrics(MetricsRegistry& reg) const {
   reg.inc("monitor.recovery.fenced", fenced_messages_);
   for (const double v : rebuild_duration_us_.samples()) {
     reg.observe("monitor.recovery.rebuild_us", v);
+  }
+  reg.inc("monitor.migration.epochs", migration_epochs_seen_);
+  reg.inc("monitor.migration.aborted", migrations_aborted_);
+  reg.inc("monitor.migration.unresolved", open_migrations_.size());
+  reg.inc("monitor.journal.replays", journal_replays_);
+  reg.inc("monitor.journal.replayed_intents", journal_replayed_intents_);
+  for (const double v : migration_duration_us_.samples()) {
+    reg.observe("monitor.migration.duration_us", v);
   }
   for (const auto& [label, lat] : op_latency_us_) {
     for (const double v : lat.samples()) {

@@ -139,6 +139,11 @@ class InvariantMonitor : public TraceSink {
   /// not trustworthy even if no invariant tripped.
   [[nodiscard]] std::uint64_t unresolved_recovery_epochs() const;
 
+  /// Number of migration epochs that began (migrate_begin) but reached
+  /// neither migrate_done nor migrate_aborted — nonzero means the trace
+  /// ends with a view mid-handoff, so its ownership is indeterminate.
+  [[nodiscard]] std::uint64_t unresolved_migration_epochs() const;
+
   /// Human-readable per-invariant pass/violation table plus the
   /// first few findings; ends with "monitor: PASS" or
   /// "monitor: N violation(s)".
@@ -208,6 +213,8 @@ class InvariantMonitor : public TraceSink {
   void on_dm_event(const TraceEvent& e);
   void begin_recovery(const TraceEvent& e);
   void end_recovery(const TraceEvent& e);
+  void begin_migration(const TraceEvent& e);
+  void end_migration(const TraceEvent& e, bool aborted);
   void record_extraction(std::uint8_t ns, std::uint64_t round,
                          std::uint64_t id, const TraceEvent& e);
   void check_span_causality(const TraceEvent& e);
@@ -239,6 +246,25 @@ class InvariantMonitor : public TraceSink {
   /// recovery_end, leftovers are unresolved at end of trace.
   std::map<std::uint64_t, sim::Time> open_recoveries_;
   sim::SampleSet rebuild_duration_us_;
+
+  // ---- migration epochs (live view handoffs) -------------------------
+  /// One inflight ViewMove: the migrating view and when it began.
+  struct OpenMigration {
+    std::uint64_t view = 0;
+    sim::Time began = 0;
+  };
+  /// Open migrations keyed by migration epoch; drained by
+  /// migrate_done / migrate_aborted, leftovers unresolved at trace end.
+  std::map<std::uint64_t, OpenMigration> open_migrations_;
+  /// Settled epochs → aborted flag. One legal ownership transfer per
+  /// epoch: a migrate_done for an epoch already settled (done OR
+  /// aborted) is an exclusivity violation.
+  std::map<std::uint64_t, bool> closed_migrations_;
+  std::uint64_t migration_epochs_seen_ = 0;
+  std::uint64_t migrations_aborted_ = 0;
+  std::uint64_t journal_replays_ = 0;  ///< CM journal_replay events
+  std::uint64_t journal_replayed_intents_ = 0;
+  sim::SampleSet migration_duration_us_;
 
   std::map<std::string, sim::SampleSet> op_latency_us_;
   std::uint64_t checks_[5] = {};

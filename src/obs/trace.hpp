@@ -76,7 +76,16 @@ enum class EventKind : std::uint8_t {
   kLoadShed,            ///< admission control refused a request (Busy sent)
   kBreakerTransition,   ///< CM circuit breaker changed state (a=from, b=to)
   kRetryExhausted,      ///< retry deadline/budget spent; op abandoned (CM)
+  kMigrateBegin,        ///< view migration opened (a=view, b=epoch)
+  kMigrateDone,         ///< view rebound to its destination (a=view, b=epoch)
+  kMigrateAborted,      ///< migration aborted; view stays put (a=view, b=epoch)
+  kJournalReplay,       ///< CM restarted from its journal (a=view, b=intents)
 };
+
+/// Highest EventKind value. Keep in sync when appending kinds: the
+/// JSONL parser iterates `[0, kMaxEventKind]`, so a kind past this
+/// bound round-trips to "malformed line" instead of an event.
+inline constexpr EventKind kMaxEventKind = EventKind::kJournalReplay;
 
 /// Which protocol role emitted an event.
 enum class Role : std::uint8_t {
@@ -110,6 +119,10 @@ enum class Role : std::uint8_t {
     case EventKind::kLoadShed: return "load_shed";
     case EventKind::kBreakerTransition: return "breaker_transition";
     case EventKind::kRetryExhausted: return "retry_exhausted";
+    case EventKind::kMigrateBegin: return "migrate_begin";
+    case EventKind::kMigrateDone: return "migrate_done";
+    case EventKind::kMigrateAborted: return "migrate_aborted";
+    case EventKind::kJournalReplay: return "journal_replay";
   }
   return "unknown";
 }

@@ -91,7 +91,7 @@ std::optional<T> parse_uint(const std::string& s) {
 }  // namespace
 
 std::optional<EventKind> parse_kind(const std::string& name) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kRetryExhausted); ++k) {
+  for (int k = 0; k <= static_cast<int>(kMaxEventKind); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == to_string(kind)) return kind;
   }

@@ -141,6 +141,18 @@ class KvView : public ViewAdapter {
     }
   }
 
+  /// Non-destructive snapshot of the pending increments, so write-
+  /// buffer absorbs can journal the buffered set (CM journaling).
+  [[nodiscard]] ObjectImage peek_from_view(
+      const props::PropertySet& vpl) const override {
+    (void)vpl;
+    ObjectImage img;
+    for (const auto& [i, d] : pending_) {
+      if (d != 0) img.set_int(inc_key(i), d);
+    }
+    return img;
+  }
+
   [[nodiscard]] const trigger::Env& variables() const override {
     return vars_;
   }

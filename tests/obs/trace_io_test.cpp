@@ -128,7 +128,7 @@ TEST(TraceJsonlTest, FileRoundTrip) {
 }
 
 TEST(TraceParseTest, KindAndRoleNamesRoundTrip) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kMonitorWarning); ++k) {
+  for (int k = 0; k <= static_cast<int>(kMaxEventKind); ++k) {
     const auto kind = static_cast<EventKind>(k);
     const auto parsed = parse_kind(to_string(kind));
     ASSERT_TRUE(parsed.has_value()) << to_string(kind);

@@ -7,7 +7,10 @@
 // Exit codes: 0 clean, 1 invariant violation(s), 2 usage error, 3 no
 // violations but the trace ends with an unresolved directory recovery
 // (a recovery_begin without its recovery_end — the run stopped
-// mid-rebuild, so the final state was never re-validated).
+// mid-rebuild, so the final state was never re-validated), 4 no
+// violations but the trace ends with an unresolved view migration
+// (a migrate_begin that reached neither migrate_done nor
+// migrate_aborted — a view's ownership is indeterminate).
 //
 // Usage:
 //   flecc_check <trace.jsonl>                 health report to stdout;
@@ -94,12 +97,16 @@ int main(int argc, char** argv) {
 
   const auto& viol = mon.violations();
   const std::uint64_t unresolved = mon.unresolved_recovery_epochs();
+  const std::uint64_t unsettled = mon.unresolved_migration_epochs();
   if (quiet) {
     if (!viol.empty()) {
       std::printf("monitor: %zu violation(s)\n", viol.size());
     } else if (unresolved != 0) {
       std::printf("monitor: %llu unresolved recovery epoch(s)\n",
                   static_cast<unsigned long long>(unresolved));
+    } else if (unsettled != 0) {
+      std::printf("monitor: %llu unresolved migration epoch(s)\n",
+                  static_cast<unsigned long long>(unsettled));
     } else {
       std::printf("monitor: PASS (%llu events, %zu warning(s))\n",
                   static_cast<unsigned long long>(mon.events_seen()),
@@ -123,5 +130,6 @@ int main(int argc, char** argv) {
   }
 
   if (!viol.empty()) return 1;
-  return unresolved != 0 ? 3 : 0;
+  if (unresolved != 0) return 3;
+  return unsettled != 0 ? 4 : 0;
 }
