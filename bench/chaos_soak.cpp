@@ -26,13 +26,17 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
 #include "airline/testbed.hpp"
 #include "core/flow_control.hpp"
+#include "net/telemetry_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor/invariant_monitor.hpp"
+#include "obs/prom.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_io.hpp"
 
 using namespace flecc;
@@ -75,9 +79,14 @@ std::string out_path(const char* name) {
 /// only the generation superblock — the pure CM-assisted rebuild).
 std::string run_soak(std::uint64_t seed, obs::TraceRecorder* trace = nullptr,
                      bool crash_dm = false, bool empty_checkpoint = false,
-                     bool batch = false, std::size_t wbuf = 0) {
+                     bool batch = false, std::size_t wbuf = 0,
+                     obs::TelemetryHub* hub = nullptr) {
   TestbedOptions opts;
   opts.trace = trace;
+  // Telemetry rides the FIRST run only (like the trace recorder), so
+  // the two-run comparison below also proves the live pipeline never
+  // perturbs the protocol.
+  opts.telemetry = hub;
   // Raw-speed layer (PERFORMANCE.md): batching implies heartbeat
   // piggybacking — suppressed beacons only make sense when regular
   // traffic is being coalesced toward the directory anyway.
@@ -285,9 +294,11 @@ struct OverloadResult {
 /// run.
 std::string run_overload(std::uint64_t seed, obs::TraceRecorder* trace,
                          bool flow_on, OverloadResult* result = nullptr,
-                         bool crash_dm = false) {
+                         bool crash_dm = false,
+                         obs::TelemetryHub* hub = nullptr) {
   TestbedOptions opts;
   opts.trace = trace;
+  opts.telemetry = hub;
   opts.n_agents = kStormAgents;
   opts.group_size = kStormAgents;  // one conflict group: everyone collides
   opts.flights_per_group = 2;      // tiny hot-object set
@@ -463,13 +474,15 @@ struct MigrateChaos {
 /// destination. The database must end EXACTLY equal to every life's
 /// confirmed sales — zero lost updates, zero double merges.
 std::string run_migrate(std::uint64_t seed, obs::TraceRecorder* trace,
-                        const MigrateVariant& variant) {
+                        const MigrateVariant& variant,
+                        obs::TelemetryHub* hub = nullptr) {
   MigrateChaos chaos;
   chaos.target = variant.target;
   chaos.phase = variant.phase;
 
   TestbedOptions opts;
   opts.trace = trace;
+  opts.telemetry = hub;
   opts.n_agents = kMigAgents;
   opts.group_size = 8;
   opts.flights_per_group = 4;
@@ -697,6 +710,11 @@ int main(int argc, char** argv) {
   bool overload = false;
   bool migrate = false;
   std::size_t wbuf = 0;
+  bool serve = false;
+  unsigned serve_port = 0;
+  unsigned telemetry_interval_ms = 250;
+  unsigned pace_ms = 0;
+  bool telemetry = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -712,14 +730,90 @@ int main(int argc, char** argv) {
       migrate = true;
     } else if (std::strcmp(argv[i], "--wbuf") == 0 && i + 1 < argc) {
       wbuf = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve = telemetry = true;
+      serve_port =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--telemetry-interval") == 0 &&
+               i + 1 < argc) {
+      telemetry = true;
+      telemetry_interval_ms =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (telemetry_interval_ms == 0) telemetry_interval_ms = 250;
+    } else if (std::strcmp(argv[i], "--pace") == 0 && i + 1 < argc) {
+      telemetry = true;
+      pace_ms = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace out.jsonl] [--monitor] [--crash-dm] "
-                   "[--batch] [--overload] [--migrate] [--wbuf N]\n",
+                   "[--batch] [--overload] [--migrate] [--wbuf N] "
+                   "[--serve PORT] [--telemetry-interval MS] [--pace MS]\n",
                    argv[0]);
       return 2;
     }
   }
+
+  // Live telemetry: a hub sampled on simulated time by the first run's
+  // testbed, optionally served over HTTP while the soak executes. The
+  // SLO rules below are tuned to the chaos the soak injects, so every
+  // telemetry-enabled run demonstrates the full alert lifecycle:
+  // retries/breakers fire the rules mid-chaos, the long recovery
+  // horizon drains them, and the run ends with zero active alerts.
+  std::unique_ptr<obs::TelemetryHub> hub;
+  std::unique_ptr<net::TelemetryServer> server;
+  if (telemetry) {
+    obs::TelemetryOptions topts;
+    topts.interval = sim::msec(telemetry_interval_ms);
+    topts.pace_ms = pace_ms;
+    hub = std::make_unique<obs::TelemetryHub>(topts);
+    std::string rule_err;
+    for (const char* rule :
+         {"retransmit-storm: cm.op.retry/s > 0",
+          "breaker-open: cm.breaker.open/s > 0",
+          "directory-down: health.dm.down >= 1"}) {
+      SOAK_CHECK(hub->alerts().add_rule(rule, &rule_err), "bad SLO rule: %s",
+                 rule_err.c_str());
+    }
+    if (serve) {
+      server = std::make_unique<net::TelemetryServer>(
+          static_cast<std::uint16_t>(serve_port));
+      SOAK_CHECK(server->listening(), "cannot bind telemetry port %u",
+                 serve_port);
+      net::serve_telemetry(*hub, *server);
+      server->serve_background();
+      std::printf("# telemetry: http://127.0.0.1:%u/metrics (also /healthz, "
+                  "/varz)\n",
+                  server->port());
+    }
+  }
+
+  // Every mode runs twice with the same seed and compares output bit
+  // for bit; the hub (like the trace recorder) rides the first run
+  // only, so the comparison also proves telemetry never perturbs the
+  // protocol. These checks run after the mode finishes.
+  const auto check_telemetry = [&] {
+    if (hub == nullptr) return;
+    SOAK_CHECK(hub->registry().windows_closed() >= 1,
+               "telemetry enabled but no window ever closed");
+    SOAK_CHECK(hub->alerts().raised_total() >= 1,
+               "chaos injected but no SLO alert ever fired");
+    SOAK_CHECK(hub->alerts().cleared_total() == hub->alerts().raised_total(),
+               "%llu alert(s) still active after the recovery horizon",
+               static_cast<unsigned long long>(hub->alerts().raised_total() -
+                                               hub->alerts().cleared_total()));
+    const auto issues = obs::prom::validate(hub->render_metrics());
+    for (const auto& issue : issues) {
+      std::fprintf(stderr, "prom: %s\n", issue.to_string().c_str());
+    }
+    SOAK_CHECK(issues.empty(), "/metrics failed exposition validation");
+    std::printf("# telemetry: %llu windows, %llu series, alerts raised=%llu "
+                "cleared=%llu, /metrics validator-clean\n",
+                static_cast<unsigned long long>(
+                    hub->registry().windows_closed()),
+                static_cast<unsigned long long>(hub->registry().series_count()),
+                static_cast<unsigned long long>(hub->alerts().raised_total()),
+                static_cast<unsigned long long>(hub->alerts().cleared_total()));
+  };
 
   if (migrate) {
     std::printf("# Migration soak — %zu journaled agents, 5%% loss, two live "
@@ -743,7 +837,7 @@ int main(int argc, char** argv) {
       if (monitor) recorder.attach_sink(&checker);
       const bool tracing = trace_path != nullptr || monitor;
       const std::string first =
-          run_migrate(seed, tracing ? &recorder : nullptr, v);
+          run_migrate(seed, tracing ? &recorder : nullptr, v, hub.get());
       const std::string second = run_migrate(seed, nullptr, v);
       SOAK_CHECK(first == second,
                  "variant '%s': two same-seed runs diverged", v.name);
@@ -774,6 +868,7 @@ int main(int argc, char** argv) {
       std::fclose(f);
       std::printf("\n# data also written to %s\n", csv.c_str());
     }
+    check_telemetry();
     std::printf("# all migration variants converged; every twin was "
                 "bit-identical\n");
     return 0;
@@ -792,7 +887,7 @@ int main(int argc, char** argv) {
     OverloadResult flow_res;
     const std::string first =
         run_overload(seed, tracing ? &recorder : nullptr, /*flow_on=*/true,
-                     &flow_res, crash_dm);
+                     &flow_res, crash_dm, hub.get());
     const std::string second =
         run_overload(seed, nullptr, true, nullptr, crash_dm);
     SOAK_CHECK(first == second,
@@ -858,6 +953,7 @@ int main(int argc, char** argv) {
       std::fclose(f);
       std::printf("\n# data also written to %s\n", csv.c_str());
     }
+    check_telemetry();
     std::printf("# overload storm converged; two same-seed runs were "
                 "bit-identical\n");
     return 0;
@@ -882,7 +978,7 @@ int main(int argc, char** argv) {
   // bare so the bit-identical comparison proves tracing (and the
   // monitor) never perturbs the protocol.
   const std::string first = run_soak(seed, tracing ? &recorder : nullptr,
-                                     crash_dm, false, batch, wbuf);
+                                     crash_dm, false, batch, wbuf, hub.get());
   const std::string second =
       run_soak(seed, nullptr, crash_dm, false, batch, wbuf);
   SOAK_CHECK(first == second,
@@ -954,6 +1050,7 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("\n# data also written to %s\n", csv.c_str());
   }
+  check_telemetry();
   std::printf("# all convergence checks passed; two same-seed runs were "
               "bit-identical\n");
   return 0;

@@ -24,10 +24,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "airline/testbed.hpp"
+#include "net/telemetry_server.hpp"
 #include "obs/monitor/invariant_monitor.hpp"
+#include "obs/prom.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_io.hpp"
 #include "sim/table.hpp"
 
@@ -48,7 +52,8 @@ std::size_t g_wbuf = 0;
 
 /// Full lifecycle message count for one protocol at one group size.
 std::uint64_t run_lifecycle(Protocol protocol, std::size_t group_size,
-                            obs::TraceRecorder* trace = nullptr) {
+                            obs::TraceRecorder* trace = nullptr,
+                            obs::TelemetryHub* hub = nullptr) {
   TestbedOptions opts;
   opts.n_agents = kAgents;
   opts.group_size = group_size;
@@ -56,6 +61,7 @@ std::uint64_t run_lifecycle(Protocol protocol, std::size_t group_size,
   opts.capacity = 1 << 20;
   opts.mode = core::Mode::kWeak;
   opts.trace = trace;
+  opts.telemetry = hub;
   opts.batch_fabric = g_batch;
   opts.write_buffer_ops = g_wbuf;
   CoherenceTestbed tb(protocol, opts);
@@ -82,6 +88,11 @@ int main(int argc, char** argv) {
   bool tracing = false;
   bool monitor = false;
   const char* json_path = nullptr;
+  bool serve = false;
+  unsigned serve_port = 0;
+  unsigned telemetry_interval_ms = 250;
+  unsigned pace_ms = 0;
+  bool telemetry = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       tracing = true;
@@ -94,12 +105,51 @@ int main(int argc, char** argv) {
       g_wbuf = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve = telemetry = true;
+      serve_port =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--telemetry-interval") == 0 &&
+               i + 1 < argc) {
+      telemetry = true;
+      telemetry_interval_ms =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (telemetry_interval_ms == 0) telemetry_interval_ms = 250;
+    } else if (std::strcmp(argv[i], "--pace") == 0 && i + 1 < argc) {
+      telemetry = true;
+      pace_ms = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace] [--monitor] [--batch] [--wbuf N] "
-                   "[--json out.json]\n",
+                   "[--json out.json] [--serve PORT] "
+                   "[--telemetry-interval MS] [--pace MS]\n",
                    argv[0]);
       return 2;
+    }
+  }
+
+  // Live telemetry rides the BARE Flecc runs; with --trace the traced
+  // re-run stays hub-free, so the message-count equality below proves
+  // both recording and telemetry leave the protocol untouched.
+  std::unique_ptr<obs::TelemetryHub> hub;
+  std::unique_ptr<net::TelemetryServer> server;
+  if (telemetry) {
+    obs::TelemetryOptions topts;
+    topts.interval = sim::msec(telemetry_interval_ms);
+    topts.pace_ms = pace_ms;
+    hub = std::make_unique<obs::TelemetryHub>(topts);
+    if (serve) {
+      server = std::make_unique<net::TelemetryServer>(
+          static_cast<std::uint16_t>(serve_port));
+      if (!server->listening()) {
+        std::fprintf(stderr, "cannot bind telemetry port %u\n", serve_port);
+        return 1;
+      }
+      net::serve_telemetry(*hub, *server);
+      server->serve_background();
+      std::printf("# telemetry: http://127.0.0.1:%u/metrics (also /healthz, "
+                  "/varz)\n",
+                  server->port());
     }
   }
 
@@ -117,7 +167,8 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
   for (std::size_t g = 10; g <= 100; g += 10) {
-    const std::uint64_t flecc_msgs = run_lifecycle(Protocol::kFlecc, g);
+    const std::uint64_t flecc_msgs =
+        run_lifecycle(Protocol::kFlecc, g, nullptr, hub.get());
     if (tracing) {
       // Re-run with a recorder attached; the deterministic simulator
       // must send exactly the same messages with tracing on. Each group
@@ -197,11 +248,25 @@ int main(int argc, char** argv) {
     std::printf("\n# tracing check passed: message counts identical with "
                 "recording on\n");
     const auto events = last_trace.snapshot();
-    if (obs::write_jsonl(events, "fig4_trace.jsonl")) {
+    if (obs::write_jsonl(events, "out/fig4_trace.jsonl")) {
       std::printf("# group=100 trace (%zu events) written to "
-                  "fig4_trace.jsonl\n",
+                  "out/fig4_trace.jsonl\n",
                   events.size());
     }
+  }
+  if (hub != nullptr) {
+    const auto issues = obs::prom::validate(hub->render_metrics());
+    for (const auto& issue : issues) {
+      std::fprintf(stderr, "prom: %s\n", issue.to_string().c_str());
+    }
+    if (!issues.empty() || hub->registry().windows_closed() == 0) {
+      std::fprintf(stderr, "FAIL: telemetry exposition check failed\n");
+      return 1;
+    }
+    std::printf("\n# telemetry check passed: %llu windows sampled, /metrics "
+                "validator-clean\n",
+                static_cast<unsigned long long>(
+                    hub->registry().windows_closed()));
   }
 
   std::printf("\n# shape check (paper): time-sharing flat & lowest; "

@@ -20,15 +20,24 @@
 // conformance monitor (obs::monitor::InvariantMonitor) checks I1-I4
 // live on the concurrent event stream; the example exits non-zero if
 // any invariant is violated and prints the monitor's health report.
+// With `--serve PORT` a TelemetryServer exposes live /metrics, /healthz
+// and /varz while the agents run; here (no simulator) the hub ticks on
+// a wall-clock thread sampling locked fabric-counter snapshots.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <thread>
 
 #include "airline/flight_database.hpp"
 #include "airline/travel_agent_view.hpp"
 #include "core/cache_manager.hpp"
 #include "core/directory_manager.hpp"
+#include "net/telemetry_server.hpp"
 #include "obs/monitor/invariant_monitor.hpp"
+#include "obs/telemetry.hpp"
 #include "rt/thread_fabric.hpp"
 
 using namespace flecc;
@@ -86,11 +95,26 @@ void travel_agent_main(rt::ThreadFabric& fabric, net::Address self,
 
 int main(int argc, char** argv) {
   bool monitor = false;
+  bool serve = false;
+  unsigned serve_port = 0;
+  unsigned telemetry_interval_ms = 100;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--monitor") == 0) {
       monitor = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve = true;
+      serve_port =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--telemetry-interval") == 0 &&
+               i + 1 < argc) {
+      telemetry_interval_ms =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (telemetry_interval_ms == 0) telemetry_interval_ms = 100;
     } else {
-      std::fprintf(stderr, "usage: %s [--monitor]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--monitor] [--serve PORT] "
+                   "[--telemetry-interval MS]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -98,6 +122,45 @@ int main(int argc, char** argv) {
   std::printf("Figure 3: travel agents over the threaded runtime\n\n");
 
   rt::ThreadFabric fabric;
+
+  // Live telemetry over the threaded runtime: no simulator to drive
+  // the sampler, so a wall-clock thread ticks the hub, and the
+  // collector reads a locked snapshot of the fabric counters.
+  std::unique_ptr<obs::TelemetryHub> hub;
+  std::unique_ptr<net::TelemetryServer> server;
+  std::thread ticker;
+  std::atomic<bool> ticker_stop{false};
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (serve) {
+    obs::TelemetryOptions topts;
+    topts.interval = sim::msec(telemetry_interval_ms);
+    hub = std::make_unique<obs::TelemetryHub>(topts);
+    hub->registry().add_collector([&fabric](obs::SampleFrame& f) {
+      f.counters(fabric.counters_snapshot(), "net.");
+    });
+    server = std::make_unique<net::TelemetryServer>(
+        static_cast<std::uint16_t>(serve_port));
+    if (!server->listening()) {
+      std::fprintf(stderr, "cannot bind telemetry port %u\n", serve_port);
+      return 1;
+    }
+    net::serve_telemetry(*hub, *server);
+    server->serve_background();
+    std::printf("telemetry: http://127.0.0.1:%u/metrics (also /healthz, "
+                "/varz)\n\n",
+                server->port());
+    ticker = std::thread([&] {
+      while (!ticker_stop.load()) {
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        hub->tick(static_cast<sim::Time>(us));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(telemetry_interval_ms));
+      }
+    });
+  }
 
   // Tracing + the online conformance monitor: the agent threads and
   // the directory emit concurrently; the monitor serializes on_event
@@ -127,6 +190,15 @@ int main(int argc, char** argv) {
   agent1.join();
   agent2.join();
   fabric.drain();
+
+  if (ticker.joinable()) {
+    ticker_stop.store(true);
+    ticker.join();
+    std::printf("\ntelemetry: %llu windows sampled, %llu scrapes served\n",
+                static_cast<unsigned long long>(
+                    hub->registry().windows_closed()),
+                static_cast<unsigned long long>(server->requests_served()));
+  }
 
   std::printf("\nflight 100: %lld/%lld seats reserved at the database\n",
               static_cast<long long>(db.find(100)->reserved),

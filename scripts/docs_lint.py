@@ -194,6 +194,38 @@ def main() -> int:
                 errors.append(f"{rel}: counter '{counter}' is not "
                               "documented in OBSERVABILITY.md")
 
+    # Live telemetry (OBSERVABILITY.md "Live telemetry"): the hub
+    # knobs, the scrape routes, the alerts.* counter family, and the
+    # bench serving flags must stay documented.
+    telemetry_hpp = (REPO / "src/obs/telemetry.hpp").read_text()
+    for field in ["interval", "window_capacity", "varz_windows", "pace_ms"]:
+        if not re.search(rf"\b{field}\b\s*=", telemetry_hpp):
+            errors.append("src/obs/telemetry.hpp: telemetry knob "
+                          f"'{field}' named in docs_lint.py no longer "
+                          "exists in the header")
+        if f"`{field}`" not in observability:
+            errors.append(f"src/obs/telemetry.hpp: knob '{field}' is not "
+                          "documented in OBSERVABILITY.md")
+    server_cpp = (REPO / "src/net/telemetry_server.cpp").read_text()
+    for route in sorted(set(re.findall(r'route\("(/[a-z]*)"', server_cpp))):
+        if f"`{route}`" not in observability:
+            errors.append(f"src/net/telemetry_server.cpp: endpoint "
+                          f"'{route}' is not documented in OBSERVABILITY.md")
+    alerts_cpp = (REPO / "src/obs/alerts.cpp").read_text()
+    for counter in sorted(set(re.findall(r'"(alerts\.[a-z_.]+)"',
+                                         alerts_cpp))):
+        if f"`{counter}`" not in observability:
+            errors.append(f"src/obs/alerts.cpp: counter '{counter}' is not "
+                          "documented in OBSERVABILITY.md")
+    readme = (REPO / "README.md").read_text()
+    for flag in ["--serve", "--telemetry-interval", "--pace"]:
+        if flag not in observability:
+            errors.append(f"telemetry flag '{flag}' is not documented in "
+                          "OBSERVABILITY.md")
+    if "--serve" not in readme or "flecc_top" not in readme:
+        errors.append("README.md: the live-telemetry quickstart "
+                      "(--serve + flecc_top) is missing")
+
     if errors:
         print(f"docs lint: {len(errors)} problem(s)")
         for e in errors:

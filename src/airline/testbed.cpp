@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "baselines/flecc_client.hpp"
+#include "obs/telemetry.hpp"
 
 namespace flecc::airline {
 
@@ -98,6 +99,11 @@ FleccTestbed::FleccTestbed(TestbedOptions opts)
   crashed_.assign(agents_.size(), false);
   spares_.resize(opts_.spare_hosts);
   spare_journals_.resize(opts_.spare_hosts);
+
+  if (opts_.telemetry != nullptr) {
+    wire_telemetry();
+    schedule_telemetry_tick();
+  }
 }
 
 TravelAgent::Config FleccTestbed::agent_config(std::size_t i) {
@@ -127,7 +133,101 @@ TravelAgent::Config FleccTestbed::agent_config(std::size_t i) {
   return cfg;
 }
 
-FleccTestbed::~FleccTestbed() = default;
+FleccTestbed::~FleccTestbed() {
+  if (opts_.telemetry != nullptr) {
+    opts_.telemetry->registry().remove_collector(telemetry_token_);
+  }
+}
+
+void FleccTestbed::wire_telemetry() {
+  // One read-only collector over the whole deployment. It captures
+  // `this` (agents are replaced by restart_agent(), so per-agent
+  // pointers would dangle) and runs on the sim thread inside
+  // TelemetryHub::tick — it must never mutate protocol state.
+  telemetry_token_ = opts_.telemetry->registry().add_collector(
+      [this](obs::SampleFrame& f) {
+    if (directory_ != nullptr && !dir_crashed_) {
+      f.counters(directory_->stats(), "dm.");
+      f.gauge("dm.views.registered",
+              static_cast<double>(directory_->registered_count()));
+      f.gauge("dm.migrations.inflight",
+              static_cast<double>(directory_->migrations_inflight()));
+      f.gauge("recovery.generation",
+              static_cast<double>(directory_->generation()));
+      f.gauge("health.recovery.rebuilding",
+              directory_->rebuilding() ? 1.0 : 0.0);
+    }
+    f.gauge("health.dm.down", dir_crashed_ ? 1.0 : 0.0);
+    f.counters(fabric_->counters(), "net.");
+    if (batch_ != nullptr) f.counters(batch_->counters(), "logical.");
+
+    // Cache-manager rollup plus per-view dimensional series. Crashed
+    // agents keep contributing their frozen counters to the aggregate
+    // (the object survives for post-mortem) but drop their per-view
+    // series, so view-scoped alerts clear when a view dies; an agent
+    // restart resets its counters, which the registry treats as a
+    // counter reset.
+    sim::CounterSet cm;
+    double breakers_open = 0.0;
+    double degraded = 0.0;
+    const auto fold = [&](const TravelAgent& a) {
+      for (const auto& [name, value] : a.cache().stats().all()) {
+        cm.inc(name, value);
+      }
+      if (a.cache().breaker_state() == core::flow::BreakerState::kOpen) {
+        breakers_open += 1.0;
+      }
+      if (a.cache().degraded()) degraded += 1.0;
+    };
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      fold(*agents_[i]);
+      if (crashed_[i]) continue;
+      const TravelAgent& a = *agents_[i];
+      obs::TsLabels view{{"view", std::to_string(i)}};
+      f.gauge("view.queued_ops",
+              static_cast<double>(a.cache().queued_ops()), view);
+      f.gauge("view.breaker",
+              static_cast<double>(a.cache().breaker_state()), view);
+      f.counter("view.ops_completed",
+                static_cast<double>(a.ops_completed()), view);
+      f.counter("view.confirmed",
+                static_cast<double>(a.view().confirmed_total()), view);
+      f.stat("view.op_latency_us", a.op_latencies(), view);
+    }
+    for (const auto& spare : spares_) {
+      if (spare != nullptr) fold(*spare);
+    }
+    f.counters(cm, "cm.");
+    f.gauge("health.breaker.open", breakers_open);
+    f.gauge("health.cm.degraded", degraded);
+
+    // Per-object (flight) hot-set series, plus database truth.
+    for (const auto& [number, flight] : db_) {
+      f.counter("airline.flight.reserved",
+                static_cast<double>(flight.reserved),
+                {{"flight", std::to_string(number)}});
+    }
+    f.gauge("airline.db.total_reserved",
+            static_cast<double>(db_.total_reserved()));
+    f.counter("airline.db.rejected_seats",
+              static_cast<double>(db_.rejected_seats()));
+  });
+}
+
+void FleccTestbed::schedule_telemetry_tick() {
+  sim::Duration interval = opts_.telemetry->options().interval;
+  if (interval <= 0) interval = sim::msec(250);
+  // Daemon: the sampler must not keep run() alive once the protocol
+  // goes idle, and a pure read of protocol state cannot perturb the
+  // event order either way — that is the telemetry-never-perturbs
+  // guarantee.
+  sim_.schedule_after(interval,
+                      [this] {
+                        opts_.telemetry->tick(sim_.now());
+                        schedule_telemetry_tick();
+                      },
+                      /*daemon=*/true);
+}
 
 void FleccTestbed::init_all_agents() {
   for (auto& agent : agents_) agent->init();
@@ -328,9 +428,56 @@ CoherenceTestbed::CoherenceTestbed(Protocol protocol, TestbedOptions opts)
     }
     views_.push_back(std::move(view));
   }
+
+  if (opts_.telemetry != nullptr) {
+    wire_telemetry();
+    schedule_telemetry_tick();
+  }
 }
 
-CoherenceTestbed::~CoherenceTestbed() = default;
+CoherenceTestbed::~CoherenceTestbed() {
+  if (opts_.telemetry != nullptr) {
+    opts_.telemetry->registry().remove_collector(telemetry_token_);
+  }
+}
+
+void CoherenceTestbed::wire_telemetry() {
+  telemetry_token_ = opts_.telemetry->registry().add_collector(
+      [this](obs::SampleFrame& f) {
+    f.counters(fabric_->counters(), "net.");
+    if (batch_ != nullptr) f.counters(batch_->counters(), "logical.");
+    if (directory_ != nullptr) {
+      f.counters(directory_->stats(), "dm.");
+      f.gauge("dm.views.registered",
+              static_cast<double>(directory_->registered_count()));
+    }
+    for (std::size_t i = 0; i < views_.size(); ++i) {
+      f.counter("view.confirmed",
+                static_cast<double>(views_[i]->confirmed_total()),
+                {{"view", std::to_string(i)}});
+    }
+    for (const auto& [number, flight] : db_) {
+      f.counter("airline.flight.reserved",
+                static_cast<double>(flight.reserved),
+                {{"flight", std::to_string(number)}});
+    }
+    f.gauge("airline.db.total_reserved",
+            static_cast<double>(db_.total_reserved()));
+    f.counter("airline.db.rejected_seats",
+              static_cast<double>(db_.rejected_seats()));
+  });
+}
+
+void CoherenceTestbed::schedule_telemetry_tick() {
+  sim::Duration interval = opts_.telemetry->options().interval;
+  if (interval <= 0) interval = sim::msec(250);
+  sim_.schedule_after(interval,
+                      [this] {
+                        opts_.telemetry->tick(sim_.now());
+                        schedule_telemetry_tick();
+                      },
+                      /*daemon=*/true);
+}
 
 void CoherenceTestbed::connect_all() {
   for (auto& client : clients_) client->connect({});

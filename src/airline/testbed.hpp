@@ -22,6 +22,10 @@
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
+namespace flecc::obs {
+class TelemetryHub;
+}  // namespace flecc::obs
+
 namespace flecc::airline {
 
 /// Which coherence protocol a CoherenceTestbed deploys (Figure 4).
@@ -96,6 +100,14 @@ struct TestbedOptions {
   /// Extra idle LAN hosts reserved as live-migration destinations
   /// (spawn_destination() places an await-migration agent on one).
   std::size_t spare_hosts = 0;
+  // ---- live telemetry (OBSERVABILITY.md "Live telemetry") ---------------
+  /// Live-telemetry hub (not owned; nullptr disables — zero overhead).
+  /// The testbed registers read-only collectors (directory/fabric/CM
+  /// counters, per-view and per-flight dimensional series, `health.*`
+  /// gauges) and drives hub->tick() from a simulated-time daemon event
+  /// every hub interval, so sampling is deterministic and never
+  /// perturbs the protocol.
+  obs::TelemetryHub* telemetry = nullptr;
 };
 
 /// Full-featured Flecc deployment with TravelAgent drivers (Figures 5-6).
@@ -218,6 +230,10 @@ class FleccTestbed {
  private:
   /// Shared agent configuration (constructor + restart_agent).
   TravelAgent::Config agent_config(std::size_t i);
+  /// Register the telemetry collectors on opts_.telemetry.
+  void wire_telemetry();
+  /// Self-rescheduling daemon event calling hub->tick() every interval.
+  void schedule_telemetry_tick();
 
   TestbedOptions opts_;
   GroupAssignment assignment_;
@@ -244,6 +260,10 @@ class FleccTestbed {
   net::Address dir_addr_{};
   bool dir_crashed_ = false;
   std::int64_t retired_confirmed_ = 0;
+  /// Collector registration on opts_.telemetry (removed on destruction
+  /// so a hub shared across consecutive runs never samples a dead
+  /// testbed).
+  std::size_t telemetry_token_ = 0;
 };
 
 /// Protocol-parametric deployment behind the CoherenceClient interface
@@ -281,6 +301,11 @@ class CoherenceTestbed {
   void connect_all();
 
  private:
+  /// Minimal telemetry wiring (fabric/db/directory counters) so fig4
+  /// runs can serve live metrics too.
+  void wire_telemetry();
+  void schedule_telemetry_tick();
+
   Protocol protocol_;
   TestbedOptions opts_;
   GroupAssignment assignment_;
@@ -298,6 +323,8 @@ class CoherenceTestbed {
 
   std::vector<std::unique_ptr<TravelAgentView>> views_;
   std::vector<std::unique_ptr<baselines::CoherenceClient>> clients_;
+  /// See FleccTestbed::telemetry_token_.
+  std::size_t telemetry_token_ = 0;
 };
 
 }  // namespace flecc::airline

@@ -1,0 +1,98 @@
+// TelemetryServer: the repo's first real-socket code — a deliberately
+// minimal blocking-accept/poll HTTP/1.1 listener that serves the
+// TelemetryHub's scrape surfaces (GET /metrics, /healthz, /varz) to
+// curl, Prometheus, and tools/flecc_top. One request per connection
+// (Connection: close), GET only, loopback by default; this is a
+// diagnostics port, not a web framework — and a stepping stone toward
+// the ROADMAP item 5 socket fabric.
+//
+// Threading: the server owns one background thread that polls the
+// listening socket and handles one request at a time. Handlers run on
+// that thread, so everything they touch must be thread-safe —
+// TelemetryHub's renderers are. The simulation thread is never
+// involved, which is how serving cannot perturb determinism.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace flecc::obs {
+class TelemetryHub;
+}  // namespace flecc::obs
+
+namespace flecc::net {
+
+/// What a handler returns for one request.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal single-threaded HTTP listener.
+class TelemetryServer {
+ public:
+  /// `port` 0 binds an ephemeral port (read it back via port()).
+  /// `host` must be a dotted-quad; keep the default loopback unless
+  /// you really mean to expose the diagnostics port.
+  explicit TelemetryServer(std::uint16_t port = 0,
+                           const std::string& host = "127.0.0.1");
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// False if bind/listen failed (port taken, no permission).
+  [[nodiscard]] bool listening() const { return listen_fd_ >= 0; }
+  /// The bound port (resolved after an ephemeral bind).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  using Handler = std::function<HttpResponse()>;
+  /// Serve `path` (exact match, e.g. "/metrics") with `handler`.
+  void route(const std::string& path, Handler handler);
+
+  /// Wait up to `timeout_ms` for one connection and serve it fully.
+  /// Returns true if a request was handled.
+  bool poll_once(int timeout_ms);
+
+  /// Start the background accept loop.
+  void serve_background();
+  /// Stop the loop and join the thread (idempotent; also run by the
+  /// destructor).
+  void stop();
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load();
+  }
+
+ private:
+  bool handle_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::pair<std::string, Handler>> routes_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+/// Register the three scrape endpoints for `hub` on `server`:
+/// /metrics (Prometheus text exposition), /healthz (JSON rollup),
+/// /varz (JSON windows). Also routes "/" to a tiny index page.
+void serve_telemetry(obs::TelemetryHub& hub, TelemetryServer& server);
+
+/// Blocking one-shot HTTP GET (used by flecc_top and the tests).
+/// Returns the response body on HTTP 200, nullopt on connect/read
+/// failure or any other status.
+[[nodiscard]] std::optional<std::string> http_get(const std::string& host,
+                                                  std::uint16_t port,
+                                                  const std::string& path,
+                                                  int timeout_ms = 2000);
+
+}  // namespace flecc::net

@@ -1,0 +1,236 @@
+#include "obs/alerts.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace flecc::obs {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool fail(std::string* error, std::string_view msg) {
+  if (error != nullptr) *error = std::string(msg);
+  return false;
+}
+
+const char* cmp_str(AlertRule::Cmp c) {
+  switch (c) {
+    case AlertRule::Cmp::kGt: return ">";
+    case AlertRule::Cmp::kGe: return ">=";
+    case AlertRule::Cmp::kLt: return "<";
+    case AlertRule::Cmp::kLe: return "<=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::optional<AlertRule> AlertRule::parse(std::string_view text,
+                                          std::string* error) {
+  AlertRule r;
+  text = trim(text);
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    fail(error, "missing ':' after the rule name");
+    return std::nullopt;
+  }
+  r.name = std::string(trim(text.substr(0, colon)));
+  if (r.name.empty()) {
+    fail(error, "empty rule name");
+    return std::nullopt;
+  }
+
+  std::istringstream in{std::string(text.substr(colon + 1))};
+  std::string metric, cmp, threshold;
+  if (!(in >> metric >> cmp >> threshold)) {
+    fail(error, "expected '<metric>[/s] <cmp> <threshold>' after ':'");
+    return std::nullopt;
+  }
+  if (metric.size() > 2 && metric.compare(metric.size() - 2, 2, "/s") == 0) {
+    r.rate = true;
+    metric.resize(metric.size() - 2);
+  }
+  r.metric = metric;
+  if (cmp == ">") r.cmp = Cmp::kGt;
+  else if (cmp == ">=") r.cmp = Cmp::kGe;
+  else if (cmp == "<") r.cmp = Cmp::kLt;
+  else if (cmp == "<=") r.cmp = Cmp::kLe;
+  else {
+    fail(error, "comparison must be one of > >= < <=, got '" + cmp + "'");
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  r.threshold = std::strtod(threshold.c_str(), &end);
+  if (end != threshold.c_str() + threshold.size()) {
+    fail(error, "unparsable threshold '" + threshold + "'");
+    return std::nullopt;
+  }
+
+  std::string word;
+  if (in >> word) {
+    std::string n;
+    if (word != "for" || !(in >> n)) {
+      fail(error, "expected 'for <N>' after the threshold");
+      return std::nullopt;
+    }
+    const long sustain = std::strtol(n.c_str(), &end, 10);
+    if (end != n.c_str() + n.size() || sustain < 1) {
+      fail(error, "sustain count must be a positive integer, got '" + n + "'");
+      return std::nullopt;
+    }
+    r.sustain = static_cast<std::size_t>(sustain);
+    if (in >> word) {
+      fail(error, "trailing garbage '" + word + "'");
+      return std::nullopt;
+    }
+  }
+  return r;
+}
+
+std::string AlertRule::to_string() const {
+  std::ostringstream out;
+  out << name << ": " << metric << (rate ? "/s" : "") << " " << cmp_str(cmp)
+      << " " << threshold;
+  if (sustain != 1) out << " for " << sustain;
+  return out.str();
+}
+
+bool AlertRule::breaches(double value) const {
+  switch (cmp) {
+    case Cmp::kGt: return value > threshold;
+    case Cmp::kGe: return value >= threshold;
+    case Cmp::kLt: return value < threshold;
+    case Cmp::kLe: return value <= threshold;
+  }
+  return false;
+}
+
+bool AlertEngine::add_rule(std::string_view text, std::string* error) {
+  auto rule = AlertRule::parse(text, error);
+  if (!rule) return false;
+  add_rule(std::move(*rule));
+  return true;
+}
+
+void AlertEngine::evaluate(const TelemetryWindow& w) {
+  struct Change {
+    EventKind kind;
+    std::string rule;
+    SeriesId series;
+    double value;
+  };
+  std::vector<Change> changes;
+  std::vector<ActiveAlert> next_active;
+
+  for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+    const AlertRule& rule = rules_[ri];
+    // Visit every labeled series of the watched family. A series that
+    // disappears from the window (restarted agent) resets its streak
+    // and clears its alert below, because absent keys keep breaching=0.
+    std::map<SeriesId, double> observed;
+    const SeriesId lo{rule.metric, {}};
+    for (auto it = w.series.lower_bound(lo);
+         it != w.series.end() && it->first.name == rule.metric; ++it) {
+      const SeriesSample& s = it->second;
+      observed[it->first] = rule.rate ? s.rate : s.value;
+    }
+    // Update streaks for observed series; sweep stale streak entries
+    // of this rule so cleared series emit alert_cleared exactly once.
+    for (auto it = streaks_.lower_bound({ri, SeriesId{}});
+         it != streaks_.end() && it->first.first == ri; ++it) {
+      if (observed.count(it->first.second) == 0 && it->second.active) {
+        changes.push_back({EventKind::kAlertCleared, rule.name,
+                           it->first.second, 0.0});
+        it->second = Streak{};
+      }
+    }
+    for (const auto& [id, value] : observed) {
+      Streak& st = streaks_[{ri, id}];
+      if (rule.breaches(value)) {
+        ++st.breaching;
+        if (!st.active && st.breaching >= rule.sustain) {
+          st.active = true;
+          changes.push_back({EventKind::kAlertRaised, rule.name, id, value});
+        }
+      } else {
+        st.breaching = 0;
+        if (st.active) {
+          st.active = false;
+          changes.push_back({EventKind::kAlertCleared, rule.name, id, value});
+        }
+      }
+      if (st.active) {
+        next_active.push_back({rule.name, id, value, w.end, w.index});
+      }
+    }
+  }
+
+  std::uint64_t raised = 0, cleared = 0;
+  for (const Change& c : changes) {
+    if (c.kind == EventKind::kAlertRaised) ++raised;
+    else ++cleared;
+    if (trace_ != nullptr) {
+      trace_->emit(make_event(w.end, c.kind, Role::kOther, /*agent=*/0,
+                              /*span=*/0, c.rule.c_str(), /*a=*/w.index,
+                              /*b=*/0));
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++evaluated_;
+  raised_ += raised;
+  cleared_ += cleared;
+  // Keep the original raise time for alerts that were already active.
+  for (ActiveAlert& a : next_active) {
+    for (const ActiveAlert& prev : active_) {
+      if (prev.rule == a.rule && prev.series == a.series) {
+        a.since = prev.since;
+        a.window = prev.window;
+        break;
+      }
+    }
+  }
+  active_ = std::move(next_active);
+}
+
+std::vector<ActiveAlert> AlertEngine::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+std::uint64_t AlertEngine::raised_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return raised_;
+}
+
+std::uint64_t AlertEngine::cleared_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cleared_;
+}
+
+std::uint64_t AlertEngine::windows_evaluated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluated_;
+}
+
+sim::CounterSet AlertEngine::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim::CounterSet out;
+  out.inc("alerts.raised", raised_);
+  out.inc("alerts.cleared", cleared_);
+  out.inc("alerts.evaluations", evaluated_);
+  return out;
+}
+
+}  // namespace flecc::obs

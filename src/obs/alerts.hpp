@@ -1,0 +1,111 @@
+// Declarative SLO rules over TimeSeriesRegistry windows. A rule names
+// one series family, a comparison against either the cumulative/gauge
+// value or the windowed per-second rate, and a sustain count: the
+// alert raises only after the condition holds for N *consecutive*
+// closed windows (so a single noisy window cannot page anyone) and
+// clears on the first window where it no longer holds.
+//
+// Rules evaluate per labeled series — "view.queued_ops > 8 for 2"
+// watches every {view=...} series independently and raises one alert
+// per breaching view. Raises and clears emit alert_raised /
+// alert_cleared trace events (label = rule name, a = window index)
+// and bump the alerts.* counter family; TelemetryHub surfaces the
+// active set in /healthz and /metrics.
+//
+// Text syntax (parse()):
+//
+//     <name>: <metric>[/s] <cmp> <threshold> [for <N>]
+//
+// e.g.  "breaker-storm: cm.breaker.open/s > 0 for 1"
+//       "deep-queues: view.queued_ops >= 8 for 3"
+// `/s` selects the windowed rate (counters only — gauges have no
+// rate); cmp is one of > >= < <=; `for N` defaults to 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "sim/stats.hpp"
+
+namespace flecc::obs {
+
+/// One declarative SLO rule.
+struct AlertRule {
+  enum class Cmp : std::uint8_t { kGt, kGe, kLt, kLe };
+
+  std::string name;         ///< rule id; appears in events/labels
+  std::string metric;       ///< series family name to watch
+  bool rate = false;        ///< compare the windowed per-second rate
+  Cmp cmp = Cmp::kGt;
+  double threshold = 0.0;
+  std::size_t sustain = 1;  ///< consecutive breaching windows to raise
+
+  /// Parse the text syntax above; on failure returns nullopt and (if
+  /// non-null) stores a one-line reason in *error.
+  [[nodiscard]] static std::optional<AlertRule> parse(
+      std::string_view text, std::string* error = nullptr);
+  /// Render back into the text syntax.
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool breaches(double value) const;
+};
+
+/// An alert currently firing.
+struct ActiveAlert {
+  std::string rule;
+  SeriesId series;            ///< the breaching labeled series
+  double value = 0.0;         ///< last breaching observation
+  sim::Time since = 0;        ///< end of the window that raised it
+  std::uint64_t window = 0;   ///< index of the window that raised it
+};
+
+/// Evaluates every rule against every matching labeled series of each
+/// closed window. evaluate() must be called from one thread (the
+/// sampling thread); the snapshot accessors are safe from any thread.
+class AlertEngine {
+ public:
+  void add_rule(AlertRule r) { rules_.push_back(std::move(r)); }
+  /// Parse-and-add; returns false (and *error) on a syntax error.
+  bool add_rule(std::string_view text, std::string* error = nullptr);
+  [[nodiscard]] const std::vector<AlertRule>& rules() const { return rules_; }
+
+  /// Raised/cleared events go to this buffer (may be null).
+  void set_trace(TraceBuffer* buf) { trace_ = buf; }
+
+  /// Evaluate one closed window (windows must arrive in order).
+  void evaluate(const TelemetryWindow& w);
+
+  [[nodiscard]] std::vector<ActiveAlert> active() const;
+  [[nodiscard]] std::uint64_t raised_total() const;
+  [[nodiscard]] std::uint64_t cleared_total() const;
+  [[nodiscard]] std::uint64_t windows_evaluated() const;
+  /// The alerts.* counter family (alerts.raised, alerts.cleared,
+  /// alerts.evaluations) — snapshot copy, safe from any thread.
+  [[nodiscard]] sim::CounterSet counters() const;
+
+ private:
+  /// Per-(rule, series) consecutive-breach bookkeeping.
+  struct Streak {
+    std::size_t breaching = 0;  // consecutive breaching windows
+    bool active = false;
+  };
+
+  std::vector<AlertRule> rules_;
+  TraceBuffer* trace_ = nullptr;
+  // Keyed by (rule index, series); only touched by evaluate().
+  std::map<std::pair<std::size_t, SeriesId>, Streak> streaks_;
+
+  mutable std::mutex mu_;  // guards the published snapshot below
+  std::vector<ActiveAlert> active_;
+  std::uint64_t raised_ = 0;
+  std::uint64_t cleared_ = 0;
+  std::uint64_t evaluated_ = 0;
+};
+
+}  // namespace flecc::obs

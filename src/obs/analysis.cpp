@@ -140,6 +140,12 @@ TraceSummary summarize(const std::vector<TraceEvent>& events) {
         ++s.journal_replays;
         s.journal_replayed += e.b;
         break;
+      case EventKind::kAlertRaised:
+        ++s.alerts_raised;
+        break;
+      case EventKind::kAlertCleared:
+        ++s.alerts_cleared;
+        break;
     }
   }
   s.recovery_unresolved = open_recoveries.size();
@@ -196,6 +202,8 @@ void export_metrics(const TraceSummary& s, MetricsRegistry& reg) {
   reg.inc("migrate.unresolved_epochs", s.migration_unresolved);
   reg.inc("journal.replays", s.journal_replays);
   reg.inc("journal.replayed_records", s.journal_replayed);
+  reg.inc("trace.alerts.raised", s.alerts_raised);
+  reg.inc("trace.alerts.cleared", s.alerts_cleared);
   {
     auto& ss = reg.samples("migrate.duration_us");
     for (double v : s.migration_duration_us.samples()) ss.add(v);
@@ -317,6 +325,10 @@ std::string render_report(const TraceSummary& s) {
       out << " settle_mean_us=" << fmt_us(s.migration_duration_us.mean());
     }
     out << "\n";
+  }
+  if (s.alerts_raised != 0 || s.alerts_cleared != 0) {
+    out << "alerts: raised=" << s.alerts_raised
+        << " cleared=" << s.alerts_cleared << "\n";
   }
   return out.str();
 }

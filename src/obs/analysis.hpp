@@ -75,6 +75,11 @@ struct TraceSummary {
   /// Per-epoch settle duration (migrate_begin → done/aborted), µs.
   sim::SampleSet migration_duration_us;
 
+  /// SLO alert lifecycle (kAlertRaised / kAlertCleared emitted by
+  /// obs::AlertEngine; `label` carries the rule name).
+  std::uint64_t alerts_raised = 0;
+  std::uint64_t alerts_cleared = 0;
+
   sim::Time first_at = 0;
   sim::Time last_at = 0;
   std::uint64_t total_events = 0;

@@ -1,8 +1,11 @@
 #include "obs/metrics.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "obs/prom.hpp"
 
 namespace flecc::obs {
 
@@ -75,60 +78,62 @@ bool MetricsRegistry::write_csv(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
-namespace {
-
-/// "op.pull.latency_us" -> "flecc_op_pull_latency_us"; anything
-/// outside [a-zA-Z0-9_] becomes '_' so exporters never see an
-/// invalid metric name.
-std::string prom_name(const std::string& name) {
-  std::string out = "flecc_";
-  for (char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9');
-    out += ok ? c : '_';
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string MetricsRegistry::to_prometheus() const {
-  std::ostringstream out;
+  prom::Writer w;
   for (const auto& [name, value] : counters_.all()) {
-    const std::string p = prom_name(name);
-    out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+    const auto split = prom::split_family(name);
+    const std::string& base = split ? split->base : name;
+    const std::string fam = prom::metric_name(base) + "_total";
+    w.family(fam, "counter",
+             "Cumulative count of '" + base + "'; see OBSERVABILITY.md.");
+    prom::Labels labels;
+    if (split) {
+      labels.push_back({prom::label_key(split->label_k), split->label_v});
+    }
+    w.sample(fam, std::move(labels), static_cast<double>(value));
   }
   for (const auto& [name, ss] : samples_) {
     if (ss.empty()) continue;
-    const std::string p = prom_name(name);
-    out << "# TYPE " << p << " summary\n";
-    out << p << "{quantile=\"0.5\"} " << fmt(ss.quantile(0.5)) << "\n";
-    out << p << "{quantile=\"0.9\"} " << fmt(ss.quantile(0.9)) << "\n";
-    out << p << "{quantile=\"0.99\"} " << fmt(ss.quantile(0.99)) << "\n";
-    out << p << "{quantile=\"0.999\"} " << fmt(ss.quantile(0.999)) << "\n";
-    out << p << "_sum " << fmt(ss.mean() * static_cast<double>(ss.count()))
-        << "\n";
-    out << p << "_count " << ss.count() << "\n";
+    const auto split = prom::split_family(name);
+    const std::string& base = split ? split->base : name;
+    const std::string fam = prom::metric_name(base);
+    w.family(fam, "summary",
+             "Distribution of '" + base + "'; see OBSERVABILITY.md.");
+    prom::Labels dims;
+    if (split) {
+      dims.push_back({prom::label_key(split->label_k), split->label_v});
+    }
+    for (const char* q : {"0.5", "0.9", "0.99", "0.999"}) {
+      prom::Labels labels = dims;
+      labels.push_back({"quantile", q});
+      w.sample(fam, std::move(labels), ss.quantile(std::atof(q)));
+    }
+    w.child_sample(fam, "_sum", dims,
+                   ss.mean() * static_cast<double>(ss.count()));
+    w.child_sample(fam, "_count", dims, static_cast<double>(ss.count()));
   }
   for (const auto& [name, st] : stats_) {
     if (samples_.count(name) != 0) continue;  // already a summary
-    const std::string p = prom_name(name);
-    out << "# TYPE " << p << " gauge\n" << p << " " << fmt(st.mean()) << "\n";
+    const std::string fam = prom::metric_name(name);
+    w.family(fam, "gauge", "Mean of '" + name + "'; see OBSERVABILITY.md.");
+    w.sample(fam, {}, st.mean());
   }
   for (const auto& [name, h] : hists_) {
     if (h.total() == 0) continue;
-    const std::string p = prom_name(name) + "_hist";
-    out << "# TYPE " << p << " histogram\n";
+    const std::string fam = prom::metric_name(name) + "_hist";
+    w.family(fam, "histogram",
+             "Linear-bin histogram of '" + name + "'; see OBSERVABILITY.md.");
     std::size_t cum = h.underflow();
     for (std::size_t i = 0; i < h.bins(); ++i) {
       cum += h.bin_count(i);
-      out << p << "_bucket{le=\"" << fmt(h.bin_lo(i + 1)) << "\"} " << cum
-          << "\n";
+      w.child_sample(fam, "_bucket", {{"le", fmt(h.bin_lo(i + 1))}},
+                     static_cast<double>(cum));
     }
-    out << p << "_bucket{le=\"+Inf\"} " << h.total() << "\n";
-    out << p << "_count " << h.total() << "\n";
+    w.child_sample(fam, "_bucket", {{"le", "+Inf"}},
+                   static_cast<double>(h.total()));
+    w.child_sample(fam, "_count", {}, static_cast<double>(h.total()));
   }
-  return out.str();
+  return w.str();
 }
 
 bool MetricsRegistry::write_prometheus(const std::string& path) const {

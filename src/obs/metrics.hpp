@@ -67,12 +67,17 @@ class MetricsRegistry {
   /// Human-readable summary (counters, then distributions with
   /// count/mean/p50/p99/max).
   [[nodiscard]] std::string to_string() const;
-  /// Prometheus text exposition format (text/plain; version 0.0.4).
-  /// Names get a "flecc_" prefix with dots mapped to underscores;
-  /// counters export as `counter`, sample sets as `summary`
-  /// (p50/p90/p99/p99.9 quantiles plus _sum/_count), stats without a
-  /// sample set as `gauge` (mean), linear histograms as cumulative
-  /// `histogram` buckets. See OBSERVABILITY.md.
+  /// Prometheus text exposition format (text/plain; version 0.0.4),
+  /// built on obs/prom.hpp: every family gets `# HELP`/`# TYPE`
+  /// lines, names get a "flecc_" prefix with illegal characters
+  /// mapped to underscores, and dotted category families
+  /// ("flow.shed.<type>", "msg.dropped.<reason>", ...) render as one
+  /// labeled series per dimension instead of name-mangled series.
+  /// Counters export as `counter` (`_total` suffix), sample sets as
+  /// `summary` (p50/p90/p99/p99.9 quantiles plus _sum/_count), stats
+  /// without a sample set as `gauge` (mean), linear histograms as
+  /// cumulative `histogram` buckets. Output passes prom::validate();
+  /// see OBSERVABILITY.md.
   [[nodiscard]] std::string to_prometheus() const;
   bool write_prometheus(const std::string& path) const;
 

@@ -1,0 +1,509 @@
+#include "obs/prom.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace flecc::obs::prom {
+
+namespace {
+
+bool name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+bool name_char(char c) {
+  return name_start(c) || (c >= '0' && c <= '9');
+}
+bool label_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool label_char(char c) {
+  return label_start(c) || (c >= '0' && c <= '9');
+}
+
+}  // namespace
+
+std::string metric_name(std::string_view dotted) {
+  std::string out = "flecc_";
+  out.reserve(out.size() + dotted.size());
+  for (char c : dotted) out += name_char(c) ? c : '_';
+  return out;
+}
+
+std::string label_key(std::string_view raw) {
+  if (raw.empty()) return "_";
+  std::string out;
+  out.reserve(raw.size() + 1);
+  if (!label_start(raw.front())) out += '_';
+  for (char c : raw) out += label_char(c) ? c : '_';
+  return out;
+}
+
+std::string escape_label_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+namespace {
+
+// The labeled-family table. Order matters: the first family whose
+// dotted path appears as a whole segment run wins, so put the more
+// specific (longer) families before any shorter family they contain.
+// Every entry here must be reflected in OBSERVABILITY.md's Prometheus
+// section.
+struct FamilyRule {
+  std::string_view family;  // dotted family base
+  std::string_view key;     // label key carrying the trailing segment
+};
+constexpr FamilyRule kFamilyRules[] = {
+    {"trace.msgs.dropped", "reason"},  // before msg.dropped-alikes
+    {"trace.trigger.fired", "trigger"},
+    {"op.latency_us", "op"},  // monitor.op.latency_us.<op> summaries
+    {"flow.shed", "type"},
+    {"msg.sent", "type"},
+    {"msg.delivered", "type"},
+    {"msg.dropped", "reason"},
+    {"msg.duplicate", "type"},
+    {"msg.stale", "type"},
+    {"batch.flush", "reason"},
+    {"breaker", "event"},  // closed/open/half_open transitions + degrade/restore
+    {"shed.pull", "scope"},
+    {"migrate.aborted", "reason"},
+    {"alerts.active", "alert"},
+};
+
+}  // namespace
+
+std::optional<FamilySplit> split_family(std::string_view dotted) {
+  for (const FamilyRule& rule : kFamilyRules) {
+    // Accept the family at the start of the name or after a '.', and
+    // require a non-empty trailing segment after it.
+    std::size_t pos = 0;
+    while (true) {
+      pos = dotted.find(rule.family, pos);
+      if (pos == std::string_view::npos) break;
+      const bool starts_ok = pos == 0 || dotted[pos - 1] == '.';
+      const std::size_t after = pos + rule.family.size();
+      const bool ends_ok = after + 1 < dotted.size() && dotted[after] == '.';
+      if (starts_ok && ends_ok) {
+        FamilySplit split;
+        split.base = std::string(dotted.substr(0, after));
+        split.label_k = std::string(rule.key);
+        split.label_v = std::string(dotted.substr(after + 1));
+        return split;
+      }
+      ++pos;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- Writer -----------------------------------------------------------
+
+Writer::Family* Writer::find(const std::string& name) {
+  for (Family& f : families_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+void Writer::family(const std::string& name, std::string_view type,
+                    std::string_view help) {
+  if (find(name) != nullptr) return;
+  families_.push_back({name, std::string(type), std::string(help), {}});
+}
+
+void Writer::sample(const std::string& family, Labels labels, double value) {
+  child_sample(family, "", std::move(labels), value);
+}
+
+void Writer::child_sample(const std::string& family, std::string_view suffix,
+                          Labels labels, double value) {
+  Family* f = find(family);
+  if (f == nullptr) {
+    families_.push_back({family, "untyped", "", {}});
+    f = &families_.back();
+  }
+  std::sort(labels.begin(), labels.end());
+  for (SampleLine& line : f->samples) {
+    if (line.suffix == suffix && line.labels == labels) {
+      line.value += value;  // merged collision (two names, one series)
+      return;
+    }
+  }
+  f->samples.push_back({std::string(suffix), std::move(labels), value});
+}
+
+std::string Writer::str() const {
+  std::ostringstream out;
+  for (const Family& f : families_) {
+    if (!f.help.empty()) {
+      out << "# HELP " << f.name << " " << escape_help(f.help) << "\n";
+    }
+    out << "# TYPE " << f.name << " " << f.type << "\n";
+    for (const SampleLine& s : f.samples) {
+      out << f.name << s.suffix;
+      if (!s.labels.empty()) {
+        out << "{";
+        bool first = true;
+        for (const auto& [k, v] : s.labels) {
+          if (!first) out << ",";
+          first = false;
+          out << k << "=\"" << escape_label_value(v) << "\"";
+        }
+        out << "}";
+      }
+      out << " " << format_value(s.value) << "\n";
+    }
+  }
+  return out.str();
+}
+
+// ---- validate ---------------------------------------------------------
+
+std::string Issue::to_string() const {
+  std::ostringstream out;
+  out << "line " << line << ": " << message;
+  return out.str();
+}
+
+namespace {
+
+struct FamilyState {
+  bool has_help = false;
+  bool has_type = false;
+  bool has_samples = false;
+  bool finished = false;  // a different family's samples came after ours
+  std::string type = "untyped";
+};
+
+struct Validator {
+  std::vector<Issue> issues;
+  std::map<std::string, FamilyState> families;
+  std::set<std::string> seen_series;
+  std::string current_family;
+  std::size_t line_no = 0;
+
+  void issue(std::string msg) { issues.push_back({line_no, std::move(msg)}); }
+
+  static bool valid_name(std::string_view s) {
+    if (s.empty() || !name_start(s[0])) return false;
+    return std::all_of(s.begin(), s.end(), name_char);
+  }
+  static bool valid_label_key(std::string_view s) {
+    if (s.empty() || !label_start(s[0])) return false;
+    return std::all_of(s.begin(), s.end(), label_char);
+  }
+
+  // Map a sample name to the family it belongs to: summary/histogram
+  // children attach to their declared parent.
+  std::string family_of(const std::string& name) {
+    static constexpr std::string_view kChildSuffixes[] = {"_sum", "_count",
+                                                          "_bucket"};
+    for (std::string_view suffix : kChildSuffixes) {
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        const std::string base = name.substr(0, name.size() - suffix.size());
+        auto it = families.find(base);
+        if (it != families.end() &&
+            (it->second.type == "summary" || it->second.type == "histogram")) {
+          return base;
+        }
+      }
+    }
+    return name;
+  }
+
+  void enter_family(const std::string& fam) {
+    if (fam == current_family) return;
+    if (!current_family.empty()) families[current_family].finished = true;
+    FamilyState& st = families[fam];
+    if (st.finished) {
+      issue("family '" + fam + "' reopened after other families' samples");
+      st.finished = false;
+    }
+    current_family = fam;
+  }
+
+  void on_meta(const std::string& kind, std::string_view rest) {
+    // rest = "<name> <payload>"
+    const std::size_t sp = rest.find(' ');
+    const std::string name(rest.substr(0, sp));
+    if (!valid_name(name)) {
+      issue("# " + kind + " with invalid metric name '" + name + "'");
+      return;
+    }
+    enter_family(name);
+    FamilyState& st = families[name];
+    if (st.has_samples) {
+      issue("# " + kind + " for '" + name + "' after its samples");
+    }
+    if (kind == "HELP") {
+      if (st.has_help) issue("duplicate # HELP for '" + name + "'");
+      st.has_help = true;
+      const std::string_view help =
+          sp == std::string_view::npos ? std::string_view{} : rest.substr(sp + 1);
+      for (std::size_t i = 0; i < help.size(); ++i) {
+        if (help[i] != '\\') continue;
+        if (i + 1 >= help.size() || (help[i + 1] != '\\' && help[i + 1] != 'n')) {
+          issue("invalid escape in HELP text for '" + name + "'");
+          break;
+        }
+        ++i;
+      }
+    } else {
+      if (st.has_type) issue("duplicate # TYPE for '" + name + "'");
+      st.has_type = true;
+      std::string type(sp == std::string_view::npos ? std::string_view{}
+                                                    : rest.substr(sp + 1));
+      static const std::set<std::string> kTypes = {"counter", "gauge", "summary",
+                                                   "histogram", "untyped"};
+      if (kTypes.count(type) == 0) {
+        issue("unknown TYPE '" + type + "' for '" + name + "'");
+        type = "untyped";
+      }
+      if (type == "counter" && name.size() >= 6 &&
+          name.compare(name.size() - 6, 6, "_total") != 0) {
+        issue("counter '" + name + "' does not end in _total");
+      }
+      st.type = type;
+    }
+  }
+
+  // Parse the label block starting after '{' at `pos`; returns the
+  // index one past the closing '}' or npos on error (issue reported).
+  std::size_t parse_labels(const std::string& line, std::size_t pos,
+                           Labels* out) {
+    std::set<std::string> keys;
+    while (true) {
+      while (pos < line.size() && line[pos] == ' ') ++pos;
+      if (pos < line.size() && line[pos] == '}') return pos + 1;
+      std::size_t key_end = pos;
+      while (key_end < line.size() && label_char(line[key_end])) ++key_end;
+      const std::string key = line.substr(pos, key_end - pos);
+      if (!valid_label_key(key)) {
+        issue("invalid label key '" + key + "'");
+        return std::string::npos;
+      }
+      if (!keys.insert(key).second) issue("duplicate label key '" + key + "'");
+      pos = key_end;
+      if (pos >= line.size() || line[pos] != '=') {
+        issue("expected '=' after label key '" + key + "'");
+        return std::string::npos;
+      }
+      ++pos;
+      if (pos >= line.size() || line[pos] != '"') {
+        issue("label value for '" + key + "' is not quoted");
+        return std::string::npos;
+      }
+      ++pos;
+      std::string value;
+      bool closed = false;
+      while (pos < line.size()) {
+        const char c = line[pos];
+        if (c == '\\') {
+          if (pos + 1 >= line.size()) break;
+          const char e = line[pos + 1];
+          if (e != '\\' && e != '"' && e != 'n') {
+            issue("invalid escape '\\" + std::string(1, e) +
+                  "' in label value for '" + key + "'");
+          }
+          value += e == 'n' ? '\n' : e;
+          pos += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++pos;
+          break;
+        }
+        value += c;
+        ++pos;
+      }
+      if (!closed) {
+        issue("unterminated label value for '" + key + "'");
+        return std::string::npos;
+      }
+      out->push_back({key, value});
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < line.size() && line[pos] == '}') return pos + 1;
+      issue("expected ',' or '}' after label value for '" + key + "'");
+      return std::string::npos;
+    }
+  }
+
+  void on_sample(const std::string& line) {
+    std::size_t pos = 0;
+    while (pos < line.size() && name_char(line[pos])) ++pos;
+    const std::string name = line.substr(0, pos);
+    if (!valid_name(name)) {
+      issue("invalid metric name '" + name + "'");
+      return;
+    }
+    Labels labels;
+    if (pos < line.size() && line[pos] == '{') {
+      pos = parse_labels(line, pos + 1, &labels);
+      if (pos == std::string::npos) return;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      issue("expected ' ' before the value of '" + name + "'");
+      return;
+    }
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    std::size_t val_end = line.find(' ', pos);
+    const std::string value_str =
+        line.substr(pos, val_end == std::string::npos ? std::string::npos
+                                                      : val_end - pos);
+    char* end = nullptr;
+    std::strtod(value_str.c_str(), &end);
+    const bool special = value_str == "+Inf" || value_str == "-Inf" ||
+                         value_str == "Inf" || value_str == "NaN";
+    if (!special && (value_str.empty() || end != value_str.c_str() +
+                                                     value_str.size())) {
+      issue("unparsable value '" + value_str + "' for '" + name + "'");
+    }
+    if (val_end != std::string::npos) {
+      const std::string ts = line.substr(val_end + 1);
+      if (ts.empty() ||
+          !std::all_of(ts.begin(), ts.end(), [](char c) {
+            return (c >= '0' && c <= '9') || c == '-' || c == '+';
+          })) {
+        issue("trailing garbage (bad timestamp?) after value of '" + name +
+              "'");
+      }
+    }
+
+    const std::string fam = family_of(name);
+    enter_family(fam);
+    FamilyState& st = families[fam];
+    st.has_samples = true;
+
+    if (st.type == "histogram" && name.size() > 7 &&
+        name.compare(name.size() - 7, 7, "_bucket") == 0) {
+      const bool has_le =
+          std::any_of(labels.begin(), labels.end(),
+                      [](const Label& l) { return l.first == "le"; });
+      if (!has_le) issue("histogram bucket '" + name + "' missing le label");
+    }
+    if (st.type == "summary" && fam == name) {
+      for (const auto& [k, v] : labels) {
+        if (k != "quantile") continue;
+        char* qend = nullptr;
+        const double q = std::strtod(v.c_str(), &qend);
+        if (qend != v.c_str() + v.size() || q < 0.0 || q > 1.0) {
+          issue("summary quantile '" + v + "' outside [0, 1] on '" + name +
+                "'");
+        }
+      }
+    }
+
+    std::sort(labels.begin(), labels.end());
+    std::string series = name;
+    for (const auto& [k, v] : labels) {
+      if (st.type == "summary" && k == "quantile") series += "|quantile=" + v;
+      else if (st.type == "histogram" && k == "le") series += "|le=" + v;
+      else series += "|" + k + "=" + v;
+    }
+    if (!seen_series.insert(series).second) {
+      issue("duplicate series '" + name + "' with identical labels");
+    }
+  }
+
+  void run(std::string_view text) {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      std::size_t nl = text.find('\n', start);
+      const bool last = nl == std::string_view::npos;
+      const std::string line(text.substr(start, last ? std::string_view::npos
+                                                     : nl - start));
+      ++line_no;
+      start = last ? text.size() + 1 : nl + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        if (line.rfind("# HELP ", 0) == 0) on_meta("HELP", line.substr(7));
+        else if (line.rfind("# TYPE ", 0) == 0) on_meta("TYPE", line.substr(7));
+        // any other '#' line is a free-form comment
+        continue;
+      }
+      on_sample(line);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Issue> validate(std::string_view text) {
+  Validator v;
+  v.run(text);
+  return v.issues;
+}
+
+}  // namespace flecc::obs::prom

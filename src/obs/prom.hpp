@@ -1,0 +1,145 @@
+// Prometheus text-exposition plumbing (text/plain; version 0.0.4)
+// shared by every exporter in the repo: MetricsRegistry's end-of-run
+// snapshot, the TelemetryHub's live /metrics rendering, tools/prom_lint,
+// and the format tests. Three concerns live here so they cannot drift
+// apart:
+//
+//   1. Escaping/sanitization — dotted metric paths to legal metric
+//      names, label-value and HELP escaping per the format spec.
+//   2. Family labeling — dotted counter families whose last segment is
+//      a dimension ("flow.shed.Pull") are split into a base series plus
+//      a label ({type="Pull"}) instead of a name-mangled series per
+//      value. split_family() is the single source of truth for which
+//      families get this treatment.
+//   3. Validation — validate() checks an exposition document against
+//      the rules the emitters promise (charsets, escapes, HELP/TYPE
+//      placement, family grouping, duplicate series, counter naming).
+//      Tests and the CI telemetry job both run it, so a malformed
+//      emitter cannot land.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace flecc::obs::prom {
+
+/// One label as (key, value); keys must already be legal (see
+/// label_key), values are escaped at render time.
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+/// Map a dotted metric path to a legal metric name: "flecc_" prefix,
+/// then every character outside [a-zA-Z0-9_:] replaced by '_'
+/// ("op.pull.latency_us" -> "flecc_op_pull_latency_us").
+[[nodiscard]] std::string metric_name(std::string_view dotted);
+
+/// Coerce `raw` into a legal label key ([a-zA-Z_][a-zA-Z0-9_]*):
+/// illegal characters become '_', a leading digit gets a '_' prefix,
+/// empty input becomes "_".
+[[nodiscard]] std::string label_key(std::string_view raw);
+
+/// Escape a label value for emission between double quotes: backslash,
+/// double-quote, and newline become \\ , \" and \n.
+[[nodiscard]] std::string escape_label_value(std::string_view raw);
+
+/// Escape HELP text: backslash and newline become \\ and \n (quotes
+/// are legal verbatim in HELP).
+[[nodiscard]] std::string escape_help(std::string_view raw);
+
+/// Escape a string for embedding inside a JSON string literal (used by
+/// the /varz and /healthz renderers): quotes, backslashes, and control
+/// characters.
+[[nodiscard]] std::string json_escape(std::string_view raw);
+
+/// Shortest round-trippable rendering of a sample value: integers
+/// print without a decimal point, everything else as %.6g.
+[[nodiscard]] std::string format_value(double v);
+
+/// A dotted counter name recognized as `<prefix><family>.<dimension>`:
+/// the series keeps the family as its base name and carries the last
+/// segment as a label ("net.flow.shed.Pull" -> base "net.flow.shed",
+/// {type="Pull"}).
+struct FamilySplit {
+  std::string base;     ///< dotted base, original prefix preserved
+  std::string label_k;  ///< label key for the dimension
+  std::string label_v;  ///< dimension value (the trailing segment(s))
+};
+
+/// Recognize the dotted families whose trailing segment is a dimension
+/// (message type, drop reason, flush reason, breaker event, shed
+/// scope, ...). Matches the family at any prefix depth, so absorbed
+/// names like "cm.3.msg.sent.PushUpdate" split too. Returns nullopt
+/// for names that are not part of a labeled family.
+[[nodiscard]] std::optional<FamilySplit> split_family(std::string_view dotted);
+
+/// Grouped exposition writer. Families render in first-registration
+/// order, each as one `# HELP` + `# TYPE` block followed by all of its
+/// samples, so the output is grouping-valid by construction. Duplicate
+/// (family, labelset) samples are summed rather than emitted twice —
+/// two dotted names can sanitize to the same series.
+class Writer {
+ public:
+  /// Register family `name` (a legal metric name, e.g. from
+  /// metric_name()) with its TYPE and HELP; later registrations of the
+  /// same name are ignored.
+  void family(const std::string& name, std::string_view type,
+              std::string_view help);
+  /// Append one series line under `family` (which must be registered).
+  void sample(const std::string& family, Labels labels, double value);
+  /// Append a series line named `family + suffix` inside `family`'s
+  /// block — for summary/histogram children ("_sum", "_count",
+  /// "_bucket").
+  void child_sample(const std::string& family, std::string_view suffix,
+                    Labels labels, double value);
+  /// Render the document.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  /// One sample row pending render.
+  struct SampleLine {
+    std::string suffix;  // empty for the family series itself
+    Labels labels;
+    double value;
+  };
+  /// One metric family: HELP/TYPE plus its sample rows, rendered as a
+  /// contiguous block.
+  struct Family {
+    std::string name;
+    std::string type;
+    std::string help;
+    std::vector<SampleLine> samples;
+  };
+  Family* find(const std::string& name);
+  std::vector<Family> families_;
+};
+
+/// One problem found by validate(); `line` is 1-based within the
+/// document (0 for document-level issues).
+struct Issue {
+  std::size_t line = 0;
+  std::string message;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Validate a text-exposition document against the discipline the
+/// in-repo emitters promise:
+///   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and label keys
+///     match [a-zA-Z_][a-zA-Z0-9_]*;
+///   - label values use only the \\ , \" , \n escapes and are
+///     properly quoted/terminated;
+///   - sample values parse as floats (Inf/NaN spellings allowed),
+///     optional timestamps as integers;
+///   - at most one HELP and one TYPE per family, placed before its
+///     samples; TYPE is one of counter|gauge|summary|histogram|untyped;
+///   - a family's lines are consecutive (no interleaving or reopening);
+///   - no duplicate series (same name + same label set);
+///   - counter families end in "_total"; histogram "_bucket" lines
+///     carry an `le` label; summary quantile labels parse in [0, 1].
+/// Returns the empty vector for a clean document.
+[[nodiscard]] std::vector<Issue> validate(std::string_view text);
+
+}  // namespace flecc::obs::prom

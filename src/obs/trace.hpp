@@ -80,12 +80,14 @@ enum class EventKind : std::uint8_t {
   kMigrateDone,         ///< view rebound to its destination (a=view, b=epoch)
   kMigrateAborted,      ///< migration aborted; view stays put (a=view, b=epoch)
   kJournalReplay,       ///< CM restarted from its journal (a=view, b=intents)
+  kAlertRaised,         ///< SLO alert rule began firing (a=window index)
+  kAlertCleared,        ///< SLO alert rule stopped firing (a=window index)
 };
 
 /// Highest EventKind value. Keep in sync when appending kinds: the
 /// JSONL parser iterates `[0, kMaxEventKind]`, so a kind past this
 /// bound round-trips to "malformed line" instead of an event.
-inline constexpr EventKind kMaxEventKind = EventKind::kJournalReplay;
+inline constexpr EventKind kMaxEventKind = EventKind::kAlertCleared;
 
 /// Which protocol role emitted an event.
 enum class Role : std::uint8_t {
@@ -123,6 +125,8 @@ enum class Role : std::uint8_t {
     case EventKind::kMigrateDone: return "migrate_done";
     case EventKind::kMigrateAborted: return "migrate_aborted";
     case EventKind::kJournalReplay: return "journal_replay";
+    case EventKind::kAlertRaised: return "alert_raised";
+    case EventKind::kAlertCleared: return "alert_cleared";
   }
   return "unknown";
 }

@@ -87,6 +87,14 @@ class ThreadFabric : public net::Fabric {
     return counters_;
   }
 
+  /// Locked copy of the counters, safe to take mid-run from any thread
+  /// (live telemetry samples through this; the references above are
+  /// only stable after drain()).
+  [[nodiscard]] sim::CounterSet counters_snapshot() const {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    return counters_;
+  }
+
   /// Block until no messages or due timers are in flight and every
   /// mailbox is empty. Pending *future* timers do not count.
   void drain();

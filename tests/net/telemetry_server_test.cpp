@@ -1,0 +1,108 @@
+// TelemetryServer: real loopback sockets. Ephemeral-port binding, the
+// routing table, http_get round-trips, 404s, and the serve_telemetry
+// wiring that exposes a TelemetryHub's three scrape surfaces.
+#include "net/telemetry_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "obs/prom.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/time.hpp"
+
+using flecc::net::HttpResponse;
+using flecc::net::TelemetryServer;
+using flecc::net::http_get;
+
+TEST(TelemetryServerTest, BindsEphemeralPortAndServesRoute) {
+  TelemetryServer server(0);
+  ASSERT_TRUE(server.listening());
+  ASSERT_NE(server.port(), 0);
+
+  server.route("/ping", [] {
+    HttpResponse r;
+    r.body = "pong\n";
+    return r;
+  });
+  server.serve_background();
+
+  const auto body = http_get("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(*body, "pong\n");
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(TelemetryServerTest, UnknownPathIs404) {
+  TelemetryServer server(0);
+  ASSERT_TRUE(server.listening());
+  server.route("/known", [] { return HttpResponse{}; });
+  server.serve_background();
+
+  // http_get reports non-200 as nullopt.
+  EXPECT_FALSE(http_get("127.0.0.1", server.port(), "/missing").has_value());
+  EXPECT_TRUE(http_get("127.0.0.1", server.port(), "/known").has_value());
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(TelemetryServerTest, PollOnceTimesOutQuietly) {
+  TelemetryServer server(0);
+  ASSERT_TRUE(server.listening());
+  EXPECT_FALSE(server.poll_once(/*timeout_ms=*/10));
+}
+
+TEST(TelemetryServerTest, StopIsIdempotent) {
+  auto server = std::make_unique<TelemetryServer>(0);
+  ASSERT_TRUE(server->listening());
+  server->serve_background();
+  server->stop();
+  server->stop();          // second stop: no-op
+  server.reset();          // destructor runs stop() again
+}
+
+TEST(TelemetryServerTest, ServesHubScrapeSurfaces) {
+  flecc::obs::TelemetryHub hub;
+  double ops = 0;
+  hub.registry().add_collector([&ops](flecc::obs::SampleFrame& f) {
+    f.counter("cm.op.total", ops);
+    f.gauge("health.dm.down", 0);
+  });
+  std::string err;
+  ASSERT_TRUE(hub.alerts().add_rule("hot: cm.op.total/s > 1000000", &err))
+      << err;
+  ops = 42;
+  hub.tick(flecc::sim::msec(100));
+
+  TelemetryServer server(0);
+  ASSERT_TRUE(server.listening());
+  flecc::net::serve_telemetry(hub, server);
+  server.serve_background();
+
+  const auto metrics = http_get("127.0.0.1", server.port(), "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_NE(metrics->find("flecc_cm_op_total"), std::string::npos);
+  const auto issues = flecc::obs::prom::validate(*metrics);
+  for (const auto& i : issues) ADD_FAILURE() << i.to_string();
+
+  const auto healthz = http_get("127.0.0.1", server.port(), "/healthz");
+  ASSERT_TRUE(healthz.has_value());
+  EXPECT_NE(healthz->find("\"status\""), std::string::npos);
+  EXPECT_NE(healthz->find("ok"), std::string::npos);
+
+  const auto varz = http_get("127.0.0.1", server.port(), "/varz");
+  ASSERT_TRUE(varz.has_value());
+  EXPECT_NE(varz->find("cm.op.total"), std::string::npos);
+
+  // The index page links the surfaces; the hub counted the scrapes.
+  const auto index = http_get("127.0.0.1", server.port(), "/");
+  ASSERT_TRUE(index.has_value());
+  EXPECT_GE(hub.http_requests(), 4u);
+}
+
+TEST(TelemetryServerTest, SecondServerOnSamePortFailsCleanly) {
+  TelemetryServer a(0);
+  ASSERT_TRUE(a.listening());
+  TelemetryServer b(a.port());
+  EXPECT_FALSE(b.listening());  // port taken: report, don't crash
+}

@@ -331,10 +331,11 @@ TEST(InvariantMonitorTest, ExportMetricsNamesAreStable) {
   const auto it = reg.sample_sets().find("monitor.view.staleness_us");
   ASSERT_NE(it, reg.sample_sets().end());
   EXPECT_EQ(it->second.count(), 2u);
-  // And the Prometheus rendering carries the flecc_ prefix.
+  // And the Prometheus rendering carries the flecc_ prefix, with the
+  // op dimension rendered as a label rather than a name suffix.
   const std::string prom = reg.to_prometheus();
   EXPECT_NE(prom.find("flecc_monitor_events"), std::string::npos);
-  EXPECT_NE(prom.find("flecc_monitor_op_latency_us_acquire"),
+  EXPECT_NE(prom.find("flecc_monitor_op_latency_us{op=\"acquire\""),
             std::string::npos);
   EXPECT_NE(prom.find("quantile=\"0.999\""), std::string::npos);
 }

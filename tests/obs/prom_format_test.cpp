@@ -1,0 +1,214 @@
+// Prometheus text-exposition plumbing: name/label sanitization,
+// escape edge cases, family splitting, the grouped Writer, and the
+// validator that the tests and the CI telemetry job share. The
+// validator is itself under test here — both directions: clean
+// documents pass, and each class of malformation is caught.
+#include "obs/prom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace prom = flecc::obs::prom;
+
+// ---- sanitization and escaping ---------------------------------------------
+
+TEST(PromFormatTest, MetricNameSanitizes) {
+  EXPECT_EQ(prom::metric_name("op.pull.latency_us"),
+            "flecc_op_pull_latency_us");
+  EXPECT_EQ(prom::metric_name("cm.3.msg.sent"), "flecc_cm_3_msg_sent");
+  EXPECT_EQ(prom::metric_name("weird-name +x"), "flecc_weird_name__x");
+  EXPECT_EQ(prom::metric_name(""), "flecc_");
+}
+
+TEST(PromFormatTest, LabelKeyCoercion) {
+  EXPECT_EQ(prom::label_key("view"), "view");
+  EXPECT_EQ(prom::label_key("9lives"), "_9lives");
+  EXPECT_EQ(prom::label_key("a-b.c"), "a_b_c");
+  EXPECT_EQ(prom::label_key(""), "_");
+}
+
+TEST(PromFormatTest, LabelValueEscapes) {
+  EXPECT_EQ(prom::escape_label_value("plain"), "plain");
+  EXPECT_EQ(prom::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom::escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom::escape_label_value("line1\nline2"), "line1\\nline2");
+}
+
+TEST(PromFormatTest, HelpEscapes) {
+  // Quotes are legal verbatim in HELP; backslash and newline are not.
+  EXPECT_EQ(prom::escape_help("a \"quoted\" word"), "a \"quoted\" word");
+  EXPECT_EQ(prom::escape_help("a\\b\nc"), "a\\\\b\\nc");
+}
+
+TEST(PromFormatTest, FormatValue) {
+  EXPECT_EQ(prom::format_value(42), "42");
+  EXPECT_EQ(prom::format_value(0), "0");
+  EXPECT_EQ(prom::format_value(-17), "-17");
+  // Non-integers keep their fractional part.
+  EXPECT_NE(prom::format_value(2.5).find('.'), std::string::npos);
+}
+
+// ---- family splitting ------------------------------------------------------
+
+TEST(PromFormatTest, SplitFamilyRecognizesDimensions) {
+  const auto shed = prom::split_family("net.flow.shed.Pull");
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->base, "net.flow.shed");
+  EXPECT_EQ(shed->label_k, "type");
+  EXPECT_EQ(shed->label_v, "Pull");
+
+  const auto dropped = prom::split_family("net.msg.dropped.partition");
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->base, "net.msg.dropped");
+  EXPECT_EQ(dropped->label_k, "reason");
+  EXPECT_EQ(dropped->label_v, "partition");
+
+  // Any prefix depth, including absorbed per-agent prefixes.
+  const auto deep = prom::split_family("cm.3.msg.sent.PushUpdate");
+  ASSERT_TRUE(deep.has_value());
+  EXPECT_EQ(deep->base, "cm.3.msg.sent");
+  EXPECT_EQ(deep->label_v, "PushUpdate");
+}
+
+TEST(PromFormatTest, SplitFamilyLeavesPlainNamesAlone) {
+  EXPECT_FALSE(prom::split_family("dm.op.acquire").has_value());
+  EXPECT_FALSE(prom::split_family("msg.sent").has_value());  // no dimension
+  EXPECT_FALSE(prom::split_family("monitor.events").has_value());
+  // The family must sit on a segment boundary, not mid-word.
+  EXPECT_FALSE(prom::split_family("xmsg.sent.Push").has_value());
+}
+
+// ---- writer ----------------------------------------------------------------
+
+TEST(PromFormatTest, WriterGroupsAndEscapes) {
+  prom::Writer w;
+  w.family("flecc_test_total", "counter", "Line1\nLine2 \\ back");
+  w.sample("flecc_test_total", {{"view", "3"}, {"q", "a\"b"}}, 7);
+  w.family("flecc_other", "gauge", "Other");
+  w.sample("flecc_other", {}, 2.5);
+  const std::string doc = w.str();
+
+  EXPECT_NE(doc.find("# HELP flecc_test_total Line1\\nLine2 \\\\ back\n"),
+            std::string::npos);
+  EXPECT_NE(doc.find("# TYPE flecc_test_total counter\n"), std::string::npos);
+  // Labels render sorted by key so equal label sets compare equal.
+  EXPECT_NE(doc.find("flecc_test_total{q=\"a\\\"b\",view=\"3\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(doc.find("flecc_other 2.5\n"), std::string::npos);
+  EXPECT_TRUE(prom::validate(doc).empty());
+}
+
+TEST(PromFormatTest, WriterMergesDuplicateSeries) {
+  // Two dotted names can sanitize to one series; the writer sums them
+  // instead of emitting an (invalid) duplicate.
+  prom::Writer w;
+  w.family("flecc_x_total", "counter", "X.");
+  w.sample("flecc_x_total", {}, 3);
+  w.sample("flecc_x_total", {}, 4);
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("flecc_x_total 7\n"), std::string::npos);
+  EXPECT_TRUE(prom::validate(doc).empty());
+}
+
+TEST(PromFormatTest, WriterSummaryChildren) {
+  prom::Writer w;
+  w.family("flecc_lat_us", "summary", "Latency.");
+  w.sample("flecc_lat_us", {{"quantile", "0.5"}}, 10);
+  w.sample("flecc_lat_us", {{"quantile", "0.99"}}, 90);
+  w.child_sample("flecc_lat_us", "_sum", {}, 1000);
+  w.child_sample("flecc_lat_us", "_count", {}, 20);
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("flecc_lat_us{quantile=\"0.5\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(doc.find("flecc_lat_us_sum 1000\n"), std::string::npos);
+  EXPECT_NE(doc.find("flecc_lat_us_count 20\n"), std::string::npos);
+  EXPECT_TRUE(prom::validate(doc).empty());
+}
+
+// ---- validator: catching malformations -------------------------------------
+
+namespace {
+
+std::size_t issue_count(std::string_view doc) {
+  return prom::validate(doc).size();
+}
+
+}  // namespace
+
+TEST(PromFormatTest, ValidatorAcceptsMinimalDocument) {
+  EXPECT_EQ(issue_count("# HELP a_total Help.\n# TYPE a_total counter\n"
+                        "a_total 1\n"),
+            0u);
+  // HELP/TYPE are optional per family; bare samples are legal.
+  EXPECT_EQ(issue_count("x 1\n"), 0u);
+  // Inf/NaN spellings and timestamps parse.
+  EXPECT_EQ(issue_count("x +Inf\ny NaN\nz 1 1700000000000\n"), 0u);
+}
+
+TEST(PromFormatTest, ValidatorRejectsBadNames) {
+  EXPECT_GE(issue_count("9bad 1\n"), 1u);
+  EXPECT_GE(issue_count("has-dash 1\n"), 1u);
+  EXPECT_GE(issue_count("ok{9bad=\"v\"} 1\n"), 1u);
+}
+
+TEST(PromFormatTest, ValidatorRejectsBadEscapes) {
+  // \q is not a legal label-value escape.
+  EXPECT_GE(issue_count("x{l=\"a\\qb\"} 1\n"), 1u);
+  // Unterminated label value.
+  EXPECT_GE(issue_count("x{l=\"open} 1\n"), 1u);
+  // Raw newline cannot appear inside a value (it ends the line).
+  EXPECT_GE(issue_count("x{l=\"a\nb\"} 1\n"), 1u);
+}
+
+TEST(PromFormatTest, ValidatorRejectsStructuralProblems) {
+  // Duplicate series.
+  EXPECT_GE(issue_count("x 1\nx 2\n"), 1u);
+  // Same labels, same name — still duplicate.
+  EXPECT_GE(issue_count("x{a=\"1\"} 1\nx{a=\"1\"} 2\n"), 1u);
+  // Interleaved family reopened later.
+  EXPECT_GE(issue_count("a 1\nb 1\na{l=\"2\"} 2\n"), 1u);
+  // TYPE after samples.
+  EXPECT_GE(issue_count("a 1\n# TYPE a gauge\n"), 1u);
+  // Two HELP lines for one family.
+  EXPECT_GE(issue_count("# HELP a X.\n# HELP a Y.\na 1\n"), 1u);
+  // Unknown TYPE.
+  EXPECT_GE(issue_count("# TYPE a rate\na 1\n"), 1u);
+  // The `_total` suffix on counters is OpenMetrics, not text-format
+  // 0.0.4 — our writer emits it, but the validator must not demand it.
+  EXPECT_EQ(issue_count("# TYPE a counter\na 1\n"), 0u);
+  // Unparseable value.
+  EXPECT_GE(issue_count("a one\n"), 1u);
+}
+
+// ---- MetricsRegistry exposition --------------------------------------------
+
+TEST(PromFormatTest, MetricsRegistryExportsValidatorCleanDocument) {
+  flecc::obs::MetricsRegistry reg;
+  reg.inc("monitor.events", 10);
+  reg.inc("net.msg.dropped.loss", 3);      // labeled family
+  reg.inc("net.msg.dropped.partition", 2); // second value, same family
+  reg.inc("cm.breaker.open", 1);
+  for (int i = 0; i < 100; ++i) {
+    reg.observe("monitor.op.latency_us.acquire", 10.0 + i);
+  }
+  const std::string doc = reg.to_prometheus();
+
+  // HELP/TYPE present, counters carry _total, dimensions are labels.
+  EXPECT_NE(doc.find("# HELP flecc_monitor_events_total"), std::string::npos);
+  EXPECT_NE(doc.find("# TYPE flecc_monitor_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(doc.find("flecc_net_msg_dropped_total{reason=\"loss\"} 3"),
+            std::string::npos);
+  EXPECT_NE(doc.find("flecc_net_msg_dropped_total{reason=\"partition\"} 2"),
+            std::string::npos);
+  EXPECT_NE(doc.find("flecc_monitor_op_latency_us{op=\"acquire\","
+                     "quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("flecc_monitor_op_latency_us_count{op=\"acquire\"} 100"),
+            std::string::npos);
+
+  const auto issues = prom::validate(doc);
+  for (const auto& i : issues) ADD_FAILURE() << i.to_string();
+  EXPECT_TRUE(issues.empty());
+}

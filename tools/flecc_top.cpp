@@ -1,0 +1,389 @@
+// flecc_top — a terminal dashboard over a live telemetry endpoint.
+//
+// Scrapes /varz and /healthz from a running bench or testbed (e.g.
+// `chaos_soak --serve 9464 --pace 40`) and repaints an ANSI screen
+// every interval: health status, windowed per-second rates for the
+// hottest series, the hot-object set (flights by reservation delta),
+// per-view breaker states, and the active SLO alerts.
+//
+//   ./build/tools/flecc_top --port 9464
+//   ./build/tools/flecc_top --port 9464 --once   # one plain snapshot
+//
+// No curses dependency: plain ANSI clear+repaint, so it works in any
+// terminal and degrades to a sequential printout when piped.
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/telemetry_server.hpp"
+
+namespace {
+
+// ---- minimal JSON reader ---------------------------------------------------
+// Just enough for the /varz and /healthz documents the TelemetryHub
+// renders (objects, arrays, strings, numbers, bools, null). Not a
+// general-purpose parser; malformed input yields nullopt.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, Json>> object;
+  std::vector<Json> array;
+
+  [[nodiscard]] const Json* get(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double num_or(double fallback) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+  [[nodiscard]] const std::string& str_or(const std::string& fallback) const {
+    return type == Type::kString ? str : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  std::optional<Json> parse() {
+    auto v = value();
+    skip_ws();
+    if (!v || pos_ != s_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // The hub never emits \u escapes; skip the four digits.
+            pos_ = std::min(pos_ + 4, s_.size());
+            out += '?';
+            break;
+          default: out += esc; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return std::nullopt;
+    const char c = s_[pos_];
+    Json v;
+    if (c == '{') {
+      ++pos_;
+      v.type = Json::Type::kObject;
+      skip_ws();
+      if (eat('}')) return v;
+      while (true) {
+        auto key = string();
+        if (!key || !eat(':')) return std::nullopt;
+        auto elem = value();
+        if (!elem) return std::nullopt;
+        v.object.emplace_back(std::move(*key), std::move(*elem));
+        if (eat(',')) continue;
+        if (eat('}')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.type = Json::Type::kArray;
+      skip_ws();
+      if (eat(']')) return v;
+      while (true) {
+        auto elem = value();
+        if (!elem) return std::nullopt;
+        v.array.push_back(std::move(*elem));
+        if (eat(',')) continue;
+        if (eat(']')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto str = string();
+      if (!str) return std::nullopt;
+      v.type = Json::Type::kString;
+      v.str = std::move(*str);
+      return v;
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      v.type = Json::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      v.type = Json::Type::kBool;
+      return v;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return v;
+    }
+    char* end = nullptr;
+    const double num = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return std::nullopt;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    v.type = Json::Type::kNumber;
+    v.number = num;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- dashboard -------------------------------------------------------------
+
+struct SeriesRow {
+  std::string name;
+  std::string labels;  // "view=3" rendering
+  double value = 0.0;
+  double delta = 0.0;
+  double rate = 0.0;
+};
+
+std::string render_labels(const Json& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels.object) {
+    if (!out.empty()) out += ",";
+    out += k + "=" + v.str_or("?");
+  }
+  return out;
+}
+
+const char* breaker_name(double state) {
+  if (state == 1.0) return "OPEN";
+  if (state == 2.0) return "half-open";
+  return "closed";
+}
+
+const char* status_color(const std::string& status) {
+  if (status == "ok") return "\x1b[32m";        // green
+  if (status == "degraded") return "\x1b[33m";  // yellow
+  return "\x1b[31m";                            // red (alerting / unknown)
+}
+
+/// One snapshot, rendered to stdout. Returns false if the endpoint was
+/// unreachable or the payload unparseable.
+bool paint(const std::string& host, std::uint16_t port, bool ansi) {
+  const auto varz_text = flecc::net::http_get(host, port, "/varz");
+  const auto healthz_text = flecc::net::http_get(host, port, "/healthz");
+  if (!varz_text || !healthz_text) return false;
+  const auto varz = JsonParser(*varz_text).parse();
+  const auto healthz = JsonParser(*healthz_text).parse();
+  if (!varz || !healthz) return false;
+
+  if (ansi) std::printf("\x1b[H\x1b[2J");  // home + clear
+
+  const std::string status = healthz->get("status") != nullptr
+                                 ? healthz->get("status")->str_or("?")
+                                 : "?";
+  const double now_us =
+      varz->get("now_us") != nullptr ? varz->get("now_us")->num_or(0) : 0;
+  const double windows = varz->get("windows_closed") != nullptr
+                             ? varz->get("windows_closed")->num_or(0)
+                             : 0;
+  std::printf("flecc_top — %s:%u   status: %s%s%s   sim t=%.2fs   "
+              "windows=%.0f\n",
+              host.c_str(), port, ansi ? status_color(status) : "",
+              status.c_str(), ansi ? "\x1b[0m" : "", now_us / 1e6, windows);
+
+  // Latest window = last element of varz.windows.
+  const Json* windows_arr = varz->get("windows");
+  if (windows_arr == nullptr || windows_arr->array.empty()) {
+    std::printf("\n  (no closed telemetry window yet)\n");
+    return true;
+  }
+  const Json& w = windows_arr->array.back();
+
+  std::vector<SeriesRow> counters;
+  std::vector<SeriesRow> flights;
+  std::vector<SeriesRow> breakers;
+  if (const Json* series = w.get("series")) {
+    for (const Json& s : series->array) {
+      SeriesRow row;
+      row.name = s.get("name") != nullptr ? s.get("name")->str_or("?") : "?";
+      if (const Json* labels = s.get("labels")) {
+        row.labels = render_labels(*labels);
+      }
+      row.value = s.get("value") != nullptr ? s.get("value")->num_or(0) : 0;
+      row.delta = s.get("delta") != nullptr ? s.get("delta")->num_or(0) : 0;
+      row.rate = s.get("rate") != nullptr ? s.get("rate")->num_or(0) : 0;
+      const bool counter =
+          s.get("kind") != nullptr && s.get("kind")->str_or("") == "counter";
+      if (row.name == "airline.flight.reserved") {
+        flights.push_back(row);
+      } else if (row.name == "view.breaker") {
+        if (row.value != 0.0) breakers.push_back(row);
+      } else if (counter) {
+        counters.push_back(row);
+      }
+    }
+  }
+
+  std::printf("\n  %-44s %12s %10s %14s\n", "RATES (top by /s)", "rate/s",
+              "delta", "total");
+  std::sort(counters.begin(), counters.end(),
+            [](const SeriesRow& a, const SeriesRow& b) {
+              return a.rate > b.rate;
+            });
+  std::size_t shown = 0;
+  for (const SeriesRow& r : counters) {
+    if (shown++ >= 12) break;
+    std::string name = r.name;
+    if (!r.labels.empty()) name += "{" + r.labels + "}";
+    std::printf("  %-44s %12.1f %10.0f %14.0f\n", name.c_str(), r.rate,
+                r.delta, r.value);
+  }
+  if (counters.empty()) std::printf("  (no counter series)\n");
+
+  if (!flights.empty()) {
+    std::sort(flights.begin(), flights.end(),
+              [](const SeriesRow& a, const SeriesRow& b) {
+                return a.delta > b.delta || (a.delta == b.delta &&
+                                             a.value > b.value);
+              });
+    std::printf("\n  HOT OBJECTS (flights by reservation delta)\n");
+    shown = 0;
+    for (const SeriesRow& r : flights) {
+      if (shown++ >= 5) break;
+      std::printf("  %-24s +%-8.0f total %.0f\n", r.labels.c_str(), r.delta,
+                  r.value);
+    }
+  }
+
+  if (!breakers.empty()) {
+    std::printf("\n  BREAKERS (non-closed)\n");
+    for (const SeriesRow& r : breakers) {
+      std::printf("  %-24s %s\n", r.labels.c_str(), breaker_name(r.value));
+    }
+  }
+
+  const Json* alerts = healthz->get("alerts");
+  const Json* active =
+      alerts != nullptr ? alerts->get("active") : nullptr;
+  std::printf("\n  ALERTS raised=%.0f cleared=%.0f active=%zu\n",
+              alerts != nullptr && alerts->get("raised") != nullptr
+                  ? alerts->get("raised")->num_or(0)
+                  : 0.0,
+              alerts != nullptr && alerts->get("cleared") != nullptr
+                  ? alerts->get("cleared")->num_or(0)
+                  : 0.0,
+              active != nullptr ? active->array.size() : 0);
+  if (active != nullptr) {
+    for (const Json& a : active->array) {
+      std::printf("  %s!%s %s on %s%s%s (value %.1f)\n",
+                  ansi ? "\x1b[31m" : "", ansi ? "\x1b[0m" : "",
+                  a.get("rule") != nullptr ? a.get("rule")->str_or("?").c_str()
+                                           : "?",
+                  a.get("metric") != nullptr
+                      ? a.get("metric")->str_or("?").c_str()
+                      : "?",
+                  a.get("labels") != nullptr &&
+                          !a.get("labels")->object.empty()
+                      ? ("{" + render_labels(*a.get("labels")) + "}").c_str()
+                      : "",
+                  "",
+                  a.get("value") != nullptr ? a.get("value")->num_or(0) : 0.0);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  unsigned port = 9464;
+  unsigned interval_ms = 1000;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_ms =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (interval_ms == 0) interval_ms = 1000;
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host H] [--port P] [--interval MS] "
+                   "[--once]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (once) {
+    if (!paint(host, static_cast<std::uint16_t>(port), /*ansi=*/false)) {
+      std::fprintf(stderr, "flecc_top: no telemetry at %s:%u\n", host.c_str(),
+                   port);
+      return 1;
+    }
+    return 0;
+  }
+
+  // Live mode: repaint until interrupted; keep retrying through
+  // connection failures (the serving bench may still be starting, or
+  // between runs).
+  bool ever_connected = false;
+  while (true) {
+    if (!paint(host, static_cast<std::uint16_t>(port), /*ansi=*/true)) {
+      std::printf("%sflecc_top: waiting for telemetry at %s:%u...\n",
+                  ever_connected ? "" : "\x1b[H\x1b[2J", host.c_str(), port);
+    } else {
+      ever_connected = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

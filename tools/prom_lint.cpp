@@ -1,0 +1,61 @@
+// prom_lint — validate Prometheus text exposition (format 0.0.4).
+//
+// Reads an exposition from a file (or stdin with no argument / "-"),
+// runs the in-repo validator (obs::prom::validate — the same checks
+// the tests and chaos_soak apply to live /metrics output), and prints
+// one line per issue. Exit status: 0 clean, 1 issues found, 2 usage.
+//
+//   ./build/tools/prom_lint out/flecc_metrics.prom
+//   curl -s localhost:9464/metrics | ./build/tools/prom_lint
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/prom.hpp"
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-") == 0) {
+      continue;  // explicit stdin
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "usage: %s [exposition.prom]\n", argv[0]);
+      return 2;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s [exposition.prom]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::string text;
+  if (path != nullptr) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "prom_lint: cannot read %s\n", path);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  } else {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  }
+
+  const auto issues = flecc::obs::prom::validate(text);
+  for (const auto& issue : issues) {
+    std::printf("%s\n", issue.to_string().c_str());
+  }
+  if (issues.empty()) {
+    std::fprintf(stderr, "prom_lint: OK (%zu bytes)\n", text.size());
+    return 0;
+  }
+  std::fprintf(stderr, "prom_lint: %zu issue(s)\n", issues.size());
+  return 1;
+}
